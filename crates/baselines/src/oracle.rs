@@ -1,0 +1,42 @@
+//! A common interface over all exact distance oracles.
+
+use sfgraph::{Dist, VertexId};
+
+/// An exact point-to-point distance oracle over a fixed graph.
+///
+/// Implementations answer in terms of the *original* vertex ids of the
+/// graph they were built from (rank relabeling, if any, is internal).
+pub trait DistanceOracle {
+    /// Exact distance from `s` to `t`; `INF_DIST` when unreachable.
+    fn distance(&self, s: VertexId, t: VertexId) -> Dist;
+
+    /// Short human-readable method name for result tables.
+    fn name(&self) -> &'static str;
+
+    /// Approximate resident bytes of the oracle's data structures
+    /// (index size column of Table 6); 0 for index-free methods.
+    fn index_bytes(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Zero;
+    impl DistanceOracle for Zero {
+        fn distance(&self, _s: VertexId, _t: VertexId) -> Dist {
+            0
+        }
+        fn name(&self) -> &'static str {
+            "zero"
+        }
+    }
+
+    #[test]
+    fn default_index_bytes_is_zero() {
+        assert_eq!(Zero.index_bytes(), 0);
+        assert_eq!(Zero.name(), "zero");
+    }
+}

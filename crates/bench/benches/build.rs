@@ -1,0 +1,38 @@
+//! Criterion micro-bench: index construction per strategy (Table 8's
+//! time columns) plus PLL for reference, on a small GLP graph.
+
+use baselines::pll;
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphgen::{glp, GlpParams};
+use hopdb::{build_prelabeled, HopDbConfig, Strategy};
+use sfgraph::ranking::{rank_vertices, relabel_by_rank, RankBy};
+
+fn bench_builds(c: &mut Criterion) {
+    let g = glp(&GlpParams::with_density(4_000, 3.0, 5));
+    let ranking = rank_vertices(&g, &RankBy::Degree);
+    let relabeled = relabel_by_rank(&g, &ranking);
+
+    let mut group = c.benchmark_group("build");
+    group.sample_size(10);
+    for (name, strategy) in [
+        ("doubling", Strategy::Doubling),
+        ("stepping", Strategy::Stepping),
+        ("hybrid", Strategy::Hybrid { switch_at: 10 }),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                std::hint::black_box(build_prelabeled(
+                    &relabeled,
+                    &HopDbConfig::with_strategy(strategy.clone()),
+                ))
+            })
+        });
+    }
+    group.bench_function("pll", |b| {
+        b.iter(|| std::hint::black_box(pll::build_prelabeled(&relabeled)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_builds);
+criterion_main!(benches);

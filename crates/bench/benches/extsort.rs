@@ -1,0 +1,48 @@
+//! Criterion micro-bench for the extmem substrate backing §4: external
+//! sorting throughput under in-memory vs spilling budgets.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use extmem::device::TempStore;
+use extmem::sorter::ExternalSorter;
+use extmem::{ExtMemConfig, LabelRecord};
+
+fn records(count: usize) -> Vec<LabelRecord> {
+    let mut x = 0x243F6A8885A308D3u64;
+    (0..count)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            LabelRecord::new((x >> 32) as u32 % 65_536, x as u32 % 65_536, 1 + (x as u32 % 16))
+        })
+        .collect()
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let data = records(200_000);
+    let mut group = c.benchmark_group("extsort-200k");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(data.len() as u64));
+    for (name, cfg) in [
+        ("in-memory-budget", ExtMemConfig { memory_records: 1 << 20, block_bytes: 64 << 10 }),
+        ("spilling-budget", ExtMemConfig { memory_records: 1 << 14, block_bytes: 4 << 10 }),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let store = TempStore::new().unwrap();
+                let mut s = ExternalSorter::new(&store, cfg.clone()).with_combiner(
+                    |a: &LabelRecord, b: &LabelRecord| (a.key, a.pivot) == (b.key, b.pivot),
+                    |a, b| if a.dist <= b.dist { a } else { b },
+                );
+                for &r in &data {
+                    s.push(r).unwrap();
+                }
+                std::hint::black_box(s.finish().unwrap().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sort);
+criterion_main!(benches);

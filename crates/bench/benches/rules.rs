@@ -1,0 +1,56 @@
+//! Criterion micro-bench for the §3/§4 inner loops: the pruning
+//! ablation (generate-and-prune vs generate-only) and the 2-hop
+//! merge-join that dominates both query answering and pruning.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphgen::{glp, GlpParams};
+use hopdb::{build_prelabeled, HopDbConfig, Strategy};
+use hoplabels::index::join_min;
+use hoplabels::{LabelEntry, VertexLabels};
+use sfgraph::ranking::{rank_vertices, relabel_by_rank, RankBy};
+
+fn bench_pruning_ablation(c: &mut Criterion) {
+    // Pruning costs a join per candidate but shrinks every later
+    // iteration; without it candidate volume explodes (§3.3). A small
+    // graph keeps the unpruned variant tractable.
+    let g = glp(&GlpParams::with_density(1_500, 3.0, 3));
+    let ranking = rank_vertices(&g, &RankBy::Degree);
+    let relabeled = relabel_by_rank(&g, &ranking);
+    let mut group = c.benchmark_group("pruning-ablation");
+    group.sample_size(10);
+    group.bench_function("with-pruning", |b| {
+        b.iter(|| {
+            std::hint::black_box(build_prelabeled(
+                &relabeled,
+                &HopDbConfig::with_strategy(Strategy::Stepping),
+            ))
+        })
+    });
+    group.bench_function("without-pruning", |b| {
+        b.iter(|| {
+            std::hint::black_box(build_prelabeled(
+                &relabeled,
+                &HopDbConfig::unpruned(Strategy::Stepping),
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_join(c: &mut Criterion) {
+    // Two labels of realistic sizes (Table 7 reports avg |label| in the
+    // tens-to-hundreds), sharing a few pivots.
+    let mk = |seed: u32, len: u32| {
+        VertexLabels::from_entries(
+            (0..len).map(|i| LabelEntry::new(i * 3 + seed % 3, (i % 7) + 1)).collect(),
+        )
+    };
+    let a = mk(0, 64);
+    let b = mk(1, 128);
+    c.bench_function("join-min-64x128", |bch| {
+        bch.iter(|| std::hint::black_box(join_min(a.entries(), b.entries())))
+    });
+}
+
+criterion_group!(benches, bench_pruning_ablation, bench_join);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench: multi-threaded query throughput.
+//!
+//! Label indexes are immutable after construction, so query serving
+//! parallelises embarrassingly — this bench measures how close the
+//! index gets to linear scaling with crossbeam scoped worker threads
+//! (the serving scenario the paper's intro motivates: centrality and
+//! similarity workloads issuing millions of queries).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use graphgen::{glp, GlpParams};
+use hopdb::{build, HopDbConfig};
+
+fn bench_throughput(c: &mut Criterion) {
+    let g = glp(&GlpParams::with_density(20_000, 4.0, 21));
+    let db = build(&g, &HopDbConfig::default());
+    let pairs = bench::query_pairs(&g, 1 << 14, 3);
+
+    let mut group = c.benchmark_group("query-throughput");
+    group.throughput(Throughput::Elements(pairs.len() as u64));
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(format!("threads-{threads}"), |b| {
+            b.iter(|| {
+                crossbeam::thread::scope(|scope| {
+                    for chunk in pairs.chunks(pairs.len().div_ceil(threads)) {
+                        let db = &db;
+                        scope.spawn(move |_| {
+                            let mut acc = 0u64;
+                            for &(s, t) in chunk {
+                                let d = db.query(s, t);
+                                if d != u32::MAX {
+                                    acc += d as u64;
+                                }
+                            }
+                            std::hint::black_box(acc)
+                        });
+                    }
+                })
+                .expect("worker panicked");
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Figure 10 — anatomy of a hybrid build on the largest workload
+//! (wiki-English stand-in): per-iteration growing factor, pruning
+//! factor, candidate/old/prev sizes relative to the final index, and
+//! the share of build time spent per iteration.
+//!
+//! ```text
+//! BENCH_SCALE=small cargo run --release -p bench --bin fig10
+//! ```
+
+use bench::Scale;
+use graphgen::{glp, orient_scale_free, GlpParams};
+use hopdb::{build_prelabeled, HopDbConfig};
+use sfgraph::ranking::{rank_vertices, relabel_by_rank, RankBy};
+
+fn main() {
+    let scale = Scale::from_env();
+    let n = 25_000 * scale.factor();
+    // wiki-English is a directed link graph; density ~14 in the paper,
+    // scaled-down here.
+    let und = glp(&GlpParams::with_density(n, 7.0, 777));
+    let g = orient_scale_free(&und, 0.25, 777);
+    println!(
+        "Figure 10 reproduction: directed GLP wikiEng stand-in (|V| = {}, arcs = {})\n",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    let ranking = rank_vertices(&g, &RankBy::DegreeProduct);
+    let relabeled = relabel_by_rank(&g, &ranking);
+    let (index, stats) = build_prelabeled(&relabeled, &HopDbConfig::default());
+    let final_entries = index.total_entries() as f64;
+    let total_time: f64 = stats.iterations.iter().map(|it| it.elapsed.as_secs_f64()).sum();
+
+    println!(
+        "{:>4} {:>9} | {:>8} {:>8} | {:>9} {:>8} {:>8} | {:>7}",
+        "iter", "mode", "growing", "pruning", "cand/fin", "old/fin", "prev/fin", "time%"
+    );
+    let mut prev_inserted = 0u64;
+    for it in &stats.iterations {
+        let growing = if it.iteration == 1 || prev_inserted == 0 {
+            f64::NAN
+        } else {
+            it.candidates as f64 / prev_inserted as f64
+        };
+        println!(
+            "{:>4} {:>9} | {:>8.2} {:>7.1}% | {:>8.1}% {:>7.1}% {:>7.1}% | {:>6.1}%",
+            it.iteration,
+            if it.stepping { "stepping" } else { "doubling" },
+            growing,
+            100.0 * it.pruning_factor(),
+            100.0 * it.candidates as f64 / final_entries,
+            100.0 * it.total_entries as f64 / final_entries,
+            100.0 * it.inserted as f64 / final_entries,
+            100.0 * it.elapsed.as_secs_f64() / total_time.max(1e-12),
+        );
+        prev_inserted = it.inserted;
+    }
+
+    println!(
+        "\nfinal index: {} entries over {} iterations (avg |label| {:.1})",
+        index.total_entries(),
+        stats.num_iterations(),
+        index.avg_label_size()
+    );
+    println!("\nPaper shape: growing factor ≈ 3–4 during the stepping phase (the");
+    println!("expansion factor R of §2.2), a spike after the doubling switch, and a");
+    println!("pruning factor climbing towards ~90–100%; candidates never dwarf the");
+    println!("final index (the paper reports ≤ 1.5×).");
+}

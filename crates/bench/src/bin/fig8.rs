@@ -1,0 +1,42 @@
+//! Figure 8 — label coverage by top-ranked vertices: for each graph,
+//! the share of all label entries covered by the top x% of vertices,
+//! sampled over x ∈ (0, 1%].
+//!
+//! ```text
+//! BENCH_SCALE=small cargo run --release -p bench --bin fig8
+//! ```
+
+use bench::{suite, Scale};
+use hopdb::{build_prelabeled, HopDbConfig};
+use hoplabels::stats::CoverageStats;
+use sfgraph::ranking::{rank_vertices, relabel_by_rank, RankBy};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Figure 8 reproduction (scale: {scale:?})");
+    println!("series: label coverage (%) at top-vertex shares up to 1%\n");
+
+    let shares = 10; // sample points in (0, 1%]
+    print!("{:<12}", "graph");
+    for i in 1..=shares {
+        print!(" {:>7.1}%", i as f64 / 10.0);
+    }
+    println!();
+
+    for w in suite(scale) {
+        let rank_by =
+            if w.graph.is_directed() { RankBy::DegreeProduct } else { RankBy::Degree };
+        let ranking = rank_vertices(&w.graph, &rank_by);
+        let relabeled = relabel_by_rank(&w.graph, &ranking);
+        let (index, _) = build_prelabeled(&relabeled, &HopDbConfig::default());
+        let cov = CoverageStats::from_index(&index);
+        let curve = cov.coverage_curve(0.01, shares);
+        print!("{:<12}", w.name);
+        for (_, pct) in curve {
+            print!(" {pct:>7.1} ");
+        }
+        println!();
+    }
+    println!("\nPaper shape: curves jump above 60–90% within the first 0.1–1% of");
+    println!("vertices — the top-degree hubs cover nearly all label entries.");
+}

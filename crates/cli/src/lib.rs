@@ -1,0 +1,431 @@
+#![warn(missing_docs)]
+
+//! # hopdb-cli — command-line front end
+//!
+//! Four subcommands wire the library into a usable tool:
+//!
+//! ```text
+//! hopdb-cli gen   --model glp --vertices 100000 --density 4 -o graph.txt
+//! hopdb-cli stats -i graph.txt
+//! hopdb-cli build -i graph.txt -o graph.idx [--directed] [--weighted]
+//!                 [--strategy hybrid|stepping|doubling] [--switch-at 10]
+//! hopdb-cli query -x graph.idx 17 4242 [more pairs…]
+//! ```
+//!
+//! `build` writes two artifacts: the disk index (`hoplabels::disk`
+//! layout) and a `.rank` sidecar holding the vertex-at-rank permutation
+//! so `query` can accept original vertex ids. Argument parsing is
+//! handwritten (no external dependency); all logic lives in [`run`] so
+//! tests drive the CLI in-process.
+
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use extmem::device::CountedFile;
+use extmem::stats::IoStats;
+use graphgen::{barabasi_albert, erdos_renyi, glp, orient_scale_free, with_random_weights, GlpParams};
+use hopdb::{HopDbConfig, Strategy};
+use hoplabels::disk::DiskIndex;
+use sfgraph::ranking::{rank_vertices, relabel_by_rank, RankBy, Ranking};
+use sfgraph::{Graph, VertexId, INF_DIST};
+
+/// CLI failure: message for the user, non-zero exit.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(format!("i/o error: {e}"))
+    }
+}
+
+impl From<sfgraph::GraphError> for CliError {
+    fn from(e: sfgraph::GraphError) -> Self {
+        CliError(format!("graph error: {e}"))
+    }
+}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Tiny argument cursor over `--flag value` style options.
+struct Args<'a> {
+    rest: &'a [String],
+}
+
+impl<'a> Args<'a> {
+    fn opt(&self, flag: &str) -> Option<&'a str> {
+        self.rest
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.rest.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn has(&self, flag: &str) -> bool {
+        self.rest.iter().any(|a| a == flag)
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, flag: &str) -> Result<Option<T>, CliError> {
+        match self.opt(flag) {
+            None => Ok(None),
+            Some(v) => {
+                v.parse().map(Some).map_err(|_| err(format!("bad value for {flag}: {v}")))
+            }
+        }
+    }
+
+    fn required(&self, flag: &str) -> Result<&'a str, CliError> {
+        self.opt(flag).ok_or_else(|| err(format!("missing required option {flag}")))
+    }
+
+    /// Positional (non-flag) arguments: anything not starting with `-`
+    /// that is not the value of a non-boolean flag.
+    fn positional(&self) -> Vec<&'a str> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.rest.len() {
+            let a = self.rest[i].as_str();
+            if a.starts_with('-') && a.parse::<i64>().is_err() {
+                if !BOOL_FLAGS.contains(&a) {
+                    i += 1; // skip the flag's value too
+                }
+            } else {
+                out.push(a);
+            }
+            i += 1;
+        }
+        out
+    }
+}
+
+const BOOL_FLAGS: &[&str] = &["--directed", "--weighted", "--external"];
+
+/// Run the CLI with `args` (excluding the program name); human-readable
+/// output goes to `out`.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let Some(cmd) = args.first() else {
+        return Err(err(USAGE));
+    };
+    let rest = Args { rest: &args[1..] };
+    match cmd.as_str() {
+        "gen" => cmd_gen(&rest, out),
+        "stats" => cmd_stats(&rest, out),
+        "build" => cmd_build(&rest, out),
+        "query" => cmd_query(&rest, out),
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        other => Err(err(format!("unknown command `{other}`\n{USAGE}"))),
+    }
+}
+
+/// Usage text shown by `help` and on argument errors.
+pub const USAGE: &str = "usage: hopdb-cli <command> [options]
+
+commands:
+  gen    --model glp|ba|er --vertices N [--density D] [--seed S]
+         [--directed [--reciprocal R]] [--weighted [--max-weight W]] -o FILE
+  stats  -i EDGELIST [--directed] [--weighted]
+  build  -i EDGELIST -o INDEX [--directed] [--weighted]
+         [--strategy hybrid|stepping|doubling] [--switch-at K] [--post-prune]
+  query  -x INDEX s t [s t ...]";
+
+fn cmd_gen(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let model = args.opt("--model").unwrap_or("glp");
+    let n: usize = args.parsed("--vertices")?.ok_or_else(|| err("missing --vertices"))?;
+    let seed: u64 = args.parsed("--seed")?.unwrap_or(1);
+    let density: f64 = args.parsed("--density")?.unwrap_or(2.13);
+    let mut g = match model {
+        "glp" => glp(&GlpParams::with_density(n, density, seed)),
+        "ba" => barabasi_albert(n, (density.round() as usize).max(1), seed),
+        "er" => erdos_renyi(n, (n as f64 * density) as usize, seed),
+        other => return Err(err(format!("unknown model `{other}` (glp|ba|er)"))),
+    };
+    if args.has("--directed") {
+        let reciprocal: f64 = args.parsed("--reciprocal")?.unwrap_or(0.25);
+        g = orient_scale_free(&g, reciprocal, seed);
+    }
+    if args.has("--weighted") {
+        let max_w: u32 = args.parsed("--max-weight")?.unwrap_or(10);
+        g = with_random_weights(&g, 1, max_w.max(1), seed);
+    }
+    let path = args.required("-o")?;
+    let file = std::fs::File::create(path)?;
+    sfgraph::io::write_edge_list(&g, std::io::BufWriter::new(file))?;
+    writeln!(out, "wrote {} vertices / {} edges to {path}", g.num_vertices(), g.num_edges())?;
+    Ok(())
+}
+
+fn load_graph(args: &Args) -> Result<Graph, CliError> {
+    let path = args.required("-i")?;
+    let file = std::fs::File::open(path).map_err(|e| err(format!("cannot open {path}: {e}")))?;
+    Ok(sfgraph::io::read_edge_list(
+        std::io::BufReader::new(file),
+        args.has("--directed"),
+        args.has("--weighted"),
+    )?)
+}
+
+fn cmd_stats(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let g = load_graph(args)?;
+    let mut s = String::new();
+    let _ = writeln!(s, "|V|              {}", g.num_vertices());
+    let _ = writeln!(s, "|E|              {}", g.num_edges());
+    let _ = writeln!(s, "directed         {}", g.is_directed());
+    let _ = writeln!(s, "weighted         {}", g.is_weighted());
+    let _ = writeln!(s, "max degree       {}", g.max_degree());
+    if let Some(gamma) = sfgraph::analysis::rank_exponent(&g) {
+        let _ = writeln!(s, "rank exponent γ  {gamma:.3} (scale-free band: -0.9…-0.6)");
+    }
+    if let Some(alpha) = sfgraph::analysis::power_law_exponent(&g) {
+        let _ = writeln!(s, "power-law α      {alpha:.3} (scale-free band: 2…3)");
+    }
+    let _ = writeln!(s, "expansion R      {:.2}", sfgraph::analysis::expansion_factor(&g, 16));
+    let _ = writeln!(s, "hop diameter ≈   {}", sfgraph::analysis::hop_diameter(&g, 8, 2_000));
+    let (wcc, largest) = sfgraph::analysis::weak_components(&g);
+    let _ = writeln!(s, "components       {wcc} (largest {largest})");
+    write!(out, "{s}")?;
+    Ok(())
+}
+
+fn cmd_build(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let g = load_graph(args)?;
+    let strategy = match args.opt("--strategy").unwrap_or("hybrid") {
+        "hybrid" => Strategy::Hybrid {
+            switch_at: args.parsed("--switch-at")?.unwrap_or(10),
+        },
+        "stepping" => Strategy::Stepping,
+        "doubling" => Strategy::Doubling,
+        other => return Err(err(format!("unknown strategy `{other}`"))),
+    };
+    let cfg = HopDbConfig {
+        strategy,
+        post_prune: args.has("--post-prune"),
+        ..HopDbConfig::default()
+    };
+    let started = std::time::Instant::now();
+    let rank_by = if g.is_directed() { RankBy::DegreeProduct } else { RankBy::Degree };
+    let ranking = rank_vertices(&g, &rank_by);
+    let relabeled = relabel_by_rank(&g, &ranking);
+    let (index, stats) = hopdb::build_prelabeled(&relabeled, &cfg);
+    let elapsed = started.elapsed();
+
+    // Persist: index file + ranking sidecar.
+    let target = args.required("-o")?;
+    let io = IoStats::shared();
+    let file = CountedFile::create_path(Path::new(target), io)?;
+    write_index_to(&index, file)?;
+    write_ranking_sidecar(target, &ranking, g.num_vertices())?;
+
+    writeln!(
+        out,
+        "built {} entries (avg {:.1}/vertex) in {:?} over {} iterations",
+        index.total_entries(),
+        index.avg_label_size(),
+        elapsed,
+        stats.num_iterations()
+    )?;
+    writeln!(out, "index: {target}  ranking: {target}.rank")?;
+    Ok(())
+}
+
+fn write_index_to(index: &hoplabels::LabelIndex, file: CountedFile) -> Result<(), CliError> {
+    // DiskIndex::create wants a TempStore; write via a temp store and
+    // copy into place to keep one serialization code path.
+    let store = extmem::device::TempStore::new()?;
+    let disk = DiskIndex::create(index, &store, "cli")?;
+    let tmp_path = disk.persist();
+    std::fs::copy(&tmp_path, file.path())?;
+    std::fs::remove_file(tmp_path)?;
+    Ok(())
+}
+
+fn write_ranking_sidecar(target: &str, ranking: &Ranking, n: usize) -> Result<(), CliError> {
+    let mut bytes = Vec::with_capacity(8 + 4 * n);
+    bytes.extend_from_slice(b"HOPRANK1");
+    for r in 0..n as u32 {
+        bytes.extend_from_slice(&ranking.vertex_at(r).to_le_bytes());
+    }
+    std::fs::write(format!("{target}.rank"), bytes)?;
+    Ok(())
+}
+
+fn read_ranking_sidecar(target: &str) -> Result<Ranking, CliError> {
+    let path = format!("{target}.rank");
+    let mut bytes = Vec::new();
+    std::fs::File::open(&path)
+        .map_err(|e| err(format!("cannot open {path}: {e}")))?
+        .read_to_end(&mut bytes)?;
+    if bytes.len() < 8 || &bytes[..8] != b"HOPRANK1" || (bytes.len() - 8) % 4 != 0 {
+        return Err(err(format!("{path} is not a ranking sidecar")));
+    }
+    let order: Vec<VertexId> = bytes[8..]
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    Ok(Ranking::from_order(order))
+}
+
+fn cmd_query(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let target = args.required("-x")?;
+    let ranking = read_ranking_sidecar(target)?;
+    let io = IoStats::shared();
+    let file = CountedFile::open_path(Path::new(target), io)
+        .map_err(|e| err(format!("cannot open {target}: {e}")))?;
+    let mut disk = DiskIndex::open(file)?;
+    let positional = args.positional();
+    if positional.is_empty() || !positional.len().is_multiple_of(2) {
+        return Err(err("query needs an even number of vertex ids: s t [s t ...]"));
+    }
+    for pair in positional.chunks_exact(2) {
+        let s: VertexId = pair[0].parse().map_err(|_| err(format!("bad vertex {}", pair[0])))?;
+        let t: VertexId = pair[1].parse().map_err(|_| err(format!("bad vertex {}", pair[1])))?;
+        if s as usize >= ranking.len() || t as usize >= ranking.len() {
+            return Err(err(format!("vertex out of range: {s} or {t}")));
+        }
+        let d = disk.query(ranking.rank_of(s), ranking.rank_of(t))?;
+        if d == INF_DIST {
+            writeln!(out, "dist({s}, {t}) = unreachable")?;
+        } else {
+            writeln!(out, "dist({s}, {t}) = {d}")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_vec(args: &[&str]) -> Result<String, CliError> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&args, &mut out)?;
+        Ok(String::from_utf8(out).unwrap())
+    }
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("hopdb-cli-test-{}-{name}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn gen_stats_build_query_pipeline() {
+        let graph = tmp("pipeline.txt");
+        let index = tmp("pipeline.idx");
+
+        let out = run_vec(&[
+            "gen", "--model", "glp", "--vertices", "400", "--density", "3", "--seed", "5", "-o",
+            &graph,
+        ])
+        .unwrap();
+        assert!(out.contains("400 vertices"), "{out}");
+
+        let out = run_vec(&["stats", "-i", &graph]).unwrap();
+        assert!(out.contains("|V|              400"), "{out}");
+        assert!(out.contains("max degree"), "{out}");
+
+        let out = run_vec(&["build", "-i", &graph, "-o", &index]).unwrap();
+        assert!(out.contains("built"), "{out}");
+        assert!(std::path::Path::new(&format!("{index}.rank")).exists());
+
+        let out = run_vec(&["query", "-x", &index, "0", "1", "5", "5"]).unwrap();
+        assert!(out.contains("dist(5, 5) = 0"), "{out}");
+        assert!(out.lines().count() == 2, "{out}");
+
+        // Cross-check CLI answers against an in-process build.
+        let file = std::fs::File::open(&graph).unwrap();
+        let g = sfgraph::io::read_edge_list(std::io::BufReader::new(file), false, false).unwrap();
+        let db = hopdb::build(&g, &HopDbConfig::default());
+        let out = run_vec(&["query", "-x", &index, "3", "77"]).unwrap();
+        let expect = db.query(3, 77);
+        assert!(
+            out.contains(&format!("dist(3, 77) = {expect}")),
+            "cli said {out}, library says {expect}"
+        );
+
+        for f in [&graph, &index, &format!("{index}.rank")] {
+            let _ = std::fs::remove_file(f);
+        }
+    }
+
+    #[test]
+    fn directed_weighted_pipeline() {
+        let graph = tmp("dw.txt");
+        let index = tmp("dw.idx");
+        run_vec(&[
+            "gen", "--model", "glp", "--vertices", "200", "--seed", "3", "--directed",
+            "--weighted", "--max-weight", "5", "-o", &graph,
+        ])
+        .unwrap();
+        let out =
+            run_vec(&["build", "-i", &graph, "--directed", "--weighted", "-o", &index]).unwrap();
+        assert!(out.contains("built"), "{out}");
+        let out = run_vec(&["query", "-x", &index, "0", "0"]).unwrap();
+        assert!(out.contains("= 0"), "{out}");
+        for f in [&graph, &index, &format!("{index}.rank")] {
+            let _ = std::fs::remove_file(f);
+        }
+    }
+
+    #[test]
+    fn errors_are_friendly() {
+        assert!(run_vec(&[]).is_err());
+        assert!(run_vec(&["frobnicate"]).unwrap_err().0.contains("unknown command"));
+        assert!(run_vec(&["gen", "-o", "/tmp/x"]).unwrap_err().0.contains("--vertices"));
+        assert!(run_vec(&["query", "-x", "/nonexistent/idx", "1", "2"]).is_err());
+        let graph = tmp("err.txt");
+        run_vec(&["gen", "--model", "glp", "--vertices", "50", "-o", &graph]).unwrap();
+        let index = tmp("err.idx");
+        run_vec(&["build", "-i", &graph, "-o", &index]).unwrap();
+        assert!(run_vec(&["query", "-x", &index, "1"]).unwrap_err().0.contains("even number"));
+        assert!(run_vec(&["query", "-x", &index, "1", "999999"])
+            .unwrap_err()
+            .0
+            .contains("out of range"));
+        for f in [&graph, &index, &format!("{index}.rank")] {
+            let _ = std::fs::remove_file(f);
+        }
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_vec(&["help"]).unwrap();
+        assert!(out.contains("usage: hopdb-cli"));
+    }
+
+    #[test]
+    fn post_prune_flag_shrinks_index() {
+        let graph = tmp("pp.txt");
+        run_vec(&["gen", "--model", "glp", "--vertices", "300", "--seed", "8", "-o", &graph])
+            .unwrap();
+        let plain_idx = tmp("pp-plain.idx");
+        let pruned_idx = tmp("pp-pruned.idx");
+        run_vec(&["build", "-i", &graph, "-o", &plain_idx, "--strategy", "doubling"]).unwrap();
+        run_vec(&[
+            "build", "-i", &graph, "-o", &pruned_idx, "--strategy", "doubling", "--post-prune",
+        ])
+        .unwrap();
+        let plain = std::fs::metadata(&plain_idx).unwrap().len();
+        let pruned = std::fs::metadata(&pruned_idx).unwrap().len();
+        assert!(pruned <= plain, "post-pruned {pruned} > plain {plain}");
+        for f in [&graph, &plain_idx, &pruned_idx] {
+            let _ = std::fs::remove_file(f);
+            let _ = std::fs::remove_file(format!("{f}.rank"));
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Binary entry point for `hopdb-cli`; all logic lives in the library
+//! (`hopdb_cli::run`) so it is testable in-process.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if let Err(e) = hopdb_cli::run(&args, &mut out) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,178 @@
+//! Top-level build API: rank, relabel, run the engine, wrap the result.
+
+use hoplabels::index::LabelIndex;
+use sfgraph::ranking::{rank_vertices, relabel_by_rank, RankBy, Ranking};
+use sfgraph::{Dist, Graph, VertexId};
+
+use crate::config::HopDbConfig;
+use crate::engine;
+use crate::iteration::BuildStats;
+use crate::postprune;
+
+/// A built HopDb index: labels over the rank-relabeled graph plus the
+/// ranking that maps user-facing vertex ids to rank ids.
+pub struct HopDb {
+    index: LabelIndex,
+    ranking: Ranking,
+    stats: BuildStats,
+}
+
+impl HopDb {
+    /// Exact distance between two vertices of the *original* graph.
+    #[inline]
+    pub fn query(&self, s: VertexId, t: VertexId) -> Dist {
+        self.index.query(self.ranking.rank_of(s), self.ranking.rank_of(t))
+    }
+
+    /// The underlying label index (vertex ids are rank positions).
+    pub fn index(&self) -> &LabelIndex {
+        &self.index
+    }
+
+    /// The vertex ranking used for relabeling.
+    pub fn ranking(&self) -> &Ranking {
+        &self.ranking
+    }
+
+    /// Construction statistics.
+    pub fn stats(&self) -> &BuildStats {
+        &self.stats
+    }
+
+    /// Decompose into the raw parts.
+    pub fn into_parts(self) -> (LabelIndex, Ranking, BuildStats) {
+        (self.index, self.ranking, self.stats)
+    }
+}
+
+/// Build a HopDb index for any graph: ranks vertices (paper defaults:
+/// degree for undirected, in×out-degree product for directed; §8),
+/// relabels so id = rank, and runs the configured engine.
+///
+/// ```
+/// use sfgraph::GraphBuilder;
+/// use hopdb::{build, HopDbConfig};
+///
+/// // The road graph G_R of the paper's Figure 1.
+/// let mut b = GraphBuilder::new_undirected(5);
+/// for (u, v) in [(0, 1), (1, 2), (0, 3), (0, 4)] {
+///     b.add_edge(u, v);
+/// }
+/// let db = build(&b.build(), &HopDbConfig::default());
+/// assert_eq!(db.query(2, 3), 3); // c – b – a – d
+/// assert_eq!(db.query(3, 3), 0);
+/// ```
+pub fn build(g: &Graph, cfg: &HopDbConfig) -> HopDb {
+    let rank_by = cfg.rank_by.clone().unwrap_or(if g.is_directed() {
+        RankBy::DegreeProduct
+    } else {
+        RankBy::Degree
+    });
+    let ranking = rank_vertices(g, &rank_by);
+    let relabeled = relabel_by_rank(g, &ranking);
+    let (index, stats) = build_prelabeled(&relabeled, cfg);
+    HopDb { index, ranking, stats }
+}
+
+/// Build on a graph that is *already* rank-relabeled (id 0 = highest
+/// rank). Used by tests that encode the paper's pre-ranked examples and
+/// by the external engine driver.
+pub fn build_prelabeled(g: &Graph, cfg: &HopDbConfig) -> (LabelIndex, BuildStats) {
+    let (mut index, mut stats) = engine::build_index(g, cfg);
+    if cfg.post_prune {
+        stats.post_pruned = postprune::post_prune(&mut index);
+        stats.final_entries = index.total_entries() as u64;
+    }
+    (index, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Strategy;
+    use sfgraph::traversal::all_pairs;
+    use sfgraph::GraphBuilder;
+
+    /// A graph whose natural ids are NOT rank order, to exercise the
+    /// relabel-and-translate path.
+    fn shuffled_star() -> Graph {
+        let mut b = GraphBuilder::new_undirected(7);
+        for leaf in [0, 1, 2, 4, 5, 6] {
+            b.add_edge(3, leaf); // hub is vertex 3
+        }
+        b.add_edge(0, 6);
+        b.build()
+    }
+
+    #[test]
+    fn query_translates_original_ids() {
+        let g = shuffled_star();
+        let db = build(&g, &HopDbConfig::default());
+        let ap = all_pairs(&g);
+        for s in g.vertices() {
+            for t in g.vertices() {
+                assert_eq!(db.query(s, t), ap[s as usize][t as usize], "{s}->{t}");
+            }
+        }
+        // The hub must be rank 0.
+        assert_eq!(db.ranking().vertex_at(0), 3);
+    }
+
+    #[test]
+    fn post_prune_config_is_applied() {
+        // A cycle keeps redundant entries under the unpruned engine
+        // (e.g. both neighbours of a low-ranked vertex label it even
+        // though the higher-ranked one suffices for coverage).
+        let mut b = GraphBuilder::new_undirected(8);
+        for i in 0..8u32 {
+            b.add_edge(i, (i + 1) % 8);
+        }
+        let g = b.build();
+        let plain = build(&g, &HopDbConfig::unpruned(Strategy::Doubling));
+        let pruned = build(
+            &g,
+            &HopDbConfig { post_prune: true, ..HopDbConfig::unpruned(Strategy::Doubling) },
+        );
+        assert!(pruned.stats().post_pruned > 0);
+        assert!(pruned.index().total_entries() < plain.index().total_entries());
+        let ap = all_pairs(&g);
+        for s in g.vertices() {
+            for t in g.vertices() {
+                assert_eq!(pruned.query(s, t), ap[s as usize][t as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn custom_ranking_is_respected() {
+        let g = shuffled_star();
+        let db = build(
+            &g,
+            &HopDbConfig { rank_by: Some(RankBy::Random(5)), ..HopDbConfig::default() },
+        );
+        let ap = all_pairs(&g);
+        for s in g.vertices() {
+            for t in g.vertices() {
+                assert_eq!(db.query(s, t), ap[s as usize][t as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn directed_default_uses_degree_product() {
+        let mut b = GraphBuilder::new_directed(4);
+        // Vertex 2: in 2 × out 1 = 2; others smaller products.
+        b.add_edge(0, 2);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        let g = b.build();
+        let db = build(&g, &HopDbConfig::default());
+        assert_eq!(db.ranking().vertex_at(0), 2);
+        let ap = all_pairs(&g);
+        for s in g.vertices() {
+            for t in g.vertices() {
+                assert_eq!(db.query(s, t), ap[s as usize][t as usize]);
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Build configuration.
+
+use sfgraph::ranking::RankBy;
+
+/// Which label-generation regime each iteration uses.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Strategy {
+    /// Hop-Doubling (§3): compose previous-iteration entries with all
+    /// existing entries. Few iterations, large candidate bursts.
+    Doubling,
+    /// Hop-Stepping (§5): compose previous-iteration entries with single
+    /// edges. `D_H` iterations, tightly bounded candidate volume.
+    Stepping,
+    /// Stepping for iterations `2 ..= switch_at`, Doubling afterwards —
+    /// the paper's default with `switch_at = 10` (§8).
+    Hybrid {
+        /// Last iteration (in the paper's numbering, where initialization
+        /// is iteration 1) that still uses stepping.
+        switch_at: u32,
+    },
+}
+
+impl Strategy {
+    /// The paper's default: hybrid switching after iteration 10.
+    pub fn default_hybrid() -> Strategy {
+        Strategy::Hybrid { switch_at: 10 }
+    }
+
+    /// Whether iteration `iter` (2-based: the first generation round is
+    /// iteration 2) composes with single edges (stepping) or with all
+    /// labels (doubling).
+    pub fn steps_at(&self, iter: u32) -> bool {
+        match *self {
+            Strategy::Doubling => false,
+            Strategy::Stepping => true,
+            Strategy::Hybrid { switch_at } => iter <= switch_at,
+        }
+    }
+}
+
+/// Configuration for [`crate::build`].
+#[derive(Clone, Debug)]
+pub struct HopDbConfig {
+    /// Generation strategy; default [`Strategy::default_hybrid`].
+    pub strategy: Strategy,
+    /// Apply the §3.3 pruning step each iteration. Disabling it is only
+    /// useful for the paper's worked examples and ablation benches —
+    /// label sets explode without it.
+    pub prune: bool,
+    /// Run the exhaustive post-pruning pass (§5.2) after construction,
+    /// removing entries that higher-ranked pivots already cover.
+    pub post_prune: bool,
+    /// Vertex ranking; `None` picks the paper's defaults (degree for
+    /// undirected graphs, in×out-degree product for directed, §8).
+    pub rank_by: Option<RankBy>,
+    /// Safety cap on iterations (the theory bounds iterations by
+    /// `min(D_H, 2⌈log D_H⌉)`+1; this cap only guards against bugs).
+    pub max_iterations: u32,
+}
+
+impl Default for HopDbConfig {
+    fn default() -> Self {
+        HopDbConfig {
+            strategy: Strategy::default_hybrid(),
+            prune: true,
+            post_prune: false,
+            rank_by: None,
+            max_iterations: 256,
+        }
+    }
+}
+
+impl HopDbConfig {
+    /// Default configuration with a specific strategy.
+    pub fn with_strategy(strategy: Strategy) -> HopDbConfig {
+        HopDbConfig { strategy, ..Default::default() }
+    }
+
+    /// Configuration matching the unpruned worked example of Fig. 5.
+    pub fn unpruned(strategy: Strategy) -> HopDbConfig {
+        HopDbConfig { strategy, prune: false, ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hybrid_switches_after_threshold() {
+        let s = Strategy::Hybrid { switch_at: 10 };
+        assert!(s.steps_at(2));
+        assert!(s.steps_at(10));
+        assert!(!s.steps_at(11));
+    }
+
+    #[test]
+    fn pure_strategies_never_switch() {
+        assert!(Strategy::Stepping.steps_at(1000));
+        assert!(!Strategy::Doubling.steps_at(2));
+    }
+
+    #[test]
+    fn default_config() {
+        let c = HopDbConfig::default();
+        assert!(c.prune);
+        assert!(!c.post_prune);
+        assert_eq!(c.strategy, Strategy::Hybrid { switch_at: 10 });
+    }
+}

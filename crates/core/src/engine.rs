@@ -1,0 +1,573 @@
+//! The in-memory iterative labeling engines (Algorithm 1 with the
+//! minimized rules of §3.2, the pruning of §3.3, and the stepping
+//! refinement of §5.1).
+//!
+//! ## Rank convention
+//!
+//! Inputs must be *rank-relabeled* graphs (id 0 = highest rank), so
+//! `r(u) > r(v)` ⇔ `u < v`. Under this convention the four minimized
+//! rules become, for out-entries (Rules 1 + 2) and in-entries
+//! (Rules 4 + 5):
+//!
+//! ```text
+//! R1: prev (v,d) ∈ Lout(u), (u1,d1) ∈ Lin(u),  v < u1 < u ⇒ cand (v, d+d1) ∈ Lout(u1)
+//! R2: prev (v,d) ∈ Lout(u), (u,d2) ∈ Lout(u2)            ⇒ cand (v, d+d2) ∈ Lout(u2)
+//! R4: prev (u,d) ∈ Lin(v),  (u4,d4) ∈ Lout(v), u < u4 < v ⇒ cand (u, d+d4) ∈ Lin(u4)
+//! R5: prev (u,d) ∈ Lin(v),  (v,d5) ∈ Lin(u5)             ⇒ cand (u, d+d5) ∈ Lin(u5)
+//! ```
+//!
+//! Rules 2 and 5 need the *inverted* view "which labels contain pivot
+//! `p`" — the label-files-sorted-by-pivot of §4.1; the in-memory engine
+//! maintains them as adjacency-style lists. In stepping iterations the
+//! composed side is restricted to graph edges, which collapses R1+R2
+//! into "extend each new out-entry over in-edges `(x, u)` with
+//! `x > pivot`", and dually for R4+R5.
+//!
+//! Pruning (§3.3, restricted as in §4.2 to witnesses of higher rank than
+//! both endpoints) is exactly the 2-hop query on the index built so far:
+//! candidate `(u → v, d)` dies iff `dist_L(u, v) ≤ d`, which the
+//! self-entries extend to same-pair dominance.
+
+use std::time::Instant;
+
+use hoplabels::index::{join_min, DirectedLabels, LabelIndex, UndirectedLabels, VertexLabels};
+use hoplabels::LabelEntry;
+use sfgraph::hash::FxHashMap;
+use sfgraph::{Direction, Dist, Graph, VertexId};
+
+use crate::config::HopDbConfig;
+use crate::iteration::{BuildStats, IterationStats};
+
+/// Build a label index for a rank-relabeled graph, directed or
+/// undirected, honouring `cfg`'s strategy and pruning switches.
+pub fn build_index(g: &Graph, cfg: &HopDbConfig) -> (LabelIndex, BuildStats) {
+    if g.is_directed() {
+        build_directed(g, cfg)
+    } else {
+        build_undirected(g, cfg)
+    }
+}
+
+/// Candidate pool keyed by `(owner, pivot)` keeping the minimum distance.
+type CandMap = FxHashMap<(VertexId, VertexId), Dist>;
+
+fn offer(cands: &mut CandMap, owner: VertexId, pivot: VertexId, d: Dist) {
+    cands
+        .entry((owner, pivot))
+        .and_modify(|cur| {
+            if d < *cur {
+                *cur = d;
+            }
+        })
+        .or_insert(d);
+}
+
+/// Insert `(owner, d)` into an inverted pivot list, updating in place if
+/// the owner is already present (distance improvements on weighted
+/// graphs).
+fn upsert_inv(inv: &mut Vec<(VertexId, Dist)>, owner: VertexId, d: Dist, had_entry: bool) {
+    if had_entry {
+        if let Some(slot) = inv.iter_mut().find(|(o, _)| *o == owner) {
+            slot.1 = d;
+            return;
+        }
+    }
+    inv.push((owner, d));
+}
+
+// ---------------------------------------------------------------------
+// Directed engine
+// ---------------------------------------------------------------------
+
+struct DirectedEngine<'g> {
+    g: &'g Graph,
+    out: Vec<VertexLabels>,
+    inn: Vec<VertexLabels>,
+    /// `out_inv[p]` = owners `u` (and distances) with `(p, ·) ∈ Lout(u)`.
+    out_inv: Vec<Vec<(VertexId, Dist)>>,
+    /// `in_inv[p]` = owners `v` (and distances) with `(p, ·) ∈ Lin(v)`.
+    in_inv: Vec<Vec<(VertexId, Dist)>>,
+    /// New out-entries of the previous iteration: `(owner, pivot, dist)`.
+    prev_out: Vec<(VertexId, VertexId, Dist)>,
+    /// New in-entries of the previous iteration: `(owner, pivot, dist)`.
+    prev_in: Vec<(VertexId, VertexId, Dist)>,
+    total_entries: u64,
+}
+
+fn build_directed(g: &Graph, cfg: &HopDbConfig) -> (LabelIndex, BuildStats) {
+    let started = Instant::now();
+    let n = g.num_vertices();
+    let mut e = DirectedEngine {
+        g,
+        out: (0..n).map(|v| VertexLabels::with_trivial(v as VertexId)).collect(),
+        inn: (0..n).map(|v| VertexLabels::with_trivial(v as VertexId)).collect(),
+        out_inv: vec![Vec::new(); n],
+        in_inv: vec![Vec::new(); n],
+        prev_out: Vec::new(),
+        prev_in: Vec::new(),
+        total_entries: 2 * n as u64,
+    };
+    let mut stats = BuildStats::default();
+
+    // Iteration 1: initialization — one entry per edge (§3.1).
+    let init_start = Instant::now();
+    for v in g.vertices() {
+        for (t, w) in g.edges(v, Direction::Out) {
+            if t < v {
+                // r(t) > r(v): out-entry (t, w) ∈ Lout(v).
+                e.out[v as usize].insert_min(LabelEntry::new(t, w));
+                e.out_inv[t as usize].push((v, w));
+                e.prev_out.push((v, t, w));
+            } else {
+                // r(v) > r(t): in-entry (v, w) ∈ Lin(t).
+                e.inn[t as usize].insert_min(LabelEntry::new(v, w));
+                e.in_inv[v as usize].push((t, w));
+                e.prev_in.push((t, v, w));
+            }
+        }
+    }
+    let init_inserted = (e.prev_out.len() + e.prev_in.len()) as u64;
+    e.total_entries += init_inserted;
+    stats.iterations.push(IterationStats {
+        iteration: 1,
+        stepping: true,
+        candidates: init_inserted,
+        pruned: 0,
+        inserted: init_inserted,
+        total_entries: e.total_entries,
+        elapsed: init_start.elapsed(),
+    });
+
+    let mut iter = 1u32;
+    while !(e.prev_out.is_empty() && e.prev_in.is_empty()) && iter < cfg.max_iterations {
+        iter += 1;
+        let round_start = Instant::now();
+        let stepping = cfg.strategy.steps_at(iter);
+        let (mut out_cands, mut in_cands) = (CandMap::default(), CandMap::default());
+        e.generate(stepping, &mut out_cands, &mut in_cands);
+        let candidates = (out_cands.len() + in_cands.len()) as u64;
+        let (pruned, inserted) = e.absorb(cfg.prune, out_cands, in_cands);
+        stats.iterations.push(IterationStats {
+            iteration: iter,
+            stepping,
+            candidates,
+            pruned,
+            inserted,
+            total_entries: e.total_entries,
+            elapsed: round_start.elapsed(),
+        });
+        if inserted == 0 {
+            break;
+        }
+    }
+
+    let index = LabelIndex::Directed(DirectedLabels { in_labels: e.inn, out_labels: e.out });
+    stats.final_entries = index.total_entries() as u64;
+    stats.elapsed = started.elapsed();
+    (index, stats)
+}
+
+impl DirectedEngine<'_> {
+    fn generate(&self, stepping: bool, out_cands: &mut CandMap, in_cands: &mut CandMap) {
+        if stepping {
+            // R1+R2 over edges: extend new out-entries to in-neighbours.
+            for &(u, v, d) in &self.prev_out {
+                for (x, w) in self.g.edges(u, Direction::In) {
+                    if x > v {
+                        self.offer_out(out_cands, x, v, d.saturating_add(w));
+                    }
+                }
+            }
+            // R4+R5 over edges: extend new in-entries to out-neighbours.
+            for &(v, u, d) in &self.prev_in {
+                for (y, w) in self.g.edges(v, Direction::Out) {
+                    if y > u {
+                        self.offer_in(in_cands, y, u, d.saturating_add(w));
+                    }
+                }
+            }
+        } else {
+            for &(u, v, d) in &self.prev_out {
+                // R1: (u1, d1) ∈ Lin(u) with v < u1 < u.
+                for e in self.inn[u as usize].entries() {
+                    if e.pivot > v && e.pivot < u {
+                        self.offer_out(out_cands, e.pivot, v, d.saturating_add(e.dist));
+                    }
+                }
+                // R2: owners u2 with (u, d2) ∈ Lout(u2); u2 > u > v holds.
+                for &(u2, d2) in &self.out_inv[u as usize] {
+                    self.offer_out(out_cands, u2, v, d.saturating_add(d2));
+                }
+            }
+            for &(v, u, d) in &self.prev_in {
+                // R4: (u4, d4) ∈ Lout(v) with u < u4 < v.
+                for e in self.out[v as usize].entries() {
+                    if e.pivot > u && e.pivot < v {
+                        self.offer_in(in_cands, e.pivot, u, d.saturating_add(e.dist));
+                    }
+                }
+                // R5: owners u5 with (v, d5) ∈ Lin(u5); u5 > v > u holds.
+                for &(u5, d5) in &self.in_inv[v as usize] {
+                    self.offer_in(in_cands, u5, u, d.saturating_add(d5));
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn offer_out(&self, cands: &mut CandMap, owner: VertexId, pivot: VertexId, d: Dist) {
+        // Cheap dominance check against the existing entry before the
+        // candidate pool (full pruning happens in `absorb`).
+        if self.out[owner as usize].get(pivot).is_some_and(|cur| cur <= d) {
+            return;
+        }
+        offer(cands, owner, pivot, d);
+    }
+
+    #[inline]
+    fn offer_in(&self, cands: &mut CandMap, owner: VertexId, pivot: VertexId, d: Dist) {
+        if self.inn[owner as usize].get(pivot).is_some_and(|cur| cur <= d) {
+            return;
+        }
+        offer(cands, owner, pivot, d);
+    }
+
+    /// Prune candidates against the index as of the end of the previous
+    /// iteration (Theorem 3's proof relies on witnesses "from previous
+    /// iterations" only), then insert all survivors. Two phases, so
+    /// same-iteration survivors never prune each other — this also keeps
+    /// the in-memory engine bit-identical to the external one, whose
+    /// pruning joins read frozen label files.
+    fn absorb(&mut self, prune: bool, out_cands: CandMap, in_cands: CandMap) -> (u64, u64) {
+        self.prev_out.clear();
+        self.prev_in.clear();
+        let mut pruned = 0u64;
+        // Phase 1: decide survival against the frozen index.
+        for ((u, v), d) in out_cands {
+            // Out-entry (v, d) ∈ Lout(u) covers a path u ⇝ v: prune iff
+            // dist_L(u, v) ≤ d already (§3.3).
+            if prune
+                && join_min(self.out[u as usize].entries(), self.inn[v as usize].entries()) <= d
+            {
+                pruned += 1;
+                continue;
+            }
+            self.prev_out.push((u, v, d));
+        }
+        for ((v, u), d) in in_cands {
+            // In-entry (u, d) ∈ Lin(v) covers a path u ⇝ v.
+            if prune
+                && join_min(self.out[u as usize].entries(), self.inn[v as usize].entries()) <= d
+            {
+                pruned += 1;
+                continue;
+            }
+            self.prev_in.push((v, u, d));
+        }
+        // Phase 2: insert survivors.
+        let mut inserted = 0u64;
+        for &(u, v, d) in &self.prev_out {
+            let had = self.out[u as usize].get(v).is_some();
+            if self.out[u as usize].insert_min(LabelEntry::new(v, d)) {
+                upsert_inv(&mut self.out_inv[v as usize], u, d, had);
+                if !had {
+                    self.total_entries += 1;
+                }
+                inserted += 1;
+            }
+        }
+        for &(v, u, d) in &self.prev_in {
+            let had = self.inn[v as usize].get(u).is_some();
+            if self.inn[v as usize].insert_min(LabelEntry::new(u, d)) {
+                upsert_inv(&mut self.in_inv[u as usize], v, d, had);
+                if !had {
+                    self.total_entries += 1;
+                }
+                inserted += 1;
+            }
+        }
+        (pruned, inserted)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Undirected engine (§7: single label, converted Rules 1–2)
+// ---------------------------------------------------------------------
+
+struct UndirectedEngine<'g> {
+    g: &'g Graph,
+    lb: Vec<VertexLabels>,
+    /// `inv[p]` = owners `u` (and distances) with `(p, ·) ∈ L(u)`.
+    inv: Vec<Vec<(VertexId, Dist)>>,
+    prev: Vec<(VertexId, VertexId, Dist)>,
+    total_entries: u64,
+}
+
+fn build_undirected(g: &Graph, cfg: &HopDbConfig) -> (LabelIndex, BuildStats) {
+    let started = Instant::now();
+    let n = g.num_vertices();
+    let mut e = UndirectedEngine {
+        g,
+        lb: (0..n).map(|v| VertexLabels::with_trivial(v as VertexId)).collect(),
+        inv: vec![Vec::new(); n],
+        prev: Vec::new(),
+        total_entries: n as u64,
+    };
+    let mut stats = BuildStats::default();
+
+    let init_start = Instant::now();
+    for (u, v, w) in g.edge_list() {
+        // Normalised u < v: r(u) > r(v), so (u, w) ∈ L(v).
+        e.lb[v as usize].insert_min(LabelEntry::new(u, w));
+        e.inv[u as usize].push((v, w));
+        e.prev.push((v, u, w));
+    }
+    let init_inserted = e.prev.len() as u64;
+    e.total_entries += init_inserted;
+    stats.iterations.push(IterationStats {
+        iteration: 1,
+        stepping: true,
+        candidates: init_inserted,
+        pruned: 0,
+        inserted: init_inserted,
+        total_entries: e.total_entries,
+        elapsed: init_start.elapsed(),
+    });
+
+    let mut iter = 1u32;
+    while !e.prev.is_empty() && iter < cfg.max_iterations {
+        iter += 1;
+        let round_start = Instant::now();
+        let stepping = cfg.strategy.steps_at(iter);
+        let mut cands = CandMap::default();
+        e.generate(stepping, &mut cands);
+        let candidates = cands.len() as u64;
+        let (pruned, inserted) = e.absorb(cfg.prune, cands);
+        stats.iterations.push(IterationStats {
+            iteration: iter,
+            stepping,
+            candidates,
+            pruned,
+            inserted,
+            total_entries: e.total_entries,
+            elapsed: round_start.elapsed(),
+        });
+        if inserted == 0 {
+            break;
+        }
+    }
+
+    let index = LabelIndex::Undirected(UndirectedLabels { labels: e.lb });
+    stats.final_entries = index.total_entries() as u64;
+    stats.elapsed = started.elapsed();
+    (index, stats)
+}
+
+impl UndirectedEngine<'_> {
+    fn generate(&self, stepping: bool, cands: &mut CandMap) {
+        if stepping {
+            for &(u, v, d) in &self.prev {
+                for (x, w) in self.g.edges(u, Direction::Out) {
+                    if x > v {
+                        self.offer(cands, x, v, d.saturating_add(w));
+                    }
+                }
+            }
+        } else {
+            for &(u, v, d) in &self.prev {
+                // Converted R1: (u1, d1) ∈ L(u) with v < u1 < u gets (v, d+d1).
+                for e in self.lb[u as usize].entries() {
+                    if e.pivot > v && e.pivot < u {
+                        self.offer(cands, e.pivot, v, d.saturating_add(e.dist));
+                    }
+                }
+                // Converted R2: owners u2 with (u, d2) ∈ L(u2); u2 > u > v.
+                for &(u2, d2) in &self.inv[u as usize] {
+                    self.offer(cands, u2, v, d.saturating_add(d2));
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn offer(&self, cands: &mut CandMap, owner: VertexId, pivot: VertexId, d: Dist) {
+        if self.lb[owner as usize].get(pivot).is_some_and(|cur| cur <= d) {
+            return;
+        }
+        offer(cands, owner, pivot, d);
+    }
+
+    /// Two-phase prune-then-insert; see the directed engine's `absorb`.
+    fn absorb(&mut self, prune: bool, cands: CandMap) -> (u64, u64) {
+        self.prev.clear();
+        let mut pruned = 0u64;
+        for ((u, v), d) in cands {
+            if prune
+                && join_min(self.lb[u as usize].entries(), self.lb[v as usize].entries()) <= d
+            {
+                pruned += 1;
+                continue;
+            }
+            self.prev.push((u, v, d));
+        }
+        let mut inserted = 0u64;
+        for &(u, v, d) in &self.prev {
+            let had = self.lb[u as usize].get(v).is_some();
+            if self.lb[u as usize].insert_min(LabelEntry::new(v, d)) {
+                upsert_inv(&mut self.inv[v as usize], u, d, had);
+                if !had {
+                    self.total_entries += 1;
+                }
+                inserted += 1;
+            }
+        }
+        (pruned, inserted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Strategy;
+    use hoplabels::verify::assert_exact;
+    use sfgraph::GraphBuilder;
+
+    fn configs() -> Vec<HopDbConfig> {
+        vec![
+            HopDbConfig::with_strategy(Strategy::Stepping),
+            HopDbConfig::with_strategy(Strategy::Doubling),
+            HopDbConfig::with_strategy(Strategy::Hybrid { switch_at: 3 }),
+            HopDbConfig::unpruned(Strategy::Stepping),
+            HopDbConfig::unpruned(Strategy::Doubling),
+        ]
+    }
+
+    #[test]
+    fn undirected_path_all_strategies_exact() {
+        let mut b = GraphBuilder::new_undirected(6);
+        for i in 0..5u32 {
+            b.add_edge(i, i + 1);
+        }
+        let g = b.build();
+        for cfg in configs() {
+            let (index, _) = build_index(&g, &cfg);
+            assert_exact(&g, &index);
+        }
+    }
+
+    #[test]
+    fn directed_cycle_all_strategies_exact() {
+        let mut b = GraphBuilder::new_directed(5);
+        for i in 0..5u32 {
+            b.add_edge(i, (i + 1) % 5);
+        }
+        let g = b.build();
+        for cfg in configs() {
+            let (index, _) = build_index(&g, &cfg);
+            assert_exact(&g, &index);
+        }
+    }
+
+    #[test]
+    fn weighted_directed_exact() {
+        let mut b = GraphBuilder::new_directed(5).weighted();
+        b.add_weighted_edge(0, 1, 3);
+        b.add_weighted_edge(1, 2, 4);
+        b.add_weighted_edge(0, 2, 9);
+        b.add_weighted_edge(2, 3, 1);
+        b.add_weighted_edge(3, 0, 2);
+        b.add_weighted_edge(4, 0, 5);
+        let g = b.build();
+        for cfg in configs() {
+            let (index, _) = build_index(&g, &cfg);
+            assert_exact(&g, &index);
+        }
+    }
+
+    #[test]
+    fn stepping_iterations_bounded_by_hop_diameter() {
+        // Theorem 6: at most D_H iterations (plus init and the final
+        // empty round that detects the fixpoint).
+        let mut b = GraphBuilder::new_undirected(9);
+        for i in 0..8u32 {
+            b.add_edge(i, i + 1);
+        }
+        let g = b.build(); // path: D_H = 8
+        let (index, stats) =
+            build_index(&g, &HopDbConfig::with_strategy(Strategy::Stepping));
+        assert_exact(&g, &index);
+        assert!(
+            stats.num_iterations() <= 8 + 1,
+            "stepping took {} iterations on a diameter-8 path",
+            stats.num_iterations()
+        );
+    }
+
+    #[test]
+    fn doubling_iterations_logarithmic() {
+        // Theorem 4: at most 2⌈log D_H⌉ iterations (+1 to detect the
+        // fixpoint). Path of 33 vertices: D_H = 32, bound = 10.
+        let mut b = GraphBuilder::new_undirected(33);
+        for i in 0..32u32 {
+            b.add_edge(i, i + 1);
+        }
+        let g = b.build();
+        let (index, stats) =
+            build_index(&g, &HopDbConfig::with_strategy(Strategy::Doubling));
+        assert_exact(&g, &index);
+        let bound = 2 * 32u32.ilog2() + 1;
+        assert!(
+            stats.num_iterations() <= bound,
+            "doubling took {} iterations, bound {bound}",
+            stats.num_iterations()
+        );
+        // And it must beat stepping's 32 rounds by a wide margin.
+        assert!(stats.num_iterations() <= 12);
+    }
+
+    #[test]
+    fn pruning_shrinks_labels() {
+        // Cycle: candidates like (3, 1, 2) on a 4-cycle are covered via
+        // the higher-ranked pivot 0, so pruning must drop them while the
+        // unpruned engine keeps them.
+        let mut b = GraphBuilder::new_undirected(8);
+        for i in 0..8u32 {
+            b.add_edge(i, (i + 1) % 8);
+        }
+        let g = b.build();
+        let (with, _) = build_index(&g, &HopDbConfig::with_strategy(Strategy::Stepping));
+        let (without, _) = build_index(&g, &HopDbConfig::unpruned(Strategy::Stepping));
+        assert_exact(&g, &with);
+        assert_exact(&g, &without);
+        assert!(
+            with.total_entries() < without.total_entries(),
+            "pruned {} !< unpruned {}",
+            with.total_entries(),
+            without.total_entries()
+        );
+    }
+
+    #[test]
+    fn disconnected_components_stay_unreachable() {
+        let mut b = GraphBuilder::new_undirected(6);
+        b.add_edge(0, 1);
+        b.add_edge(2, 3);
+        b.add_edge(4, 5);
+        let g = b.build();
+        let (index, _) = build_index(&g, &HopDbConfig::default());
+        assert_exact(&g, &index);
+        assert_eq!(index.query(0, 3), sfgraph::INF_DIST);
+    }
+
+    #[test]
+    fn empty_and_single_vertex_graphs() {
+        let g0 = GraphBuilder::new_undirected(0).build();
+        let (i0, s0) = build_index(&g0, &HopDbConfig::default());
+        assert_eq!(i0.total_entries(), 0);
+        assert_eq!(s0.num_iterations(), 1);
+
+        let g1 = GraphBuilder::new_directed(1).build();
+        let (i1, _) = build_index(&g1, &HopDbConfig::default());
+        assert_eq!(i1.query(0, 0), 0);
+    }
+}

@@ -1,0 +1,776 @@
+//! I/O-efficient index construction (Section 4).
+//!
+//! All label state lives in sorted record files on the `extmem`
+//! substrate; per-iteration work is organised as joins over those files:
+//!
+//! * **Candidate generation** — the rules join `prev` entries with label
+//!   files. Both join inputs are sorted by the shared vertex, so
+//!   Rules 1/4 (and the stepping variants, which join against edge
+//!   files) are streaming *sort-merge co-group* joins; Rules 2/5 join
+//!   `prev` against the pivot-sorted (inverted) label files, again
+//!   merge-style. Candidates go through the external sorter with a
+//!   min-distance combiner — the "avoid duplicates" step of
+//!   Algorithm 2.
+//! * **Pruning** — the block nested-loop of §4.2: the outer loop loads a
+//!   memory-budget block of candidates grouped by their query *source*
+//!   together with that source's label; the inner loop streams the
+//!   target-side label file once per block and merge-joins each
+//!   candidate's two labels. Self-entries are stored in the files, so
+//!   the same-pair dominance check falls out of the join exactly as in
+//!   the in-memory engine.
+//! * **Merge** — survivors are merged (min-distance) into the label
+//!   files and, inverted, into the pivot-sorted files; survivors become
+//!   the next iteration's `prev`.
+//!
+//! Every byte flows through counted files, so the
+//! [`ExternalBuildResult::io`] report gives honest `scan(N) = N/B`
+//! figures for Table 6's disk-based columns.
+//!
+//! Deviation from the paper: the *graph topology* (for stepping's edge
+//! joins) is exported to edge files, but the final index is loaded
+//! back into memory at the end so callers can verify/serve it — at
+//! laptop scale that is always possible; for the paper's 9 GB graphs
+//! one would hand the final runs directly to `hoplabels::disk`.
+
+use std::io;
+
+use extmem::device::TempStore;
+use extmem::run::{Run, RunReader, RunWriter};
+use extmem::sorter::{merge_runs, ExternalSorter};
+use extmem::{ExtMemConfig, LabelRecord, Record};
+use hoplabels::index::{DirectedLabels, LabelIndex, UndirectedLabels, VertexLabels};
+use hoplabels::LabelEntry;
+use sfgraph::{Direction, Dist, Graph};
+
+use crate::config::HopDbConfig;
+use crate::iteration::{BuildStats, IterationStats};
+
+/// Outcome of an external build.
+pub struct ExternalBuildResult {
+    /// The finished index (loaded back into memory).
+    pub index: LabelIndex,
+    /// Per-iteration statistics, as for the in-memory engine.
+    pub stats: BuildStats,
+    /// Total I/O traffic: `(read_bytes, write_bytes, read_blocks,
+    /// write_blocks)` for the configured block size.
+    pub io: (u64, u64, u64, u64),
+}
+
+/// Build a label index for a rank-relabeled graph with bounded memory.
+///
+/// # Panics
+/// Panics if `cfg.prune` is false — the external path implements the
+/// paper's (always-pruned) §4 algorithm only.
+pub fn build_external(
+    g: &Graph,
+    cfg: &HopDbConfig,
+    ext: &ExtMemConfig,
+) -> io::Result<ExternalBuildResult> {
+    assert!(cfg.prune, "the external engine implements the pruned algorithm of §4");
+    let store = TempStore::new()?;
+    if g.is_directed() {
+        run_directed(g, cfg, ext, &store)
+    } else {
+        run_undirected(g, cfg, ext, &store)
+    }
+}
+
+const IO_BUF: usize = 4096; // records per reader/writer buffer
+
+fn buffer_records(ext: &ExtMemConfig) -> usize {
+    (ext.block_bytes / LabelRecord::SIZE).clamp(16, IO_BUF)
+}
+
+/// Reads one *group* (maximal run of records with equal `key`) at a time
+/// from a sorted run.
+struct GroupReader {
+    reader: RunReader<LabelRecord>,
+    pending: Option<LabelRecord>,
+}
+
+impl GroupReader {
+    fn new(run: &Run<LabelRecord>, buf: usize) -> io::Result<GroupReader> {
+        let mut reader = run.reader_shared(buf)?;
+        let pending = reader.next_record()?;
+        Ok(GroupReader { reader, pending })
+    }
+
+    /// Key of the next group, or `None` at end of stream.
+    fn peek_key(&self) -> Option<u32> {
+        self.pending.map(|r| r.key)
+    }
+
+    /// Read the next whole group into `out` (cleared first); returns its
+    /// key.
+    fn next_group(&mut self, out: &mut Vec<LabelRecord>) -> io::Result<Option<u32>> {
+        out.clear();
+        let Some(first) = self.pending.take() else { return Ok(None) };
+        let key = first.key;
+        out.push(first);
+        loop {
+            match self.reader.next_record()? {
+                Some(r) if r.key == key => out.push(r),
+                other => {
+                    self.pending = other;
+                    break;
+                }
+            }
+        }
+        Ok(Some(key))
+    }
+
+    /// Advance until the next group's key is ≥ `key` (discarding groups —
+    /// part of the sequential scan the paper's outer loop performs).
+    fn skip_to(&mut self, key: u32, scratch: &mut Vec<LabelRecord>) -> io::Result<()> {
+        while let Some(k) = self.peek_key() {
+            if k >= key {
+                break;
+            }
+            self.next_group(scratch)?;
+        }
+        Ok(())
+    }
+}
+
+/// Minimum `dist_a + dist_b` over common pivots of two pivot-sorted
+/// record groups (the 2-hop join on file records).
+fn join_min_records(a: &[LabelRecord], b: &[LabelRecord]) -> Dist {
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut best = Dist::MAX;
+    while i < a.len() && j < b.len() {
+        match a[i].pivot.cmp(&b[j].pivot) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                best = best.min(a[i].dist.saturating_add(b[j].dist));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    best
+}
+
+fn group_eq(a: &LabelRecord, b: &LabelRecord) -> bool {
+    (a.key, a.pivot) == (b.key, b.pivot)
+}
+
+fn keep_min(a: LabelRecord, b: LabelRecord) -> LabelRecord {
+    if a.dist <= b.dist {
+        a
+    } else {
+        b
+    }
+}
+
+fn sorter<'s>(store: &'s TempStore, ext: &ExtMemConfig) -> ExternalSorter<'s, LabelRecord> {
+    ExternalSorter::new(store, ext.clone()).with_combiner(group_eq, keep_min)
+}
+
+/// Sort a run of records by `(key, pivot)` with min-distance combining.
+fn sort_run(
+    store: &TempStore,
+    ext: &ExtMemConfig,
+    run: Run<LabelRecord>,
+) -> io::Result<Run<LabelRecord>> {
+    let mut s = sorter(store, ext);
+    let mut reader = run.reader(buffer_records(ext))?;
+    while let Some(r) = reader.next_record()? {
+        s.push(r)?;
+    }
+    s.finish()
+}
+
+/// Merge two `(key, pivot)`-sorted runs, min-combining duplicates.
+fn merge_sorted(
+    store: &TempStore,
+    ext: &ExtMemConfig,
+    a: Run<LabelRecord>,
+    b: Run<LabelRecord>,
+) -> io::Result<Run<LabelRecord>> {
+    merge_runs(store, vec![a, b], buffer_records(ext), Some(keep_min), group_eq)
+}
+
+/// Invert (`key` ↔ `pivot`) and sort — produces the pivot-sorted view.
+fn inverted_sorted(
+    store: &TempStore,
+    ext: &ExtMemConfig,
+    run: &Run<LabelRecord>,
+) -> io::Result<Run<LabelRecord>> {
+    let mut s = sorter(store, ext);
+    let mut reader = run.reader_shared(buffer_records(ext))?;
+    while let Some(r) = reader.next_record()? {
+        s.push(r.inverted())?;
+    }
+    s.finish()
+}
+
+/// Write self-entries plus the given initialization entries, sorted.
+fn initial_run(
+    store: &TempStore,
+    ext: &ExtMemConfig,
+    n: usize,
+    entries: impl Iterator<Item = LabelRecord>,
+) -> io::Result<Run<LabelRecord>> {
+    let mut s = sorter(store, ext);
+    for v in 0..n as u32 {
+        s.push(LabelRecord::new(v, v, 0))?;
+    }
+    for r in entries {
+        s.push(r)?;
+    }
+    s.finish()
+}
+
+/// Edge file: `key = group vertex`, `pivot = neighbour`, `dist = weight`.
+fn edge_run(
+    store: &TempStore,
+    ext: &ExtMemConfig,
+    g: &Graph,
+    dir: Direction,
+) -> io::Result<Run<LabelRecord>> {
+    let mut w = RunWriter::new(store.create("edges")?, buffer_records(ext));
+    for v in g.vertices() {
+        for (t, wgt) in g.edges(v, dir) {
+            w.push(LabelRecord::new(v, t, wgt))?;
+        }
+    }
+    w.finish()
+}
+
+/// Sort an in-memory slice into a fresh run.
+fn sort_slice(
+    store: &TempStore,
+    ext: &ExtMemConfig,
+    records: &[LabelRecord],
+) -> io::Result<Run<LabelRecord>> {
+    let mut s = sorter(store, ext);
+    for &r in records {
+        s.push(r)?;
+    }
+    s.finish()
+}
+
+/// Copy a run (used when one run must serve as both `prev` and a merge
+/// input, which consumes it).
+fn copy_run(
+    store: &TempStore,
+    ext: &ExtMemConfig,
+    run: &Run<LabelRecord>,
+) -> io::Result<Run<LabelRecord>> {
+    let buf = buffer_records(ext);
+    let mut w = RunWriter::new(store.create("copy")?, buf);
+    let mut r = run.reader_shared(buf)?;
+    while let Some(rec) = r.next_record()? {
+        w.push(rec)?;
+    }
+    w.finish()
+}
+
+/// Materialise a `(key, pivot)`-sorted label run as per-vertex labels.
+fn load_labels(
+    run: &Run<LabelRecord>,
+    n: usize,
+    ext: &ExtMemConfig,
+) -> io::Result<Vec<VertexLabels>> {
+    let mut labels: Vec<Vec<LabelEntry>> = vec![Vec::new(); n];
+    let mut reader = run.reader_shared(buffer_records(ext))?;
+    while let Some(r) = reader.next_record()? {
+        labels[r.key as usize].push(LabelEntry::new(r.pivot, r.dist));
+    }
+    Ok(labels.into_iter().map(VertexLabels::from_entries).collect())
+}
+
+/// Co-group join of `prev` (sorted by key) with `side` (sorted by key):
+/// for every shared key, `emit` sees the two groups and pushes
+/// candidates into the sorter.
+fn cogroup_join(
+    prev: &Run<LabelRecord>,
+    side: &Run<LabelRecord>,
+    ext: &ExtMemConfig,
+    cands: &mut ExternalSorter<'_, LabelRecord>,
+    mut emit: impl FnMut(
+        &[LabelRecord],
+        &[LabelRecord],
+        &mut ExternalSorter<'_, LabelRecord>,
+    ) -> io::Result<()>,
+) -> io::Result<()> {
+    let buf = buffer_records(ext);
+    let mut pr = GroupReader::new(prev, buf)?;
+    let mut sr = GroupReader::new(side, buf)?;
+    let (mut pg, mut sg, mut scratch) = (Vec::new(), Vec::new(), Vec::new());
+    while let Some(pk) = pr.peek_key() {
+        sr.skip_to(pk, &mut scratch)?;
+        match sr.peek_key() {
+            Some(sk) if sk == pk => {
+                pr.next_group(&mut pg)?;
+                sr.next_group(&mut sg)?;
+                emit(&pg, &sg, cands)?;
+            }
+            _ => {
+                pr.next_group(&mut pg)?; // no partner group: skip
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Prune candidates with the 2-hop test `dist(src, dst) ≤ d` — the block
+/// nested-loop of §4.2.
+///
+/// `cands` must be sorted by `key = query source`; `src_labels` (sorted
+/// by owner) provides the source-side labels for the outer blocks;
+/// `dst_labels` (sorted by owner) is streamed once per block for the
+/// target side (`pivot` of each candidate). Returns
+/// `(survivors sorted by (key, pivot), pruned_count)`.
+fn prune_candidates(
+    store: &TempStore,
+    ext: &ExtMemConfig,
+    cands: Run<LabelRecord>,
+    src_labels: &Run<LabelRecord>,
+    dst_labels: &Run<LabelRecord>,
+) -> io::Result<(Run<LabelRecord>, u64)> {
+    let buf = buffer_records(ext);
+    let block_budget = (ext.memory_records / 2).max(64);
+    let mut cand_reader = GroupReader::new(&cands, buf)?;
+    let mut src_reader = GroupReader::new(src_labels, buf)?;
+    let mut survivors = RunWriter::new(store.create("survivors")?, buf);
+    let mut pruned = 0u64;
+    let (mut cg, mut sg, mut scratch) = (Vec::new(), Vec::new(), Vec::new());
+
+    loop {
+        // Outer: load candidate groups + their source labels up to the
+        // memory budget.
+        let mut block: Vec<(LabelRecord, usize)> = Vec::new(); // (cand, src group idx)
+        let mut src_groups: Vec<Vec<LabelRecord>> = Vec::new();
+        let mut loaded = 0usize;
+        while loaded < block_budget {
+            let Some(ck) = cand_reader.peek_key() else { break };
+            cand_reader.next_group(&mut cg)?;
+            src_reader.skip_to(ck, &mut scratch)?;
+            if src_reader.peek_key() == Some(ck) {
+                src_reader.next_group(&mut sg)?;
+            } else {
+                sg.clear(); // unreachable: self-entries cover every vertex
+            }
+            src_groups.push(sg.clone());
+            let idx = src_groups.len() - 1;
+            loaded += cg.len() + sg.len();
+            for &c in &cg {
+                block.push((c, idx));
+            }
+        }
+        if block.is_empty() {
+            break;
+        }
+        // Sort block candidates by target vertex for the inner merge.
+        block.sort_unstable_by_key(|(c, _)| (c.pivot, c.key));
+        // Inner: stream the target-side label file once.
+        let mut dst_reader = GroupReader::new(dst_labels, buf)?;
+        let mut dg = Vec::new();
+        let mut i = 0usize;
+        while i < block.len() {
+            let target = block[i].0.pivot;
+            dst_reader.skip_to(target, &mut scratch)?;
+            debug_assert_eq!(
+                dst_reader.peek_key(),
+                Some(target),
+                "self-entries guarantee every vertex has a label group"
+            );
+            dst_reader.next_group(&mut dg)?;
+            while i < block.len() && block[i].0.pivot == target {
+                let (c, gi) = block[i];
+                if join_min_records(&src_groups[gi], &dg) <= c.dist {
+                    pruned += 1;
+                } else {
+                    survivors.push(c)?;
+                }
+                i += 1;
+            }
+        }
+    }
+    // Survivors were written in per-block (pivot, key) order; resort by
+    // (key, pivot) for the merge step.
+    let run = survivors.finish()?;
+    let sorted = sort_run(store, ext, run)?;
+    Ok((sorted, pruned))
+}
+
+fn io_report(store: &TempStore, ext: &ExtMemConfig) -> (u64, u64, u64, u64) {
+    let io = store.stats();
+    (
+        io.read_bytes(),
+        io.write_bytes(),
+        io.read_blocks(ext.block_bytes),
+        io.write_blocks(ext.block_bytes),
+    )
+}
+
+// -------------------------------------------------------------------
+// Directed driver
+// -------------------------------------------------------------------
+
+fn run_directed(
+    g: &Graph,
+    cfg: &HopDbConfig,
+    ext: &ExtMemConfig,
+    store: &TempStore,
+) -> io::Result<ExternalBuildResult> {
+    let started = std::time::Instant::now();
+    let n = g.num_vertices();
+    let mut stats = BuildStats::default();
+
+    // Initialization (iteration 1): self-entries + one entry per edge.
+    let init_start = std::time::Instant::now();
+    let mut out_init = Vec::new(); // (owner u, pivot v, d): v < u
+    let mut in_init = Vec::new(); // (owner v, pivot u, d): u < v
+    for u in g.vertices() {
+        for (v, w) in g.edges(u, Direction::Out) {
+            if v < u {
+                out_init.push(LabelRecord::new(u, v, w));
+            } else {
+                in_init.push(LabelRecord::new(v, u, w));
+            }
+        }
+    }
+    let init_count = (out_init.len() + in_init.len()) as u64;
+    let mut out = initial_run(store, ext, n, out_init.iter().copied())?;
+    let mut inn = initial_run(store, ext, n, in_init.iter().copied())?;
+    let mut out_inv = inverted_sorted(store, ext, &out)?;
+    let mut in_inv = inverted_sorted(store, ext, &inn)?;
+    let edges_in = edge_run(store, ext, g, Direction::In)?;
+    let edges_out = edge_run(store, ext, g, Direction::Out)?;
+    // prev runs hold only new entries (no self-entries).
+    let mut prev_out = sort_slice(store, ext, &out_init)?;
+    let mut prev_in = sort_slice(store, ext, &in_init)?;
+    stats.iterations.push(IterationStats {
+        iteration: 1,
+        stepping: true,
+        candidates: init_count,
+        pruned: 0,
+        inserted: init_count,
+        total_entries: init_count + 2 * n as u64,
+        elapsed: init_start.elapsed(),
+    });
+
+    let mut iter = 1u32;
+    while (!prev_out.is_empty() || !prev_in.is_empty()) && iter < cfg.max_iterations {
+        iter += 1;
+        let round_start = std::time::Instant::now();
+        let stepping = cfg.strategy.steps_at(iter);
+
+        // ---- generation ----
+        let mut out_sorter = sorter(store, ext);
+        let mut in_sorter = sorter(store, ext);
+        if stepping {
+            // R1+R2 over in-edges of the prev out-entry's owner.
+            cogroup_join(&prev_out, &edges_in, ext, &mut out_sorter, |pg, eg, s| {
+                for p in pg {
+                    for e in eg {
+                        if e.pivot > p.pivot {
+                            s.push(LabelRecord::new(e.pivot, p.pivot, p.dist.saturating_add(e.dist)))?;
+                        }
+                    }
+                }
+                Ok(())
+            })?;
+            // R4+R5 over out-edges of the prev in-entry's owner.
+            cogroup_join(&prev_in, &edges_out, ext, &mut in_sorter, |pg, eg, s| {
+                for p in pg {
+                    for e in eg {
+                        if e.pivot > p.pivot {
+                            s.push(LabelRecord::new(e.pivot, p.pivot, p.dist.saturating_add(e.dist)))?;
+                        }
+                    }
+                }
+                Ok(())
+            })?;
+        } else {
+            // R1: prev out (u,v,d) × Lin(u) entries (u1,d1), v < u1 < u.
+            cogroup_join(&prev_out, &inn, ext, &mut out_sorter, |pg, lg, s| {
+                for p in pg {
+                    for l in lg {
+                        if l.pivot > p.pivot && l.pivot < p.key {
+                            s.push(LabelRecord::new(l.pivot, p.pivot, p.dist.saturating_add(l.dist)))?;
+                        }
+                    }
+                }
+                Ok(())
+            })?;
+            // R2: prev out (u,v,d) × out-inv group of u: owners u2 > u.
+            cogroup_join(&prev_out, &out_inv, ext, &mut out_sorter, |pg, ig, s| {
+                for p in pg {
+                    for o in ig {
+                        if o.pivot > p.key {
+                            s.push(LabelRecord::new(o.pivot, p.pivot, p.dist.saturating_add(o.dist)))?;
+                        }
+                    }
+                }
+                Ok(())
+            })?;
+            // R4: prev in (v,u,d) × Lout(v) entries (u4,d4), u < u4 < v.
+            cogroup_join(&prev_in, &out, ext, &mut in_sorter, |pg, lg, s| {
+                for p in pg {
+                    for l in lg {
+                        if l.pivot > p.pivot && l.pivot < p.key {
+                            s.push(LabelRecord::new(l.pivot, p.pivot, p.dist.saturating_add(l.dist)))?;
+                        }
+                    }
+                }
+                Ok(())
+            })?;
+            // R5: prev in (v,u,d) × in-inv group of v: owners u5 > v.
+            cogroup_join(&prev_in, &in_inv, ext, &mut in_sorter, |pg, ig, s| {
+                for p in pg {
+                    for o in ig {
+                        if o.pivot > p.key {
+                            s.push(LabelRecord::new(o.pivot, p.pivot, p.dist.saturating_add(o.dist)))?;
+                        }
+                    }
+                }
+                Ok(())
+            })?;
+        }
+        let out_cands = out_sorter.finish()?;
+        let in_cands_by_owner = in_sorter.finish()?;
+        let candidates = out_cands.len() + in_cands_by_owner.len();
+
+        // ---- pruning ----
+        // Out-candidates: key = owner = query source; join Lout(key)
+        // with Lin(pivot).
+        let (out_surv, out_pruned) = prune_candidates(store, ext, out_cands, &out, &inn)?;
+        // In-candidates (owner v, pivot u) cover a path u ⇝ v: the query
+        // source is the *pivot*. Swap key/pivot, prune, swap back.
+        let in_cands_by_src = inverted_sorted(store, ext, &in_cands_by_owner)?;
+        drop(in_cands_by_owner);
+        let (in_surv_by_src, in_pruned) =
+            prune_candidates(store, ext, in_cands_by_src, &out, &inn)?;
+        let in_surv = inverted_sorted(store, ext, &in_surv_by_src)?;
+        drop(in_surv_by_src);
+        let inserted = out_surv.len() + in_surv.len();
+
+        // ---- merge survivors into the label files ----
+        let out_surv_inv = inverted_sorted(store, ext, &out_surv)?;
+        let in_surv_inv = inverted_sorted(store, ext, &in_surv)?;
+        prev_out = copy_run(store, ext, &out_surv)?;
+        prev_in = copy_run(store, ext, &in_surv)?;
+        out = merge_sorted(store, ext, out, out_surv)?;
+        out_inv = merge_sorted(store, ext, out_inv, out_surv_inv)?;
+        inn = merge_sorted(store, ext, inn, in_surv)?;
+        in_inv = merge_sorted(store, ext, in_inv, in_surv_inv)?;
+
+        stats.iterations.push(IterationStats {
+            iteration: iter,
+            stepping,
+            candidates,
+            pruned: out_pruned + in_pruned,
+            inserted,
+            total_entries: out.len() + inn.len(),
+            elapsed: round_start.elapsed(),
+        });
+        if inserted == 0 {
+            break;
+        }
+    }
+
+    let index = LabelIndex::Directed(DirectedLabels {
+        out_labels: load_labels(&out, n, ext)?,
+        in_labels: load_labels(&inn, n, ext)?,
+    });
+    stats.final_entries = index.total_entries() as u64;
+    stats.elapsed = started.elapsed();
+    Ok(ExternalBuildResult { index, stats, io: io_report(store, ext) })
+}
+
+// -------------------------------------------------------------------
+// Undirected driver (§7: one label file plays both join roles)
+// -------------------------------------------------------------------
+
+fn run_undirected(
+    g: &Graph,
+    cfg: &HopDbConfig,
+    ext: &ExtMemConfig,
+    store: &TempStore,
+) -> io::Result<ExternalBuildResult> {
+    let started = std::time::Instant::now();
+    let n = g.num_vertices();
+    let mut stats = BuildStats::default();
+
+    let init_start = std::time::Instant::now();
+    let mut init = Vec::new();
+    for (u, v, w) in g.edge_list() {
+        init.push(LabelRecord::new(v, u, w)); // u < v: (u, w) ∈ L(v)
+    }
+    let init_count = init.len() as u64;
+    let mut lab = initial_run(store, ext, n, init.iter().copied())?;
+    let mut lab_inv = inverted_sorted(store, ext, &lab)?;
+    let edges = edge_run(store, ext, g, Direction::Out)?;
+    let mut prev = sort_slice(store, ext, &init)?;
+    stats.iterations.push(IterationStats {
+        iteration: 1,
+        stepping: true,
+        candidates: init_count,
+        pruned: 0,
+        inserted: init_count,
+        total_entries: init_count + n as u64,
+        elapsed: init_start.elapsed(),
+    });
+
+    let mut iter = 1u32;
+    while !prev.is_empty() && iter < cfg.max_iterations {
+        iter += 1;
+        let round_start = std::time::Instant::now();
+        let stepping = cfg.strategy.steps_at(iter);
+
+        let mut cand_sorter = sorter(store, ext);
+        if stepping {
+            cogroup_join(&prev, &edges, ext, &mut cand_sorter, |pg, eg, s| {
+                for p in pg {
+                    for e in eg {
+                        if e.pivot > p.pivot {
+                            s.push(LabelRecord::new(e.pivot, p.pivot, p.dist.saturating_add(e.dist)))?;
+                        }
+                    }
+                }
+                Ok(())
+            })?;
+        } else {
+            // Converted R1: prev (u,v,d) × L(u) entries with v < u1 < u.
+            cogroup_join(&prev, &lab, ext, &mut cand_sorter, |pg, lg, s| {
+                for p in pg {
+                    for l in lg {
+                        if l.pivot > p.pivot && l.pivot < p.key {
+                            s.push(LabelRecord::new(l.pivot, p.pivot, p.dist.saturating_add(l.dist)))?;
+                        }
+                    }
+                }
+                Ok(())
+            })?;
+            // Converted R2: prev (u,v,d) × inv group of u: owners > u.
+            cogroup_join(&prev, &lab_inv, ext, &mut cand_sorter, |pg, ig, s| {
+                for p in pg {
+                    for o in ig {
+                        if o.pivot > p.key {
+                            s.push(LabelRecord::new(o.pivot, p.pivot, p.dist.saturating_add(o.dist)))?;
+                        }
+                    }
+                }
+                Ok(())
+            })?;
+        }
+        let cands = cand_sorter.finish()?;
+        let candidates = cands.len();
+
+        let (surv, pruned) = prune_candidates(store, ext, cands, &lab, &lab)?;
+        let inserted = surv.len();
+        let surv_inv = inverted_sorted(store, ext, &surv)?;
+        prev = copy_run(store, ext, &surv)?;
+        lab = merge_sorted(store, ext, lab, surv)?;
+        lab_inv = merge_sorted(store, ext, lab_inv, surv_inv)?;
+
+        stats.iterations.push(IterationStats {
+            iteration: iter,
+            stepping,
+            candidates,
+            pruned,
+            inserted,
+            total_entries: lab.len(),
+            elapsed: round_start.elapsed(),
+        });
+        if inserted == 0 {
+            break;
+        }
+    }
+
+    let index = LabelIndex::Undirected(UndirectedLabels { labels: load_labels(&lab, n, ext)? });
+    stats.final_entries = index.total_entries() as u64;
+    stats.elapsed = started.elapsed();
+    Ok(ExternalBuildResult { index, stats, io: io_report(store, ext) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_prelabeled;
+    use crate::config::Strategy;
+    use hoplabels::verify::assert_exact;
+    use sfgraph::{GraphBuilder, VertexId};
+
+    fn tiny_ext() -> ExtMemConfig {
+        ExtMemConfig { memory_records: 128, block_bytes: 256 }
+    }
+
+    #[test]
+    fn directed_example_matches_memory_engine() {
+        let g = graphgen::example_graph_fig3();
+        for strategy in [Strategy::Doubling, Strategy::Stepping, Strategy::Hybrid { switch_at: 3 }]
+        {
+            let cfg = HopDbConfig::with_strategy(strategy);
+            let (mem, _) = build_prelabeled(&g, &cfg);
+            let result = build_external(&g, &cfg, &tiny_ext()).unwrap();
+            assert_eq!(result.index, mem, "external != memory for {:?}", cfg.strategy);
+            assert_exact(&g, &result.index);
+        }
+    }
+
+    #[test]
+    fn undirected_random_matches_memory_engine() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for case in 0..8 {
+            let n = rng.gen_range(4..24);
+            let mut b = GraphBuilder::new_undirected(n);
+            for _ in 0..rng.gen_range(n..4 * n) {
+                b.add_edge(rng.gen_range(0..n) as VertexId, rng.gen_range(0..n) as VertexId);
+            }
+            let g = b.build();
+            let cfg = HopDbConfig::with_strategy(Strategy::Hybrid { switch_at: 2 });
+            let (mem, mem_stats) = build_prelabeled(&g, &cfg);
+            let result = build_external(&g, &cfg, &tiny_ext()).unwrap();
+            assert_eq!(result.index, mem, "case {case}");
+            assert_eq!(
+                result.stats.num_iterations(),
+                mem_stats.num_iterations(),
+                "iteration counts must agree (case {case})"
+            );
+        }
+    }
+
+    #[test]
+    fn directed_random_weighted_matches_memory_engine() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for case in 0..6 {
+            let n = rng.gen_range(4..16);
+            let mut b = GraphBuilder::new_directed(n).weighted();
+            for _ in 0..rng.gen_range(n..3 * n) {
+                b.add_weighted_edge(
+                    rng.gen_range(0..n) as VertexId,
+                    rng.gen_range(0..n) as VertexId,
+                    rng.gen_range(1..6),
+                );
+            }
+            let g = b.build();
+            let cfg = HopDbConfig::default();
+            let (mem, _) = build_prelabeled(&g, &cfg);
+            let result = build_external(&g, &cfg, &tiny_ext()).unwrap();
+            assert_eq!(result.index, mem, "case {case}");
+            assert_exact(&g, &result.index);
+        }
+    }
+
+    #[test]
+    fn io_is_counted() {
+        let g = graphgen::example_graph_fig3();
+        let result = build_external(&g, &HopDbConfig::default(), &tiny_ext()).unwrap();
+        let (rb, wb, rblk, wblk) = result.io;
+        assert!(rb > 0 && wb > 0 && rblk > 0 && wblk > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pruned algorithm")]
+    fn rejects_unpruned_config() {
+        let g = graphgen::example_graph_fig3();
+        let _ = build_external(&g, &HopDbConfig::unpruned(Strategy::Doubling), &tiny_ext());
+    }
+}

@@ -1,0 +1,116 @@
+//! Per-iteration construction statistics (the data behind Fig. 10 and
+//! the iteration counts of Tables 7–8).
+
+use std::time::Duration;
+
+/// What one iteration of the generate-and-prune loop did.
+#[derive(Clone, Debug)]
+pub struct IterationStats {
+    /// Iteration number in the paper's convention: initialization is
+    /// iteration 1, the first generation round is iteration 2.
+    pub iteration: u32,
+    /// Whether this iteration used stepping (true) or doubling (false).
+    pub stepping: bool,
+    /// Candidates generated after same-pair deduplication.
+    pub candidates: u64,
+    /// Candidates rejected by the pruning test.
+    pub pruned: u64,
+    /// Surviving entries inserted into the index.
+    pub inserted: u64,
+    /// Total entries in the index after this iteration.
+    pub total_entries: u64,
+    /// Wall-clock time of the iteration.
+    pub elapsed: Duration,
+}
+
+impl IterationStats {
+    /// Fig. 10's *pruning factor*: pruned candidates / all candidates.
+    pub fn pruning_factor(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            self.pruned as f64 / self.candidates as f64
+        }
+    }
+}
+
+/// Whole-build statistics.
+#[derive(Clone, Debug, Default)]
+pub struct BuildStats {
+    /// One record per iteration, starting with initialization.
+    pub iterations: Vec<IterationStats>,
+    /// Entries in the final index (including trivial self-entries).
+    pub final_entries: u64,
+    /// Entries removed by the optional post-pruning pass.
+    pub post_pruned: u64,
+    /// Total build time.
+    pub elapsed: Duration,
+}
+
+impl BuildStats {
+    /// Number of iterations in the paper's counting (initialization
+    /// included) — comparable to Table 7/8's "number of iterations".
+    pub fn num_iterations(&self) -> u32 {
+        self.iterations.last().map_or(0, |it| it.iteration)
+    }
+
+    /// Fig. 10's *growing factor* per iteration: candidates generated at
+    /// iteration `i` divided by entries inserted at iteration `i − 1`.
+    /// Returns `(iteration, factor)` pairs for generation rounds.
+    pub fn growing_factors(&self) -> Vec<(u32, f64)> {
+        self.iterations
+            .windows(2)
+            .filter(|w| w[0].inserted > 0)
+            .map(|w| (w[1].iteration, w[1].candidates as f64 / w[0].inserted as f64))
+            .collect()
+    }
+
+    /// Peak candidate count over all iterations (the working-set measure
+    /// that motivates stepping in §5).
+    pub fn peak_candidates(&self) -> u64 {
+        self.iterations.iter().map(|it| it.candidates).max().unwrap_or(0)
+    }
+
+    /// Sum of all candidates generated — proportional to generation work.
+    pub fn total_candidates(&self) -> u64 {
+        self.iterations.iter().map(|it| it.candidates).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iter(iteration: u32, candidates: u64, pruned: u64, inserted: u64) -> IterationStats {
+        IterationStats {
+            iteration,
+            stepping: true,
+            candidates,
+            pruned,
+            inserted,
+            total_entries: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn pruning_factor() {
+        assert_eq!(iter(2, 100, 25, 75).pruning_factor(), 0.25);
+        assert_eq!(iter(2, 0, 0, 0).pruning_factor(), 0.0);
+    }
+
+    #[test]
+    fn growing_factors_skip_empty_previous() {
+        let stats = BuildStats {
+            iterations: vec![iter(1, 0, 0, 10), iter(2, 30, 10, 20), iter(3, 40, 40, 0)],
+            ..Default::default()
+        };
+        let gf = stats.growing_factors();
+        assert_eq!(gf.len(), 2);
+        assert_eq!(gf[0], (2, 3.0));
+        assert_eq!(gf[1], (3, 2.0));
+        assert_eq!(stats.peak_candidates(), 40);
+        assert_eq!(stats.total_candidates(), 70);
+        assert_eq!(stats.num_iterations(), 3);
+    }
+}

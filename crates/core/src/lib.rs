@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! # hopdb — Hop-Doubling label indexing (the paper's contribution)
+//!
+//! Implementation of *Hop Doubling Label Indexing for Point-to-Point
+//! Distance Querying on Scale-Free Networks* (Jiang, Fu, Wong, Xu;
+//! VLDB 2014). The index is a 2-hop label cover built by an iterative
+//! generate-and-prune process:
+//!
+//! * **Hop-Doubling** (§3): each iteration composes the previous
+//!   iteration's entries with *all* existing entries through four
+//!   minimized rules (Lemmas 3–4), doubling the covered trough-path hop
+//!   length every two iterations (Theorem 2); at most `2⌈log D_H⌉`
+//!   iterations (Theorem 4).
+//! * **Hop-Stepping** (§5): the composition is restricted to single
+//!   edges, growing covered hop length by one per iteration (Lemma 5),
+//!   bounding per-iteration candidates by `O(h·|V|·log|V|)`.
+//! * **Hybrid** (§5.4): stepping for the first `k` iterations (default
+//!   10, as in §8), doubling afterwards — the paper's default `HopDb`.
+//! * **Pruning** (§3.3): a candidate `(u → v, d)` is discarded when the
+//!   2-hop query over the current index already answers `dist(u, v) ≤ d`
+//!   (Theorem 3 shows this keeps queries exact).
+//!
+//! Entry points:
+//! * [`build`] / [`HopDb`] — rank, relabel, build, query (original ids);
+//! * [`engine`] — the iterative engines on rank-relabeled graphs, with
+//!   per-iteration statistics (growing/pruning factors of Fig. 10);
+//! * [`postprune`] — the exhaustive pruning pass (§5.2) that shrinks a
+//!   Hop-Doubling index to Hop-Stepping size;
+//! * [`external`] — the I/O-efficient construction of §4 on the
+//!   `extmem` substrate;
+//! * [`sixrules`] — the unminimized 6-rule generator, kept as an
+//!   executable witness for Lemmas 3–4.
+
+pub mod builder;
+pub mod config;
+pub mod engine;
+pub mod external;
+pub mod iteration;
+pub mod postprune;
+pub mod sixrules;
+
+#[cfg(test)]
+mod examples;
+
+pub use builder::{build, build_prelabeled, HopDb};
+pub use config::{HopDbConfig, Strategy};
+pub use iteration::{BuildStats, IterationStats};

@@ -1,0 +1,191 @@
+//! Exhaustive post-pruning (§5.2's closing remark: "by exhaustive
+//! pruning, the label size is the same as that of Hop-Stepping").
+//!
+//! The per-iteration pruning of §3.3 only tests candidates against
+//! entries that exist *at that moment*; an entry inserted early can be
+//! made redundant by a higher-ranked pivot discovered later in the same
+//! iteration or in a later one. This pass removes all such stragglers.
+//!
+//! Safety argument: process pivots in decreasing rank (increasing id).
+//! An entry `(u → v, d)` with pivot `v` is removed iff some witness
+//! pivot `w` with `r(w) > r(v)` satisfies
+//! `dist(u, w) + dist(w, v) ≤ d` using only entries whose pivots were
+//! already *kept*. Because witnesses outrank the entry they remove, the
+//! "redundant via" relation is acyclic in rank, and by induction every
+//! removed entry stays covered by kept ones — queries remain exact
+//! (asserted by tests against ground truth).
+
+use hoplabels::index::{LabelIndex, VertexLabels};
+use sfgraph::{Dist, VertexId, INF_DIST};
+
+/// Minimum `d1 + d2` over common pivots strictly below `limit` (i.e.
+/// strictly higher-ranked than the entry under test).
+fn join_min_below(a: &[hoplabels::LabelEntry], b: &[hoplabels::LabelEntry], limit: VertexId) -> Dist {
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut best = INF_DIST;
+    while i < a.len() && j < b.len() && a[i].pivot < limit && b[j].pivot < limit {
+        match a[i].pivot.cmp(&b[j].pivot) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                best = best.min(a[i].dist.saturating_add(b[j].dist));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    best
+}
+
+/// Remove every entry already covered by higher-ranked pivots; returns
+/// the number of entries removed.
+pub fn post_prune(index: &mut LabelIndex) -> u64 {
+    let n = index.num_vertices();
+    // Inverted directory: for each pivot, who carries it (side: false =
+    // out/source labels, true = in/target labels).
+    let mut by_pivot: Vec<Vec<(VertexId, bool)>> = vec![Vec::new(); n];
+    {
+        let scan = |labels: &[VertexLabels], side: bool, by_pivot: &mut Vec<Vec<(VertexId, bool)>>| {
+            for (owner, l) in labels.iter().enumerate() {
+                for e in l.entries() {
+                    if e.pivot != owner as VertexId {
+                        by_pivot[e.pivot as usize].push((owner as VertexId, side));
+                    }
+                }
+            }
+        };
+        match &*index {
+            LabelIndex::Directed(d) => {
+                scan(&d.out_labels, false, &mut by_pivot);
+                scan(&d.in_labels, true, &mut by_pivot);
+            }
+            LabelIndex::Undirected(u) => scan(&u.labels, false, &mut by_pivot),
+        }
+    }
+
+    let mut removed = 0u64;
+    for pivot in 0..n as VertexId {
+        for &(owner, in_side) in &by_pivot[pivot as usize] {
+            let (src_entries, dst_entries, dist) = match &*index {
+                LabelIndex::Directed(d) => {
+                    if in_side {
+                        // (pivot, d) ∈ Lin(owner): path pivot ⇝ owner.
+                        let Some(dist) = d.in_labels[owner as usize].get(pivot) else { continue };
+                        (
+                            d.out_labels[pivot as usize].entries(),
+                            d.in_labels[owner as usize].entries(),
+                            dist,
+                        )
+                    } else {
+                        // (pivot, d) ∈ Lout(owner): path owner ⇝ pivot.
+                        let Some(dist) = d.out_labels[owner as usize].get(pivot) else { continue };
+                        (
+                            d.out_labels[owner as usize].entries(),
+                            d.in_labels[pivot as usize].entries(),
+                            dist,
+                        )
+                    }
+                }
+                LabelIndex::Undirected(u) => {
+                    let Some(dist) = u.labels[owner as usize].get(pivot) else { continue };
+                    (u.labels[owner as usize].entries(), u.labels[pivot as usize].entries(), dist)
+                }
+            };
+            if join_min_below(src_entries, dst_entries, pivot) <= dist {
+                let labels = match index {
+                    LabelIndex::Directed(d) => {
+                        if in_side {
+                            &mut d.in_labels[owner as usize]
+                        } else {
+                            &mut d.out_labels[owner as usize]
+                        }
+                    }
+                    LabelIndex::Undirected(u) => &mut u.labels[owner as usize],
+                };
+                labels.remove(pivot);
+                removed += 1;
+            }
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{HopDbConfig, Strategy};
+    use crate::engine::build_index;
+    use hoplabels::verify::assert_exact;
+    use sfgraph::{GraphBuilder, VertexId};
+
+    #[test]
+    fn post_prune_preserves_exactness_random() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        for _ in 0..20 {
+            let n = rng.gen_range(4..20);
+            let directed = rng.gen_bool(0.5);
+            let mut b = if directed {
+                GraphBuilder::new_directed(n)
+            } else {
+                GraphBuilder::new_undirected(n)
+            };
+            for _ in 0..rng.gen_range(n..4 * n) {
+                b.add_edge(rng.gen_range(0..n) as VertexId, rng.gen_range(0..n) as VertexId);
+            }
+            let g = b.build();
+            let (mut index, _) = build_index(&g, &HopDbConfig::unpruned(Strategy::Doubling));
+            post_prune(&mut index);
+            assert_exact(&g, &index);
+        }
+    }
+
+    #[test]
+    fn doubling_post_pruned_matches_stepping_size() {
+        // §5.2: Hop-Doubling plus exhaustive pruning reaches the same
+        // label size as Hop-Stepping (also exhaustively pruned).
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for _ in 0..10 {
+            let n = rng.gen_range(4..16);
+            let mut b = GraphBuilder::new_undirected(n);
+            for _ in 0..rng.gen_range(n..3 * n) {
+                b.add_edge(rng.gen_range(0..n) as VertexId, rng.gen_range(0..n) as VertexId);
+            }
+            let g = b.build();
+            let (mut dbl, _) = build_index(&g, &HopDbConfig::with_strategy(Strategy::Doubling));
+            let (mut step, _) = build_index(&g, &HopDbConfig::with_strategy(Strategy::Stepping));
+            post_prune(&mut dbl);
+            post_prune(&mut step);
+            assert_exact(&g, &dbl);
+            assert_exact(&g, &step);
+            assert_eq!(dbl.total_entries(), step.total_entries());
+        }
+    }
+
+    #[test]
+    fn removes_pruned_example_entry() {
+        // On the Fig. 3 graph, unpruned doubling keeps (2 → 1, 2) in
+        // Lout(2); Example 2 prunes it. Post-pruning must remove it too.
+        let g = graphgen::example_graph_fig3();
+        let (mut index, _) = build_index(&g, &HopDbConfig::unpruned(Strategy::Doubling));
+        if let LabelIndex::Directed(d) = &index {
+            assert_eq!(d.out_labels[2].get(1), Some(2), "unpruned keeps (2→1,2)");
+        }
+        let removed = post_prune(&mut index);
+        assert!(removed >= 1);
+        if let LabelIndex::Directed(d) = &index {
+            assert_eq!(d.out_labels[2].get(1), None, "post-prune removes (2→1,2)");
+        }
+        assert_exact(&g, &index);
+    }
+
+    #[test]
+    fn idempotent() {
+        let g = graphgen::example_graph_fig3();
+        let (mut index, _) = build_index(&g, &HopDbConfig::unpruned(Strategy::Doubling));
+        post_prune(&mut index);
+        let again = post_prune(&mut index);
+        assert_eq!(again, 0, "second pass must find nothing");
+    }
+}

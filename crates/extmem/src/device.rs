@@ -1,0 +1,250 @@
+//! Counted files and temp-file management.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::stats::IoStats;
+
+/// A directory of automatically named, automatically deleted temp files.
+///
+/// All files created through one `TempStore` share one [`IoStats`]
+/// counter, so an external computation's total traffic is observable at
+/// a single point.
+pub struct TempStore {
+    dir: PathBuf,
+    counter: AtomicU64,
+    stats: Arc<IoStats>,
+    /// Remove `dir` itself on drop (set when we created it).
+    own_dir: bool,
+}
+
+impl TempStore {
+    /// Create a fresh store under the system temp directory.
+    pub fn new() -> std::io::Result<TempStore> {
+        let dir = std::env::temp_dir().join(format!(
+            "extmem-{}-{:x}",
+            std::process::id(),
+            // Nanosecond timestamp keeps parallel test binaries apart.
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0)
+        ));
+        std::fs::create_dir_all(&dir)?;
+        Ok(TempStore { dir, counter: AtomicU64::new(0), stats: IoStats::shared(), own_dir: true })
+    }
+
+    /// Use an existing directory (not removed on drop).
+    pub fn in_dir(dir: &Path) -> std::io::Result<TempStore> {
+        std::fs::create_dir_all(dir)?;
+        Ok(TempStore {
+            dir: dir.to_path_buf(),
+            counter: AtomicU64::new(0),
+            stats: IoStats::shared(),
+            own_dir: false,
+        })
+    }
+
+    /// The shared I/O counters for this store.
+    pub fn stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Create a new empty counted file.
+    pub fn create(&self, tag: &str) -> std::io::Result<CountedFile> {
+        let id = self.counter.fetch_add(1, Ordering::Relaxed);
+        let path = self.dir.join(format!("{tag}-{id}.bin"));
+        let file = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .read(true)
+            .write(true)
+            .open(&path)?;
+        Ok(CountedFile { file, path, stats: Arc::clone(&self.stats), delete_on_drop: true })
+    }
+}
+
+impl Drop for TempStore {
+    fn drop(&mut self) {
+        if self.own_dir {
+            let _ = std::fs::remove_dir_all(&self.dir);
+        }
+    }
+}
+
+/// A real file whose reads and writes are tallied in shared [`IoStats`].
+pub struct CountedFile {
+    file: File,
+    path: PathBuf,
+    stats: Arc<IoStats>,
+    delete_on_drop: bool,
+}
+
+impl CountedFile {
+    /// Open an existing file at `path` as a counted file (not deleted on
+    /// drop). Used to reopen persisted artifacts such as disk indexes.
+    pub fn open_path(path: &Path, stats: Arc<IoStats>) -> std::io::Result<CountedFile> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        Ok(CountedFile { file, path: path.to_path_buf(), stats, delete_on_drop: false })
+    }
+
+    /// Create (truncate) a counted file at an explicit path (not deleted
+    /// on drop).
+    pub fn create_path(path: &Path, stats: Arc<IoStats>) -> std::io::Result<CountedFile> {
+        let file =
+            OpenOptions::new().create(true).truncate(true).read(true).write(true).open(path)?;
+        Ok(CountedFile { file, path: path.to_path_buf(), stats, delete_on_drop: false })
+    }
+
+    /// Filesystem path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The shared counters this file reports to.
+    pub fn stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Current file length in bytes.
+    pub fn len(&self) -> std::io::Result<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+
+    /// Whether the file is empty.
+    pub fn is_empty(&self) -> std::io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Keep the file on disk when this handle drops.
+    pub fn persist(&mut self) {
+        self.delete_on_drop = false;
+    }
+
+    /// Seek to an absolute offset.
+    pub fn seek_to(&mut self, offset: u64) -> std::io::Result<()> {
+        self.file.seek(SeekFrom::Start(offset))?;
+        Ok(())
+    }
+
+    /// Positioned read (counted); returns bytes read.
+    pub fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.seek_to(offset)?;
+        let n = self.file.read(buf)?;
+        self.stats.record_read(n as u64);
+        Ok(n)
+    }
+
+    /// Positioned exact read (counted).
+    pub fn read_exact_at(&mut self, offset: u64, buf: &mut [u8]) -> std::io::Result<()> {
+        self.seek_to(offset)?;
+        self.file.read_exact(buf)?;
+        self.stats.record_read(buf.len() as u64);
+        Ok(())
+    }
+
+    /// Reopen a second independent handle onto the same file (own cursor,
+    /// same counters). Used when one file is both merge input and random
+    /// -access side of a join.
+    pub fn reopen(&self) -> std::io::Result<CountedFile> {
+        let file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        Ok(CountedFile {
+            file,
+            path: self.path.clone(),
+            stats: Arc::clone(&self.stats),
+            delete_on_drop: false,
+        })
+    }
+}
+
+impl Read for CountedFile {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.file.read(buf)?;
+        self.stats.record_read(n as u64);
+        Ok(n)
+    }
+}
+
+impl Write for CountedFile {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.file.write(buf)?;
+        self.stats.record_write(n as u64);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.file.flush()
+    }
+}
+
+impl Drop for CountedFile {
+    fn drop(&mut self) {
+        if self.delete_on_drop {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_counts_traffic() {
+        let store = TempStore::new().unwrap();
+        let mut f = store.create("t").unwrap();
+        f.write_all(b"hello world").unwrap();
+        f.flush().unwrap();
+        let mut buf = [0u8; 5];
+        f.read_exact_at(6, &mut buf).unwrap();
+        assert_eq!(&buf, b"world");
+        let stats = store.stats();
+        assert_eq!(stats.write_bytes(), 11);
+        assert_eq!(stats.read_bytes(), 5);
+    }
+
+    #[test]
+    fn files_are_deleted_on_drop() {
+        let store = TempStore::new().unwrap();
+        let path;
+        {
+            let mut f = store.create("gone").unwrap();
+            f.write_all(b"x").unwrap();
+            path = f.path().to_path_buf();
+            assert!(path.exists());
+        }
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn reopen_shares_counters_but_not_cursor() {
+        let store = TempStore::new().unwrap();
+        let mut f = store.create("dup").unwrap();
+        f.write_all(b"abcdef").unwrap();
+        f.flush().unwrap();
+        let mut g = f.reopen().unwrap();
+        let mut buf = [0u8; 3];
+        g.read_exact_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"abc");
+        f.read_exact_at(3, &mut buf).unwrap();
+        assert_eq!(&buf, b"def");
+        assert_eq!(store.stats().read_bytes(), 6);
+    }
+
+    #[test]
+    fn store_dir_removed_on_drop() {
+        let dir;
+        {
+            let store = TempStore::new().unwrap();
+            let mut f = store.create("d").unwrap();
+            f.persist();
+            f.write_all(b"z").unwrap();
+            dir = f.path().parent().unwrap().to_path_buf();
+            assert!(dir.exists());
+        }
+        assert!(!dir.exists());
+    }
+}

@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! # extmem — external-memory substrate
+//!
+//! The paper's index construction is disk-based: label files are scanned,
+//! sorted, and joined under a memory budget `M` with block size `B`, and
+//! costs are reported in the I/O model of Aggarwal & Vitter
+//! (`scan(N) = Θ(N/B)`). This crate is that substrate:
+//!
+//! * [`stats::IoStats`] — shared atomic counters for bytes/operations,
+//!   reporting block I/Os for a configurable block size;
+//! * [`device::CountedFile`] — a real temp file whose sequential and
+//!   random accesses all flow through the counters;
+//! * [`codec::Record`] — fixed-size binary records (12-byte label
+//!   records), encoded manually so on-disk layout is explicit;
+//! * [`run::RunWriter`] / [`run::RunReader`] — buffered sequential record
+//!   streams over counted files;
+//! * [`sorter::ExternalSorter`] — budgeted run formation plus k-way merge
+//!   with an optional combiner for equal keys (used to keep the minimum
+//!   distance per `(vertex, pivot)` candidate).
+//!
+//! Everything is deterministic and the simulated "disk" is honest: bytes
+//! really hit the filesystem, so the I/O counts benchmarked by `bench`
+//! reflect real traffic shapes.
+
+pub mod codec;
+pub mod device;
+pub mod run;
+pub mod sorter;
+pub mod stats;
+
+pub use codec::{LabelRecord, Record};
+pub use device::{CountedFile, TempStore};
+pub use run::{Run, RunReader, RunWriter};
+pub use sorter::ExternalSorter;
+pub use stats::IoStats;
+
+/// Configuration of the external-memory environment.
+#[derive(Clone, Debug)]
+pub struct ExtMemConfig {
+    /// Memory budget in *records* available to any one operator
+    /// (the paper's `M`).
+    pub memory_records: usize,
+    /// Block size in bytes (the paper's `B`).
+    pub block_bytes: usize,
+}
+
+impl Default for ExtMemConfig {
+    fn default() -> Self {
+        // 1M records (~12 MB) and 64 KiB blocks: a deliberately small
+        // "RAM" so laptop-scale experiments exercise the external paths.
+        ExtMemConfig { memory_records: 1 << 20, block_bytes: 64 << 10 }
+    }
+}
+
+impl ExtMemConfig {
+    /// A tiny configuration that forces spilling even on test-sized
+    /// inputs; used by tests and ablation benches.
+    pub fn tiny() -> ExtMemConfig {
+        ExtMemConfig { memory_records: 256, block_bytes: 512 }
+    }
+}

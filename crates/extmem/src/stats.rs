@@ -1,0 +1,134 @@
+//! Shared I/O accounting in the Aggarwal–Vitter model.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Atomic I/O counters shared by every file of one external computation.
+///
+/// Counts both raw byte traffic and the number of I/O *operations*;
+/// [`IoStats::read_blocks`]/[`IoStats::write_blocks`] convert bytes to
+/// block I/Os for a given block size `B`, matching the paper's
+/// `scan(N) = Θ(N/B)` reporting.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    read_bytes: AtomicU64,
+    write_bytes: AtomicU64,
+    read_ops: AtomicU64,
+    write_ops: AtomicU64,
+}
+
+impl IoStats {
+    /// Fresh shared counter.
+    pub fn shared() -> Arc<IoStats> {
+        Arc::new(IoStats::default())
+    }
+
+    /// Record a read of `bytes` bytes.
+    #[inline]
+    pub fn record_read(&self, bytes: u64) {
+        self.read_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.read_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a write of `bytes` bytes.
+    #[inline]
+    pub fn record_write(&self, bytes: u64) {
+        self.write_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.write_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total bytes read.
+    pub fn read_bytes(&self) -> u64 {
+        self.read_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes written.
+    pub fn write_bytes(&self) -> u64 {
+        self.write_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Number of read operations issued.
+    pub fn read_ops(&self) -> u64 {
+        self.read_ops.load(Ordering::Relaxed)
+    }
+
+    /// Number of write operations issued.
+    pub fn write_ops(&self) -> u64 {
+        self.write_ops.load(Ordering::Relaxed)
+    }
+
+    /// Read traffic in block I/Os of size `block_bytes` (ceiling).
+    pub fn read_blocks(&self, block_bytes: usize) -> u64 {
+        self.read_bytes().div_ceil(block_bytes as u64)
+    }
+
+    /// Write traffic in block I/Os of size `block_bytes` (ceiling).
+    pub fn write_blocks(&self, block_bytes: usize) -> u64 {
+        self.write_bytes().div_ceil(block_bytes as u64)
+    }
+
+    /// Total block I/Os (reads + writes).
+    pub fn total_blocks(&self, block_bytes: usize) -> u64 {
+        self.read_blocks(block_bytes) + self.write_blocks(block_bytes)
+    }
+
+    /// Snapshot all counters as `(read_bytes, write_bytes, read_ops, write_ops)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (self.read_bytes(), self.write_bytes(), self.read_ops(), self.write_ops())
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        self.read_bytes.store(0, Ordering::Relaxed);
+        self.write_bytes.store(0, Ordering::Relaxed);
+        self.read_ops.store(0, Ordering::Relaxed);
+        self.write_ops.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_blocks() {
+        let s = IoStats::default();
+        s.record_read(100);
+        s.record_read(1000);
+        s.record_write(512);
+        assert_eq!(s.read_bytes(), 1100);
+        assert_eq!(s.read_ops(), 2);
+        assert_eq!(s.write_bytes(), 512);
+        assert_eq!(s.read_blocks(512), 3); // ceil(1100/512)
+        assert_eq!(s.write_blocks(512), 1);
+        assert_eq!(s.total_blocks(512), 4);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let s = IoStats::default();
+        s.record_write(10);
+        s.reset();
+        assert_eq!(s.snapshot(), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let s = IoStats::shared();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        s.record_read(8);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.read_bytes(), 32_000);
+        assert_eq!(s.read_ops(), 4_000);
+    }
+}

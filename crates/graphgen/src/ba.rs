@@ -1,0 +1,84 @@
+//! Barabási–Albert preferential attachment (reference [8] of the paper).
+//!
+//! Every new vertex attaches `m` edges to existing vertices with
+//! probability proportional to their degree; produces power-law graphs
+//! with exponent ≈ 3. GLP generalises this model; BA is kept as an
+//! independent generator for cross-checks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sfgraph::hash::FxHashSet;
+use sfgraph::{Graph, GraphBuilder, VertexId};
+
+/// Generate an undirected BA graph with `n` vertices, `m` edges per new
+/// vertex, from `seed`.
+///
+/// # Panics
+/// Panics if `n < m + 1` or `m == 0`.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(m >= 1, "m must be positive");
+    assert!(n > m, "need more vertices than edges per step");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * m);
+    let mut edges: FxHashSet<(VertexId, VertexId)> = FxHashSet::default();
+    let mut b = GraphBuilder::new_undirected(n);
+
+    // Seed: a clique-ish chain of m + 1 vertices so every vertex has
+    // positive degree before preferential sampling starts.
+    for i in 0..m {
+        let (u, v) = (i as VertexId, (i + 1) as VertexId);
+        b.add_edge(u, v);
+        edges.insert((u, v));
+        endpoints.push(u);
+        endpoints.push(v);
+    }
+
+    for new_v in (m + 1)..n {
+        let new_v = new_v as VertexId;
+        let mut added = 0;
+        let mut new_endpoints = Vec::with_capacity(2 * m);
+        while added < m {
+            let u = endpoints[rng.gen_range(0..endpoints.len())];
+            let key = (u.min(new_v), u.max(new_v));
+            if u == new_v || !edges.insert(key) {
+                continue;
+            }
+            b.add_edge(key.0, key.1);
+            new_endpoints.push(u);
+            new_endpoints.push(new_v);
+            added += 1;
+        }
+        endpoints.extend(new_endpoints);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfgraph::analysis;
+
+    #[test]
+    fn sizes_are_exact() {
+        let g = barabasi_albert(500, 3, 9);
+        assert_eq!(g.num_vertices(), 500);
+        // m seed edges + m per additional vertex.
+        assert_eq!(g.num_edges(), 3 + (500 - 4) * 3);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(barabasi_albert(200, 2, 5).edge_list(), barabasi_albert(200, 2, 5).edge_list());
+    }
+
+    #[test]
+    fn connected_and_heavy_tailed() {
+        let g = barabasi_albert(2_000, 2, 13);
+        let (count, largest) = analysis::weak_components(&g);
+        assert_eq!(count, 1);
+        assert_eq!(largest, 2_000);
+        let mean = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(g.max_degree() as f64 > 6.0 * mean);
+    }
+}

@@ -1,0 +1,77 @@
+//! Derive directed workloads from undirected scale-free topologies.
+//!
+//! The paper's directed datasets (wiki link graphs, Baidu, gplus, …) have
+//! power-law in- and out-degree distributions. We reproduce that shape by
+//! generating an undirected GLP graph and then orienting edges: each
+//! undirected edge becomes one arc in a random direction, and with
+//! probability `reciprocal` also the reverse arc (web and social graphs
+//! have substantial reciprocity).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sfgraph::{Graph, GraphBuilder};
+
+/// Orient an undirected graph into a directed one.
+///
+/// Each edge `u–v` becomes `u→v` or `v→u` with equal probability; with
+/// probability `reciprocal` both arcs are kept.
+pub fn orient_scale_free(g: &Graph, reciprocal: f64, seed: u64) -> Graph {
+    assert!(!g.is_directed(), "input must be undirected");
+    assert!((0.0..=1.0).contains(&reciprocal));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new_directed(g.num_vertices());
+    if g.is_weighted() {
+        b = b.weighted();
+    }
+    for (u, v, w) in g.edge_list() {
+        if rng.gen::<f64>() < reciprocal {
+            b.add_weighted_edge(u, v, w);
+            b.add_weighted_edge(v, u, w);
+        } else if rng.gen::<bool>() {
+            b.add_weighted_edge(u, v, w);
+        } else {
+            b.add_weighted_edge(v, u, w);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classic::path;
+    use crate::glp::{glp, GlpParams};
+
+    #[test]
+    fn arc_counts_bounded_by_twice_edges() {
+        let g = glp(&GlpParams::with_vertices(300, 4));
+        let d = orient_scale_free(&g, 0.3, 9);
+        assert!(d.is_directed());
+        assert!(d.num_edges() >= g.num_edges());
+        assert!(d.num_edges() <= 2 * g.num_edges());
+    }
+
+    #[test]
+    fn zero_reciprocity_keeps_edge_count() {
+        let g = path(100);
+        let d = orient_scale_free(&g, 0.0, 1);
+        assert_eq!(d.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn full_reciprocity_doubles() {
+        let g = path(100);
+        let d = orient_scale_free(&g, 1.0, 1);
+        assert_eq!(d.num_edges(), 2 * g.num_edges());
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = glp(&GlpParams::with_vertices(200, 2));
+        assert_eq!(
+            orient_scale_free(&g, 0.25, 5).edge_list(),
+            orient_scale_free(&g, 0.25, 5).edge_list()
+        );
+    }
+}

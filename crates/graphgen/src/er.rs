@@ -1,0 +1,65 @@
+//! Erdős–Rényi `G(n, m)` random graphs.
+//!
+//! Not scale-free (Poisson degrees) — used as the contrast workload when
+//! demonstrating that degree ranking is what makes the labeling small on
+//! power-law graphs (§7 of the paper discusses general graphs).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sfgraph::hash::FxHashSet;
+use sfgraph::{Graph, GraphBuilder, VertexId};
+
+/// Sample an undirected graph with exactly `m` distinct edges (no
+/// self-loops) among `n` vertices, uniformly at random.
+///
+/// # Panics
+/// Panics if `m` exceeds the number of possible edges `n(n−1)/2`.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Graph {
+    let possible = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= possible, "too many edges requested: {m} > {possible}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut chosen: FxHashSet<(VertexId, VertexId)> = FxHashSet::default();
+    let mut b = GraphBuilder::new_undirected(n);
+    while chosen.len() < m {
+        let u = rng.gen_range(0..n) as VertexId;
+        let v = rng.gen_range(0..n) as VertexId;
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if chosen.insert(key) {
+            b.add_edge(key.0, key.1);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_edge_count() {
+        let g = erdos_renyi(100, 250, 3);
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 250);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(erdos_renyi(60, 100, 8).edge_list(), erdos_renyi(60, 100, 8).edge_list());
+    }
+
+    #[test]
+    fn dense_request_saturates() {
+        let g = erdos_renyi(5, 10, 1); // complete graph on 5 vertices
+        assert_eq!(g.num_edges(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many edges")]
+    fn rejects_impossible_density() {
+        erdos_renyi(4, 7, 1);
+    }
+}

@@ -1,0 +1,245 @@
+//! GLP (Generalized Linear Preference) scale-free graph generator.
+//!
+//! Bu & Towsley, *On distinguishing between Internet power law topology
+//! generators*, INFOCOM 2002 — reference [11] of the paper. The paper's
+//! synthetic experiments (§8) use GLP with `m = 1.13`, `m0 = 10`, giving a
+//! power-law exponent of 2.155; those are the defaults here.
+//!
+//! The process starts from `m0` vertices connected in a chain. At every
+//! step, with probability `p` it adds `m` edges between existing vertices,
+//! and with probability `1 - p` it adds a new vertex with `m` edges to
+//! existing vertices. Endpoints are chosen with *shifted* linear preference
+//! `Π(i) ∝ (d_i − β)`, sampled by rejection from the plain preferential
+//! (degree-proportional) distribution. A fractional `m` adds `⌊m⌋` or
+//! `⌈m⌉` edges with the matching expectation, as in the original paper.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sfgraph::hash::FxHashSet;
+use sfgraph::{Graph, GraphBuilder, VertexId};
+
+/// Parameters of the GLP process.
+#[derive(Clone, Debug)]
+pub struct GlpParams {
+    /// Number of vertices to generate.
+    pub n: usize,
+    /// Expected edges added per step; may be fractional (paper: 1.13).
+    pub m: f64,
+    /// Seed vertices (paper: 10).
+    pub m0: usize,
+    /// Probability that a step adds edges between existing vertices
+    /// instead of a new vertex (Bu & Towsley fit: 0.4695).
+    pub p: f64,
+    /// Preference shift `β < 1` (Bu & Towsley fit: 0.6447).
+    pub beta: f64,
+    /// RNG seed; identical parameters and seed give identical graphs.
+    pub seed: u64,
+}
+
+impl Default for GlpParams {
+    fn default() -> Self {
+        GlpParams { n: 10_000, m: 1.13, m0: 10, p: 0.4695, beta: 0.6447, seed: 1 }
+    }
+}
+
+impl GlpParams {
+    /// Paper-default parameters for `n` vertices.
+    pub fn with_vertices(n: usize, seed: u64) -> GlpParams {
+        GlpParams { n, seed, ..Default::default() }
+    }
+
+    /// Choose `m` so the expected final density `|E|/|V|` matches
+    /// `density` (used by the Fig. 9 sweeps, densities 2–70).
+    ///
+    /// In expectation the process runs `S = (n − m0)/(1 − p)` steps and
+    /// adds `m·S` edges, so `|E|/|V| ≈ m/(1 − p)`.
+    pub fn with_density(n: usize, density: f64, seed: u64) -> GlpParams {
+        let base = GlpParams::default();
+        let m = density * (1.0 - base.p);
+        GlpParams { n, m, seed, ..base }
+    }
+}
+
+/// Generate an undirected, unweighted GLP graph.
+///
+/// ```
+/// use graphgen::{glp, GlpParams};
+///
+/// let g = glp(&GlpParams::with_vertices(1_000, 42));
+/// assert_eq!(g.num_vertices(), 1_000);
+/// // Scale-free: the hub's degree dwarfs the mean degree.
+/// let mean = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
+/// assert!(g.max_degree() as f64 > 5.0 * mean);
+/// ```
+///
+/// # Panics
+/// Panics if `n < m0`, `m0 < 2`, `beta ≥ 1`, or `p ∉ [0, 1)`.
+pub fn glp(params: &GlpParams) -> Graph {
+    let GlpParams { n, m, m0, p, beta, seed } = *params;
+    assert!(m0 >= 2, "need at least two seed vertices");
+    assert!(n >= m0, "target size below seed size");
+    assert!(beta < 1.0, "beta must be < 1 so every vertex keeps positive preference");
+    assert!((0.0..1.0).contains(&p), "p must be in [0, 1)");
+    assert!(m >= 1.0, "m must be at least 1");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    // `endpoints` lists every edge endpoint; sampling an index uniformly
+    // yields a vertex with probability proportional to its degree.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity((n as f64 * m * 2.5) as usize);
+    let mut degree: Vec<u32> = Vec::with_capacity(n);
+    let mut edges: FxHashSet<(VertexId, VertexId)> = FxHashSet::default();
+    let mut edge_list: Vec<(VertexId, VertexId)> = Vec::new();
+
+    let add_edge = |u: VertexId,
+                        v: VertexId,
+                        endpoints: &mut Vec<VertexId>,
+                        degree: &mut Vec<u32>,
+                        edges: &mut FxHashSet<(VertexId, VertexId)>,
+                        edge_list: &mut Vec<(VertexId, VertexId)>|
+     -> bool {
+        let key = (u.min(v), u.max(v));
+        if u == v || !edges.insert(key) {
+            return false;
+        }
+        endpoints.push(u);
+        endpoints.push(v);
+        degree[u as usize] += 1;
+        degree[v as usize] += 1;
+        edge_list.push(key);
+        true
+    };
+
+    // Seed chain m0 vertices.
+    for i in 0..m0 {
+        degree.push(0);
+        if i > 0 {
+            add_edge(
+                (i - 1) as VertexId,
+                i as VertexId,
+                &mut endpoints,
+                &mut degree,
+                &mut edges,
+                &mut edge_list,
+            );
+        }
+    }
+
+    // Π(i) ∝ d_i − β via rejection from the degree-proportional list.
+    let pick_preferential = |rng: &mut StdRng, endpoints: &[VertexId], degree: &[u32]| -> VertexId {
+        loop {
+            let v = endpoints[rng.gen_range(0..endpoints.len())];
+            let d = degree[v as usize] as f64;
+            if rng.gen::<f64>() < (d - beta) / d {
+                return v;
+            }
+        }
+    };
+
+    let links_this_step = |rng: &mut StdRng| -> usize {
+        let base = m.floor() as usize;
+        let frac = m - m.floor();
+        base + usize::from(rng.gen::<f64>() < frac)
+    };
+
+    while degree.len() < n {
+        let add_internal = rng.gen::<f64>() < p;
+        let links = links_this_step(&mut rng);
+        if add_internal {
+            // Add `links` edges between existing vertices.
+            for _ in 0..links {
+                for _attempt in 0..8 {
+                    let u = pick_preferential(&mut rng, &endpoints, &degree);
+                    let v = pick_preferential(&mut rng, &endpoints, &degree);
+                    if add_edge(u, v, &mut endpoints, &mut degree, &mut edges, &mut edge_list) {
+                        break;
+                    }
+                }
+            }
+        } else {
+            // Add a new vertex with `links` edges to existing vertices.
+            let new_v = degree.len() as VertexId;
+            degree.push(0);
+            let mut attached = 0;
+            while attached < links {
+                let mut done = false;
+                for _attempt in 0..8 {
+                    let u = pick_preferential(&mut rng, &endpoints, &degree);
+                    if add_edge(new_v, u, &mut endpoints, &mut degree, &mut edges, &mut edge_list) {
+                        done = true;
+                        break;
+                    }
+                }
+                if !done {
+                    break; // saturated neighbourhood; avoid spinning
+                }
+                attached += 1;
+            }
+        }
+    }
+
+    let mut b = GraphBuilder::new_undirected(n);
+    for (u, v) in edge_list {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfgraph::analysis;
+
+    #[test]
+    fn reaches_target_size_and_is_deterministic() {
+        let p = GlpParams::with_vertices(500, 42);
+        let g1 = glp(&p);
+        let g2 = glp(&p);
+        assert_eq!(g1.num_vertices(), 500);
+        assert_eq!(g1.num_edges(), g2.num_edges());
+        assert_eq!(g1.edge_list(), g2.edge_list());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g1 = glp(&GlpParams::with_vertices(300, 1));
+        let g2 = glp(&GlpParams::with_vertices(300, 2));
+        assert_ne!(g1.edge_list(), g2.edge_list());
+    }
+
+    #[test]
+    fn density_parameter_is_respected() {
+        for density in [2.0, 5.0, 10.0] {
+            let g = glp(&GlpParams::with_density(2_000, density, 7));
+            let actual = g.num_edges() as f64 / g.num_vertices() as f64;
+            assert!(
+                (actual - density).abs() / density < 0.35,
+                "density {density}: got {actual}"
+            );
+        }
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let g = glp(&GlpParams::with_density(3_000, 4.0, 11));
+        // Scale-free signature: max degree far above the mean, negative
+        // rank exponent in a plausible range.
+        let mean = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(g.max_degree() as f64 > mean * 8.0, "hub degree should dominate");
+        let gamma = analysis::rank_exponent(&g).unwrap();
+        assert!((-1.6..=-0.3).contains(&gamma), "rank exponent {gamma} outside scale-free band");
+    }
+
+    #[test]
+    fn mostly_connected() {
+        let g = glp(&GlpParams::with_vertices(1_000, 3));
+        let (_, largest) = analysis::weak_components(&g);
+        assert!(largest as f64 >= 0.9 * g.num_vertices() as f64);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn rejects_bad_beta() {
+        glp(&GlpParams { beta: 1.5, ..GlpParams::with_vertices(100, 1) });
+    }
+}

@@ -1,0 +1,63 @@
+//! Attach random positive weights to an unweighted graph.
+//!
+//! Used for the undirected-weighted rows of Table 6 (the rating networks
+//! amaRating/epinRating/movRating/bookRating are weighted in the paper).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sfgraph::{Dist, Graph, GraphBuilder};
+
+/// Copy `g`, assigning each edge an independent uniform weight in
+/// `[min_w, max_w]` (inclusive; both must be ≥ 1).
+pub fn with_random_weights(g: &Graph, min_w: Dist, max_w: Dist, seed: u64) -> Graph {
+    assert!(min_w >= 1 && min_w <= max_w, "need 1 <= min_w <= max_w");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = if g.is_directed() {
+        GraphBuilder::new_directed(g.num_vertices())
+    } else {
+        GraphBuilder::new_undirected(g.num_vertices())
+    }
+    .weighted();
+    for (u, v, _) in g.edge_list() {
+        b.add_weighted_edge(u, v, rng.gen_range(min_w..=max_w));
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphgen_test_helpers::*;
+
+    mod graphgen_test_helpers {
+        pub use crate::classic::path;
+    }
+
+    #[test]
+    fn weights_in_range_and_deterministic() {
+        let g = path(50);
+        let w1 = with_random_weights(&g, 2, 9, 5);
+        let w2 = with_random_weights(&g, 2, 9, 5);
+        assert!(w1.is_weighted());
+        assert_eq!(w1.edge_list(), w2.edge_list());
+        for (_, _, w) in w1.edge_list() {
+            assert!((2..=9).contains(&w));
+        }
+    }
+
+    #[test]
+    fn preserves_topology() {
+        let g = path(10);
+        let w = with_random_weights(&g, 1, 100, 3);
+        assert_eq!(w.num_edges(), g.num_edges());
+        assert_eq!(w.num_vertices(), g.num_vertices());
+        assert!(w.has_edge(3, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "min_w")]
+    fn rejects_zero_minimum() {
+        with_random_weights(&path(3), 0, 5, 1);
+    }
+}

@@ -1,0 +1,49 @@
+//! A single label entry.
+
+use sfgraph::{Dist, VertexId};
+
+/// One 2-hop label entry `(pivot, dist)`.
+///
+/// In `Lout(u)` the entry means: there is a (trough) path `u ⇝ pivot` of
+/// length `dist` and `r(pivot) > r(u)`. In `Lin(v)` it means a path
+/// `pivot ⇝ v` of length `dist` with `r(pivot) > r(v)`. The trivial
+/// self-entry `(v, 0)` is always present (the paper keeps it for query
+/// answering).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LabelEntry {
+    /// Pivot vertex (id = rank position; smaller id = higher rank).
+    pub pivot: VertexId,
+    /// Length of the covered path.
+    pub dist: Dist,
+}
+
+impl LabelEntry {
+    /// Construct an entry.
+    #[inline]
+    pub fn new(pivot: VertexId, dist: Dist) -> LabelEntry {
+        LabelEntry { pivot, dist }
+    }
+
+    /// The trivial self-entry `(v, 0)`.
+    #[inline]
+    pub fn trivial(v: VertexId) -> LabelEntry {
+        LabelEntry { pivot: v, dist: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_by_pivot_then_dist() {
+        let mut v = vec![LabelEntry::new(3, 0), LabelEntry::new(1, 9), LabelEntry::new(1, 2)];
+        v.sort();
+        assert_eq!(v, vec![LabelEntry::new(1, 2), LabelEntry::new(1, 9), LabelEntry::new(3, 0)]);
+    }
+
+    #[test]
+    fn trivial_entry() {
+        assert_eq!(LabelEntry::trivial(7), LabelEntry::new(7, 0));
+    }
+}

@@ -1,0 +1,327 @@
+//! Label sets and the 2-hop index with its merge-join query.
+
+use sfgraph::{Dist, VertexId, INF_DIST};
+
+use crate::entry::LabelEntry;
+
+/// One vertex's label: entries sorted by pivot id, pivots unique.
+///
+/// Because vertices are rank-relabeled, pivot order is rank order, so two
+/// labels can be joined with a linear merge.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VertexLabels {
+    entries: Vec<LabelEntry>,
+}
+
+impl VertexLabels {
+    /// Empty label.
+    pub fn new() -> VertexLabels {
+        VertexLabels::default()
+    }
+
+    /// Label containing only the trivial self-entry `(v, 0)`.
+    pub fn with_trivial(v: VertexId) -> VertexLabels {
+        VertexLabels { entries: vec![LabelEntry::trivial(v)] }
+    }
+
+    /// The sorted entries.
+    #[inline]
+    pub fn entries(&self) -> &[LabelEntry] {
+        &self.entries
+    }
+
+    /// Number of entries (including the self-entry if present).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the label is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Distance recorded for `pivot`, if present.
+    pub fn get(&self, pivot: VertexId) -> Option<Dist> {
+        self.entries
+            .binary_search_by_key(&pivot, |e| e.pivot)
+            .ok()
+            .map(|i| self.entries[i].dist)
+    }
+
+    /// Insert `entry`, keeping the minimum distance per pivot.
+    ///
+    /// Returns `true` if the entry was added or improved an existing one.
+    pub fn insert_min(&mut self, entry: LabelEntry) -> bool {
+        match self.entries.binary_search_by_key(&entry.pivot, |e| e.pivot) {
+            Ok(i) => {
+                if entry.dist < self.entries[i].dist {
+                    self.entries[i].dist = entry.dist;
+                    true
+                } else {
+                    false
+                }
+            }
+            Err(i) => {
+                self.entries.insert(i, entry);
+                true
+            }
+        }
+    }
+
+    /// Remove the entry for `pivot`; returns whether one existed.
+    pub fn remove(&mut self, pivot: VertexId) -> bool {
+        match self.entries.binary_search_by_key(&pivot, |e| e.pivot) {
+            Ok(i) => {
+                self.entries.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Rebuild from possibly unsorted, possibly duplicated entries,
+    /// keeping the minimum distance per pivot.
+    pub fn from_entries(mut entries: Vec<LabelEntry>) -> VertexLabels {
+        entries.sort_unstable();
+        entries.dedup_by(|later, first| later.pivot == first.pivot);
+        VertexLabels { entries }
+    }
+}
+
+/// Minimum `d1 + d2` over common pivots of two sorted labels — the 2-hop
+/// query of Section 2, and also the pruning test of §3.3/§4.2.
+///
+/// Linear merge join; returns [`INF_DIST`] when no pivot is shared.
+#[inline]
+pub fn join_min(a: &[LabelEntry], b: &[LabelEntry]) -> Dist {
+    join_min_pivot(a, b).map_or(INF_DIST, |(_, d)| d)
+}
+
+/// Like [`join_min`] but also reports the winning pivot.
+pub fn join_min_pivot(a: &[LabelEntry], b: &[LabelEntry]) -> Option<(VertexId, Dist)> {
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut best: Option<(VertexId, Dist)> = None;
+    while i < a.len() && j < b.len() {
+        let (pa, pb) = (a[i].pivot, b[j].pivot);
+        match pa.cmp(&pb) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let d = a[i].dist.saturating_add(b[j].dist);
+                if best.is_none_or(|(_, bd)| d < bd) {
+                    best = Some((pa, d));
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    best
+}
+
+/// Labels of a directed graph: `Lin(v)` and `Lout(v)` per vertex.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DirectedLabels {
+    /// `Lin(v)`: pivots `u` with a path `u ⇝ v`, `r(u) > r(v)`.
+    pub in_labels: Vec<VertexLabels>,
+    /// `Lout(v)`: pivots `u` with a path `v ⇝ u`, `r(u) > r(v)`.
+    pub out_labels: Vec<VertexLabels>,
+}
+
+/// Labels of an undirected graph: a single `L(v)` per vertex.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UndirectedLabels {
+    /// `L(v)`: pivots `u` with a path between `u` and `v`, `r(u) > r(v)`.
+    pub labels: Vec<VertexLabels>,
+}
+
+/// A complete 2-hop label index for one graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LabelIndex {
+    /// Directed: queries join `Lout(s)` with `Lin(t)`.
+    Directed(DirectedLabels),
+    /// Undirected: queries join `L(s)` with `L(t)`.
+    Undirected(UndirectedLabels),
+}
+
+impl LabelIndex {
+    /// Fresh directed index on `n` vertices, trivial self-entries only.
+    pub fn new_directed(n: usize) -> LabelIndex {
+        LabelIndex::Directed(DirectedLabels {
+            in_labels: (0..n).map(|v| VertexLabels::with_trivial(v as VertexId)).collect(),
+            out_labels: (0..n).map(|v| VertexLabels::with_trivial(v as VertexId)).collect(),
+        })
+    }
+
+    /// Fresh undirected index on `n` vertices, trivial self-entries only.
+    pub fn new_undirected(n: usize) -> LabelIndex {
+        LabelIndex::Undirected(UndirectedLabels {
+            labels: (0..n).map(|v| VertexLabels::with_trivial(v as VertexId)).collect(),
+        })
+    }
+
+    /// Number of vertices covered.
+    pub fn num_vertices(&self) -> usize {
+        match self {
+            LabelIndex::Directed(d) => d.out_labels.len(),
+            LabelIndex::Undirected(u) => u.labels.len(),
+        }
+    }
+
+    /// Whether this is a directed index.
+    pub fn is_directed(&self) -> bool {
+        matches!(self, LabelIndex::Directed(_))
+    }
+
+    /// The label joined on the source side of a query (`Lout(s)` / `L(s)`).
+    #[inline]
+    pub fn source_labels(&self, s: VertexId) -> &VertexLabels {
+        match self {
+            LabelIndex::Directed(d) => &d.out_labels[s as usize],
+            LabelIndex::Undirected(u) => &u.labels[s as usize],
+        }
+    }
+
+    /// The label joined on the target side of a query (`Lin(t)` / `L(t)`).
+    #[inline]
+    pub fn target_labels(&self, t: VertexId) -> &VertexLabels {
+        match self {
+            LabelIndex::Directed(d) => &d.in_labels[t as usize],
+            LabelIndex::Undirected(u) => &u.labels[t as usize],
+        }
+    }
+
+    /// Exact distance query `dist(s, t)`; [`INF_DIST`] when unreachable.
+    #[inline]
+    pub fn query(&self, s: VertexId, t: VertexId) -> Dist {
+        join_min(self.source_labels(s).entries(), self.target_labels(t).entries())
+    }
+
+    /// Distance plus the pivot that realises it.
+    pub fn query_with_pivot(&self, s: VertexId, t: VertexId) -> Option<(VertexId, Dist)> {
+        join_min_pivot(self.source_labels(s).entries(), self.target_labels(t).entries())
+    }
+
+    /// Total number of stored entries (both directions for directed).
+    pub fn total_entries(&self) -> usize {
+        match self {
+            LabelIndex::Directed(d) => {
+                d.in_labels.iter().map(VertexLabels::len).sum::<usize>()
+                    + d.out_labels.iter().map(VertexLabels::len).sum::<usize>()
+            }
+            LabelIndex::Undirected(u) => u.labels.iter().map(VertexLabels::len).sum(),
+        }
+    }
+
+    /// Mean entries per vertex — the `Avg |label|` column of Table 7.
+    pub fn avg_label_size(&self) -> f64 {
+        let n = self.num_vertices();
+        if n == 0 {
+            0.0
+        } else {
+            self.total_entries() as f64 / n as f64
+        }
+    }
+
+    /// Index size in bytes at 8 bytes per entry (pivot + dist), the
+    /// in-memory footprint used for Table 6's index-size column.
+    pub fn size_bytes(&self) -> usize {
+        self.total_entries() * std::mem::size_of::<LabelEntry>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_min_keeps_minimum() {
+        let mut l = VertexLabels::with_trivial(5);
+        assert!(l.insert_min(LabelEntry::new(2, 7)));
+        assert!(!l.insert_min(LabelEntry::new(2, 9)));
+        assert!(l.insert_min(LabelEntry::new(2, 3)));
+        assert_eq!(l.get(2), Some(3));
+        assert_eq!(l.get(5), Some(0));
+        assert_eq!(l.len(), 2);
+        // Entries stay sorted by pivot.
+        assert!(l.entries().windows(2).all(|w| w[0].pivot < w[1].pivot));
+    }
+
+    #[test]
+    fn join_min_finds_best_common_pivot() {
+        let a = VertexLabels::from_entries(vec![
+            LabelEntry::new(0, 4),
+            LabelEntry::new(2, 1),
+            LabelEntry::new(7, 0),
+        ]);
+        let b = VertexLabels::from_entries(vec![
+            LabelEntry::new(0, 1),
+            LabelEntry::new(2, 9),
+            LabelEntry::new(5, 0),
+        ]);
+        assert_eq!(join_min(a.entries(), b.entries()), 5); // via 0: 4+1
+        assert_eq!(join_min_pivot(a.entries(), b.entries()), Some((0, 5)));
+    }
+
+    #[test]
+    fn join_min_no_common_pivot() {
+        let a = VertexLabels::from_entries(vec![LabelEntry::new(1, 1)]);
+        let b = VertexLabels::from_entries(vec![LabelEntry::new(2, 1)]);
+        assert_eq!(join_min(a.entries(), b.entries()), INF_DIST);
+        assert_eq!(join_min_pivot(a.entries(), b.entries()), None);
+    }
+
+    #[test]
+    fn query_self_distance_zero() {
+        let idx = LabelIndex::new_undirected(4);
+        assert_eq!(idx.query(2, 2), 0);
+        assert_eq!(idx.query(1, 2), INF_DIST);
+    }
+
+    #[test]
+    fn directed_query_uses_out_then_in() {
+        // Path 1 -> 0 -> 2 with pivot 0 (highest rank).
+        let mut d = DirectedLabels {
+            in_labels: (0..3).map(|v| VertexLabels::with_trivial(v as VertexId)).collect(),
+            out_labels: (0..3).map(|v| VertexLabels::with_trivial(v as VertexId)).collect(),
+        };
+        d.out_labels[1].insert_min(LabelEntry::new(0, 1));
+        d.in_labels[2].insert_min(LabelEntry::new(0, 1));
+        let idx = LabelIndex::Directed(d);
+        assert_eq!(idx.query(1, 2), 2);
+        assert_eq!(idx.query(2, 1), INF_DIST); // not symmetric
+        assert_eq!(idx.query_with_pivot(1, 2), Some((0, 2)));
+    }
+
+    #[test]
+    fn from_entries_dedups_keeping_min() {
+        let l = VertexLabels::from_entries(vec![
+            LabelEntry::new(3, 9),
+            LabelEntry::new(3, 2),
+            LabelEntry::new(1, 5),
+        ]);
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.get(3), Some(2));
+    }
+
+    #[test]
+    fn counts_and_sizes() {
+        let mut idx = LabelIndex::new_undirected(2);
+        if let LabelIndex::Undirected(u) = &mut idx {
+            u.labels[1].insert_min(LabelEntry::new(0, 1));
+        }
+        assert_eq!(idx.total_entries(), 3);
+        assert_eq!(idx.avg_label_size(), 1.5);
+        assert_eq!(idx.size_bytes(), 24);
+    }
+
+    #[test]
+    fn remove_entry() {
+        let mut l = VertexLabels::with_trivial(1);
+        l.insert_min(LabelEntry::new(0, 2));
+        assert!(l.remove(0));
+        assert!(!l.remove(0));
+        assert_eq!(l.len(), 1);
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # hoplabels — 2-hop distance label indexes
+//!
+//! The query-side half of the paper: data structures for 2-hop label
+//! covers, independent of how the labels were constructed (the `hopdb`
+//! crate builds them; the `baselines` crate's PLL builds them too).
+//!
+//! * [`entry::LabelEntry`] — a `(pivot, dist)` pair;
+//! * [`index::VertexLabels`] — one vertex's label, sorted by pivot id;
+//! * [`index::LabelIndex`] — the full index: `Lin`/`Lout` per vertex for
+//!   directed graphs, a single `L` per vertex for undirected graphs, with
+//!   the merge-join distance query of Section 2;
+//! * [`stats`] — label-size and pivot-coverage statistics backing
+//!   Table 7 and Figures 8–9;
+//! * [`disk`] — the on-disk index layout and the I/O-counted disk query
+//!   of Table 6's "Disk query time" column;
+//! * [`bitparallel`] — the bit-parallel post-processing of Section 6;
+//! * [`path`] — shortest-path reconstruction on top of any oracle;
+//! * [`verify`] — brute-force exactness/minimality checkers for tests.
+//!
+//! ## Rank convention
+//!
+//! All structures assume the graph has been *rank-relabeled*
+//! (`sfgraph::ranking::relabel_by_rank`): vertex id 0 is the
+//! highest-ranked vertex and `r(u) > r(v)` ⇔ `u < v`. Labels store
+//! pivots in increasing id order, i.e. decreasing rank order.
+
+pub mod bitparallel;
+pub mod disk;
+pub mod entry;
+pub mod index;
+pub mod path;
+pub mod stats;
+pub mod verify;
+
+pub use entry::LabelEntry;
+pub use index::{DirectedLabels, LabelIndex, UndirectedLabels, VertexLabels};

@@ -1,0 +1,261 @@
+//! Scale-free diagnostics used throughout Section 2 of the paper.
+//!
+//! * degree distribution and the Faloutsos *rank exponent* `γ` (Lemma 1:
+//!   `deg_v = r(v)^γ / |V|^γ`, with `γ ∈ [-0.8, -0.7]` for typical real
+//!   graphs);
+//! * the Newman expansion factor `R = z2/z1` (Equation 2 predicts
+//!   `R ≈ log |V|` for scale-free graphs);
+//! * hop-diameter estimation `D_H` (Theorem 4 bounds Hop-Doubling
+//!   iterations by `2⌈log D_H⌉`);
+//! * weak connectivity, to sanity-check generated workloads.
+
+use crate::graph::{Direction, Graph};
+use crate::traversal::bfs;
+use crate::{VertexId, INF_DIST};
+
+/// Histogram of total degrees: `counts[d]` = number of vertices with
+/// degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut counts = vec![0usize; g.max_degree() + 1];
+    for v in g.vertices() {
+        counts[g.degree(v)] += 1;
+    }
+    counts
+}
+
+/// Least-squares slope of `log(degree)` against `log(rank)` over vertices
+/// sorted by non-increasing degree — the Faloutsos rank exponent `γ`.
+///
+/// Returns `None` for graphs with fewer than two vertices of non-zero
+/// degree. Scale-free graphs yield `γ` around `-0.7 … -0.9`.
+pub fn rank_exponent(g: &Graph) -> Option<f64> {
+    let mut degs: Vec<usize> = g.vertices().map(|v| g.degree(v)).filter(|&d| d > 0).collect();
+    if degs.len() < 2 {
+        return None;
+    }
+    degs.sort_unstable_by(|a, b| b.cmp(a));
+    let pts: Vec<(f64, f64)> = degs
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| (((i + 1) as f64).ln(), (d as f64).ln()))
+        .collect();
+    Some(least_squares_slope(&pts))
+}
+
+/// Least-squares slope of `log(count)` against `log(degree)` over the
+/// degree histogram — the power-law exponent `-α` of
+/// `Prob(degree = k) ∝ k^-α`. Scale-free graphs have `α ∈ [2, 3]`.
+pub fn power_law_exponent(g: &Graph) -> Option<f64> {
+    let hist = degree_histogram(g);
+    let pts: Vec<(f64, f64)> = hist
+        .iter()
+        .enumerate()
+        .skip(1)
+        .filter(|&(_, &c)| c > 0)
+        .map(|(d, &c)| ((d as f64).ln(), (c as f64).ln()))
+        .collect();
+    if pts.len() < 2 {
+        return None;
+    }
+    Some(-least_squares_slope(&pts))
+}
+
+fn least_squares_slope(pts: &[(f64, f64)]) -> f64 {
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+/// Newman expansion factor `R = z2/z1`: the mean number of vertices two
+/// hops away divided by the mean one hop away, estimated from
+/// `samples` random-ish sources (deterministic stride sampling).
+pub fn expansion_factor(g: &Graph, samples: usize) -> f64 {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0.0;
+    }
+    let samples = samples.clamp(1, n);
+    let stride = (n / samples).max(1);
+    let (mut z1, mut z2, mut used) = (0usize, 0usize, 0usize);
+    for i in 0..samples {
+        let src = ((i * stride) % n) as VertexId;
+        let dist = bfs(g, src, Direction::Out);
+        z1 += dist.iter().filter(|&&d| d == 1).count();
+        z2 += dist.iter().filter(|&&d| d == 2).count();
+        used += 1;
+    }
+    if z1 == 0 || used == 0 {
+        return 0.0;
+    }
+    z2 as f64 / z1 as f64
+}
+
+/// Estimated hop diameter `D_H`: the maximum number of edges on any
+/// shortest path, over `samples` BFS sources plus a double-sweep from the
+/// eccentric vertex found (a standard lower-bound heuristic that is exact
+/// on trees and very tight on small-world graphs). For graphs with at
+/// most `exact_below` vertices, runs BFS from every vertex (exact).
+pub fn hop_diameter(g: &Graph, samples: usize, exact_below: usize) -> u32 {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0;
+    }
+    let finite_max = |dist: &[u32]| dist.iter().copied().filter(|&d| d != INF_DIST).max().unwrap_or(0);
+    if n <= exact_below {
+        let mut best = 0;
+        for v in g.vertices() {
+            best = best.max(finite_max(&bfs(g, v, Direction::Out)));
+        }
+        return best;
+    }
+    let samples = samples.clamp(1, n);
+    let stride = (n / samples).max(1);
+    let mut best = 0;
+    let mut eccentric = 0 as VertexId;
+    for i in 0..samples {
+        let src = ((i * stride) % n) as VertexId;
+        let dist = bfs(g, src, Direction::Out);
+        let (far, far_d) = dist
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d != INF_DIST)
+            .max_by_key(|&(_, &d)| d)
+            .map(|(v, &d)| (v as VertexId, d))
+            .unwrap_or((src, 0));
+        if far_d > best {
+            best = far_d;
+            eccentric = far;
+        }
+    }
+    // Double sweep: BFS back from the farthest vertex seen.
+    best = best.max(finite_max(&bfs(g, eccentric, Direction::Out)));
+    if g.is_directed() {
+        best = best.max(finite_max(&bfs(g, eccentric, Direction::In)));
+    }
+    best
+}
+
+/// Number of weakly connected components and the size of the largest.
+pub fn weak_components(g: &Graph) -> (usize, usize) {
+    let n = g.num_vertices();
+    let mut comp = vec![usize::MAX; n];
+    let mut count = 0;
+    let mut largest = 0;
+    let mut stack = Vec::new();
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        let mut size = 0;
+        comp[start] = count;
+        stack.push(start as VertexId);
+        while let Some(v) = stack.pop() {
+            size += 1;
+            for dir in [Direction::Out, Direction::In] {
+                for &u in g.neighbors(v, dir) {
+                    if comp[u as usize] == usize::MAX {
+                        comp[u as usize] = count;
+                        stack.push(u);
+                    }
+                }
+                if !g.is_directed() {
+                    break;
+                }
+            }
+        }
+        largest = largest.max(size);
+        count += 1;
+    }
+    (count, largest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn star(n: usize) -> Graph {
+        let mut b = GraphBuilder::new_undirected(n);
+        for leaf in 1..n {
+            b.add_edge(0, leaf as VertexId);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn histogram_star() {
+        let h = degree_histogram(&star(5));
+        assert_eq!(h[1], 4);
+        assert_eq!(h[4], 1);
+    }
+
+    #[test]
+    fn rank_exponent_is_negative_for_skewed_graphs() {
+        // A two-level star-of-stars has a steep rank-degree curve.
+        let mut b = GraphBuilder::new_undirected(32);
+        for hub in 1..4u32 {
+            b.add_edge(0, hub);
+            for leaf in 0..9u32 {
+                b.add_edge(hub, 4 + (hub - 1) * 9 + leaf);
+            }
+        }
+        let g = b.build();
+        let gamma = rank_exponent(&g).unwrap();
+        assert!(gamma < -0.1, "expected negative rank exponent, got {gamma}");
+    }
+
+    #[test]
+    fn expansion_factor_star_reaches_everything_in_two_hops() {
+        let g = star(11);
+        // From the hub: z1 = 10, z2 = 0. From a leaf: z1 = 1, z2 = 9.
+        let r = expansion_factor(&g, 11);
+        assert!(r > 0.0 && r < 10.0);
+    }
+
+    #[test]
+    fn hop_diameter_path_exact_mode() {
+        let mut b = GraphBuilder::new_undirected(10);
+        for i in 0..9u32 {
+            b.add_edge(i, i + 1);
+        }
+        let g = b.build();
+        assert_eq!(hop_diameter(&g, 4, 100), 9);
+    }
+
+    #[test]
+    fn hop_diameter_sampled_mode_on_path_is_tight() {
+        let n = 300;
+        let mut b = GraphBuilder::new_undirected(n);
+        for i in 0..n - 1 {
+            b.add_edge(i as VertexId, i as VertexId + 1);
+        }
+        let g = b.build();
+        // Double sweep finds the true diameter on paths.
+        assert_eq!(hop_diameter(&g, 5, 0), (n - 1) as u32);
+    }
+
+    #[test]
+    fn components() {
+        let mut b = GraphBuilder::new_undirected(6);
+        b.add_edge(0, 1);
+        b.add_edge(2, 3);
+        let g = b.build();
+        let (count, largest) = weak_components(&g);
+        assert_eq!(count, 4); // {0,1}, {2,3}, {4}, {5}
+        assert_eq!(largest, 2);
+    }
+
+    #[test]
+    fn directed_weak_components_ignore_orientation() {
+        let mut b = GraphBuilder::new_directed(4);
+        b.add_edge(0, 1);
+        b.add_edge(2, 1);
+        let g = b.build();
+        let (count, largest) = weak_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(largest, 3);
+    }
+}

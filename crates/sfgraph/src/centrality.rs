@@ -1,0 +1,128 @@
+//! Sampled betweenness centrality — the "heuristical method to
+//! approximate this ranking" that §7 of the paper suggests for general
+//! graphs, where degree ranking fails (road networks have no hubs).
+//!
+//! Brandes' dependency accumulation from a sample of source vertices,
+//! over unit edge lengths (hop counts rank vertices well even on
+//! weighted graphs). The scores feed `RankBy::Score`.
+
+use crate::graph::{Direction, Graph};
+use crate::{VertexId, INF_DIST};
+
+/// Approximate betweenness scores from `samples` BFS sources
+/// (deterministic given `seed`). Returned values are scaled to `u64`
+/// for use with [`crate::ranking::RankBy::Score`].
+pub fn sampled_betweenness_scores(g: &Graph, samples: usize, seed: u64) -> Vec<u64> {
+    let n = g.num_vertices();
+    let mut score = vec![0f64; n];
+    if n == 0 {
+        return Vec::new();
+    }
+    let samples = samples.clamp(1, n);
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+
+    let mut dist = vec![INF_DIST; n];
+    let mut sigma = vec![0f64; n];
+    let mut delta = vec![0f64; n];
+    let mut order: Vec<VertexId> = Vec::with_capacity(n);
+
+    for _ in 0..samples {
+        let s = (next() % n as u64) as VertexId;
+        // BFS with path counting.
+        dist.iter_mut().for_each(|d| *d = INF_DIST);
+        sigma.iter_mut().for_each(|x| *x = 0.0);
+        delta.iter_mut().for_each(|x| *x = 0.0);
+        order.clear();
+        dist[s as usize] = 0;
+        sigma[s as usize] = 1.0;
+        let mut head = 0usize;
+        order.push(s);
+        while head < order.len() {
+            let v = order[head];
+            head += 1;
+            let dv = dist[v as usize];
+            for &u in g.neighbors(v, Direction::Out) {
+                if dist[u as usize] == INF_DIST {
+                    dist[u as usize] = dv + 1;
+                    order.push(u);
+                }
+                if dist[u as usize] == dv + 1 {
+                    sigma[u as usize] += sigma[v as usize];
+                }
+            }
+        }
+        // Dependency accumulation in reverse BFS order.
+        for &v in order.iter().rev() {
+            let dv = dist[v as usize];
+            for &u in g.neighbors(v, Direction::Out) {
+                if dist[u as usize] == dv + 1 && sigma[u as usize] > 0.0 {
+                    delta[v as usize] +=
+                        sigma[v as usize] / sigma[u as usize] * (1.0 + delta[u as usize]);
+                }
+            }
+            if v != s {
+                score[v as usize] += delta[v as usize];
+            }
+        }
+    }
+    // Scale to integers; relative order is all the ranking needs.
+    score.into_iter().map(|x| (x * 1e6) as u64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn path_graph_centre_dominates() {
+        let mut b = GraphBuilder::new_undirected(7);
+        for i in 0..6u32 {
+            b.add_edge(i, i + 1);
+        }
+        let g = b.build();
+        let scores = sampled_betweenness_scores(&g, 7, 3);
+        let centre = scores[3];
+        assert!(centre > scores[0], "centre must beat the endpoint");
+        assert!(centre >= scores[1] && centre >= scores[5]);
+    }
+
+    #[test]
+    fn star_hub_has_all_betweenness() {
+        let mut b = GraphBuilder::new_undirected(9);
+        for leaf in 1..9 {
+            b.add_edge(0, leaf);
+        }
+        let g = b.build();
+        let scores = sampled_betweenness_scores(&g, 9, 5);
+        for leaf in 1..9 {
+            assert!(scores[0] > scores[leaf], "hub must dominate leaf {leaf}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut b = GraphBuilder::new_undirected(20);
+        for i in 0..19u32 {
+            b.add_edge(i, i + 1);
+        }
+        b.add_edge(0, 10);
+        let g = b.build();
+        assert_eq!(
+            sampled_betweenness_scores(&g, 5, 9),
+            sampled_betweenness_scores(&g, 5, 9)
+        );
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new_undirected(0).build();
+        assert!(sampled_betweenness_scores(&g, 4, 1).is_empty());
+    }
+}

@@ -1,0 +1,213 @@
+//! The [`Graph`] type: CSR adjacency with direction and weight handling.
+
+use crate::csr::Csr;
+use crate::{Dist, VertexId};
+
+/// Traversal direction relative to edge orientation.
+///
+/// For undirected graphs both directions see the same adjacency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Follow edges `v -> u` (out-neighbours).
+    Out,
+    /// Follow edges `u -> v` backwards (in-neighbours).
+    In,
+}
+
+impl Direction {
+    /// The opposite direction.
+    #[inline]
+    pub fn reverse(self) -> Direction {
+        match self {
+            Direction::Out => Direction::In,
+            Direction::In => Direction::Out,
+        }
+    }
+}
+
+/// A static graph, directed or undirected, optionally weighted.
+///
+/// Directed graphs keep both the forward and the transposed CSR so that
+/// in-neighbourhood scans (needed by the labeling rules and reverse
+/// searches) are as cheap as forward scans. Undirected graphs store each
+/// edge in both adjacency rows of a single CSR.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    directed: bool,
+    out: Csr,
+    /// Transposed adjacency; `None` for undirected graphs (use `out`).
+    inn: Option<Csr>,
+    /// Count of logical edges: directed arcs, or undirected edges (each
+    /// stored twice in `out`).
+    num_edges: usize,
+}
+
+impl Graph {
+    pub(crate) fn new(directed: bool, out: Csr, inn: Option<Csr>, num_edges: usize) -> Graph {
+        debug_assert_eq!(directed, inn.is_some());
+        Graph { directed, out, inn, num_edges }
+    }
+
+    /// Number of vertices `|V|`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.out.num_vertices()
+    }
+
+    /// Number of logical edges `|E|` (undirected edges counted once).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Whether edges are directed.
+    #[inline]
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Whether edges carry explicit weights (otherwise weight 1).
+    #[inline]
+    pub fn is_weighted(&self) -> bool {
+        self.out.is_weighted()
+    }
+
+    /// Iterator over all vertex ids `0..n`.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        0..self.num_vertices() as VertexId
+    }
+
+    /// The adjacency CSR for the given direction.
+    #[inline]
+    pub fn csr(&self, dir: Direction) -> &Csr {
+        match (dir, &self.inn) {
+            (Direction::Out, _) | (Direction::In, None) => &self.out,
+            (Direction::In, Some(inn)) => inn,
+        }
+    }
+
+    /// Neighbour ids of `v` in direction `dir`, sorted ascending.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId, dir: Direction) -> &[VertexId] {
+        self.csr(dir).neighbors(v)
+    }
+
+    /// `(neighbor, weight)` pairs of `v` in direction `dir`.
+    #[inline]
+    pub fn edges(&self, v: VertexId, dir: Direction) -> impl Iterator<Item = (VertexId, Dist)> + '_ {
+        self.csr(dir).edges(v)
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.out.degree(v)
+    }
+
+    /// In-degree of `v` (equals out-degree for undirected graphs).
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.csr(Direction::In).degree(v)
+    }
+
+    /// Total degree: `in + out` for directed, plain degree for undirected.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        if self.directed {
+            self.out_degree(v) + self.in_degree(v)
+        } else {
+            self.out_degree(v)
+        }
+    }
+
+    /// Maximum total degree over all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Whether the directed edge (or undirected edge) `v -> u` exists.
+    pub fn has_edge(&self, v: VertexId, u: VertexId) -> bool {
+        self.out.has_edge(v, u)
+    }
+
+    /// Weight of edge `v -> u`, if present.
+    pub fn edge_weight(&self, v: VertexId, u: VertexId) -> Option<Dist> {
+        self.out.edge_weight(v, u)
+    }
+
+    /// All logical edges as `(source, target, weight)` triples.
+    ///
+    /// For undirected graphs each edge is reported once with
+    /// `source < target` (self-loops are never stored).
+    pub fn edge_list(&self) -> Vec<(VertexId, VertexId, Dist)> {
+        let mut edges = Vec::with_capacity(self.num_edges);
+        for v in self.vertices() {
+            for (t, w) in self.out.edges(v) {
+                if self.directed || v < t {
+                    edges.push((v, t, w));
+                }
+            }
+        }
+        edges
+    }
+
+    /// In-memory size of the adjacency structures in bytes, used for the
+    /// `|G| (MB)` column of Table 6.
+    pub fn size_bytes(&self) -> usize {
+        self.out.heap_bytes() + self.inn.as_ref().map_or(0, Csr::heap_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn directed_triangle() -> Graph {
+        let mut b = GraphBuilder::new_directed(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 0);
+        b.build()
+    }
+
+    #[test]
+    fn directed_in_out_neighbors_differ() {
+        let g = directed_triangle();
+        assert!(g.is_directed());
+        assert_eq!(g.neighbors(0, Direction::Out), &[1]);
+        assert_eq!(g.neighbors(0, Direction::In), &[2]);
+        assert_eq!(g.out_degree(0), 1);
+        assert_eq!(g.in_degree(0), 1);
+        assert_eq!(g.degree(0), 2);
+    }
+
+    #[test]
+    fn undirected_sees_same_adjacency_both_ways() {
+        let mut b = GraphBuilder::new_undirected(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        let g = b.build();
+        assert_eq!(g.neighbors(1, Direction::Out), &[0, 2]);
+        assert_eq!(g.neighbors(1, Direction::In), &[0, 2]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn edge_list_roundtrip_undirected() {
+        let mut b = GraphBuilder::new_undirected(4);
+        b.add_edge(2, 0);
+        b.add_edge(3, 1);
+        let g = b.build();
+        let mut el = g.edge_list();
+        el.sort_unstable();
+        assert_eq!(el, vec![(0, 2, 1), (1, 3, 1)]);
+    }
+
+    #[test]
+    fn direction_reverse() {
+        assert_eq!(Direction::Out.reverse(), Direction::In);
+        assert_eq!(Direction::In.reverse(), Direction::Out);
+    }
+}

@@ -1,0 +1,223 @@
+//! Graph serialization: SNAP-style text edge lists and a compact binary
+//! format.
+//!
+//! The text format is one `u v [w]` triple per line, `#`-prefixed comment
+//! lines ignored — the format of the SNAP / KONECT collections the paper
+//! evaluates on. The binary format stores the cleaned CSR directly so big
+//! generated workloads can be cached between bench runs.
+
+use std::io::{BufRead, Read, Write};
+
+use crate::builder::GraphBuilder;
+use crate::csr::Csr;
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::{Dist, VertexId};
+
+/// Parse a text edge list.
+///
+/// Vertex ids may be sparse; the graph gets `max_id + 1` vertices. If
+/// `weighted` is set, a third column is required on every edge line.
+pub fn read_edge_list<R: BufRead>(
+    reader: R,
+    directed: bool,
+    weighted: bool,
+) -> Result<Graph, GraphError> {
+    let mut builder =
+        if directed { GraphBuilder::new_directed(0) } else { GraphBuilder::new_undirected(0) };
+    if weighted {
+        builder = builder.weighted();
+    }
+    let mut edges: Vec<(VertexId, VertexId, Dist)> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let parse = |tok: Option<&str>, what: &str| -> Result<u64, GraphError> {
+            tok.ok_or_else(|| GraphError::Parse {
+                line: lineno + 1,
+                msg: format!("missing {what}"),
+            })?
+            .parse::<u64>()
+            .map_err(|e| GraphError::Parse { line: lineno + 1, msg: format!("bad {what}: {e}") })
+        };
+        let u = parse(parts.next(), "source")?;
+        let v = parse(parts.next(), "target")?;
+        let w = if weighted { parse(parts.next(), "weight")? } else { 1 };
+        if u > u32::MAX as u64 || v > u32::MAX as u64 {
+            return Err(GraphError::VertexOutOfRange { vertex: u.max(v), n: u32::MAX as usize });
+        }
+        edges.push((u as VertexId, v as VertexId, w.min(u32::MAX as u64) as Dist));
+    }
+    for &(u, v, _) in &edges {
+        builder.ensure_vertex(u);
+        builder.ensure_vertex(v);
+    }
+    for (u, v, w) in edges {
+        builder.add_weighted_edge(u, v, w);
+    }
+    Ok(builder.build())
+}
+
+/// Write the graph as a text edge list (undirected edges once each).
+pub fn write_edge_list<W: Write>(g: &Graph, mut writer: W) -> Result<(), GraphError> {
+    for (u, v, w) in g.edge_list() {
+        if g.is_weighted() {
+            writeln!(writer, "{u} {v} {w}")?;
+        } else {
+            writeln!(writer, "{u} {v}")?;
+        }
+    }
+    Ok(())
+}
+
+const MAGIC: &[u8; 8] = b"SFGRAPH1";
+
+/// Serialize the graph in the binary CSR format.
+pub fn write_binary<W: Write>(g: &Graph, mut w: W) -> Result<(), GraphError> {
+    w.write_all(MAGIC)?;
+    let flags: u8 = (g.is_directed() as u8) | ((g.is_weighted() as u8) << 1);
+    w.write_all(&[flags, 0, 0, 0])?;
+    w.write_all(&(g.num_vertices() as u64).to_le_bytes())?;
+    w.write_all(&(g.num_edges() as u64).to_le_bytes())?;
+    let csr = g.csr(crate::graph::Direction::Out);
+    write_u64s(&mut w, csr.offsets())?;
+    write_u32s(&mut w, csr.targets())?;
+    if g.is_weighted() {
+        write_u32s(&mut w, csr.weights())?;
+    }
+    Ok(())
+}
+
+/// Deserialize a graph written by [`write_binary`].
+pub fn read_binary<R: Read>(mut r: R) -> Result<Graph, GraphError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(GraphError::Format("bad magic".into()));
+    }
+    let mut flags = [0u8; 4];
+    r.read_exact(&mut flags)?;
+    let directed = flags[0] & 1 != 0;
+    let weighted = flags[0] & 2 != 0;
+    let n = read_u64(&mut r)? as usize;
+    let m = read_u64(&mut r)? as usize;
+    let offsets = read_u64s(&mut r, n + 1)?;
+    let stored_edges = *offsets.last().unwrap_or(&0) as usize;
+    let targets = read_u32s(&mut r, stored_edges)?;
+    let weights = if weighted { read_u32s(&mut r, stored_edges)? } else { Vec::new() };
+    let out = Csr::from_parts(offsets, targets, weights);
+    let inn = if directed { Some(out.transpose()) } else { None };
+    Ok(Graph::new(directed, out, inn, m))
+}
+
+fn write_u64s<W: Write>(w: &mut W, xs: &[u64]) -> std::io::Result<()> {
+    for &x in xs {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn write_u32s<W: Write>(w: &mut W, xs: &[u32]) -> std::io::Result<()> {
+    for &x in xs {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> std::io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn read_u64s<R: Read>(r: &mut R, count: usize) -> Result<Vec<u64>, GraphError> {
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(read_u64(r)?);
+    }
+    Ok(out)
+}
+
+fn read_u32s<R: Read>(r: &mut R, count: usize) -> Result<Vec<u32>, GraphError> {
+    let mut buf = [0u8; 4];
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        r.read_exact(&mut buf)?;
+        out.push(u32::from_le_bytes(buf));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Direction;
+    use std::io::Cursor;
+
+    #[test]
+    fn parse_edge_list_with_comments() {
+        let text = "# a comment\n0 1\n1 2\n\n% another\n2 0\n";
+        let g = read_edge_list(Cursor::new(text), true, false).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(2, 0));
+    }
+
+    #[test]
+    fn parse_weighted() {
+        let text = "0 1 5\n1 2 7\n";
+        let g = read_edge_list(Cursor::new(text), false, true).unwrap();
+        assert!(g.is_weighted());
+        assert_eq!(g.edge_weight(1, 0), Some(5));
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let text = "0 1\nnot numbers\n";
+        let err = read_edge_list(Cursor::new(text), false, false).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn missing_weight_column_is_an_error() {
+        let text = "0 1\n";
+        assert!(read_edge_list(Cursor::new(text), false, true).is_err());
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let text = "0 1\n1 2\n0 3\n";
+        let g = read_edge_list(Cursor::new(text), false, false).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(Cursor::new(buf), false, false).unwrap();
+        assert_eq!(g.num_edges(), g2.num_edges());
+        assert_eq!(g.num_vertices(), g2.num_vertices());
+    }
+
+    #[test]
+    fn binary_roundtrip_directed_weighted() {
+        let text = "0 5 3\n5 2 9\n2 0 1\n";
+        let g = read_edge_list(Cursor::new(text), true, true).unwrap();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(Cursor::new(buf)).unwrap();
+        assert_eq!(g2.num_vertices(), 6);
+        assert_eq!(g2.num_edges(), 3);
+        assert!(g2.is_directed() && g2.is_weighted());
+        assert_eq!(g2.edge_weight(5, 2), Some(9));
+        assert_eq!(g2.neighbors(5, Direction::In), &[0]);
+    }
+
+    #[test]
+    fn binary_rejects_garbage() {
+        assert!(read_binary(Cursor::new(b"NOTMAGIC....".to_vec())).is_err());
+    }
+}

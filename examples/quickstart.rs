@@ -1,0 +1,55 @@
+//! Quickstart: build a HopDb index for a scale-free graph and answer
+//! distance queries.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hop_doubling::graphgen::{glp, GlpParams};
+use hop_doubling::hopdb::{build, HopDbConfig};
+use hop_doubling::sfgraph::traversal::bidirectional_distance;
+use hop_doubling::sfgraph::INF_DIST;
+
+fn main() {
+    // A 20k-vertex GLP scale-free graph with the paper's parameters
+    // (m = 1.13, m0 = 10, power-law exponent ≈ 2.155).
+    let graph = glp(&GlpParams::with_vertices(20_000, 7));
+    println!(
+        "graph: |V| = {}, |E| = {}, max degree = {}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.max_degree()
+    );
+
+    // Build with the paper's default strategy: Hop-Stepping for the
+    // first 10 iterations, Hop-Doubling afterwards, pruning always on.
+    let t0 = std::time::Instant::now();
+    let db = build(&graph, &HopDbConfig::default());
+    println!(
+        "index: {} entries ({} avg/vertex) built in {:?} over {} iterations",
+        db.index().total_entries(),
+        db.index().avg_label_size(),
+        t0.elapsed(),
+        db.stats().num_iterations(),
+    );
+
+    // Answer some queries and cross-check against bidirectional BFS.
+    let pairs = [(1u32, 17u32), (42, 4_242), (123, 19_999), (5, 5)];
+    for (s, t) in pairs {
+        let d = db.query(s, t);
+        let check = bidirectional_distance(&graph, s, t);
+        assert_eq!(d, check, "index disagrees with BFS on ({s}, {t})");
+        if d == INF_DIST {
+            println!("dist({s}, {t}) = unreachable");
+        } else {
+            println!("dist({s}, {t}) = {d}");
+        }
+    }
+
+    // Index statistics of the kind Table 7 reports.
+    let coverage = hop_doubling::hoplabels::stats::CoverageStats::from_index(db.index());
+    println!(
+        "top 1% of vertices cover {:.1}% of all label entries",
+        100.0 * coverage.coverage_of_top(graph.num_vertices() / 100)
+    );
+}

@@ -1,0 +1,72 @@
+//! Weighted graphs and the limits of degree ranking (§7).
+//!
+//! Three runs side by side:
+//! 1. a *weighted scale-free* graph (like Table 6's rating networks) —
+//!    degree ranking yields tiny labels;
+//! 2. a *road-like weighted grid* under degree ranking — no hubs exist,
+//!    so the ranking degrades exactly as §7 warns;
+//! 3. the same grid under a sampled-betweenness ranking — §7's proposed
+//!    fix ("some heuristical method to approximate this ranking"),
+//!    which recovers much of the lost label-size headroom.
+//!
+//! ```text
+//! cargo run --release --example weighted_roads
+//! ```
+
+use hop_doubling::graphgen::{glp, grid, with_random_weights, GlpParams};
+use hop_doubling::hopdb::{build, HopDbConfig};
+use hop_doubling::sfgraph::centrality::sampled_betweenness_scores;
+use hop_doubling::sfgraph::ranking::RankBy;
+use hop_doubling::sfgraph::traversal::bidirectional_distance;
+use hop_doubling::sfgraph::Graph;
+
+fn report(name: &str, graph: &Graph, cfg: &HopDbConfig) -> f64 {
+    let t0 = std::time::Instant::now();
+    let db = build(graph, cfg);
+    let elapsed = t0.elapsed();
+    println!(
+        "{name:<22} |V|={:>6} |E|={:>7}  avg|label|={:>7.1}  iters={:>3}  build={elapsed:.2?}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        db.index().avg_label_size(),
+        db.stats().num_iterations(),
+    );
+    // Validate a few random queries.
+    let mut x = 88172645463325252u64;
+    for _ in 0..50 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let s = (x % graph.num_vertices() as u64) as u32;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let t = (x % graph.num_vertices() as u64) as u32;
+        assert_eq!(db.query(s, t), bidirectional_distance(graph, s, t));
+    }
+    db.index().avg_label_size()
+}
+
+fn main() {
+    println!("weighted scale-free vs road-like grids (weights 1..=10):\n");
+    let default_cfg = HopDbConfig::default();
+
+    let sf = with_random_weights(&glp(&GlpParams::with_vertices(8_000, 5)), 1, 10, 1);
+    report("rating network", &sf, &default_cfg);
+
+    let road = with_random_weights(&grid(30, 30), 1, 10, 2);
+    let by_degree = report("road grid (degree)", &road, &default_cfg);
+
+    let scores = sampled_betweenness_scores(&road, 256, 9);
+    let betweenness_cfg =
+        HopDbConfig { rank_by: Some(RankBy::Score(scores)), ..HopDbConfig::default() };
+    let by_betweenness = report("road grid (betweenness)", &road, &betweenness_cfg);
+
+    println!(
+        "\nThe scale-free graph keeps labels small (hub pivots hit most\n\
+         shortest paths — Assumptions 1–3). Grids have no hubs, so degree\n\
+         ranking degrades; ranking by sampled betweenness instead cuts the\n\
+         average label size by {:.0}% (§7's suggestion, executable).",
+        100.0 * (1.0 - by_betweenness / by_degree)
+    );
+}

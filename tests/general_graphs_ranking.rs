@@ -1,0 +1,54 @@
+//! §7 — general (non-scale-free) graphs: degree ranking degrades on
+//! hub-free topologies; a betweenness-style ranking recovers much of
+//! the label-size headroom. This is the paper's closing suggestion made
+//! executable.
+
+use hop_doubling::graphgen::grid;
+use hop_doubling::hopdb::{build, HopDbConfig};
+use hop_doubling::sfgraph::centrality::sampled_betweenness_scores;
+use hop_doubling::sfgraph::ranking::RankBy;
+use hop_doubling::sfgraph::traversal::all_pairs;
+use hop_doubling::sfgraph::VertexId;
+
+#[test]
+fn betweenness_ranking_beats_degree_on_grids() {
+    let g = grid(12, 12);
+    let degree = build(&g, &HopDbConfig::default());
+    let scores = sampled_betweenness_scores(&g, g.num_vertices(), 7);
+    let betweenness = build(
+        &g,
+        &HopDbConfig { rank_by: Some(RankBy::Score(scores)), ..HopDbConfig::default() },
+    );
+    // Both must stay exact.
+    let ap = all_pairs(&g);
+    for s in 0..g.num_vertices() as VertexId {
+        for t in 0..g.num_vertices() as VertexId {
+            assert_eq!(degree.query(s, t), ap[s as usize][t as usize]);
+            assert_eq!(betweenness.query(s, t), ap[s as usize][t as usize]);
+        }
+    }
+    // On a grid, degree ranking is near-arbitrary (everything has
+    // degree ≤ 4); path-hitting vertices first must shrink the index.
+    let (d, b) = (degree.index().total_entries(), betweenness.index().total_entries());
+    assert!(
+        (b as f64) < 0.9 * d as f64,
+        "betweenness ranking should cut ≥10% of entries: degree={d}, betweenness={b}"
+    );
+}
+
+#[test]
+fn betweenness_ranking_is_harmless_on_scale_free_graphs() {
+    // On hub graphs, degree and betweenness rankings mostly agree; the
+    // index must stay the same order of magnitude.
+    let g = hop_doubling::graphgen::glp(&hop_doubling::graphgen::GlpParams::with_vertices(
+        2_000, 11,
+    ));
+    let degree = build(&g, &HopDbConfig::default());
+    let scores = sampled_betweenness_scores(&g, 64, 5);
+    let betweenness = build(
+        &g,
+        &HopDbConfig { rank_by: Some(RankBy::Score(scores)), ..HopDbConfig::default() },
+    );
+    let (d, b) = (degree.index().total_entries(), betweenness.index().total_entries());
+    assert!((b as f64) < 2.5 * d as f64, "betweenness should not blow up: {d} vs {b}");
+}

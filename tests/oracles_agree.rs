@@ -1,0 +1,116 @@
+//! Cross-crate correctness: every oracle must return the exact distance
+//! on every pair of many randomized graphs (directed/undirected,
+//! weighted/unweighted) — the executable form of Theorems 1, 3, 5.
+
+use hop_doubling::baselines::{Bidij, DistanceOracle, HighwayCover, IsLabel, Pll};
+use hop_doubling::hopdb::{build, HopDbConfig, Strategy};
+use hop_doubling::sfgraph::traversal::all_pairs;
+use hop_doubling::sfgraph::{Graph, GraphBuilder, VertexId};
+use rand::{Rng, SeedableRng};
+
+fn random_graph(rng: &mut rand::rngs::StdRng, directed: bool, weighted: bool) -> Graph {
+    let n = rng.gen_range(3..35);
+    let mut b =
+        if directed { GraphBuilder::new_directed(n) } else { GraphBuilder::new_undirected(n) };
+    if weighted {
+        b = b.weighted();
+    }
+    for _ in 0..rng.gen_range(n..4 * n) {
+        b.add_weighted_edge(
+            rng.gen_range(0..n) as VertexId,
+            rng.gen_range(0..n) as VertexId,
+            if weighted { rng.gen_range(1..9) } else { 1 },
+        );
+    }
+    b.build()
+}
+
+fn check_all(g: &Graph, case: usize) {
+    let truth = all_pairs(g);
+    let n = g.num_vertices() as VertexId;
+
+    let hopdb_default = build(g, &HopDbConfig::default());
+    let hopdb_step = build(g, &HopDbConfig::with_strategy(Strategy::Stepping));
+    let hopdb_dbl = build(g, &HopDbConfig::with_strategy(Strategy::Doubling));
+    let pll = Pll::build(g);
+    let isl = IsLabel::build(g, usize::MAX).expect("no budget");
+    let hc = HighwayCover::build(g.clone(), 4);
+    let bidij = Bidij::new(g.clone());
+
+    for s in 0..n {
+        for t in 0..n {
+            let want = truth[s as usize][t as usize];
+            assert_eq!(hopdb_default.query(s, t), want, "hopdb hybrid {s}->{t} case {case}");
+            assert_eq!(hopdb_step.query(s, t), want, "hopdb stepping {s}->{t} case {case}");
+            assert_eq!(hopdb_dbl.query(s, t), want, "hopdb doubling {s}->{t} case {case}");
+            assert_eq!(pll.distance(s, t), want, "pll {s}->{t} case {case}");
+            assert_eq!(isl.distance(s, t), want, "islabel {s}->{t} case {case}");
+            assert_eq!(hc.distance(s, t), want, "highway {s}->{t} case {case}");
+            assert_eq!(bidij.distance(s, t), want, "bidij {s}->{t} case {case}");
+        }
+    }
+}
+
+#[test]
+fn all_oracles_exact_undirected_unweighted() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1001);
+    for case in 0..12 {
+        let g = random_graph(&mut rng, false, false);
+        check_all(&g, case);
+    }
+}
+
+#[test]
+fn all_oracles_exact_directed_unweighted() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1002);
+    for case in 0..12 {
+        let g = random_graph(&mut rng, true, false);
+        check_all(&g, case);
+    }
+}
+
+#[test]
+fn all_oracles_exact_undirected_weighted() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1003);
+    for case in 0..12 {
+        let g = random_graph(&mut rng, false, true);
+        check_all(&g, case);
+    }
+}
+
+#[test]
+fn all_oracles_exact_directed_weighted() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1004);
+    for case in 0..12 {
+        let g = random_graph(&mut rng, true, true);
+        check_all(&g, case);
+    }
+}
+
+#[test]
+fn oracles_exact_on_glp_scale_free() {
+    // A realistic (small) scale-free workload, sampled pairs.
+    let g = hop_doubling::graphgen::glp(&hop_doubling::graphgen::GlpParams::with_vertices(600, 5));
+    let db = build(&g, &HopDbConfig::default());
+    let pll = Pll::build(&g);
+    let bidij = Bidij::new(g.clone());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    for _ in 0..2_000 {
+        let s = rng.gen_range(0..g.num_vertices()) as VertexId;
+        let t = rng.gen_range(0..g.num_vertices()) as VertexId;
+        let want = bidij.distance(s, t);
+        assert_eq!(db.query(s, t), want);
+        assert_eq!(pll.distance(s, t), want);
+    }
+}
+
+#[test]
+fn oracles_exact_on_paper_examples() {
+    for g in [
+        hop_doubling::graphgen::road_graph_gr(),
+        hop_doubling::graphgen::star_graph_gs(),
+        hop_doubling::graphgen::example_graph_fig3(),
+    ] {
+        check_all(&g, usize::MAX);
+    }
+}

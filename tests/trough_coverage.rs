@@ -1,0 +1,97 @@
+//! Lemma 2 made executable: the unpruned engine achieves the labeling
+//! objectives [O1]/[O2] — for every ordered pair `(u, v)` that admits a
+//! *trough shortest path* (a shortest path whose intermediate vertices
+//! all rank below `max(r(u), r(v))`), the corresponding label entry
+//! exists with the exact distance.
+//!
+//! Trough distances are computed independently by BFS restricted to the
+//! allowed intermediate set, so this checks the engines against the
+//! paper's *definition*, not against another engine.
+
+use hop_doubling::hopdb::{build_prelabeled, HopDbConfig, Strategy};
+use hop_doubling::hoplabels::index::LabelIndex;
+use hop_doubling::sfgraph::traversal::all_pairs;
+use hop_doubling::sfgraph::{Direction, Graph, GraphBuilder, VertexId, INF_DIST};
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// BFS from `s` to `t` where every intermediate vertex `x` must satisfy
+/// `x > limit` (i.e. rank strictly below the higher-ranked endpoint).
+fn trough_distance(g: &Graph, s: VertexId, t: VertexId, limit: VertexId) -> u32 {
+    if s == t {
+        return 0;
+    }
+    let n = g.num_vertices();
+    let mut dist = vec![INF_DIST; n];
+    let mut q = VecDeque::new();
+    dist[s as usize] = 0;
+    q.push_back(s);
+    while let Some(v) = q.pop_front() {
+        for &u in g.neighbors(v, Direction::Out) {
+            if dist[u as usize] != INF_DIST {
+                continue;
+            }
+            if u == t {
+                return dist[v as usize] + 1;
+            }
+            if u > limit {
+                dist[u as usize] = dist[v as usize] + 1;
+                q.push_back(u);
+            }
+        }
+    }
+    INF_DIST
+}
+
+fn check_objectives(g: &Graph) {
+    let ap = all_pairs(g);
+    let (index, _) = build_prelabeled(g, &HopDbConfig::unpruned(Strategy::Doubling));
+    let LabelIndex::Directed(d) = &index else { panic!("directed expected") };
+    let n = g.num_vertices() as VertexId;
+    for a in 0..n {
+        for b in 0..n {
+            if a == b || ap[a as usize][b as usize] == INF_DIST {
+                continue;
+            }
+            // Pair (a ⇝ b); the pivot is the higher-ranked endpoint.
+            let limit = a.min(b);
+            let td = trough_distance(g, a, b, limit);
+            if td != ap[a as usize][b as usize] {
+                continue; // no trough *shortest* path — objectives say nothing
+            }
+            if b < a {
+                // r(b) > r(a): [O1] requires (b, dist) ∈ Lout(a).
+                assert_eq!(
+                    d.out_labels[a as usize].get(b),
+                    Some(td),
+                    "[O1] violated for ({a} ⇝ {b})"
+                );
+            } else {
+                // r(a) > r(b): [O2] requires (a, dist) ∈ Lin(b).
+                assert_eq!(
+                    d.in_labels[b as usize].get(a),
+                    Some(td),
+                    "[O2] violated for ({a} ⇝ {b})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lemma_2_objectives_hold_on_random_graphs() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(71);
+    for _ in 0..20 {
+        let n = rng.gen_range(3..16);
+        let mut b = GraphBuilder::new_directed(n);
+        for _ in 0..rng.gen_range(n..4 * n) {
+            b.add_edge(rng.gen_range(0..n) as VertexId, rng.gen_range(0..n) as VertexId);
+        }
+        check_objectives(&b.build());
+    }
+}
+
+#[test]
+fn lemma_2_objectives_hold_on_fig3_graph() {
+    check_objectives(&hop_doubling::graphgen::example_graph_fig3());
+}
