@@ -41,10 +41,9 @@ pub enum IsLabelError {
 impl std::fmt::Display for IsLabelError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            IsLabelError::Exploded { level, edges } => write!(
-                f,
-                "edge augmentation exploded at level {level} ({edges} edges over budget)"
-            ),
+            IsLabelError::Exploded { level, edges } => {
+                write!(f, "edge augmentation exploded at level {level} ({edges} edges over budget)")
+            }
         }
     }
 }
@@ -111,9 +110,7 @@ impl IsLabel {
             level += 1;
             // Greedy independent set, lowest current degree first.
             let mut order = alive.clone();
-            order.sort_unstable_by_key(|&v| {
-                fwd[v as usize].len() + bwd[v as usize].len()
-            });
+            order.sort_unstable_by_key(|&v| fwd[v as usize].len() + bwd[v as usize].len());
             let mut in_set = vec![false; n];
             let mut blocked = vec![false; n];
             let mut set = Vec::new();

@@ -47,8 +47,7 @@ impl Pll {
     /// assert_eq!(pll.distance(2, 0), u32::MAX); // unreachable
     /// ```
     pub fn build(g: &Graph) -> Pll {
-        let rank_by =
-            if g.is_directed() { RankBy::DegreeProduct } else { RankBy::Degree };
+        let rank_by = if g.is_directed() { RankBy::DegreeProduct } else { RankBy::Degree };
         Pll::build_ranked(g, &rank_by)
     }
 
@@ -96,14 +95,26 @@ pub fn build_prelabeled(g: &Graph) -> LabelIndex {
         for vk in 0..n as VertexId {
             // Forward search from vk covers paths vk ⇝ u: entries for
             // Lin(u); the pruning query joins Lout(vk) with Lin(u).
-            pruned_search(g, vk, Direction::Out, &d.out_labels[vk as usize].clone(), |u, dist, pivot_labels| {
-                prune_or_insert(&mut d.in_labels, u, vk, dist, pivot_labels)
-            });
+            pruned_search(
+                g,
+                vk,
+                Direction::Out,
+                &d.out_labels[vk as usize].clone(),
+                |u, dist, pivot_labels| {
+                    prune_or_insert(&mut d.in_labels, u, vk, dist, pivot_labels)
+                },
+            );
             // Backward search covers paths u ⇝ vk: entries for Lout(u);
             // pruning joins Lout(u) with Lin(vk).
-            pruned_search(g, vk, Direction::In, &d.in_labels[vk as usize].clone(), |u, dist, pivot_labels| {
-                prune_or_insert(&mut d.out_labels, u, vk, dist, pivot_labels)
-            });
+            pruned_search(
+                g,
+                vk,
+                Direction::In,
+                &d.in_labels[vk as usize].clone(),
+                |u, dist, pivot_labels| {
+                    prune_or_insert(&mut d.out_labels, u, vk, dist, pivot_labels)
+                },
+            );
         }
         LabelIndex::Directed(d)
     } else {

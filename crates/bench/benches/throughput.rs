@@ -2,9 +2,9 @@
 //!
 //! Label indexes are immutable after construction, so query serving
 //! parallelises embarrassingly — this bench measures how close the
-//! index gets to linear scaling with crossbeam scoped worker threads
-//! (the serving scenario the paper's intro motivates: centrality and
-//! similarity workloads issuing millions of queries).
+//! index gets to linear scaling with scoped worker threads (the serving
+//! scenario the paper's intro motivates: centrality and similarity
+//! workloads issuing millions of queries).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use graphgen::{glp, GlpParams};
@@ -21,10 +21,10 @@ fn bench_throughput(c: &mut Criterion) {
     for threads in [1usize, 2, 4, 8] {
         group.bench_function(format!("threads-{threads}"), |b| {
             b.iter(|| {
-                crossbeam::thread::scope(|scope| {
+                std::thread::scope(|scope| {
                     for chunk in pairs.chunks(pairs.len().div_ceil(threads)) {
                         let db = &db;
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             let mut acc = 0u64;
                             for &(s, t) in chunk {
                                 let d = db.query(s, t);
@@ -35,8 +35,7 @@ fn bench_throughput(c: &mut Criterion) {
                             std::hint::black_box(acc)
                         });
                     }
-                })
-                .expect("worker panicked");
+                });
             })
         });
     }

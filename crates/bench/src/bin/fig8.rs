@@ -24,8 +24,7 @@ fn main() {
     println!();
 
     for w in suite(scale) {
-        let rank_by =
-            if w.graph.is_directed() { RankBy::DegreeProduct } else { RankBy::Degree };
+        let rank_by = if w.graph.is_directed() { RankBy::DegreeProduct } else { RankBy::Degree };
         let ranking = rank_vertices(&w.graph, &rank_by);
         let relabeled = relabel_by_rank(&w.graph, &ranking);
         let (index, _) = build_prelabeled(&relabeled, &HopDbConfig::default());

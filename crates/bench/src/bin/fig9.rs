@@ -24,8 +24,7 @@ fn measure(n: usize, density: f64, seed: u64) -> (usize, f64, f64, u32) {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let part =
-        args.iter().position(|a| a == "--part").and_then(|i| args.get(i + 1)).cloned();
+    let part = args.iter().position(|a| a == "--part").and_then(|i| args.get(i + 1)).cloned();
     let scale = Scale::from_env();
     let f = scale.factor();
 
@@ -34,7 +33,10 @@ fn main() {
         // density 2→70; scaled down by DESIGN.md §2).
         let n = 12_500 * f;
         println!("Figure 9(a) reproduction: |V| = {n}, density swept\n");
-        println!("{:>8} {:>10} {:>10} {:>12} {:>6}", "|E|/|V|", "|E|", "G(MB)", "avg |label|", "iters");
+        println!(
+            "{:>8} {:>10} {:>10} {:>12} {:>6}",
+            "|E|/|V|", "|E|", "G(MB)", "avg |label|", "iters"
+        );
         for (i, density) in [2.0, 5.0, 10.0, 20.0, 40.0, 70.0].into_iter().enumerate() {
             let (e, size, avg, iters) = measure(n, density, 900 + i as u64);
             println!("{density:>8.0} {e:>10} {size:>10.1} {avg:>12.1} {iters:>6}");
@@ -46,9 +48,8 @@ fn main() {
         // Part (b): density fixed at 20, |V| swept (paper: 2M→30M).
         println!("Figure 9(b) reproduction: density = 20, |V| swept\n");
         println!("{:>9} {:>10} {:>10} {:>12} {:>6}", "|V|", "|E|", "G(MB)", "avg |label|", "iters");
-        for (i, n) in [2_500 * f, 5_000 * f, 10_000 * f, 20_000 * f, 40_000 * f]
-            .into_iter()
-            .enumerate()
+        for (i, n) in
+            [2_500 * f, 5_000 * f, 10_000 * f, 20_000 * f, 40_000 * f].into_iter().enumerate()
         {
             let (e, size, avg, iters) = measure(n, 20.0, 950 + i as u64);
             println!("{n:>9} {e:>10} {size:>10.1} {avg:>12.1} {iters:>6}");

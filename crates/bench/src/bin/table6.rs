@@ -74,10 +74,8 @@ fn bench_workload(w: &Workload) -> Row {
     let (hcl_us, _) = time_queries(&hcl_pairs, |s, t| hcl.distance(s, t));
 
     // --- HopDb: external build (§4), memory + disk queries ---
-    let ranking = rank_vertices(
-        g,
-        if g.is_directed() { &RankBy::DegreeProduct } else { &RankBy::Degree },
-    );
+    let ranking =
+        rank_vertices(g, if g.is_directed() { &RankBy::DegreeProduct } else { &RankBy::Degree });
     let relabeled = relabel_by_rank(g, &ranking);
     let hop_start = std::time::Instant::now();
     let ext_cfg = ExtMemConfig { memory_records: 1 << 18, block_bytes: 64 << 10 };

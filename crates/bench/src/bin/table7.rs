@@ -26,8 +26,7 @@ fn main() {
             println!("-- {} --", w.kind.header());
             last_kind = Some(w.kind);
         }
-        let rank_by =
-            if w.graph.is_directed() { RankBy::DegreeProduct } else { RankBy::Degree };
+        let rank_by = if w.graph.is_directed() { RankBy::DegreeProduct } else { RankBy::Degree };
         let ranking = rank_vertices(&w.graph, &rank_by);
         let relabeled = relabel_by_rank(&w.graph, &ranking);
         let (index, stats) = build_prelabeled(&relabeled, &HopDbConfig::default());

@@ -30,7 +30,16 @@ fn main() {
     println!("Table 8 reproduction (scale: {scale:?})\n");
     println!(
         "{:<14} | {:>9} {:>9} {:>9} | {:>6} {:>6} {:>6} | {:>10} {:>10} {:>10}",
-        "graph", "Double(s)", "Step(s)", "Hybrid(s)", "itD", "itS", "itH", "peakD", "peakS", "peakH"
+        "graph",
+        "Double(s)",
+        "Step(s)",
+        "Hybrid(s)",
+        "itD",
+        "itS",
+        "itH",
+        "peakD",
+        "peakS",
+        "peakH"
     );
 
     // The Table 8 suite plus a large-diameter graph (the case that

@@ -96,9 +96,8 @@ pub fn suite(scale: Scale) -> Vec<Workload> {
     let f = scale.factor();
     let mut v = Vec::new();
     // Undirected unweighted: increasing size, paper-default density.
-    for (i, (n, d)) in [(5_000 * f, 2.1), (12_000 * f, 3.0), (25_000 * f, 6.0)]
-        .into_iter()
-        .enumerate()
+    for (i, (n, d)) in
+        [(5_000 * f, 2.1), (12_000 * f, 3.0), (25_000 * f, 6.0)].into_iter().enumerate()
     {
         v.push(Workload {
             name: format!("u{}k-d{}", n / 1000, d as u32),

@@ -24,7 +24,9 @@ use std::path::Path;
 
 use extmem::device::CountedFile;
 use extmem::stats::IoStats;
-use graphgen::{barabasi_albert, erdos_renyi, glp, orient_scale_free, with_random_weights, GlpParams};
+use graphgen::{
+    barabasi_albert, erdos_renyi, glp, orient_scale_free, with_random_weights, GlpParams,
+};
 use hopdb::{HopDbConfig, Strategy};
 use hoplabels::disk::DiskIndex;
 use sfgraph::ranking::{rank_vertices, relabel_by_rank, RankBy, Ranking};
@@ -79,9 +81,7 @@ impl<'a> Args<'a> {
     fn parsed<T: std::str::FromStr>(&self, flag: &str) -> Result<Option<T>, CliError> {
         match self.opt(flag) {
             None => Ok(None),
-            Some(v) => {
-                v.parse().map(Some).map_err(|_| err(format!("bad value for {flag}: {v}")))
-            }
+            Some(v) => v.parse().map(Some).map_err(|_| err(format!("bad value for {flag}: {v}"))),
         }
     }
 
@@ -203,18 +203,13 @@ fn cmd_stats(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 fn cmd_build(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let g = load_graph(args)?;
     let strategy = match args.opt("--strategy").unwrap_or("hybrid") {
-        "hybrid" => Strategy::Hybrid {
-            switch_at: args.parsed("--switch-at")?.unwrap_or(10),
-        },
+        "hybrid" => Strategy::Hybrid { switch_at: args.parsed("--switch-at")?.unwrap_or(10) },
         "stepping" => Strategy::Stepping,
         "doubling" => Strategy::Doubling,
         other => return Err(err(format!("unknown strategy `{other}`"))),
     };
-    let cfg = HopDbConfig {
-        strategy,
-        post_prune: args.has("--post-prune"),
-        ..HopDbConfig::default()
-    };
+    let cfg =
+        HopDbConfig { strategy, post_prune: args.has("--post-prune"), ..HopDbConfig::default() };
     let started = std::time::Instant::now();
     let rank_by = if g.is_directed() { RankBy::DegreeProduct } else { RankBy::Degree };
     let ranking = rank_vertices(&g, &rank_by);
@@ -271,10 +266,8 @@ fn read_ranking_sidecar(target: &str) -> Result<Ranking, CliError> {
     if bytes.len() < 8 || &bytes[..8] != b"HOPRANK1" || (bytes.len() - 8) % 4 != 0 {
         return Err(err(format!("{path} is not a ranking sidecar")));
     }
-    let order: Vec<VertexId> = bytes[8..]
-        .chunks_exact(4)
-        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
-        .collect();
+    let order: Vec<VertexId> =
+        bytes[8..].chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect();
     Ok(Ranking::from_order(order))
 }
 
@@ -329,7 +322,16 @@ mod tests {
         let index = tmp("pipeline.idx");
 
         let out = run_vec(&[
-            "gen", "--model", "glp", "--vertices", "400", "--density", "3", "--seed", "5", "-o",
+            "gen",
+            "--model",
+            "glp",
+            "--vertices",
+            "400",
+            "--density",
+            "3",
+            "--seed",
+            "5",
+            "-o",
             &graph,
         ])
         .unwrap();
@@ -368,8 +370,19 @@ mod tests {
         let graph = tmp("dw.txt");
         let index = tmp("dw.idx");
         run_vec(&[
-            "gen", "--model", "glp", "--vertices", "200", "--seed", "3", "--directed",
-            "--weighted", "--max-weight", "5", "-o", &graph,
+            "gen",
+            "--model",
+            "glp",
+            "--vertices",
+            "200",
+            "--seed",
+            "3",
+            "--directed",
+            "--weighted",
+            "--max-weight",
+            "5",
+            "-o",
+            &graph,
         ])
         .unwrap();
         let out =
@@ -417,7 +430,14 @@ mod tests {
         let pruned_idx = tmp("pp-pruned.idx");
         run_vec(&["build", "-i", &graph, "-o", &plain_idx, "--strategy", "doubling"]).unwrap();
         run_vec(&[
-            "build", "-i", &graph, "-o", &pruned_idx, "--strategy", "doubling", "--post-prune",
+            "build",
+            "-i",
+            &graph,
+            "-o",
+            &pruned_idx,
+            "--strategy",
+            "doubling",
+            "--post-prune",
         ])
         .unwrap();
         let plain = std::fs::metadata(&plain_idx).unwrap().len();

@@ -146,10 +146,8 @@ mod tests {
     #[test]
     fn custom_ranking_is_respected() {
         let g = shuffled_star();
-        let db = build(
-            &g,
-            &HopDbConfig { rank_by: Some(RankBy::Random(5)), ..HopDbConfig::default() },
-        );
+        let db =
+            build(&g, &HopDbConfig { rank_by: Some(RankBy::Random(5)), ..HopDbConfig::default() });
         let ap = all_pairs(&g);
         for s in g.vertices() {
             for t in g.vertices() {

@@ -402,8 +402,7 @@ impl UndirectedEngine<'_> {
         self.prev.clear();
         let mut pruned = 0u64;
         for ((u, v), d) in cands {
-            if prune
-                && join_min(self.lb[u as usize].entries(), self.lb[v as usize].entries()) <= d
+            if prune && join_min(self.lb[u as usize].entries(), self.lb[v as usize].entries()) <= d
             {
                 pruned += 1;
                 continue;
@@ -493,8 +492,7 @@ mod tests {
             b.add_edge(i, i + 1);
         }
         let g = b.build(); // path: D_H = 8
-        let (index, stats) =
-            build_index(&g, &HopDbConfig::with_strategy(Strategy::Stepping));
+        let (index, stats) = build_index(&g, &HopDbConfig::with_strategy(Strategy::Stepping));
         assert_exact(&g, &index);
         assert!(
             stats.num_iterations() <= 8 + 1,
@@ -512,8 +510,7 @@ mod tests {
             b.add_edge(i, i + 1);
         }
         let g = b.build();
-        let (index, stats) =
-            build_index(&g, &HopDbConfig::with_strategy(Strategy::Doubling));
+        let (index, stats) = build_index(&g, &HopDbConfig::with_strategy(Strategy::Doubling));
         assert_exact(&g, &index);
         let bound = 2 * 32u32.ilog2() + 1;
         assert!(

@@ -15,6 +15,9 @@ use hoplabels::LabelEntry;
 use crate::config::{HopDbConfig, Strategy};
 use crate::engine::build_index;
 
+/// Per-vertex `(pivot, dist)` entry lists, indexed by vertex id.
+type ExpectedLabels = Vec<Vec<(u32, u32)>>;
+
 /// The labeling of Figure 5 as `(vertex, entries)` lists; superscripts
 /// in the figure mark generation iterations and are not part of the
 /// label data.
@@ -28,7 +31,7 @@ use crate::engine::build_index;
 /// `dist(7, 0) = 2` at all (`Lout(7) ⋈ Lin(0)` shares no pivot), so the
 /// figure's omission must be a typographical slip, not a semantic
 /// choice. We encode the corrected labeling.
-fn fig5_expected() -> (Vec<Vec<(u32, u32)>>, Vec<Vec<(u32, u32)>>) {
+fn fig5_expected() -> (ExpectedLabels, ExpectedLabels) {
     let lin = vec![
         vec![(0, 0)],
         vec![(1, 0), (0, 1)],
@@ -61,16 +64,8 @@ fn to_sorted(entries: &[(u32, u32)]) -> Vec<LabelEntry> {
 fn assert_labels_match(index: &LabelIndex, lin: &[Vec<(u32, u32)>], lout: &[Vec<(u32, u32)>]) {
     let LabelIndex::Directed(d) = index else { panic!("expected directed index") };
     for v in 0..8 {
-        assert_eq!(
-            d.in_labels[v].entries(),
-            to_sorted(&lin[v]).as_slice(),
-            "Lin({v}) mismatch"
-        );
-        assert_eq!(
-            d.out_labels[v].entries(),
-            to_sorted(&lout[v]).as_slice(),
-            "Lout({v}) mismatch"
-        );
+        assert_eq!(d.in_labels[v].entries(), to_sorted(&lin[v]).as_slice(), "Lin({v}) mismatch");
+        assert_eq!(d.out_labels[v].entries(), to_sorted(&lout[v]).as_slice(), "Lout({v}) mismatch");
     }
 }
 
@@ -174,8 +169,7 @@ fn all_strategies_agree_on_fig3_queries() {
         HopDbConfig::with_strategy(Strategy::Hybrid { switch_at: 2 }),
         HopDbConfig::with_strategy(Strategy::Hybrid { switch_at: 10 }),
     ];
-    let indexes: Vec<LabelIndex> =
-        configs.iter().map(|c| build_index(&g, c).0).collect();
+    let indexes: Vec<LabelIndex> = configs.iter().map(|c| build_index(&g, c).0).collect();
     for idx in &indexes {
         assert_exact(&g, idx);
     }

@@ -468,7 +468,11 @@ fn run_directed(
                 for p in pg {
                     for e in eg {
                         if e.pivot > p.pivot {
-                            s.push(LabelRecord::new(e.pivot, p.pivot, p.dist.saturating_add(e.dist)))?;
+                            s.push(LabelRecord::new(
+                                e.pivot,
+                                p.pivot,
+                                p.dist.saturating_add(e.dist),
+                            ))?;
                         }
                     }
                 }
@@ -479,7 +483,11 @@ fn run_directed(
                 for p in pg {
                     for e in eg {
                         if e.pivot > p.pivot {
-                            s.push(LabelRecord::new(e.pivot, p.pivot, p.dist.saturating_add(e.dist)))?;
+                            s.push(LabelRecord::new(
+                                e.pivot,
+                                p.pivot,
+                                p.dist.saturating_add(e.dist),
+                            ))?;
                         }
                     }
                 }
@@ -491,7 +499,11 @@ fn run_directed(
                 for p in pg {
                     for l in lg {
                         if l.pivot > p.pivot && l.pivot < p.key {
-                            s.push(LabelRecord::new(l.pivot, p.pivot, p.dist.saturating_add(l.dist)))?;
+                            s.push(LabelRecord::new(
+                                l.pivot,
+                                p.pivot,
+                                p.dist.saturating_add(l.dist),
+                            ))?;
                         }
                     }
                 }
@@ -502,7 +514,11 @@ fn run_directed(
                 for p in pg {
                     for o in ig {
                         if o.pivot > p.key {
-                            s.push(LabelRecord::new(o.pivot, p.pivot, p.dist.saturating_add(o.dist)))?;
+                            s.push(LabelRecord::new(
+                                o.pivot,
+                                p.pivot,
+                                p.dist.saturating_add(o.dist),
+                            ))?;
                         }
                     }
                 }
@@ -513,7 +529,11 @@ fn run_directed(
                 for p in pg {
                     for l in lg {
                         if l.pivot > p.pivot && l.pivot < p.key {
-                            s.push(LabelRecord::new(l.pivot, p.pivot, p.dist.saturating_add(l.dist)))?;
+                            s.push(LabelRecord::new(
+                                l.pivot,
+                                p.pivot,
+                                p.dist.saturating_add(l.dist),
+                            ))?;
                         }
                     }
                 }
@@ -524,7 +544,11 @@ fn run_directed(
                 for p in pg {
                     for o in ig {
                         if o.pivot > p.key {
-                            s.push(LabelRecord::new(o.pivot, p.pivot, p.dist.saturating_add(o.dist)))?;
+                            s.push(LabelRecord::new(
+                                o.pivot,
+                                p.pivot,
+                                p.dist.saturating_add(o.dist),
+                            ))?;
                         }
                     }
                 }
@@ -628,7 +652,11 @@ fn run_undirected(
                 for p in pg {
                     for e in eg {
                         if e.pivot > p.pivot {
-                            s.push(LabelRecord::new(e.pivot, p.pivot, p.dist.saturating_add(e.dist)))?;
+                            s.push(LabelRecord::new(
+                                e.pivot,
+                                p.pivot,
+                                p.dist.saturating_add(e.dist),
+                            ))?;
                         }
                     }
                 }
@@ -640,7 +668,11 @@ fn run_undirected(
                 for p in pg {
                     for l in lg {
                         if l.pivot > p.pivot && l.pivot < p.key {
-                            s.push(LabelRecord::new(l.pivot, p.pivot, p.dist.saturating_add(l.dist)))?;
+                            s.push(LabelRecord::new(
+                                l.pivot,
+                                p.pivot,
+                                p.dist.saturating_add(l.dist),
+                            ))?;
                         }
                     }
                 }
@@ -651,7 +683,11 @@ fn run_undirected(
                 for p in pg {
                     for o in ig {
                         if o.pivot > p.key {
-                            s.push(LabelRecord::new(o.pivot, p.pivot, p.dist.saturating_add(o.dist)))?;
+                            s.push(LabelRecord::new(
+                                o.pivot,
+                                p.pivot,
+                                p.dist.saturating_add(o.dist),
+                            ))?;
                         }
                     }
                 }

@@ -20,7 +20,11 @@ use sfgraph::{Dist, VertexId, INF_DIST};
 
 /// Minimum `d1 + d2` over common pivots strictly below `limit` (i.e.
 /// strictly higher-ranked than the entry under test).
-fn join_min_below(a: &[hoplabels::LabelEntry], b: &[hoplabels::LabelEntry], limit: VertexId) -> Dist {
+fn join_min_below(
+    a: &[hoplabels::LabelEntry],
+    b: &[hoplabels::LabelEntry],
+    limit: VertexId,
+) -> Dist {
     let (mut i, mut j) = (0usize, 0usize);
     let mut best = INF_DIST;
     while i < a.len() && j < b.len() && a[i].pivot < limit && b[j].pivot < limit {
@@ -45,15 +49,16 @@ pub fn post_prune(index: &mut LabelIndex) -> u64 {
     // out/source labels, true = in/target labels).
     let mut by_pivot: Vec<Vec<(VertexId, bool)>> = vec![Vec::new(); n];
     {
-        let scan = |labels: &[VertexLabels], side: bool, by_pivot: &mut Vec<Vec<(VertexId, bool)>>| {
-            for (owner, l) in labels.iter().enumerate() {
-                for e in l.entries() {
-                    if e.pivot != owner as VertexId {
-                        by_pivot[e.pivot as usize].push((owner as VertexId, side));
+        let scan =
+            |labels: &[VertexLabels], side: bool, by_pivot: &mut Vec<Vec<(VertexId, bool)>>| {
+                for (owner, l) in labels.iter().enumerate() {
+                    for e in l.entries() {
+                        if e.pivot != owner as VertexId {
+                            by_pivot[e.pivot as usize].push((owner as VertexId, side));
+                        }
                     }
                 }
-            }
-        };
+            };
         match &*index {
             LabelIndex::Directed(d) => {
                 scan(&d.out_labels, false, &mut by_pivot);

@@ -83,11 +83,8 @@ mod tests {
 
     #[test]
     fn ordering_groups_by_key_then_pivot() {
-        let mut v = vec![
-            LabelRecord::new(2, 1, 0),
-            LabelRecord::new(1, 9, 0),
-            LabelRecord::new(1, 3, 5),
-        ];
+        let mut v =
+            [LabelRecord::new(2, 1, 0), LabelRecord::new(1, 9, 0), LabelRecord::new(1, 3, 5)];
         v.sort();
         assert_eq!(v[0], LabelRecord::new(1, 3, 5));
         assert_eq!(v[1], LabelRecord::new(1, 9, 0));

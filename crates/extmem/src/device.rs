@@ -57,12 +57,8 @@ impl TempStore {
     pub fn create(&self, tag: &str) -> std::io::Result<CountedFile> {
         let id = self.counter.fetch_add(1, Ordering::Relaxed);
         let path = self.dir.join(format!("{tag}-{id}.bin"));
-        let file = OpenOptions::new()
-            .create(true)
-            .truncate(true)
-            .read(true)
-            .write(true)
-            .open(&path)?;
+        let file =
+            OpenOptions::new().create(true).truncate(true).read(true).write(true).open(&path)?;
         Ok(CountedFile { file, path, stats: Arc::clone(&self.stats), delete_on_drop: true })
     }
 }

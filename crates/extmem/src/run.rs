@@ -88,10 +88,7 @@ impl<R: Record> RunWriter<R> {
 
     /// Flush and finish, returning the completed [`Run`].
     pub fn finish(self) -> std::io::Result<Run<R>> {
-        let mut file = self
-            .out
-            .into_inner()
-            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        let mut file = self.out.into_inner().map_err(|e| std::io::Error::other(e.to_string()))?;
         file.flush()?;
         file.seek_to(0)?;
         Ok(Run { file, len: self.len, _marker: std::marker::PhantomData })
@@ -107,7 +104,11 @@ pub struct RunReader<R: Record> {
 }
 
 impl<R: Record> RunReader<R> {
-    fn new(mut file: CountedFile, len: u64, buffer_records: usize) -> std::io::Result<RunReader<R>> {
+    fn new(
+        mut file: CountedFile,
+        len: u64,
+        buffer_records: usize,
+    ) -> std::io::Result<RunReader<R>> {
         file.seek_to(0)?;
         let cap = buffer_records.max(1) * R::SIZE;
         Ok(RunReader {

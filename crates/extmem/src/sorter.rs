@@ -106,7 +106,9 @@ impl<'s, R: Record + Ord> ExternalSorter<'s, R> {
         if self.runs.len() <= 1 {
             return match self.runs.pop() {
                 Some(run) => Ok(run),
-                None => RunWriter::<R>::new(self.store.create("sort-out")?, buffer_records).finish(),
+                None => {
+                    RunWriter::<R>::new(self.store.create("sort-out")?, buffer_records).finish()
+                }
             };
         }
         // K-way merge. Fan-in is bounded by the memory budget: each open
@@ -115,20 +117,19 @@ impl<'s, R: Record + Ord> ExternalSorter<'s, R> {
         while self.runs.len() > 1 {
             let take = self.runs.len().min(max_fanin);
             let batch: Vec<Run<R>> = self.runs.drain(..take).collect();
-            let merged = merge_runs(
-                self.store,
-                batch,
-                buffer_records,
-                self.combiner,
-                self.group_eq,
-            )?;
+            let merged =
+                merge_runs(self.store, batch, buffer_records, self.combiner, self.group_eq)?;
             self.runs.push(merged);
         }
         Ok(self.runs.pop().expect("at least one run"))
     }
 }
 
-fn combine_in_place<R: Record>(buf: &mut Vec<R>, group_eq: fn(&R, &R) -> bool, combine: fn(R, R) -> R) {
+fn combine_in_place<R: Record>(
+    buf: &mut Vec<R>,
+    group_eq: fn(&R, &R) -> bool,
+    combine: fn(R, R) -> R,
+) {
     let mut write = 0usize;
     for read in 0..buf.len() {
         if write > 0 && group_eq(&buf[write - 1], &buf[read]) {

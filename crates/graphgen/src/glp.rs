@@ -92,11 +92,11 @@ pub fn glp(params: &GlpParams) -> Graph {
     let mut edge_list: Vec<(VertexId, VertexId)> = Vec::new();
 
     let add_edge = |u: VertexId,
-                        v: VertexId,
-                        endpoints: &mut Vec<VertexId>,
-                        degree: &mut Vec<u32>,
-                        edges: &mut FxHashSet<(VertexId, VertexId)>,
-                        edge_list: &mut Vec<(VertexId, VertexId)>|
+                    v: VertexId,
+                    endpoints: &mut Vec<VertexId>,
+                    degree: &mut Vec<u32>,
+                    edges: &mut FxHashSet<(VertexId, VertexId)>,
+                    edge_list: &mut Vec<(VertexId, VertexId)>|
      -> bool {
         let key = (u.min(v), u.max(v));
         if u == v || !edges.insert(key) {
@@ -126,15 +126,16 @@ pub fn glp(params: &GlpParams) -> Graph {
     }
 
     // Π(i) ∝ d_i − β via rejection from the degree-proportional list.
-    let pick_preferential = |rng: &mut StdRng, endpoints: &[VertexId], degree: &[u32]| -> VertexId {
-        loop {
-            let v = endpoints[rng.gen_range(0..endpoints.len())];
-            let d = degree[v as usize] as f64;
-            if rng.gen::<f64>() < (d - beta) / d {
-                return v;
+    let pick_preferential =
+        |rng: &mut StdRng, endpoints: &[VertexId], degree: &[u32]| -> VertexId {
+            loop {
+                let v = endpoints[rng.gen_range(0..endpoints.len())];
+                let d = degree[v as usize] as f64;
+                if rng.gen::<f64>() < (d - beta) / d {
+                    return v;
+                }
             }
-        }
-    };
+        };
 
     let links_this_step = |rng: &mut StdRng| -> usize {
         let base = m.floor() as usize;
@@ -212,10 +213,7 @@ mod tests {
         for density in [2.0, 5.0, 10.0] {
             let g = glp(&GlpParams::with_density(2_000, density, 7));
             let actual = g.num_edges() as f64 / g.num_vertices() as f64;
-            assert!(
-                (actual - density).abs() / density < 0.35,
-                "density {density}: got {actual}"
-            );
+            assert!((actual - density).abs() / density < 0.35, "density {density}: got {actual}");
         }
     }
 

@@ -93,9 +93,8 @@ impl BitParallelIndex {
             sets.push(set);
             roots.push(v);
         }
-        let root_index_of = |v: VertexId| -> Option<u32> {
-            roots.iter().position(|&r| r == v).map(|i| i as u32)
-        };
+        let root_index_of =
+            |v: VertexId| -> Option<u32> { roots.iter().position(|&r| r == v).map(|i| i as u32) };
 
         let labels = match index {
             LabelIndex::Undirected(u) => &u.labels,
@@ -109,19 +108,15 @@ impl BitParallelIndex {
         for v in 0..n as VertexId {
             let mut keep: Vec<crate::entry::LabelEntry> = Vec::new();
             let mut local: Vec<BpTuple> = Vec::new();
-            let find_or_insert =
-                |local: &mut Vec<BpTuple>, root_idx: u32, dist: Dist| -> usize {
-                    match local.binary_search_by_key(&root_idx, |t| t.root_idx) {
-                        Ok(i) => i,
-                        Err(i) => {
-                            local.insert(
-                                i,
-                                BpTuple { root_idx, dist, s_minus: 0, s_zero: 0 },
-                            );
-                            i
-                        }
+            let find_or_insert = |local: &mut Vec<BpTuple>, root_idx: u32, dist: Dist| -> usize {
+                match local.binary_search_by_key(&root_idx, |t| t.root_idx) {
+                    Ok(i) => i,
+                    Err(i) => {
+                        local.insert(i, BpTuple { root_idx, dist, s_minus: 0, s_zero: 0 });
+                        i
                     }
-                };
+                }
+            };
             for &e in labels[v as usize].entries() {
                 match role[e.pivot as usize] {
                     Role::Root => {
@@ -189,10 +184,8 @@ impl BitParallelIndex {
 
     /// Exact distance query (Section 6's bit-parallel evaluation).
     pub fn query(&self, s: VertexId, t: VertexId) -> Dist {
-        let mut best = join_min(
-            self.normal[s as usize].entries(),
-            self.normal[t as usize].entries(),
-        );
+        let mut best =
+            join_min(self.normal[s as usize].entries(), self.normal[t as usize].entries());
         if self.markers[s as usize] & self.markers[t as usize] != 0 {
             let (a, b) = (&self.tuples[s as usize], &self.tuples[t as usize]);
             let (mut i, mut j) = (0usize, 0usize);

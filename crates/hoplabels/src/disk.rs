@@ -51,9 +51,7 @@ impl DiskIndex {
         let directed = index.is_directed();
 
         let (out_offsets, in_offsets) = match index {
-            LabelIndex::Directed(d) => {
-                (offsets_of(&d.out_labels), offsets_of(&d.in_labels))
-            }
+            LabelIndex::Directed(d) => (offsets_of(&d.out_labels), offsets_of(&d.in_labels)),
             LabelIndex::Undirected(u) => (offsets_of(&u.labels), Vec::new()),
         };
 
@@ -124,11 +122,8 @@ impl DiskIndex {
             Ok(bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect())
         };
         let out_offsets = read_offsets(&mut file, 20)?;
-        let in_offsets = if directed {
-            read_offsets(&mut file, 20 + (n as u64 + 1) * 8)?
-        } else {
-            Vec::new()
-        };
+        let in_offsets =
+            if directed { read_offsets(&mut file, 20 + (n as u64 + 1) * 8)? } else { Vec::new() };
         let header_len = 20 + (n as u64 + 1) * 8 * if directed { 2 } else { 1 };
         let out_total = *out_offsets.last().ok_or_else(|| bad("empty offset table"))?;
         let out_base = header_len;

@@ -43,10 +43,7 @@ impl VertexLabels {
 
     /// Distance recorded for `pivot`, if present.
     pub fn get(&self, pivot: VertexId) -> Option<Dist> {
-        self.entries
-            .binary_search_by_key(&pivot, |e| e.pivot)
-            .ok()
-            .map(|i| self.entries[i].dist)
+        self.entries.binary_search_by_key(&pivot, |e| e.pivot).ok().map(|i| self.entries[i].dist)
     }
 
     /// Insert `entry`, keeping the minimum distance per pivot.

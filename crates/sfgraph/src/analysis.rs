@@ -34,11 +34,8 @@ pub fn rank_exponent(g: &Graph) -> Option<f64> {
         return None;
     }
     degs.sort_unstable_by(|a, b| b.cmp(a));
-    let pts: Vec<(f64, f64)> = degs
-        .iter()
-        .enumerate()
-        .map(|(i, &d)| (((i + 1) as f64).ln(), (d as f64).ln()))
-        .collect();
+    let pts: Vec<(f64, f64)> =
+        degs.iter().enumerate().map(|(i, &d)| (((i + 1) as f64).ln(), (d as f64).ln())).collect();
     Some(least_squares_slope(&pts))
 }
 
@@ -103,7 +100,8 @@ pub fn hop_diameter(g: &Graph, samples: usize, exact_below: usize) -> u32 {
     if n == 0 {
         return 0;
     }
-    let finite_max = |dist: &[u32]| dist.iter().copied().filter(|&d| d != INF_DIST).max().unwrap_or(0);
+    let finite_max =
+        |dist: &[u32]| dist.iter().copied().filter(|&d| d != INF_DIST).max().unwrap_or(0);
     if n <= exact_below {
         let mut best = 0;
         for v in g.vertices() {

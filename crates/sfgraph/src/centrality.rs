@@ -114,10 +114,7 @@ mod tests {
         }
         b.add_edge(0, 10);
         let g = b.build();
-        assert_eq!(
-            sampled_betweenness_scores(&g, 5, 9),
-            sampled_betweenness_scores(&g, 5, 9)
-        );
+        assert_eq!(sampled_betweenness_scores(&g, 5, 9), sampled_betweenness_scores(&g, 5, 9));
     }
 
     #[test]

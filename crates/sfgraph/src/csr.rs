@@ -45,11 +45,8 @@ impl Csr {
         for v in 0..n {
             let (lo, hi) = (offsets[v] as usize, offsets[v + 1] as usize);
             if weighted {
-                let mut pairs: Vec<(VertexId, Dist)> = targets[lo..hi]
-                    .iter()
-                    .copied()
-                    .zip(weights[lo..hi].iter().copied())
-                    .collect();
+                let mut pairs: Vec<(VertexId, Dist)> =
+                    targets[lo..hi].iter().copied().zip(weights[lo..hi].iter().copied()).collect();
                 pairs.sort_unstable();
                 for (i, (t, w)) in pairs.into_iter().enumerate() {
                     targets[lo + i] = t;

@@ -94,7 +94,11 @@ impl Graph {
 
     /// `(neighbor, weight)` pairs of `v` in direction `dir`.
     #[inline]
-    pub fn edges(&self, v: VertexId, dir: Direction) -> impl Iterator<Item = (VertexId, Dist)> + '_ {
+    pub fn edges(
+        &self,
+        v: VertexId,
+        dir: Direction,
+    ) -> impl Iterator<Item = (VertexId, Dist)> + '_ {
         self.csr(dir).edges(v)
     }
 

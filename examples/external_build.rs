@@ -49,7 +49,10 @@ fn main() {
     );
 
     println!("\nper-iteration profile (growing/pruning factors of Fig. 10):");
-    println!("{:>4} {:>9} {:>10} {:>10} {:>8} {:>7}", "iter", "mode", "candidates", "pruned", "prune%", "total");
+    println!(
+        "{:>4} {:>9} {:>10} {:>10} {:>8} {:>7}",
+        "iter", "mode", "candidates", "pruned", "prune%", "total"
+    );
     for it in &result.stats.iterations {
         println!(
             "{:>4} {:>9} {:>10} {:>10} {:>7.1}% {:>7}",

@@ -61,8 +61,7 @@ fn main() {
     // --- Closeness centrality of candidate influencers (top-degree
     // users) vs random users, via sampled average distance.
     let ranking = db.ranking();
-    let sample_targets: Vec<VertexId> =
-        (0..400).map(|_| (next() % n as u64) as VertexId).collect();
+    let sample_targets: Vec<VertexId> = (0..400).map(|_| (next() % n as u64) as VertexId).collect();
     let closeness = |v: VertexId| -> f64 {
         let (mut sum, mut reached) = (0u64, 0u64);
         for &t in &sample_targets {

@@ -67,9 +67,8 @@ fn canonical_cover_matches_pll_on_paper_examples() {
 
 #[test]
 fn canonical_cover_matches_pll_on_glp() {
-    let raw = hop_doubling::graphgen::glp(&hop_doubling::graphgen::GlpParams::with_vertices(
-        400, 33,
-    ));
+    let raw =
+        hop_doubling::graphgen::glp(&hop_doubling::graphgen::GlpParams::with_vertices(400, 33));
     let ranking = rank_vertices(&raw, &RankBy::Degree);
     let g = relabel_by_rank(&raw, &ranking);
     check(&g, 9004);

@@ -15,10 +15,8 @@ fn betweenness_ranking_beats_degree_on_grids() {
     let g = grid(12, 12);
     let degree = build(&g, &HopDbConfig::default());
     let scores = sampled_betweenness_scores(&g, g.num_vertices(), 7);
-    let betweenness = build(
-        &g,
-        &HopDbConfig { rank_by: Some(RankBy::Score(scores)), ..HopDbConfig::default() },
-    );
+    let betweenness =
+        build(&g, &HopDbConfig { rank_by: Some(RankBy::Score(scores)), ..HopDbConfig::default() });
     // Both must stay exact.
     let ap = all_pairs(&g);
     for s in 0..g.num_vertices() as VertexId {
@@ -40,15 +38,12 @@ fn betweenness_ranking_beats_degree_on_grids() {
 fn betweenness_ranking_is_harmless_on_scale_free_graphs() {
     // On hub graphs, degree and betweenness rankings mostly agree; the
     // index must stay the same order of magnitude.
-    let g = hop_doubling::graphgen::glp(&hop_doubling::graphgen::GlpParams::with_vertices(
-        2_000, 11,
-    ));
+    let g =
+        hop_doubling::graphgen::glp(&hop_doubling::graphgen::GlpParams::with_vertices(2_000, 11));
     let degree = build(&g, &HopDbConfig::default());
     let scores = sampled_betweenness_scores(&g, 64, 5);
-    let betweenness = build(
-        &g,
-        &HopDbConfig { rank_by: Some(RankBy::Score(scores)), ..HopDbConfig::default() },
-    );
+    let betweenness =
+        build(&g, &HopDbConfig { rank_by: Some(RankBy::Score(scores)), ..HopDbConfig::default() });
     let (d, b) = (degree.index().total_entries(), betweenness.index().total_entries());
     assert!((b as f64) < 2.5 * d as f64, "betweenness should not blow up: {d} vs {b}");
 }

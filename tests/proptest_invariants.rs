@@ -18,21 +18,20 @@ use proptest::prelude::*;
 fn graph_strategy(directed: bool, weighted: bool) -> impl Strategy<Value = Graph> {
     (2usize..24).prop_flat_map(move |n| {
         let edge = (0..n as u32, 0..n as u32, 1u32..6);
-        proptest::collection::vec(edge, 1..(3 * n))
-            .prop_map(move |edges| {
-                let mut b = if directed {
-                    GraphBuilder::new_directed(n)
-                } else {
-                    GraphBuilder::new_undirected(n)
-                };
-                if weighted {
-                    b = b.weighted();
-                }
-                for (u, v, w) in edges {
-                    b.add_weighted_edge(u, v, if weighted { w } else { 1 });
-                }
-                b.build()
-            })
+        proptest::collection::vec(edge, 1..(3 * n)).prop_map(move |edges| {
+            let mut b = if directed {
+                GraphBuilder::new_directed(n)
+            } else {
+                GraphBuilder::new_undirected(n)
+            };
+            if weighted {
+                b = b.weighted();
+            }
+            for (u, v, w) in edges {
+                b.add_weighted_edge(u, v, if weighted { w } else { 1 });
+            }
+            b.build()
+        })
     })
 }
 

@@ -1,0 +1,46 @@
+//! Workspace wiring smoke test: every facade re-export is reachable
+//! under its `hop_doubling::` path, and a small GLP graph round-trips
+//! build → query against the BFS ground truth.
+
+use hop_doubling::baselines::{Bidij, DistanceOracle};
+use hop_doubling::extmem::{ExtMemConfig, LabelRecord};
+use hop_doubling::graphgen::{glp, GlpParams};
+use hop_doubling::hopdb::{build, HopDbConfig};
+use hop_doubling::hoplabels::LabelEntry;
+use hop_doubling::sfgraph::traversal::bfs;
+use hop_doubling::sfgraph::{Direction, Graph, VertexId};
+
+/// Every workspace member is reachable through the facade: construct a
+/// value from each re-exported crate.
+#[test]
+fn facade_reexports_all_members() {
+    // sfgraph
+    let g: Graph = glp(&GlpParams::with_vertices(50, 7));
+    assert_eq!(g.num_vertices(), 50);
+    // extmem
+    let record = LabelRecord::new(1, 2, 3);
+    assert_eq!(record.inverted(), LabelRecord::new(2, 1, 3));
+    let _ = ExtMemConfig::default();
+    // hoplabels
+    assert_eq!(LabelEntry::new(4, 9).pivot, 4);
+    // hopdb
+    let db = build(&g, &HopDbConfig::default());
+    assert_eq!(db.query(0, 0), 0);
+    // baselines
+    let bidij = Bidij::new(g.clone());
+    assert_eq!(bidij.distance(0, 0), 0);
+}
+
+/// A 100-vertex GLP graph: the index answers every source's
+/// single-source distances exactly as BFS does.
+#[test]
+fn glp_100_roundtrips_against_bfs_oracle() {
+    let g = glp(&GlpParams::with_vertices(100, 42));
+    let db = build(&g, &HopDbConfig::default());
+    for s in 0..g.num_vertices() as VertexId {
+        let truth = bfs(&g, s, Direction::Out);
+        for t in 0..g.num_vertices() as VertexId {
+            assert_eq!(db.query(s, t), truth[t as usize], "dist({s}, {t}) mismatch");
+        }
+    }
+}

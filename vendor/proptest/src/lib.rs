@@ -1,0 +1,331 @@
+//! Minimal, API-compatible stand-in for the subset of the `proptest`
+//! crate this workspace uses: [`strategy::Strategy`] with `prop_map` /
+//! `prop_flat_map`, range and tuple strategies, [`collection::vec`],
+//! the [`proptest!`] macro, and `prop_assert*`.
+//!
+//! The build environment has no access to crates.io, so this shim keeps
+//! the workspace self-contained. Unlike real proptest it does **no
+//! shrinking**: a failing case panics with the standard assertion
+//! message, and the deterministic per-test seed makes every failure
+//! reproducible as-is.
+
+pub mod test_runner {
+    //! Deterministic case generation driving the [`crate::proptest!`] macro.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Number of generated cases per property (default 256, like proptest).
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// How many random cases each property is checked against.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// The RNG handed to strategies; seeded per test from the test name
+    /// (and `PROPTEST_SEED` when set) so failures reproduce exactly.
+    pub struct TestRng(pub StdRng);
+
+    impl TestRng {
+        /// Deterministic RNG for the named test.
+        pub fn for_test(name: &str) -> TestRng {
+            // FNV-1a over the test name, mixed with an optional
+            // PROPTEST_SEED environment override.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            if let Ok(s) = std::env::var("PROPTEST_SEED") {
+                if let Ok(extra) = s.parse::<u64>() {
+                    h ^= extra.rotate_left(17);
+                }
+            }
+            TestRng(StdRng::seed_from_u64(h))
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { base: self, f }
+        }
+
+        /// Generate a value, then generate from the strategy `f` builds
+        /// out of it (dependent generation).
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { base: self, f }
+        }
+    }
+
+    /// Strategy yielding a fixed value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.base.new_value(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.base.new_value(rng)).new_value(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.0.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.0.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec`s with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// Generate `Vec`s of values from `element` with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.0.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything property tests normally import.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert inside a property, mirroring `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality inside a property, mirroring `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Assert inequality inside a property, mirroring `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Define property tests: each `fn name(pat in strategy) { body }` is
+/// expanded to a `#[test]` that checks `body` over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            @cfg($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr) $(
+        $(#[$attr:meta])*
+        fn $name:ident($pat:pat in $strat:expr) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for case in 0..config.cases {
+                let strategy = $strat;
+                let $pat = $crate::strategy::Strategy::new_value(&strategy, &mut rng);
+                let run = || -> () { $body };
+                if let Err(panic) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                    eprintln!(
+                        "proptest case {}/{} of `{}` failed (seed derives from the test \
+                         name; rerun reproduces it deterministically)",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::for_test("ranges_and_tuples");
+        let s = (0u32..10, 5usize..6);
+        for _ in 0..100 {
+            let (a, b) = s.new_value(&mut rng);
+            assert!(a < 10);
+            assert_eq!(b, 5);
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_range() {
+        let mut rng = TestRng::for_test("vec_lengths");
+        let s = crate::collection::vec(0u32..3, 2..5);
+        for _ in 0..100 {
+            let v = s.new_value(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 3));
+        }
+    }
+
+    #[test]
+    fn flat_map_feeds_dependent_strategy() {
+        let mut rng = TestRng::for_test("flat_map");
+        let s = (1usize..4).prop_flat_map(|n| crate::collection::vec(0u32..2, n..n + 1));
+        for _ in 0..50 {
+            let v = s.new_value(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_cases(x in 0u32..100) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(x, x);
+        }
+    }
+}
