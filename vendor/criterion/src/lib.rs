@@ -1,0 +1,240 @@
+//! Minimal, API-compatible stand-in for the subset of the `criterion`
+//! bench harness this workspace uses. The build environment has no
+//! access to crates.io, so this shim keeps `cargo bench` working
+//! self-contained.
+//!
+//! It is a *timing harness*, not a statistics package: each benchmark
+//! closure is warmed up once and then timed over a fixed sample count,
+//! and the mean / best wall-clock per iteration is printed. Sample
+//! counts honour [`BenchmarkGroup::sample_size`] and the
+//! `CRITERION_SAMPLES` environment variable.
+
+use std::time::{Duration, Instant};
+
+/// Re-export for bench code that spells `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declared measurement throughput for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortises setup cost (accepted, not tuned).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs: one setup per timed call.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// The timing context handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    best: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Bencher {
+        Bencher { samples, total: Duration::ZERO, best: Duration::MAX, iters: 0 }
+    }
+
+    /// Time `routine`, called `samples` times after one warm-up call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            let dt = start.elapsed();
+            self.total += dt;
+            self.best = self.best.min(dt);
+            self.iters += 1;
+        }
+    }
+
+    /// Time `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let dt = start.elapsed();
+            self.total += dt;
+            self.best = self.best.min(dt);
+            self.iters += 1;
+        }
+    }
+}
+
+fn env_samples(default: usize) -> usize {
+    std::env::var("CRITERION_SAMPLES").ok().and_then(|s| s.parse().ok()).unwrap_or(default).max(1)
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn report(group: &str, name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    if b.iters == 0 {
+        println!("{group}/{name}: no samples");
+        return;
+    }
+    let mean = b.total / b.iters as u32;
+    let mut line = format!(
+        "{group}/{name}: mean {} best {} ({} samples)",
+        fmt_duration(mean),
+        fmt_duration(b.best),
+        b.iters
+    );
+    if let Some(t) = throughput {
+        let per_sec = |count: u64| count as f64 / mean.as_secs_f64().max(f64::MIN_POSITIVE);
+        match t {
+            Throughput::Elements(n) => {
+                line.push_str(&format!(" — {:.0} elem/s", per_sec(n)));
+            }
+            Throughput::Bytes(n) => {
+                line.push_str(&format!(" — {:.0} B/s", per_sec(n)));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare group throughput, reported as elements or bytes per second.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut b = Bencher::new(env_samples(self.sample_size));
+        f(&mut b);
+        report(&self.name, &name, &b, self.throughput);
+        self
+    }
+
+    /// Finish the group (reporting is incremental; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// The top-level harness handle, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 10, throughput: None, _criterion: self }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut b = Bencher::new(env_samples(10));
+        f(&mut b);
+        report("bench", &name, &b, None);
+        self
+    }
+}
+
+/// Declare a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        /// Benchmark group entry point (generated by `criterion_group!`).
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench `main` running the given groups, mirroring
+/// `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_samples() {
+        let mut b = Bencher::new(5);
+        let mut calls = 0u64;
+        b.iter(|| calls += 1);
+        assert_eq!(b.iters, 5);
+        assert_eq!(calls, 6); // warm-up + samples
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut b = Bencher::new(3);
+        let mut setups = 0u64;
+        b.iter_batched(|| setups += 1, |()| (), BatchSize::LargeInput);
+        assert_eq!(setups, 4); // warm-up + samples
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.sample_size(2).throughput(Throughput::Elements(10));
+        group.bench_function("f", |b| b.iter(|| ran = true));
+        group.finish();
+        assert!(ran);
+    }
+}
