@@ -12,7 +12,8 @@ use hopdb::{build, HopDbConfig};
 
 fn bench_throughput(c: &mut Criterion) {
     let g = glp(&GlpParams::with_density(20_000, 4.0, 21));
-    let db = build(&g, &HopDbConfig::default());
+    // BENCH_THREADS speeds up the setup build; the index is identical.
+    let db = build(&g, &HopDbConfig::default().with_parallelism(bench::threads_from_env()));
     let pairs = bench::query_pairs(&g, 1 << 14, 3);
 
     let mut group = c.benchmark_group("query-throughput");

@@ -1,0 +1,190 @@
+//! Build-time scaling snapshot for the sharded engine (the CI
+//! `bench-smoke` perf artifact).
+//!
+//! Builds one GLP workload with the in-memory engine at each requested
+//! thread count, records per-iteration timings and per-shard counters,
+//! and writes a machine-readable `BENCH_build.json`. Optionally
+//! serializes every build's index (`--emit-index PREFIX` →
+//! `PREFIX-t{N}.idx`) so CI can diff them for byte equality, and
+//! enforces a minimum parallel speedup (`--min-speedup 1.3:4` = ≥1.3×
+//! at 4 threads) — skipped with a warning when the machine has fewer
+//! cores than the gate asks for, since timeslicing a single core cannot
+//! demonstrate scaling. Every thread count is built `--repeat` times
+//! (default 2) and the best wall clock is kept, so one noisy-neighbour
+//! stall on a shared runner does not fail the gate.
+//!
+//! ```text
+//! BENCH_SCALE=medium cargo run --release -p bench --bin buildperf -- \
+//!     --threads-list 1,4 --emit-index target/buildperf -o BENCH_build.json
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bench::Scale;
+use graphgen::{glp, GlpParams};
+use hopdb::{build_prelabeled, BuildStats, HopDbConfig};
+use hoplabels::disk::DiskIndex;
+use sfgraph::ranking::{rank_vertices, relabel_by_rank, RankBy};
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn json_iterations(stats: &BuildStats) -> String {
+    let mut s = String::from("[");
+    for (i, it) in stats.iterations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            r#"{{"iteration":{},"stepping":{},"candidates":{},"pruned":{},"inserted":{},"total_entries":{},"elapsed_s":{:.6},"shards":["#,
+            it.iteration,
+            it.stepping,
+            it.candidates,
+            it.pruned,
+            it.inserted,
+            it.total_entries,
+            it.elapsed.as_secs_f64()
+        );
+        for (j, sh) in it.shards.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                r#"{{"shard":{},"candidates":{},"pruned":{},"elapsed_s":{:.6}}}"#,
+                sh.shard,
+                sh.candidates,
+                sh.pruned,
+                sh.elapsed.as_secs_f64()
+            );
+        }
+        s.push_str("]}");
+    }
+    s.push(']');
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_env();
+    let threads_list: Vec<usize> = arg_value(&args, "--threads-list")
+        .unwrap_or_else(|| "1,2,4,8".to_string())
+        .split(',')
+        .map(|t| t.trim().parse().expect("--threads-list wants comma-separated integers"))
+        .collect();
+    let out_path = arg_value(&args, "-o").unwrap_or_else(|| "BENCH_build.json".to_string());
+    let emit_prefix = arg_value(&args, "--emit-index");
+    let min_speedup: Option<(f64, usize)> = arg_value(&args, "--min-speedup").map(|v| {
+        let (r, t) = v.split_once(':').expect("--min-speedup wants RATIO:THREADS, e.g. 1.3:4");
+        (r.parse().expect("bad ratio"), t.parse().expect("bad thread count"))
+    });
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+
+    // One representative undirected workload per scale (paper-default
+    // density band); medium matches the Fig. 8 scaling midpoint.
+    let (n, density, seed) = match scale {
+        Scale::Small => (6_000, 3.0, 17),
+        Scale::Medium => (24_000, 4.0, 17),
+        Scale::Large => (96_000, 4.0, 17),
+    };
+    eprintln!("buildperf: GLP n={n} d={density} seed={seed} (scale {scale:?}, {cores} cores)");
+    let g = glp(&GlpParams::with_density(n, density, seed));
+    let ranking = rank_vertices(&g, &RankBy::Degree);
+    let relabeled = relabel_by_rank(&g, &ranking);
+
+    let repeat: usize =
+        arg_value(&args, "--repeat").map_or(2, |v| v.parse().expect("bad --repeat"));
+
+    let mut runs_json = Vec::new();
+    let mut elapsed_by_threads = Vec::new();
+    for &threads in &threads_list {
+        let cfg = HopDbConfig::default().with_parallelism(threads);
+        // Best-of-`repeat` wall clock: shared CI runners see noisy-
+        // neighbour slowdowns, and the minimum is the standard robust
+        // estimate for "how fast can this build go".
+        let mut best: Option<(f64, _, _)> = None;
+        for _ in 0..repeat.max(1) {
+            let started = Instant::now();
+            let (index, stats) = build_prelabeled(&relabeled, &cfg);
+            let elapsed = started.elapsed().as_secs_f64();
+            if best.as_ref().is_none_or(|(b, _, _)| elapsed < *b) {
+                best = Some((elapsed, index, stats));
+            }
+        }
+        let (elapsed, index, stats) = best.expect("at least one repeat");
+        elapsed_by_threads.push((threads, elapsed));
+        eprintln!(
+            "  threads={threads}: {elapsed:.3}s (best of {repeat}), {} entries, {} iterations",
+            index.total_entries(),
+            stats.num_iterations()
+        );
+        if let Some(prefix) = &emit_prefix {
+            let store = extmem::device::TempStore::new().expect("temp store");
+            let disk = DiskIndex::create(&index, &store, "buildperf").expect("serialize");
+            let tmp = disk.persist();
+            let target = format!("{prefix}-t{threads}.idx");
+            std::fs::copy(&tmp, &target).expect("copy index");
+            std::fs::remove_file(tmp).ok();
+            eprintln!("  wrote {target}");
+        }
+        let mut run = String::new();
+        let _ = write!(
+            run,
+            r#"{{"threads":{},"resolved_threads":{},"elapsed_s":{:.6},"final_entries":{},"iterations":{}}}"#,
+            threads,
+            stats.threads,
+            elapsed,
+            stats.final_entries,
+            json_iterations(&stats)
+        );
+        runs_json.push(run);
+    }
+
+    let base = elapsed_by_threads.iter().find(|(t, _)| *t == 1).map(|&(_, e)| e);
+    let mut speedups = String::from("{");
+    if let Some(base) = base {
+        let mut first = true;
+        for &(t, e) in &elapsed_by_threads {
+            if t == 1 {
+                continue;
+            }
+            if !first {
+                speedups.push(',');
+            }
+            first = false;
+            let _ = write!(speedups, r#""{t}":{:.3}"#, base / e);
+        }
+    }
+    speedups.push('}');
+
+    let json = format!(
+        r#"{{"workload":{{"model":"glp","vertices":{n},"density":{density},"seed":{seed}}},"scale":"{scale:?}","cores":{cores},"runs":[{}],"speedup_vs_1_thread":{speedups}}}"#,
+        runs_json.join(",")
+    );
+    std::fs::write(&out_path, format!("{json}\n")).expect("write snapshot");
+    eprintln!("wrote {out_path}");
+
+    if let Some((want, at)) = min_speedup {
+        let Some(base) = base else {
+            eprintln!("--min-speedup needs threads=1 in --threads-list");
+            std::process::exit(1);
+        };
+        let Some(&(_, e)) = elapsed_by_threads.iter().find(|(t, _)| *t == at) else {
+            eprintln!("--min-speedup needs threads={at} in --threads-list");
+            std::process::exit(1);
+        };
+        if cores < at {
+            eprintln!("speedup gate skipped: machine has {cores} cores, gate wants {at} threads");
+            return;
+        }
+        let got = base / e;
+        if got < want {
+            eprintln!("speedup regression: {got:.2}x at {at} threads, gate wants {want:.2}x");
+            std::process::exit(1);
+        }
+        eprintln!("speedup ok: {got:.2}x at {at} threads (gate {want:.2}x)");
+    }
+}

@@ -6,14 +6,15 @@
 //! BENCH_SCALE=small cargo run --release -p bench --bin fig8
 //! ```
 
-use bench::{suite, Scale};
+use bench::{suite, threads_from_env, Scale};
 use hopdb::{build_prelabeled, HopDbConfig};
 use hoplabels::stats::CoverageStats;
 use sfgraph::ranking::{rank_vertices, relabel_by_rank, RankBy};
 
 fn main() {
     let scale = Scale::from_env();
-    println!("Figure 8 reproduction (scale: {scale:?})");
+    let threads = threads_from_env();
+    println!("Figure 8 reproduction (scale: {scale:?}, build threads: {threads})");
     println!("series: label coverage (%) at top-vertex shares up to 1%\n");
 
     let shares = 10; // sample points in (0, 1%]
@@ -27,7 +28,8 @@ fn main() {
         let rank_by = if w.graph.is_directed() { RankBy::DegreeProduct } else { RankBy::Degree };
         let ranking = rank_vertices(&w.graph, &rank_by);
         let relabeled = relabel_by_rank(&w.graph, &ranking);
-        let (index, _) = build_prelabeled(&relabeled, &HopDbConfig::default());
+        let (index, _) =
+            build_prelabeled(&relabeled, &HopDbConfig::default().with_parallelism(threads));
         let cov = CoverageStats::from_index(&index);
         let curve = cov.coverage_curve(0.01, shares);
         print!("{:<12}", w.name);

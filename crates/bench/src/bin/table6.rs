@@ -33,6 +33,9 @@ struct Row {
     isl_build: Option<f64>,
     pll_build: f64,
     hop_build: f64,
+    /// In-memory engine build time at `BENCH_THREADS` workers — the
+    /// build-time scaling companion of the external `hop_build` column.
+    hop_mem_build: f64,
     bidij_us: f64,
     isl_us: Option<f64>,
     pll_us: f64,
@@ -83,6 +86,12 @@ fn bench_workload(w: &Workload) -> Row {
         build_external(&relabeled, &HopDbConfig::default(), &ext_cfg).expect("external build");
     let hop_build = secs(hop_start.elapsed());
     let hop_mb = mb(result.index.size_bytes());
+    // In-memory parallel build (same index, counted for scaling runs).
+    let mem_cfg = HopDbConfig::default().with_parallelism(bench::threads_from_env());
+    let mem_start = std::time::Instant::now();
+    let (mem_index, _) = hopdb::build_prelabeled(&relabeled, &mem_cfg);
+    let hop_mem_build = secs(mem_start.elapsed());
+    assert_eq!(mem_index, result.index, "in-memory and external engines must agree");
     let hop_io_blocks = result.io.2 + result.io.3;
     let rank_pairs: Vec<(u32, u32)> =
         pairs.iter().map(|&(s, t)| (ranking.rank_of(s), ranking.rank_of(t))).collect();
@@ -118,6 +127,7 @@ fn bench_workload(w: &Workload) -> Row {
         isl_build,
         pll_build,
         hop_build,
+        hop_mem_build,
         bidij_us,
         isl_us,
         pll_us,
@@ -138,10 +148,10 @@ fn main() {
     let scale = Scale::from_env();
     println!("Table 6 reproduction (scale: {scale:?}; datasets are GLP stand-ins, DESIGN.md §2)\n");
     println!(
-        "{:<12} {:>8} {:>9} {:>7} {:>7} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} | {:>9} {:>9} {:>8} {:>8} {:>8} {:>8} | {:>9} {:>9} {:>10}",
+        "{:<12} {:>8} {:>9} {:>7} {:>7} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} {:>8} | {:>9} {:>9} {:>8} {:>8} {:>8} {:>8} | {:>9} {:>9} {:>10}",
         "graph", "|V|", "|E|", "maxdeg", "G(MB)",
         "ISL(MB)", "PLL(MB)", "Hop(MB)",
-        "ISL(s)", "PLL(s)", "Hop(s)",
+        "ISL(s)", "PLL(s)", "Hop(s)", "HopT(s)",
         "BIDIJ(µs)", "ISL(µs)", "PLL(µs)", "HCL*(µs)", "Hop(µs)", "BP(µs)",
         "ISLdk(µs)", "Hopdk(µs)", "HopIO(blk)"
     );
@@ -154,14 +164,18 @@ fn main() {
         }
         let r = bench_workload(&w);
         println!(
-            "{:<12} {:>8} {:>9} {:>7} {:>7.1} | {:>8} {:>8.1} {:>8.1} | {:>8} {:>8.2} {:>8.2} | {:>9.1} {:>9} {:>8.2} {:>8.1} {:>8.2} {:>8} | {:>9} {:>9.1} {:>10}",
+            "{:<12} {:>8} {:>9} {:>7} {:>7.1} | {:>8} {:>8.1} {:>8.1} | {:>8} {:>8.2} {:>8.2} {:>8.2} | {:>9.1} {:>9} {:>8.2} {:>8.1} {:>8.2} {:>8} | {:>9} {:>9.1} {:>10}",
             r.name, r.v, r.e, r.maxdeg, r.graph_mb,
             fmt_f(r.isl_mb, 1), r.pll_mb, r.hop_mb,
-            fmt_f(r.isl_build, 2), r.pll_build, r.hop_build,
+            fmt_f(r.isl_build, 2), r.pll_build, r.hop_build, r.hop_mem_build,
             r.bidij_us, fmt_f(r.isl_us, 2), r.pll_us, r.hcl_us, r.hop_us, fmt_f(r.bp_us, 2),
             fmt_f(r.isl_disk_us, 1), r.hop_disk_us, r.hop_io_blocks,
         );
     }
     println!("\n— = did not finish (IS-Label edge augmentation exceeded budget, cf. the paper's 24 h timeouts)");
     println!("HopDb builds with the external §4 engine (M = 256 Ki records, B = 64 KiB).");
+    println!(
+        "HopT(s) = in-memory engine at BENCH_THREADS={} worker threads (same index, bit-identical).",
+        bench::threads_from_env()
+    );
 }

@@ -134,6 +134,14 @@ pub fn suite(scale: Scale) -> Vec<Workload> {
     v
 }
 
+/// Build-worker threads from the `BENCH_THREADS` environment variable
+/// (default 1 = sequential; 0 = all cores). Every harness builds the
+/// bit-identical index regardless — the knob only changes build time,
+/// so Fig. 8 / Table 6 runs can report scaling at 1/2/4/8 threads.
+pub fn threads_from_env() -> usize {
+    std::env::var("BENCH_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
+}
+
 /// Deterministic query pairs (uniform random vertices).
 pub fn query_pairs(g: &Graph, count: usize, seed: u64) -> Vec<(VertexId, VertexId)> {
     let n = g.num_vertices().max(1) as u64;
@@ -201,6 +209,15 @@ mod tests {
             assert!(w.graph.num_vertices() > 0);
             assert_eq!(w.kind == Kind::DirectedUnweighted, w.graph.is_directed());
             assert_eq!(w.kind == Kind::UndirectedWeighted, w.graph.is_weighted());
+        }
+    }
+
+    #[test]
+    fn threads_env_default_is_sequential() {
+        // The suite must not depend on the environment of the test
+        // runner; BENCH_THREADS is unset in CI's tier-1 job.
+        if std::env::var("BENCH_THREADS").is_err() {
+            assert_eq!(threads_from_env(), 1);
         }
     }
 

@@ -9,6 +9,7 @@
 //! hopdb-cli stats -i graph.txt
 //! hopdb-cli build -i graph.txt -o graph.idx [--directed] [--weighted]
 //!                 [--strategy hybrid|stepping|doubling] [--switch-at 10]
+//!                 [--threads N]
 //! hopdb-cli query -x graph.idx 17 4242 [more pairs…]
 //! ```
 //!
@@ -140,6 +141,7 @@ commands:
   stats  -i EDGELIST [--directed] [--weighted]
   build  -i EDGELIST -o INDEX [--directed] [--weighted]
          [--strategy hybrid|stepping|doubling] [--switch-at K] [--post-prune]
+         [--threads N]   (0 = all cores; any N builds the identical index)
   query  -x INDEX s t [s t ...]";
 
 fn cmd_gen(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
@@ -208,8 +210,12 @@ fn cmd_build(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         "doubling" => Strategy::Doubling,
         other => return Err(err(format!("unknown strategy `{other}`"))),
     };
-    let cfg =
-        HopDbConfig { strategy, post_prune: args.has("--post-prune"), ..HopDbConfig::default() };
+    let cfg = HopDbConfig {
+        strategy,
+        post_prune: args.has("--post-prune"),
+        parallelism: args.parsed("--threads")?.unwrap_or(1),
+        ..HopDbConfig::default()
+    };
     let started = std::time::Instant::now();
     let rank_by = if g.is_directed() { RankBy::DegreeProduct } else { RankBy::Degree };
     let ranking = rank_vertices(&g, &rank_by);
@@ -226,11 +232,12 @@ fn cmd_build(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 
     writeln!(
         out,
-        "built {} entries (avg {:.1}/vertex) in {:?} over {} iterations",
+        "built {} entries (avg {:.1}/vertex) in {:?} over {} iterations ({} threads)",
         index.total_entries(),
         index.avg_label_size(),
         elapsed,
-        stats.num_iterations()
+        stats.num_iterations(),
+        stats.threads,
     )?;
     writeln!(out, "index: {target}  ranking: {target}.rank")?;
     Ok(())
@@ -392,6 +399,29 @@ mod tests {
         assert!(out.contains("= 0"), "{out}");
         for f in [&graph, &index, &format!("{index}.rank")] {
             let _ = std::fs::remove_file(f);
+        }
+    }
+
+    #[test]
+    fn threaded_build_is_byte_identical() {
+        let graph = tmp("thr.txt");
+        run_vec(&["gen", "--model", "glp", "--vertices", "400", "--seed", "11", "-o", &graph])
+            .unwrap();
+        let seq_idx = tmp("thr-1.idx");
+        let par_idx = tmp("thr-4.idx");
+        let out = run_vec(&["build", "-i", &graph, "-o", &seq_idx, "--threads", "1"]).unwrap();
+        assert!(out.contains("(1 threads)"), "{out}");
+        let out = run_vec(&["build", "-i", &graph, "-o", &par_idx, "--threads", "4"]).unwrap();
+        assert!(out.contains("(4 threads)"), "{out}");
+        let (seq, par) = (std::fs::read(&seq_idx).unwrap(), std::fs::read(&par_idx).unwrap());
+        assert_eq!(seq, par, "serialized indexes diverge between 1 and 4 threads");
+        assert_eq!(
+            std::fs::read(format!("{seq_idx}.rank")).unwrap(),
+            std::fs::read(format!("{par_idx}.rank")).unwrap()
+        );
+        for f in [&graph, &seq_idx, &par_idx] {
+            let _ = std::fs::remove_file(f);
+            let _ = std::fs::remove_file(format!("{f}.rank"));
         }
     }
 

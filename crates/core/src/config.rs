@@ -56,6 +56,12 @@ pub struct HopDbConfig {
     /// Safety cap on iterations (the theory bounds iterations by
     /// `min(D_H, 2⌈log D_H⌉)`+1; this cap only guards against bugs).
     pub max_iterations: u32,
+    /// Worker threads for per-iteration candidate generation and
+    /// pruning: `0` resolves to the machine's available parallelism,
+    /// `1` (the default) runs the sequential path. The built index is
+    /// bit-identical for every setting — the candidate pool is
+    /// partitioned by owner vertex and merged deterministically.
+    pub parallelism: usize,
 }
 
 impl Default for HopDbConfig {
@@ -66,6 +72,7 @@ impl Default for HopDbConfig {
             post_prune: false,
             rank_by: None,
             max_iterations: 256,
+            parallelism: 1,
         }
     }
 }
@@ -79,6 +86,22 @@ impl HopDbConfig {
     /// Configuration matching the unpruned worked example of Fig. 5.
     pub fn unpruned(strategy: Strategy) -> HopDbConfig {
         HopDbConfig { strategy, prune: false, ..Default::default() }
+    }
+
+    /// Builder-style parallelism override (see [`HopDbConfig::parallelism`]).
+    pub fn with_parallelism(mut self, parallelism: usize) -> HopDbConfig {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The worker-thread count [`HopDbConfig::parallelism`] resolves to:
+    /// itself when non-zero, otherwise the machine's available
+    /// parallelism (1 if that cannot be determined).
+    pub fn resolved_parallelism(&self) -> usize {
+        match self.parallelism {
+            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            t => t,
+        }
     }
 }
 
@@ -106,5 +129,14 @@ mod tests {
         assert!(c.prune);
         assert!(!c.post_prune);
         assert_eq!(c.strategy, Strategy::Hybrid { switch_at: 10 });
+        assert_eq!(c.parallelism, 1);
+    }
+
+    #[test]
+    fn parallelism_resolution() {
+        let c = HopDbConfig::default().with_parallelism(6);
+        assert_eq!(c.resolved_parallelism(), 6);
+        let auto = HopDbConfig::default().with_parallelism(0);
+        assert!(auto.resolved_parallelism() >= 1, "0 resolves to the core count");
     }
 }

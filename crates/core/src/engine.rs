@@ -18,17 +18,40 @@
 //!
 //! Rules 2 and 5 need the *inverted* view "which labels contain pivot
 //! `p`" — the label-files-sorted-by-pivot of §4.1; the in-memory engine
-//! maintains them as adjacency-style lists. In stepping iterations the
-//! composed side is restricted to graph edges, which collapses R1+R2
-//! into "extend each new out-entry over in-edges `(x, u)` with
-//! `x > pivot`", and dually for R4+R5.
+//! maintains them as adjacency-style [`InvList`]s. In stepping
+//! iterations the composed side is restricted to graph edges, which
+//! collapses R1+R2 into "extend each new out-entry over in-edges
+//! `(x, u)` with `x > pivot`", and dually for R4+R5.
 //!
 //! Pruning (§3.3, restricted as in §4.2 to witnesses of higher rank than
 //! both endpoints) is exactly the 2-hop query on the index built so far:
 //! candidate `(u → v, d)` dies iff `dist_L(u, v) ≤ d`, which the
 //! self-entries extend to same-pair dominance.
+//!
+//! ## Parallel construction
+//!
+//! Both generation and pruning only *read* the label index as frozen at
+//! the end of the previous iteration (Theorem 3's proof relies on
+//! witnesses "from previous iterations" only), so each iteration is
+//! embarrassingly parallel per `(owner, pivot)` key. With
+//! `HopDbConfig::parallelism > 1` the round runs in three phases:
+//!
+//! 1. **scatter** — the previous iteration's entries are split into
+//!    per-worker chunks; each worker generates candidates into per-shard
+//!    pools routed by `owner % shards` ([`crate::shard`]);
+//! 2. **merge + prune** — one worker per shard min-merges the pools for
+//!    its owners, runs the 2-hop pruning test against the frozen index,
+//!    and sorts the survivors by `(owner, pivot)`;
+//! 3. **apply** — the main thread walks the shards in order and merges
+//!    each owner's sorted survivor batch into its label
+//!    ([`VertexLabels::merge_min_sorted`]).
+//!
+//! Because the shards partition the key space and every per-key
+//! reduction is a minimum, the result is *bit-identical* to the
+//! sequential build for every thread count — the single-threaded path
+//! is literally the same pipeline with one chunk and one shard.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use hoplabels::index::{join_min, DirectedLabels, LabelIndex, UndirectedLabels, VertexLabels};
 use hoplabels::LabelEntry;
@@ -36,10 +59,13 @@ use sfgraph::hash::FxHashMap;
 use sfgraph::{Direction, Dist, Graph, VertexId};
 
 use crate::config::HopDbConfig;
-use crate::iteration::{BuildStats, IterationStats};
+use crate::invlist::InvList;
+use crate::iteration::{BuildStats, IterationStats, ShardStats};
+use crate::shard;
 
 /// Build a label index for a rank-relabeled graph, directed or
-/// undirected, honouring `cfg`'s strategy and pruning switches.
+/// undirected, honouring `cfg`'s strategy, pruning, and parallelism
+/// switches.
 pub fn build_index(g: &Graph, cfg: &HopDbConfig) -> (LabelIndex, BuildStats) {
     if g.is_directed() {
         build_directed(g, cfg)
@@ -62,17 +88,80 @@ fn offer(cands: &mut CandMap, owner: VertexId, pivot: VertexId, d: Dist) {
         .or_insert(d);
 }
 
-/// Insert `(owner, d)` into an inverted pivot list, updating in place if
-/// the owner is already present (distance improvements on weighted
-/// graphs).
-fn upsert_inv(inv: &mut Vec<(VertexId, Dist)>, owner: VertexId, d: Dist, had_entry: bool) {
-    if had_entry {
-        if let Some(slot) = inv.iter_mut().find(|(o, _)| *o == owner) {
-            slot.1 = d;
-            return;
+/// Min-merge per-worker pools of one shard into a single deduplicated
+/// pool, folding into the largest pool to minimise rehashing.
+fn merge_cands(mut maps: Vec<CandMap>) -> CandMap {
+    let Some(big) = maps.iter().enumerate().max_by_key(|(_, m)| m.len()).map(|(i, _)| i) else {
+        return CandMap::default();
+    };
+    let mut base = maps.swap_remove(big);
+    for m in maps {
+        for ((owner, pivot), d) in m {
+            offer(&mut base, owner, pivot, d);
         }
     }
-    inv.push((owner, d));
+    base
+}
+
+/// Survivors and counters of one shard's merge + prune phase.
+struct ShardOutcome {
+    shard: usize,
+    /// Out-side survivors `(owner, pivot, dist)`, sorted. The whole pool
+    /// for the undirected engine.
+    out: Vec<(VertexId, VertexId, Dist)>,
+    /// In-side survivors `(owner, pivot, dist)`, sorted; directed only.
+    inn: Vec<(VertexId, VertexId, Dist)>,
+    candidates: u64,
+    pruned: u64,
+    elapsed: Duration,
+}
+
+impl ShardOutcome {
+    fn stats(&self) -> ShardStats {
+        ShardStats {
+            shard: self.shard,
+            candidates: self.candidates,
+            pruned: self.pruned,
+            elapsed: self.elapsed,
+        }
+    }
+}
+
+fn shard_stats(threads: usize, outcomes: &[ShardOutcome]) -> Vec<ShardStats> {
+    if threads > 1 {
+        outcomes.iter().map(ShardOutcome::stats).collect()
+    } else {
+        Vec::new()
+    }
+}
+
+/// Insert survivors — sorted by `(owner, pivot)` — as per-owner batches,
+/// keeping the inverted lists and the entry count in sync. Returns the
+/// number of added-or-improved entries.
+fn insert_batches(
+    survivors: &[(VertexId, VertexId, Dist)],
+    labels: &mut [VertexLabels],
+    inv: &mut [InvList],
+    total: &mut u64,
+) -> u64 {
+    let mut inserted = 0u64;
+    let mut batch = Vec::new();
+    let mut i = 0usize;
+    while i < survivors.len() {
+        let owner = survivors[i].0;
+        batch.clear();
+        while i < survivors.len() && survivors[i].0 == owner {
+            batch.push(LabelEntry::new(survivors[i].1, survivors[i].2));
+            i += 1;
+        }
+        inserted += labels[owner as usize].merge_min_sorted(&batch, |e, had| {
+            inv[e.pivot as usize].upsert(owner, e.dist);
+            if !had {
+                *total += 1;
+            }
+        }) as u64;
+    }
+    inserted
 }
 
 // ---------------------------------------------------------------------
@@ -84,9 +173,9 @@ struct DirectedEngine<'g> {
     out: Vec<VertexLabels>,
     inn: Vec<VertexLabels>,
     /// `out_inv[p]` = owners `u` (and distances) with `(p, ·) ∈ Lout(u)`.
-    out_inv: Vec<Vec<(VertexId, Dist)>>,
+    out_inv: Vec<InvList>,
     /// `in_inv[p]` = owners `v` (and distances) with `(p, ·) ∈ Lin(v)`.
-    in_inv: Vec<Vec<(VertexId, Dist)>>,
+    in_inv: Vec<InvList>,
     /// New out-entries of the previous iteration: `(owner, pivot, dist)`.
     prev_out: Vec<(VertexId, VertexId, Dist)>,
     /// New in-entries of the previous iteration: `(owner, pivot, dist)`.
@@ -96,18 +185,19 @@ struct DirectedEngine<'g> {
 
 fn build_directed(g: &Graph, cfg: &HopDbConfig) -> (LabelIndex, BuildStats) {
     let started = Instant::now();
+    let threads = cfg.resolved_parallelism();
     let n = g.num_vertices();
     let mut e = DirectedEngine {
         g,
         out: (0..n).map(|v| VertexLabels::with_trivial(v as VertexId)).collect(),
         inn: (0..n).map(|v| VertexLabels::with_trivial(v as VertexId)).collect(),
-        out_inv: vec![Vec::new(); n],
-        in_inv: vec![Vec::new(); n],
+        out_inv: vec![InvList::default(); n],
+        in_inv: vec![InvList::default(); n],
         prev_out: Vec::new(),
         prev_in: Vec::new(),
         total_entries: 2 * n as u64,
     };
-    let mut stats = BuildStats::default();
+    let mut stats = BuildStats { threads, ..BuildStats::default() };
 
     // Iteration 1: initialization — one entry per edge (§3.1).
     let init_start = Instant::now();
@@ -115,13 +205,15 @@ fn build_directed(g: &Graph, cfg: &HopDbConfig) -> (LabelIndex, BuildStats) {
         for (t, w) in g.edges(v, Direction::Out) {
             if t < v {
                 // r(t) > r(v): out-entry (t, w) ∈ Lout(v).
-                e.out[v as usize].insert_min(LabelEntry::new(t, w));
-                e.out_inv[t as usize].push((v, w));
+                if e.out[v as usize].insert_min(LabelEntry::new(t, w)) {
+                    e.out_inv[t as usize].upsert(v, w);
+                }
                 e.prev_out.push((v, t, w));
             } else {
                 // r(v) > r(t): in-entry (v, w) ∈ Lin(t).
-                e.inn[t as usize].insert_min(LabelEntry::new(v, w));
-                e.in_inv[v as usize].push((t, w));
+                if e.inn[t as usize].insert_min(LabelEntry::new(v, w)) {
+                    e.in_inv[v as usize].upsert(t, w);
+                }
                 e.prev_in.push((t, v, w));
             }
         }
@@ -136,6 +228,7 @@ fn build_directed(g: &Graph, cfg: &HopDbConfig) -> (LabelIndex, BuildStats) {
         inserted: init_inserted,
         total_entries: e.total_entries,
         elapsed: init_start.elapsed(),
+        shards: Vec::new(),
     });
 
     let mut iter = 1u32;
@@ -143,10 +236,12 @@ fn build_directed(g: &Graph, cfg: &HopDbConfig) -> (LabelIndex, BuildStats) {
         iter += 1;
         let round_start = Instant::now();
         let stepping = cfg.strategy.steps_at(iter);
-        let (mut out_cands, mut in_cands) = (CandMap::default(), CandMap::default());
-        e.generate(stepping, &mut out_cands, &mut in_cands);
-        let candidates = (out_cands.len() + in_cands.len()) as u64;
-        let (pruned, inserted) = e.absorb(cfg.prune, out_cands, in_cands);
+        let round_threads = shard::effective_threads(threads, e.prev_out.len() + e.prev_in.len());
+        let outcomes = e.run_round(stepping, cfg.prune, round_threads);
+        let candidates = outcomes.iter().map(|o| o.candidates).sum();
+        let pruned = outcomes.iter().map(|o| o.pruned).sum();
+        let shards = shard_stats(round_threads, &outcomes);
+        let inserted = e.apply(&outcomes);
         stats.iterations.push(IterationStats {
             iteration: iter,
             stepping,
@@ -155,6 +250,7 @@ fn build_directed(g: &Graph, cfg: &HopDbConfig) -> (LabelIndex, BuildStats) {
             inserted,
             total_entries: e.total_entries,
             elapsed: round_start.elapsed(),
+            shards,
         });
         if inserted == 0 {
             break;
@@ -168,125 +264,176 @@ fn build_directed(g: &Graph, cfg: &HopDbConfig) -> (LabelIndex, BuildStats) {
 }
 
 impl DirectedEngine<'_> {
-    fn generate(&self, stepping: bool, out_cands: &mut CandMap, in_cands: &mut CandMap) {
+    /// One generate + prune round over `threads` workers; survivors come
+    /// back per shard, sorted, ready for [`DirectedEngine::apply`].
+    fn run_round(&self, stepping: bool, prune: bool, threads: usize) -> Vec<ShardOutcome> {
+        if threads == 1 {
+            let (out_maps, in_maps) = self.scatter(stepping, &self.prev_out, &self.prev_in, 1);
+            return vec![self.prune_shard(prune, 0, out_maps, in_maps)];
+        }
+        let out_chunks = shard::chunks(&self.prev_out, threads);
+        let in_chunks = shard::chunks(&self.prev_in, threads);
+        // Phase 1: scatter — every worker generates candidates from its
+        // chunk into per-shard pools.
+        let mut scattered: Vec<(Vec<CandMap>, Vec<CandMap>)> = std::thread::scope(|sc| {
+            let handles: Vec<_> = out_chunks
+                .into_iter()
+                .zip(in_chunks)
+                .map(|(oc, ic)| sc.spawn(move || self.scatter(stepping, oc, ic, threads)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("scatter worker panicked")).collect()
+        });
+        // Phase 2: merge + prune — one worker per shard.
+        std::thread::scope(|sc| {
+            let handles: Vec<_> = (0..threads)
+                .map(|s| {
+                    let out_maps: Vec<CandMap> =
+                        scattered.iter_mut().map(|(o, _)| std::mem::take(&mut o[s])).collect();
+                    let in_maps: Vec<CandMap> =
+                        scattered.iter_mut().map(|(_, i)| std::mem::take(&mut i[s])).collect();
+                    sc.spawn(move || self.prune_shard(prune, s, out_maps, in_maps))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("prune worker panicked")).collect()
+        })
+    }
+
+    /// Generate candidates from chunks of the previous iteration's
+    /// entries into `shards` owner-routed pools per side.
+    fn scatter(
+        &self,
+        stepping: bool,
+        prev_out: &[(VertexId, VertexId, Dist)],
+        prev_in: &[(VertexId, VertexId, Dist)],
+        shards: usize,
+    ) -> (Vec<CandMap>, Vec<CandMap>) {
+        let mut out_cands = vec![CandMap::default(); shards];
+        let mut in_cands = vec![CandMap::default(); shards];
         if stepping {
             // R1+R2 over edges: extend new out-entries to in-neighbours.
-            for &(u, v, d) in &self.prev_out {
+            for &(u, v, d) in prev_out {
                 for (x, w) in self.g.edges(u, Direction::In) {
                     if x > v {
-                        self.offer_out(out_cands, x, v, d.saturating_add(w));
+                        self.offer_out(&mut out_cands, x, v, d.saturating_add(w));
                     }
                 }
             }
             // R4+R5 over edges: extend new in-entries to out-neighbours.
-            for &(v, u, d) in &self.prev_in {
+            for &(v, u, d) in prev_in {
                 for (y, w) in self.g.edges(v, Direction::Out) {
                     if y > u {
-                        self.offer_in(in_cands, y, u, d.saturating_add(w));
+                        self.offer_in(&mut in_cands, y, u, d.saturating_add(w));
                     }
                 }
             }
         } else {
-            for &(u, v, d) in &self.prev_out {
+            for &(u, v, d) in prev_out {
                 // R1: (u1, d1) ∈ Lin(u) with v < u1 < u.
                 for e in self.inn[u as usize].entries() {
                     if e.pivot > v && e.pivot < u {
-                        self.offer_out(out_cands, e.pivot, v, d.saturating_add(e.dist));
+                        self.offer_out(&mut out_cands, e.pivot, v, d.saturating_add(e.dist));
                     }
                 }
                 // R2: owners u2 with (u, d2) ∈ Lout(u2); u2 > u > v holds.
-                for &(u2, d2) in &self.out_inv[u as usize] {
-                    self.offer_out(out_cands, u2, v, d.saturating_add(d2));
+                for &(u2, d2) in self.out_inv[u as usize].entries() {
+                    self.offer_out(&mut out_cands, u2, v, d.saturating_add(d2));
                 }
             }
-            for &(v, u, d) in &self.prev_in {
+            for &(v, u, d) in prev_in {
                 // R4: (u4, d4) ∈ Lout(v) with u < u4 < v.
                 for e in self.out[v as usize].entries() {
                     if e.pivot > u && e.pivot < v {
-                        self.offer_in(in_cands, e.pivot, u, d.saturating_add(e.dist));
+                        self.offer_in(&mut in_cands, e.pivot, u, d.saturating_add(e.dist));
                     }
                 }
                 // R5: owners u5 with (v, d5) ∈ Lin(u5); u5 > v > u holds.
-                for &(u5, d5) in &self.in_inv[v as usize] {
-                    self.offer_in(in_cands, u5, u, d.saturating_add(d5));
+                for &(u5, d5) in self.in_inv[v as usize].entries() {
+                    self.offer_in(&mut in_cands, u5, u, d.saturating_add(d5));
                 }
             }
         }
+        (out_cands, in_cands)
     }
 
     #[inline]
-    fn offer_out(&self, cands: &mut CandMap, owner: VertexId, pivot: VertexId, d: Dist) {
+    fn offer_out(&self, cands: &mut [CandMap], owner: VertexId, pivot: VertexId, d: Dist) {
         // Cheap dominance check against the existing entry before the
-        // candidate pool (full pruning happens in `absorb`).
+        // candidate pool (full pruning happens in `prune_shard`).
         if self.out[owner as usize].get(pivot).is_some_and(|cur| cur <= d) {
             return;
         }
-        offer(cands, owner, pivot, d);
+        offer(&mut cands[shard::shard_of(owner, cands.len())], owner, pivot, d);
     }
 
     #[inline]
-    fn offer_in(&self, cands: &mut CandMap, owner: VertexId, pivot: VertexId, d: Dist) {
+    fn offer_in(&self, cands: &mut [CandMap], owner: VertexId, pivot: VertexId, d: Dist) {
         if self.inn[owner as usize].get(pivot).is_some_and(|cur| cur <= d) {
             return;
         }
-        offer(cands, owner, pivot, d);
+        offer(&mut cands[shard::shard_of(owner, cands.len())], owner, pivot, d);
     }
 
-    /// Prune candidates against the index as of the end of the previous
-    /// iteration (Theorem 3's proof relies on witnesses "from previous
-    /// iterations" only), then insert all survivors. Two phases, so
-    /// same-iteration survivors never prune each other — this also keeps
-    /// the in-memory engine bit-identical to the external one, whose
-    /// pruning joins read frozen label files.
-    fn absorb(&mut self, prune: bool, out_cands: CandMap, in_cands: CandMap) -> (u64, u64) {
-        self.prev_out.clear();
-        self.prev_in.clear();
+    /// Merge one shard's per-worker pools and prune the candidates
+    /// against the index as of the end of the previous iteration
+    /// (Theorem 3's proof relies on witnesses "from previous iterations"
+    /// only) — survivors never prune each other, which also keeps the
+    /// in-memory engine bit-identical to the external one, whose pruning
+    /// joins read frozen label files.
+    fn prune_shard(
+        &self,
+        prune: bool,
+        shard: usize,
+        out_maps: Vec<CandMap>,
+        in_maps: Vec<CandMap>,
+    ) -> ShardOutcome {
+        let start = Instant::now();
+        let out_merged = merge_cands(out_maps);
+        let in_merged = merge_cands(in_maps);
+        let candidates = (out_merged.len() + in_merged.len()) as u64;
         let mut pruned = 0u64;
-        // Phase 1: decide survival against the frozen index.
-        for ((u, v), d) in out_cands {
+        let mut out = Vec::with_capacity(out_merged.len());
+        for ((u, v), d) in out_merged {
             // Out-entry (v, d) ∈ Lout(u) covers a path u ⇝ v: prune iff
             // dist_L(u, v) ≤ d already (§3.3).
             if prune
                 && join_min(self.out[u as usize].entries(), self.inn[v as usize].entries()) <= d
             {
                 pruned += 1;
-                continue;
+            } else {
+                out.push((u, v, d));
             }
-            self.prev_out.push((u, v, d));
         }
-        for ((v, u), d) in in_cands {
+        let mut inn = Vec::with_capacity(in_merged.len());
+        for ((v, u), d) in in_merged {
             // In-entry (u, d) ∈ Lin(v) covers a path u ⇝ v.
             if prune
                 && join_min(self.out[u as usize].entries(), self.inn[v as usize].entries()) <= d
             {
                 pruned += 1;
-                continue;
+            } else {
+                inn.push((v, u, d));
             }
-            self.prev_in.push((v, u, d));
         }
-        // Phase 2: insert survivors.
+        out.sort_unstable();
+        inn.sort_unstable();
+        ShardOutcome { shard, out, inn, candidates, pruned, elapsed: start.elapsed() }
+    }
+
+    /// Insert every shard's survivors, in shard order, and make them the
+    /// next iteration's `prev` entries.
+    fn apply(&mut self, outcomes: &[ShardOutcome]) -> u64 {
+        self.prev_out.clear();
+        self.prev_in.clear();
         let mut inserted = 0u64;
-        for &(u, v, d) in &self.prev_out {
-            let had = self.out[u as usize].get(v).is_some();
-            if self.out[u as usize].insert_min(LabelEntry::new(v, d)) {
-                upsert_inv(&mut self.out_inv[v as usize], u, d, had);
-                if !had {
-                    self.total_entries += 1;
-                }
-                inserted += 1;
-            }
+        for o in outcomes {
+            inserted +=
+                insert_batches(&o.out, &mut self.out, &mut self.out_inv, &mut self.total_entries);
+            inserted +=
+                insert_batches(&o.inn, &mut self.inn, &mut self.in_inv, &mut self.total_entries);
+            self.prev_out.extend_from_slice(&o.out);
+            self.prev_in.extend_from_slice(&o.inn);
         }
-        for &(v, u, d) in &self.prev_in {
-            let had = self.inn[v as usize].get(u).is_some();
-            if self.inn[v as usize].insert_min(LabelEntry::new(u, d)) {
-                upsert_inv(&mut self.in_inv[u as usize], v, d, had);
-                if !had {
-                    self.total_entries += 1;
-                }
-                inserted += 1;
-            }
-        }
-        (pruned, inserted)
+        inserted
     }
 }
 
@@ -298,28 +445,30 @@ struct UndirectedEngine<'g> {
     g: &'g Graph,
     lb: Vec<VertexLabels>,
     /// `inv[p]` = owners `u` (and distances) with `(p, ·) ∈ L(u)`.
-    inv: Vec<Vec<(VertexId, Dist)>>,
+    inv: Vec<InvList>,
     prev: Vec<(VertexId, VertexId, Dist)>,
     total_entries: u64,
 }
 
 fn build_undirected(g: &Graph, cfg: &HopDbConfig) -> (LabelIndex, BuildStats) {
     let started = Instant::now();
+    let threads = cfg.resolved_parallelism();
     let n = g.num_vertices();
     let mut e = UndirectedEngine {
         g,
         lb: (0..n).map(|v| VertexLabels::with_trivial(v as VertexId)).collect(),
-        inv: vec![Vec::new(); n],
+        inv: vec![InvList::default(); n],
         prev: Vec::new(),
         total_entries: n as u64,
     };
-    let mut stats = BuildStats::default();
+    let mut stats = BuildStats { threads, ..BuildStats::default() };
 
     let init_start = Instant::now();
     for (u, v, w) in g.edge_list() {
         // Normalised u < v: r(u) > r(v), so (u, w) ∈ L(v).
-        e.lb[v as usize].insert_min(LabelEntry::new(u, w));
-        e.inv[u as usize].push((v, w));
+        if e.lb[v as usize].insert_min(LabelEntry::new(u, w)) {
+            e.inv[u as usize].upsert(v, w);
+        }
         e.prev.push((v, u, w));
     }
     let init_inserted = e.prev.len() as u64;
@@ -332,6 +481,7 @@ fn build_undirected(g: &Graph, cfg: &HopDbConfig) -> (LabelIndex, BuildStats) {
         inserted: init_inserted,
         total_entries: e.total_entries,
         elapsed: init_start.elapsed(),
+        shards: Vec::new(),
     });
 
     let mut iter = 1u32;
@@ -339,10 +489,12 @@ fn build_undirected(g: &Graph, cfg: &HopDbConfig) -> (LabelIndex, BuildStats) {
         iter += 1;
         let round_start = Instant::now();
         let stepping = cfg.strategy.steps_at(iter);
-        let mut cands = CandMap::default();
-        e.generate(stepping, &mut cands);
-        let candidates = cands.len() as u64;
-        let (pruned, inserted) = e.absorb(cfg.prune, cands);
+        let round_threads = shard::effective_threads(threads, e.prev.len());
+        let outcomes = e.run_round(stepping, cfg.prune, round_threads);
+        let candidates = outcomes.iter().map(|o| o.candidates).sum();
+        let pruned = outcomes.iter().map(|o| o.pruned).sum();
+        let shards = shard_stats(round_threads, &outcomes);
+        let inserted = e.apply(&outcomes);
         stats.iterations.push(IterationStats {
             iteration: iter,
             stepping,
@@ -351,6 +503,7 @@ fn build_undirected(g: &Graph, cfg: &HopDbConfig) -> (LabelIndex, BuildStats) {
             inserted,
             total_entries: e.total_entries,
             elapsed: round_start.elapsed(),
+            shards,
         });
         if inserted == 0 {
             break;
@@ -364,63 +517,101 @@ fn build_undirected(g: &Graph, cfg: &HopDbConfig) -> (LabelIndex, BuildStats) {
 }
 
 impl UndirectedEngine<'_> {
-    fn generate(&self, stepping: bool, cands: &mut CandMap) {
+    /// One generate + prune round over `threads` workers (see the
+    /// directed engine — the undirected engine has a single pool).
+    fn run_round(&self, stepping: bool, prune: bool, threads: usize) -> Vec<ShardOutcome> {
+        if threads == 1 {
+            let maps = self.scatter(stepping, &self.prev, 1);
+            return vec![self.prune_shard(prune, 0, maps)];
+        }
+        let chunks = shard::chunks(&self.prev, threads);
+        let mut scattered: Vec<Vec<CandMap>> = std::thread::scope(|sc| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|c| sc.spawn(move || self.scatter(stepping, c, threads)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("scatter worker panicked")).collect()
+        });
+        std::thread::scope(|sc| {
+            let handles: Vec<_> = (0..threads)
+                .map(|s| {
+                    let maps: Vec<CandMap> =
+                        scattered.iter_mut().map(|w| std::mem::take(&mut w[s])).collect();
+                    sc.spawn(move || self.prune_shard(prune, s, maps))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("prune worker panicked")).collect()
+        })
+    }
+
+    fn scatter(
+        &self,
+        stepping: bool,
+        prev: &[(VertexId, VertexId, Dist)],
+        shards: usize,
+    ) -> Vec<CandMap> {
+        let mut cands = vec![CandMap::default(); shards];
         if stepping {
-            for &(u, v, d) in &self.prev {
+            for &(u, v, d) in prev {
                 for (x, w) in self.g.edges(u, Direction::Out) {
                     if x > v {
-                        self.offer(cands, x, v, d.saturating_add(w));
+                        self.offer(&mut cands, x, v, d.saturating_add(w));
                     }
                 }
             }
         } else {
-            for &(u, v, d) in &self.prev {
+            for &(u, v, d) in prev {
                 // Converted R1: (u1, d1) ∈ L(u) with v < u1 < u gets (v, d+d1).
                 for e in self.lb[u as usize].entries() {
                     if e.pivot > v && e.pivot < u {
-                        self.offer(cands, e.pivot, v, d.saturating_add(e.dist));
+                        self.offer(&mut cands, e.pivot, v, d.saturating_add(e.dist));
                     }
                 }
                 // Converted R2: owners u2 with (u, d2) ∈ L(u2); u2 > u > v.
-                for &(u2, d2) in &self.inv[u as usize] {
-                    self.offer(cands, u2, v, d.saturating_add(d2));
+                for &(u2, d2) in self.inv[u as usize].entries() {
+                    self.offer(&mut cands, u2, v, d.saturating_add(d2));
                 }
             }
         }
+        cands
     }
 
     #[inline]
-    fn offer(&self, cands: &mut CandMap, owner: VertexId, pivot: VertexId, d: Dist) {
+    fn offer(&self, cands: &mut [CandMap], owner: VertexId, pivot: VertexId, d: Dist) {
         if self.lb[owner as usize].get(pivot).is_some_and(|cur| cur <= d) {
             return;
         }
-        offer(cands, owner, pivot, d);
+        offer(&mut cands[shard::shard_of(owner, cands.len())], owner, pivot, d);
     }
 
-    /// Two-phase prune-then-insert; see the directed engine's `absorb`.
-    fn absorb(&mut self, prune: bool, cands: CandMap) -> (u64, u64) {
-        self.prev.clear();
+    /// Merge + prune one shard; see the directed engine's `prune_shard`.
+    fn prune_shard(&self, prune: bool, shard: usize, maps: Vec<CandMap>) -> ShardOutcome {
+        let start = Instant::now();
+        let merged = merge_cands(maps);
+        let candidates = merged.len() as u64;
         let mut pruned = 0u64;
-        for ((u, v), d) in cands {
+        let mut out = Vec::with_capacity(merged.len());
+        for ((u, v), d) in merged {
             if prune && join_min(self.lb[u as usize].entries(), self.lb[v as usize].entries()) <= d
             {
                 pruned += 1;
-                continue;
+            } else {
+                out.push((u, v, d));
             }
-            self.prev.push((u, v, d));
         }
+        out.sort_unstable();
+        ShardOutcome { shard, out, inn: Vec::new(), candidates, pruned, elapsed: start.elapsed() }
+    }
+
+    fn apply(&mut self, outcomes: &[ShardOutcome]) -> u64 {
+        self.prev.clear();
         let mut inserted = 0u64;
-        for &(u, v, d) in &self.prev {
-            let had = self.lb[u as usize].get(v).is_some();
-            if self.lb[u as usize].insert_min(LabelEntry::new(v, d)) {
-                upsert_inv(&mut self.inv[v as usize], u, d, had);
-                if !had {
-                    self.total_entries += 1;
-                }
-                inserted += 1;
-            }
+        for o in outcomes {
+            inserted +=
+                insert_batches(&o.out, &mut self.lb, &mut self.inv, &mut self.total_entries);
+            self.prev.extend_from_slice(&o.out);
         }
-        (pruned, inserted)
+        inserted
     }
 }
 
@@ -566,5 +757,96 @@ mod tests {
         let g1 = GraphBuilder::new_directed(1).build();
         let (i1, _) = build_index(&g1, &HopDbConfig::default());
         assert_eq!(i1.query(0, 0), 0);
+    }
+
+    /// Random graphs: every thread count must reproduce the sequential
+    /// index exactly, entry for entry, with matching iteration counters.
+    #[test]
+    fn parallel_builds_match_sequential() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for case in 0..6 {
+            let n = rng.gen_range(8..40);
+            let directed = case % 2 == 0;
+            let mut b = if directed {
+                GraphBuilder::new_directed(n).weighted()
+            } else {
+                GraphBuilder::new_undirected(n).weighted()
+            };
+            for _ in 0..rng.gen_range(2 * n..6 * n) {
+                b.add_weighted_edge(
+                    rng.gen_range(0..n) as VertexId,
+                    rng.gen_range(0..n) as VertexId,
+                    rng.gen_range(1..8),
+                );
+            }
+            let g = b.build();
+            for cfg in configs() {
+                let (seq_index, seq_stats) = build_index(&g, &cfg);
+                for threads in [2usize, 3, 8] {
+                    let par_cfg = cfg.clone().with_parallelism(threads);
+                    let (par_index, par_stats) = build_index(&g, &par_cfg);
+                    assert_eq!(
+                        par_index, seq_index,
+                        "case {case}, {threads} threads, {:?}",
+                        cfg.strategy
+                    );
+                    assert_eq!(par_stats.num_iterations(), seq_stats.num_iterations());
+                    for (a, b) in par_stats.iterations.iter().zip(&seq_stats.iterations) {
+                        assert_eq!(
+                            (a.candidates, a.pruned, a.inserted, a.total_entries),
+                            (b.candidates, b.pruned, b.inserted, b.total_entries),
+                            "case {case}, iteration {} counters diverged",
+                            a.iteration
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Force the sharded path (small graphs normally fall back to one
+    /// thread) and check the per-shard counters add up.
+    #[test]
+    fn forced_sharding_reports_shard_stats() {
+        let mut b = GraphBuilder::new_undirected(64);
+        for i in 0..64u32 {
+            b.add_edge(i, (i + 1) % 64);
+            b.add_edge(i, (i + 7) % 64);
+        }
+        let g = b.build();
+        let e = UndirectedEngine {
+            g: &g,
+            lb: (0..64).map(|v| VertexLabels::with_trivial(v as VertexId)).collect(),
+            inv: vec![InvList::default(); 64],
+            prev: g.edge_list().into_iter().map(|(u, v, w)| (v, u, w)).collect(),
+            total_entries: 64,
+        };
+        let seq = e.run_round(true, true, 1);
+        let par = e.run_round(true, true, 4);
+        assert_eq!(par.len(), 4);
+        let seq_cands: u64 = seq.iter().map(|o| o.candidates).sum();
+        let par_cands: u64 = par.iter().map(|o| o.candidates).sum();
+        assert_eq!(seq_cands, par_cands, "sharding must not change the deduplicated pool");
+        let mut seq_surv: Vec<_> = seq.into_iter().flat_map(|o| o.out).collect();
+        let mut par_surv: Vec<_> = par.into_iter().flat_map(|o| o.out).collect();
+        seq_surv.sort_unstable();
+        par_surv.sort_unstable();
+        assert_eq!(seq_surv, par_surv);
+    }
+
+    #[test]
+    fn vertex_labels_need_init() {
+        // `prev` above is built from edge_list; make sure the labels the
+        // engine prunes against contain those initial entries when the
+        // full builder runs (regression guard for the refactor: the
+        // init loop now feeds the inverted lists through `upsert`).
+        let mut b = GraphBuilder::new_undirected(5).weighted();
+        b.add_weighted_edge(0, 1, 2);
+        b.add_weighted_edge(0, 1, 5); // parallel edge, worse weight
+        b.add_weighted_edge(1, 2, 1);
+        let g = b.build();
+        let (index, _) = build_index(&g, &HopDbConfig::default());
+        assert_exact(&g, &index);
     }
 }

@@ -54,6 +54,11 @@ pub struct ExternalBuildResult {
     /// Total I/O traffic: `(read_bytes, write_bytes, read_blocks,
     /// write_blocks)` for the configured block size.
     pub io: (u64, u64, u64, u64),
+    /// Sorted runs spilled by the external sorters over the whole build
+    /// — the `sort(N)` volume of the §4 cost model.
+    pub sort_runs: u64,
+    /// K-way merge passes performed by the external sorters.
+    pub merge_passes: u64,
 }
 
 /// Build a label index for a rank-relabeled graph with bounded memory.
@@ -418,7 +423,7 @@ fn run_directed(
 ) -> io::Result<ExternalBuildResult> {
     let started = std::time::Instant::now();
     let n = g.num_vertices();
-    let mut stats = BuildStats::default();
+    let mut stats = BuildStats { threads: 1, ..BuildStats::default() };
 
     // Initialization (iteration 1): self-entries + one entry per edge.
     let init_start = std::time::Instant::now();
@@ -451,6 +456,7 @@ fn run_directed(
         inserted: init_count,
         total_entries: init_count + 2 * n as u64,
         elapsed: init_start.elapsed(),
+        shards: Vec::new(),
     });
 
     let mut iter = 1u32;
@@ -591,6 +597,7 @@ fn run_directed(
             inserted,
             total_entries: out.len() + inn.len(),
             elapsed: round_start.elapsed(),
+            shards: Vec::new(),
         });
         if inserted == 0 {
             break;
@@ -603,7 +610,14 @@ fn run_directed(
     });
     stats.final_entries = index.total_entries() as u64;
     stats.elapsed = started.elapsed();
-    Ok(ExternalBuildResult { index, stats, io: io_report(store, ext) })
+    let io = store.stats();
+    Ok(ExternalBuildResult {
+        index,
+        stats,
+        io: io_report(store, ext),
+        sort_runs: io.sort_runs(),
+        merge_passes: io.merge_passes(),
+    })
 }
 
 // -------------------------------------------------------------------
@@ -618,7 +632,7 @@ fn run_undirected(
 ) -> io::Result<ExternalBuildResult> {
     let started = std::time::Instant::now();
     let n = g.num_vertices();
-    let mut stats = BuildStats::default();
+    let mut stats = BuildStats { threads: 1, ..BuildStats::default() };
 
     let init_start = std::time::Instant::now();
     let mut init = Vec::new();
@@ -638,6 +652,7 @@ fn run_undirected(
         inserted: init_count,
         total_entries: init_count + n as u64,
         elapsed: init_start.elapsed(),
+        shards: Vec::new(),
     });
 
     let mut iter = 1u32;
@@ -712,6 +727,7 @@ fn run_undirected(
             inserted,
             total_entries: lab.len(),
             elapsed: round_start.elapsed(),
+            shards: Vec::new(),
         });
         if inserted == 0 {
             break;
@@ -721,7 +737,14 @@ fn run_undirected(
     let index = LabelIndex::Undirected(UndirectedLabels { labels: load_labels(&lab, n, ext)? });
     stats.final_entries = index.total_entries() as u64;
     stats.elapsed = started.elapsed();
-    Ok(ExternalBuildResult { index, stats, io: io_report(store, ext) })
+    let io = store.stats();
+    Ok(ExternalBuildResult {
+        index,
+        stats,
+        io: io_report(store, ext),
+        sort_runs: io.sort_runs(),
+        merge_passes: io.merge_passes(),
+    })
 }
 
 #[cfg(test)]

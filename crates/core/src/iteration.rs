@@ -3,6 +3,21 @@
 
 use std::time::Duration;
 
+/// What one worker shard contributed to an iteration of the parallel
+/// engine: the candidate pool is partitioned by owner vertex, and each
+/// shard merges, deduplicates, and prunes its partition independently.
+#[derive(Clone, Debug, Default)]
+pub struct ShardStats {
+    /// Shard number (`owner % shards`).
+    pub shard: usize,
+    /// Deduplicated candidates owned by this shard.
+    pub candidates: u64,
+    /// Candidates this shard rejected with the pruning test.
+    pub pruned: u64,
+    /// Wall-clock time of the shard's merge + prune phase.
+    pub elapsed: Duration,
+}
+
 /// What one iteration of the generate-and-prune loop did.
 #[derive(Clone, Debug)]
 pub struct IterationStats {
@@ -21,6 +36,9 @@ pub struct IterationStats {
     pub total_entries: u64,
     /// Wall-clock time of the iteration.
     pub elapsed: Duration,
+    /// Per-shard breakdown when the iteration ran sharded (empty for
+    /// single-threaded rounds and the external engine).
+    pub shards: Vec<ShardStats>,
 }
 
 impl IterationStats {
@@ -32,11 +50,25 @@ impl IterationStats {
             self.pruned as f64 / self.candidates as f64
         }
     }
+
+    /// Load imbalance of the sharded round: the largest shard's
+    /// candidate count divided by the mean (1.0 = perfectly balanced;
+    /// 0.0 when the round was not sharded or saw no candidates).
+    pub fn shard_imbalance(&self) -> f64 {
+        let total: u64 = self.shards.iter().map(|s| s.candidates).sum();
+        if self.shards.is_empty() || total == 0 {
+            return 0.0;
+        }
+        let max = self.shards.iter().map(|s| s.candidates).max().unwrap_or(0);
+        max as f64 * self.shards.len() as f64 / total as f64
+    }
 }
 
 /// Whole-build statistics.
 #[derive(Clone, Debug, Default)]
 pub struct BuildStats {
+    /// Worker threads the build was configured to use (1 = sequential).
+    pub threads: usize,
     /// One record per iteration, starting with initialization.
     pub iterations: Vec<IterationStats>,
     /// Entries in the final index (including trivial self-entries).
@@ -90,6 +122,7 @@ mod tests {
             inserted,
             total_entries: 0,
             elapsed: Duration::ZERO,
+            shards: Vec::new(),
         }
     }
 
@@ -97,6 +130,17 @@ mod tests {
     fn pruning_factor() {
         assert_eq!(iter(2, 100, 25, 75).pruning_factor(), 0.25);
         assert_eq!(iter(2, 0, 0, 0).pruning_factor(), 0.0);
+    }
+
+    #[test]
+    fn shard_imbalance() {
+        let mut it = iter(2, 100, 0, 100);
+        assert_eq!(it.shard_imbalance(), 0.0, "unsharded rounds report 0");
+        it.shards = vec![
+            ShardStats { shard: 0, candidates: 75, ..Default::default() },
+            ShardStats { shard: 1, candidates: 25, ..Default::default() },
+        ];
+        assert_eq!(it.shard_imbalance(), 1.5);
     }
 
     #[test]

@@ -31,13 +31,21 @@
 //!   `extmem` substrate;
 //! * [`sixrules`] — the unminimized 6-rule generator, kept as an
 //!   executable witness for Lemmas 3–4.
+//!
+//! Construction parallelises within each iteration: set
+//! [`HopDbConfig::parallelism`] (or `hopdb-cli build --threads`) to
+//! shard candidate generation and pruning across scoped worker threads
+//! ([`shard`]); the result is bit-identical to the sequential build for
+//! every thread count.
 
 pub mod builder;
 pub mod config;
 pub mod engine;
 pub mod external;
+pub mod invlist;
 pub mod iteration;
 pub mod postprune;
+pub mod shard;
 pub mod sixrules;
 
 #[cfg(test)]
@@ -45,4 +53,4 @@ mod examples;
 
 pub use builder::{build, build_prelabeled, HopDb};
 pub use config::{HopDbConfig, Strategy};
-pub use iteration::{BuildStats, IterationStats};
+pub use iteration::{BuildStats, IterationStats, ShardStats};

@@ -1,0 +1,98 @@
+//! Owner-partitioned sharding helpers for the parallel engine.
+//!
+//! Within one iteration of Algorithm 1, candidate generation and the
+//! 2-hop pruning test are independent per `(owner, pivot)` key: the
+//! rules only *read* the frozen label index of the previous iteration.
+//! The parallel engine therefore scatters the previous iteration's
+//! entries over worker chunks, routes every generated candidate to the
+//! shard `owner % shards`, and lets each shard merge, deduplicate, and
+//! prune its partition in isolation. Because the shards partition the
+//! key space, the union of the per-shard pools equals the sequential
+//! global pool exactly — sorting each shard's survivors by
+//! `(owner, pivot)` before insertion makes the whole build
+//! deterministic and bit-identical to the sequential engine.
+
+/// Shard index a candidate owned by `owner` is routed to.
+///
+/// Round-robin over rank ids: consecutive ranks land on different
+/// shards, spreading the hub-heavy low ranks of a scale-free ranking
+/// evenly instead of clustering them on shard 0.
+#[inline]
+pub fn shard_of(owner: u32, shards: usize) -> usize {
+    owner as usize % shards
+}
+
+/// Split `items` into exactly `parts` contiguous chunks whose lengths
+/// differ by at most one (trailing chunks may be empty when
+/// `items.len() < parts`).
+pub fn chunks<T>(items: &[T], parts: usize) -> Vec<&[T]> {
+    let parts = parts.max(1);
+    let base = items.len() / parts;
+    let extra = items.len() % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push(&items[start..start + len]);
+        start += len;
+    }
+    debug_assert_eq!(start, items.len());
+    out
+}
+
+/// Worker-thread count for a round with `work` driving entries:
+/// parallelism below this many entries costs more in scatter/join
+/// overhead than it saves, so small rounds run on one thread. The
+/// decision only affects scheduling, never results.
+pub fn effective_threads(threads: usize, work: usize) -> usize {
+    const MIN_WORK_PER_THREAD: usize = 512;
+    if work < 2 * MIN_WORK_PER_THREAD {
+        1
+    } else {
+        threads.clamp(1, work / MIN_WORK_PER_THREAD)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_everything_in_order() {
+        let items: Vec<u32> = (0..10).collect();
+        for parts in 1..=12 {
+            let cs = chunks(&items, parts);
+            assert_eq!(cs.len(), parts);
+            let flat: Vec<u32> = cs.iter().flat_map(|c| c.iter().copied()).collect();
+            assert_eq!(flat, items, "parts = {parts}");
+            let (min, max) = (
+                cs.iter().map(|c| c.len()).min().unwrap(),
+                cs.iter().map(|c| c.len()).max().unwrap(),
+            );
+            assert!(max - min <= 1, "uneven split at parts = {parts}");
+        }
+    }
+
+    #[test]
+    fn chunks_of_empty_slice() {
+        let cs = chunks::<u32>(&[], 4);
+        assert_eq!(cs.len(), 4);
+        assert!(cs.iter().all(|c| c.is_empty()));
+    }
+
+    #[test]
+    fn effective_threads_scales_with_work() {
+        assert_eq!(effective_threads(8, 0), 1);
+        assert_eq!(effective_threads(8, 1000), 1);
+        assert_eq!(effective_threads(8, 2048), 4);
+        assert_eq!(effective_threads(8, 1 << 20), 8);
+        assert_eq!(effective_threads(1, 1 << 20), 1);
+    }
+
+    #[test]
+    fn shard_routing_is_round_robin() {
+        assert_eq!(shard_of(0, 4), 0);
+        assert_eq!(shard_of(5, 4), 1);
+        assert_eq!(shard_of(7, 4), 3);
+    }
+}

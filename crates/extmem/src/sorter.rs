@@ -90,6 +90,7 @@ impl<'s, R: Record + Ord> ExternalSorter<'s, R> {
         }
         self.runs.push(w.finish()?);
         self.buffer.clear();
+        self.store.stats().record_sort_run();
         Ok(())
     }
 
@@ -150,6 +151,7 @@ pub fn merge_runs<R: Record + Ord>(
     combiner: Option<fn(R, R) -> R>,
     group_eq: fn(&R, &R) -> bool,
 ) -> std::io::Result<Run<R>> {
+    store.stats().record_merge_pass();
     let mut readers: Vec<RunReader<R>> = Vec::with_capacity(runs.len());
     for run in runs {
         readers.push(run.reader(buffer_records)?);
@@ -255,6 +257,21 @@ mod tests {
     fn empty_input_yields_empty_run() {
         let sorted = sort_all(Vec::new(), ExtMemConfig::tiny());
         assert!(sorted.is_empty());
+    }
+
+    #[test]
+    fn sort_and_merge_counters_are_recorded() {
+        let store = TempStore::new().unwrap();
+        let mut s = ExternalSorter::new(&store, ExtMemConfig::tiny());
+        for i in 0..10_000u32 {
+            s.push(LabelRecord::new(10_000 - i, 0, 0)).unwrap();
+        }
+        let _ = s.finish().unwrap();
+        let stats = store.stats();
+        let runs = stats.sort_runs();
+        let memory = ExtMemConfig::tiny().memory_records as u64;
+        assert!(runs >= 10_000 / memory, "tiny budget must spill: {runs} runs");
+        assert!(stats.merge_passes() >= 1, "spilled runs need at least one merge pass");
     }
 
     #[test]

@@ -15,6 +15,8 @@ pub struct IoStats {
     write_bytes: AtomicU64,
     read_ops: AtomicU64,
     write_ops: AtomicU64,
+    sort_runs: AtomicU64,
+    merge_passes: AtomicU64,
 }
 
 impl IoStats {
@@ -37,6 +39,18 @@ impl IoStats {
         self.write_ops.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one sorted run spilled by an external sorter.
+    #[inline]
+    pub fn record_sort_run(&self) {
+        self.sort_runs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one k-way merge pass over a batch of runs.
+    #[inline]
+    pub fn record_merge_pass(&self) {
+        self.merge_passes.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Total bytes read.
     pub fn read_bytes(&self) -> u64 {
         self.read_bytes.load(Ordering::Relaxed)
@@ -55,6 +69,18 @@ impl IoStats {
     /// Number of write operations issued.
     pub fn write_ops(&self) -> u64 {
         self.write_ops.load(Ordering::Relaxed)
+    }
+
+    /// Sorted runs spilled by external sorters — with
+    /// [`IoStats::merge_passes`], the `sort(N)` term of the §4 cost
+    /// model (`O(N/B · log_{M/B}(N/B))` block I/Os per sort).
+    pub fn sort_runs(&self) -> u64 {
+        self.sort_runs.load(Ordering::Relaxed)
+    }
+
+    /// K-way merge passes performed by external sorters.
+    pub fn merge_passes(&self) -> u64 {
+        self.merge_passes.load(Ordering::Relaxed)
     }
 
     /// Read traffic in block I/Os of size `block_bytes` (ceiling).
@@ -83,6 +109,8 @@ impl IoStats {
         self.write_bytes.store(0, Ordering::Relaxed);
         self.read_ops.store(0, Ordering::Relaxed);
         self.write_ops.store(0, Ordering::Relaxed);
+        self.sort_runs.store(0, Ordering::Relaxed);
+        self.merge_passes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -108,8 +136,12 @@ mod tests {
     fn reset_clears() {
         let s = IoStats::default();
         s.record_write(10);
+        s.record_sort_run();
+        s.record_merge_pass();
+        assert_eq!((s.sort_runs(), s.merge_passes()), (1, 1));
         s.reset();
         assert_eq!(s.snapshot(), (0, 0, 0, 0));
+        assert_eq!((s.sort_runs(), s.merge_passes()), (0, 0));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Barabási–Albert preferential attachment (reference [8] of the paper).
+//! Barabási–Albert preferential attachment (reference \[8\] of the paper).
 //!
 //! Every new vertex attaches `m` edges to existing vertices with
 //! probability proportional to their degree; produces power-law graphs

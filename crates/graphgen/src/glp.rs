@@ -1,7 +1,7 @@
 //! GLP (Generalized Linear Preference) scale-free graph generator.
 //!
 //! Bu & Towsley, *On distinguishing between Internet power law topology
-//! generators*, INFOCOM 2002 — reference [11] of the paper. The paper's
+//! generators*, INFOCOM 2002 — reference \[11\] of the paper. The paper's
 //! synthetic experiments (§8) use GLP with `m = 1.13`, `m0 = 10`, giving a
 //! power-law exponent of 2.155; those are the defaults here.
 //!

@@ -66,6 +66,93 @@ impl VertexLabels {
         }
     }
 
+    /// Merge a batch of entries — sorted by pivot, pivots unique — into
+    /// the label in one pass, keeping the minimum distance per pivot.
+    ///
+    /// This is the bulk counterpart of [`VertexLabels::insert_min`] used
+    /// by the sharded engine when it applies a merged shard's survivors:
+    /// one O(|label| + |batch|) merge instead of |batch| binary-search
+    /// inserts, each of which may shift the tail of the entry vector.
+    ///
+    /// `on_apply(entry, had_existing)` is called for every entry that is
+    /// added (`had_existing == false`) or that improves an existing
+    /// pivot's distance (`had_existing == true`); entries dominated by
+    /// the current label are skipped silently. Returns the number of
+    /// applied entries.
+    pub fn merge_min_sorted(
+        &mut self,
+        batch: &[LabelEntry],
+        mut on_apply: impl FnMut(LabelEntry, bool),
+    ) -> usize {
+        debug_assert!(
+            batch.windows(2).all(|w| w[0].pivot < w[1].pivot),
+            "batch must be strictly sorted by pivot"
+        );
+        if batch.is_empty() {
+            return 0;
+        }
+        // Tiny batches (stepping-heavy rounds produce many 1–2 entry
+        // survivor groups) are cheaper as shifted in-place inserts than
+        // as a full rebuild of the entry vector.
+        if batch.len() <= 4 {
+            let mut applied = 0usize;
+            for &new in batch {
+                match self.entries.binary_search_by_key(&new.pivot, |e| e.pivot) {
+                    Ok(i) => {
+                        if new.dist < self.entries[i].dist {
+                            self.entries[i].dist = new.dist;
+                            on_apply(new, true);
+                            applied += 1;
+                        }
+                    }
+                    Err(i) => {
+                        self.entries.insert(i, new);
+                        on_apply(new, false);
+                        applied += 1;
+                    }
+                }
+            }
+            return applied;
+        }
+        let mut merged = Vec::with_capacity(self.entries.len() + batch.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut applied = 0usize;
+        while i < self.entries.len() && j < batch.len() {
+            let (cur, new) = (self.entries[i], batch[j]);
+            match cur.pivot.cmp(&new.pivot) {
+                std::cmp::Ordering::Less => {
+                    merged.push(cur);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(new);
+                    on_apply(new, false);
+                    applied += 1;
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    if new.dist < cur.dist {
+                        merged.push(new);
+                        on_apply(new, true);
+                        applied += 1;
+                    } else {
+                        merged.push(cur);
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&self.entries[i..]);
+        for &new in &batch[j..] {
+            merged.push(new);
+            on_apply(new, false);
+            applied += 1;
+        }
+        self.entries = merged;
+        applied
+    }
+
     /// Remove the entry for `pivot`; returns whether one existed.
     pub fn remove(&mut self, pivot: VertexId) -> bool {
         match self.entries.binary_search_by_key(&pivot, |e| e.pivot) {
@@ -243,6 +330,52 @@ mod tests {
         assert_eq!(l.len(), 2);
         // Entries stay sorted by pivot.
         assert!(l.entries().windows(2).all(|w| w[0].pivot < w[1].pivot));
+    }
+
+    #[test]
+    fn merge_min_sorted_matches_repeated_insert_min() {
+        let base = vec![LabelEntry::new(1, 5), LabelEntry::new(4, 2), LabelEntry::new(9, 9)];
+        let batch = vec![
+            LabelEntry::new(0, 3),  // new, before everything
+            LabelEntry::new(4, 1),  // improves 2 -> 1
+            LabelEntry::new(6, 7),  // new, between
+            LabelEntry::new(9, 9),  // dominated (equal): skipped
+            LabelEntry::new(12, 4), // new, past the end
+        ];
+        let mut bulk = VertexLabels::from_entries(base.clone());
+        let mut seen = Vec::new();
+        let applied = bulk.merge_min_sorted(&batch, |e, had| seen.push((e.pivot, had)));
+        assert_eq!(applied, 4);
+        assert_eq!(seen, vec![(0, false), (4, true), (6, false), (12, false)]);
+
+        let mut one_by_one = VertexLabels::from_entries(base);
+        for &e in &batch {
+            one_by_one.insert_min(e);
+        }
+        assert_eq!(bulk, one_by_one);
+        assert!(bulk.entries().windows(2).all(|w| w[0].pivot < w[1].pivot));
+
+        // The tiny-batch (≤ 4 entries) in-place path must agree too.
+        let tiny = &batch[..3];
+        let mut tiny_bulk = one_by_one.clone();
+        let mut tiny_seq = one_by_one.clone();
+        let applied = tiny_bulk.merge_min_sorted(tiny, |_, _| {});
+        assert_eq!(applied, 0, "already-applied batch must be fully dominated");
+        tiny_bulk.merge_min_sorted(&[LabelEntry::new(3, 1)], |e, had| {
+            assert!(!had);
+            assert_eq!(e.pivot, 3);
+        });
+        tiny_seq.insert_min(LabelEntry::new(3, 1));
+        assert_eq!(tiny_bulk, tiny_seq);
+    }
+
+    #[test]
+    fn merge_min_sorted_into_empty_and_with_empty() {
+        let mut l = VertexLabels::new();
+        assert_eq!(l.merge_min_sorted(&[], |_, _| unreachable!()), 0);
+        let batch = vec![LabelEntry::new(2, 1), LabelEntry::new(5, 3)];
+        assert_eq!(l.merge_min_sorted(&batch, |_, had| assert!(!had)), 2);
+        assert_eq!(l.entries(), batch.as_slice());
     }
 
     #[test]
