@@ -236,7 +236,7 @@ impl DistanceOracle for IsLabel {
     }
 
     fn index_bytes(&self) -> usize {
-        self.index.size_bytes()
+        self.index.resident_bytes()
     }
 }
 

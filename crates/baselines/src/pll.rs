@@ -80,7 +80,7 @@ impl DistanceOracle for Pll {
     }
 
     fn index_bytes(&self) -> usize {
-        self.index.size_bytes()
+        self.index.resident_bytes()
     }
 }
 

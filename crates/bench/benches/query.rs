@@ -26,12 +26,34 @@ fn bench_queries(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("memory-query");
     let mut i = 0usize;
+    // Nested-vs-flat on the same pairs: `hopdb-nested` walks the
+    // per-vertex `Vec<LabelEntry>` index, `hopdb-flat` the frozen SoA
+    // layout; `hopdb` is the end-user path (rank translation + flat).
+    let nested = hopdb.index();
+    let flat = hopdb.flat_index();
     group.bench_function("hopdb", |b| {
         b.iter(|| {
             let (s, t) = pairs[i % pairs.len()];
             i += 1;
             std::hint::black_box(hopdb.query(s, t))
         })
+    });
+    group.bench_function("hopdb-nested", |b| {
+        b.iter(|| {
+            let (s, t) = rank_pairs[i % rank_pairs.len()];
+            i += 1;
+            std::hint::black_box(nested.query(s, t))
+        })
+    });
+    group.bench_function("hopdb-flat", |b| {
+        b.iter(|| {
+            let (s, t) = rank_pairs[i % rank_pairs.len()];
+            i += 1;
+            std::hint::black_box(flat.query(s, t))
+        })
+    });
+    group.bench_function("hopdb-flat-batched", |b| {
+        b.iter(|| std::hint::black_box(flat.query_many(&rank_pairs, 4)))
     });
     group.bench_function("hopdb-bp", |b| {
         b.iter(|| {

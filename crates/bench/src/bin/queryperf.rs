@@ -1,0 +1,232 @@
+//! Query-path performance snapshot (the CI `query-perf` artifact).
+//!
+//! Builds one GLP workload, freezes the index into
+//! `hoplabels::flat::FlatIndex`, and measures — best wall clock of
+//! `--repeat` rounds each —
+//!
+//! * nested `LabelIndex::query` ns/query (the construction layout),
+//! * flat `FlatIndex::query` ns/query (the serving layout),
+//! * batched `FlatIndex::query_many` QPS at 1 thread and at
+//!   `--threads` workers,
+//!
+//! asserting along the way that every answer is bit-identical across
+//! the nested index, the flat index, and every batched run. Results
+//! land in a machine-readable `BENCH_query.json` next to CI's
+//! `BENCH_build.json`, including both `entry_bytes` and
+//! `resident_bytes` so the memory numbers match what the serving layout
+//! actually holds.
+//!
+//! Gates (any failure exits non-zero):
+//!
+//! * `--min-qps N` — single-thread flat QPS floor;
+//! * `--min-flat-speedup R` — flat must be ≥ R× faster than nested;
+//! * `--min-batch-scaling R:T` — `query_many` at T threads must reach
+//!   ≥ R× the 1-thread QPS (skipped with a warning when the machine
+//!   has fewer than T cores).
+//!
+//! ```text
+//! BENCH_SCALE=medium cargo run --release -p bench --bin queryperf -- \
+//!     --threads 4 --min-qps 200000 --min-flat-speedup 1.5 \
+//!     --min-batch-scaling 3:4 -o BENCH_query.json
+//! ```
+
+use std::time::Instant;
+
+use bench::Scale;
+use graphgen::{glp, GlpParams};
+use hopdb::{build_prelabeled, HopDbConfig};
+use hoplabels::flat::FlatIndex;
+use sfgraph::ranking::{rank_vertices, relabel_by_rank, RankBy};
+use sfgraph::{Dist, VertexId};
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// Best-of-`repeat` wall clock for `runs` full passes over the pairs;
+/// returns seconds per pass.
+fn best_secs(repeat: usize, mut pass: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeat.max(1) {
+        let started = Instant::now();
+        pass();
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_env();
+    let out_path = arg_value(&args, "-o").unwrap_or_else(|| "BENCH_query.json".to_string());
+    let threads: usize =
+        arg_value(&args, "--threads").map_or(4, |v| v.parse().expect("bad --threads"));
+    let repeat: usize =
+        arg_value(&args, "--repeat").map_or(5, |v| v.parse().expect("bad --repeat"));
+    let min_qps: Option<f64> =
+        arg_value(&args, "--min-qps").map(|v| v.parse().expect("bad --min-qps"));
+    let min_flat_speedup: Option<f64> =
+        arg_value(&args, "--min-flat-speedup").map(|v| v.parse().expect("bad --min-flat-speedup"));
+    let min_batch_scaling: Option<(f64, usize)> =
+        arg_value(&args, "--min-batch-scaling").map(|v| {
+            let (r, t) =
+                v.split_once(':').expect("--min-batch-scaling wants RATIO:THREADS, e.g. 3:4");
+            (r.parse().expect("bad ratio"), t.parse().expect("bad thread count"))
+        });
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+
+    // The 20k-vertex GLP bench graph (the criterion query bench's
+    // workload) at medium scale; small stays CI-friendly.
+    let (n, density, seed) = match scale {
+        Scale::Small => (6_000, 4.0, 42),
+        Scale::Medium => (20_000, 4.0, 42),
+        Scale::Large => (80_000, 4.0, 42),
+    };
+    eprintln!("queryperf: GLP n={n} d={density} seed={seed} (scale {scale:?}, {cores} cores)");
+    let g = glp(&GlpParams::with_density(n, density, seed));
+    let ranking = rank_vertices(&g, &RankBy::Degree);
+    let relabeled = relabel_by_rank(&g, &ranking);
+    let (index, _) = build_prelabeled(&relabeled, &HopDbConfig::default().with_parallelism(0));
+    let flat = FlatIndex::from_index(&index);
+
+    // Correctness sweep over a large random pair set: flat and batched
+    // answers must be bit-identical to the nested index on every pair.
+    let sweep: Vec<(VertexId, VertexId)> = bench::query_pairs(&relabeled, 200_000, 0xC0FFEE);
+    let expect: Vec<Dist> = sweep.iter().map(|&(s, t)| index.query(s, t)).collect();
+    let got: Vec<Dist> = sweep.iter().map(|&(s, t)| flat.query(s, t)).collect();
+    assert_eq!(expect, got, "FlatIndex::query diverges from LabelIndex::query");
+    for t in [1, threads.max(1)] {
+        assert_eq!(
+            flat.query_many(&sweep, t),
+            expect,
+            "query_many at {t} threads diverges from the nested index"
+        );
+    }
+    eprintln!("  answers bit-identical across nested/flat/batched on {} pairs", sweep.len());
+
+    // Timing uses the criterion query bench's pair-set size (4096,
+    // cycled), so the snapshot measures the join paths under the same
+    // cache conditions as `cargo bench -p bench --bench query`; the
+    // batch measurements replay the same pairs as one large slice.
+    let pairs: Vec<(VertexId, VertexId)> = bench::query_pairs(&relabeled, 4_096, 0xC0FFEE);
+    let batch: Vec<(VertexId, VertexId)> =
+        std::iter::repeat_with(|| pairs.iter().copied()).take(16).flatten().collect();
+
+    // Interleave the four measurements round-robin and keep each
+    // method's best round: a noisy-neighbour stall on a shared runner
+    // then degrades one *round*, not one *method*, so the reported
+    // ratios compare like with like. Each single-pair round makes many
+    // passes over the pair set — enough for caches and TLB to reach
+    // their steady state, which is what a serving process sees.
+    const PASSES: usize = 64;
+    let single_queries = (PASSES * pairs.len()) as f64;
+    let (mut nested_s, mut flat_s) = (f64::INFINITY, f64::INFINITY);
+    let (mut batch1_s, mut batchn_s) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..repeat.max(1) {
+        nested_s = nested_s.min(best_secs(1, || {
+            let mut acc = 0u64;
+            for _ in 0..PASSES {
+                for &(s, t) in &pairs {
+                    acc = acc.wrapping_add(index.query(s, t) as u64);
+                }
+            }
+            std::hint::black_box(acc);
+        }));
+        flat_s = flat_s.min(best_secs(1, || {
+            let mut acc = 0u64;
+            for _ in 0..PASSES {
+                for &(s, t) in &pairs {
+                    acc = acc.wrapping_add(flat.query(s, t) as u64);
+                }
+            }
+            std::hint::black_box(acc);
+        }));
+        batch1_s = batch1_s.min(best_secs(1, || {
+            std::hint::black_box(flat.query_many(&batch, 1));
+        }));
+        batchn_s = batchn_s.min(best_secs(1, || {
+            std::hint::black_box(flat.query_many(&batch, threads));
+        }));
+    }
+
+    let nested_ns = nested_s * 1e9 / single_queries;
+    let flat_ns = flat_s * 1e9 / single_queries;
+    let flat_speedup = nested_s / flat_s;
+    let qps1 = batch.len() as f64 / batch1_s;
+    let qpsn = batch.len() as f64 / batchn_s;
+    let batch_scaling = qpsn / qps1;
+    eprintln!(
+        "  nested: {nested_ns:.1} ns/query   flat: {flat_ns:.1} ns/query   ({flat_speedup:.2}x)"
+    );
+    eprintln!(
+        "  batched: {qps1:.0} qps @1 thread   {qpsn:.0} qps @{threads} threads   ({batch_scaling:.2}x)"
+    );
+
+    let json = format!(
+        concat!(
+            r#"{{"workload":{{"model":"glp","vertices":{},"density":{},"seed":{}}},"#,
+            r#""scale":"{:?}","cores":{},"pairs":{},"batch_pairs":{},"sweep_pairs":{},"repeat":{},"#,
+            r#""index":{{"entries":{},"entry_bytes":{},"resident_bytes":{},"flat_resident_bytes":{}}},"#,
+            r#""single":{{"nested_ns_per_query":{:.2},"flat_ns_per_query":{:.2},"flat_speedup":{:.3}}},"#,
+            r#""batched":{{"threads":{},"qps_1_thread":{:.0},"qps_threads":{:.0},"scaling":{:.3}}}}}"#
+        ),
+        n,
+        density,
+        seed,
+        scale,
+        cores,
+        pairs.len(),
+        batch.len(),
+        sweep.len(),
+        repeat,
+        index.total_entries(),
+        index.entry_bytes(),
+        index.resident_bytes(),
+        flat.resident_bytes(),
+        nested_ns,
+        flat_ns,
+        flat_speedup,
+        threads,
+        qps1,
+        qpsn,
+        batch_scaling,
+    );
+    std::fs::write(&out_path, format!("{json}\n")).expect("write snapshot");
+    eprintln!("wrote {out_path}");
+
+    let mut failed = false;
+    if let Some(want) = min_qps {
+        if qps1 < want {
+            eprintln!("QPS regression: {qps1:.0} single-thread qps, gate wants {want:.0}");
+            failed = true;
+        } else {
+            eprintln!("qps ok: {qps1:.0} (gate {want:.0})");
+        }
+    }
+    if let Some(want) = min_flat_speedup {
+        if flat_speedup < want {
+            eprintln!(
+                "flat speedup regression: {flat_speedup:.2}x vs nested, gate wants {want:.2}x"
+            );
+            failed = true;
+        } else {
+            eprintln!("flat speedup ok: {flat_speedup:.2}x (gate {want:.2}x)");
+        }
+    }
+    if let Some((want, at)) = min_batch_scaling {
+        if at != threads {
+            eprintln!("--min-batch-scaling threads {at} must match --threads {threads}");
+            failed = true;
+        } else if cores < at {
+            eprintln!("batch scaling gate skipped: {cores} cores, gate wants {at} threads");
+        } else if batch_scaling < want {
+            eprintln!("batch scaling regression: {batch_scaling:.2}x at {at} threads, gate wants {want:.2}x");
+            failed = true;
+        } else {
+            eprintln!("batch scaling ok: {batch_scaling:.2}x at {at} threads (gate {want:.2}x)");
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -11,13 +11,17 @@
 //!                 [--strategy hybrid|stepping|doubling] [--switch-at 10]
 //!                 [--threads N]
 //! hopdb-cli query -x graph.idx 17 4242 [more pairs…]
+//! hopdb-cli query -x graph.idx --pairs batch.txt --threads 4
 //! ```
 //!
 //! `build` writes two artifacts: the disk index (`hoplabels::disk`
 //! layout) and a `.rank` sidecar holding the vertex-at-rank permutation
-//! so `query` can accept original vertex ids. Argument parsing is
-//! handwritten (no external dependency); all logic lives in [`run`] so
-//! tests drive the CLI in-process.
+//! so `query` can accept original vertex ids. `query` loads the index
+//! into the flat serving layout (`hoplabels::flat::FlatIndex`) and
+//! answers single pairs or whole batch files, sharding batches across
+//! `--threads` workers. Argument parsing is handwritten (no external
+//! dependency); all logic lives in [`run`] so tests drive the CLI
+//! in-process.
 
 use std::fmt::Write as _;
 use std::io::{Read, Write};
@@ -30,6 +34,7 @@ use graphgen::{
 };
 use hopdb::{HopDbConfig, Strategy};
 use hoplabels::disk::DiskIndex;
+use hoplabels::flat::FlatIndex;
 use sfgraph::ranking::{rank_vertices, relabel_by_rank, RankBy, Ranking};
 use sfgraph::{Graph, VertexId, INF_DIST};
 
@@ -142,7 +147,8 @@ commands:
   build  -i EDGELIST -o INDEX [--directed] [--weighted]
          [--strategy hybrid|stepping|doubling] [--switch-at K] [--post-prune]
          [--threads N]   (0 = all cores; any N builds the identical index)
-  query  -x INDEX s t [s t ...]";
+  query  -x INDEX [s t ...] [--pairs FILE] [--threads N]
+         (pairs from arguments and/or FILE of `s t` lines; N workers, 0 = all cores)";
 
 fn cmd_gen(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let model = args.opt("--model").unwrap_or("glp");
@@ -281,21 +287,53 @@ fn read_ranking_sidecar(target: &str) -> Result<Ranking, CliError> {
 fn cmd_query(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let target = args.required("-x")?;
     let ranking = read_ranking_sidecar(target)?;
-    let io = IoStats::shared();
-    let file = CountedFile::open_path(Path::new(target), io)
-        .map_err(|e| err(format!("cannot open {target}: {e}")))?;
-    let mut disk = DiskIndex::open(file)?;
+    // Load the serialized index straight into the flat serving layout —
+    // no per-vertex allocations, no disk reads per query.
+    let flat = FlatIndex::load(Path::new(target))
+        .map_err(|e| err(format!("cannot load {target}: {e}")))?;
+
+    // Pairs come from the positional arguments and/or a batch file of
+    // whitespace-separated `s t` lines (`#` comments allowed).
+    let mut pairs: Vec<(VertexId, VertexId)> = Vec::new();
     let positional = args.positional();
-    if positional.is_empty() || !positional.len().is_multiple_of(2) {
+    if !positional.len().is_multiple_of(2) {
         return Err(err("query needs an even number of vertex ids: s t [s t ...]"));
     }
+    let parse_vertex = |tok: &str| -> Result<VertexId, CliError> {
+        tok.parse().map_err(|_| err(format!("bad vertex {tok}")))
+    };
     for pair in positional.chunks_exact(2) {
-        let s: VertexId = pair[0].parse().map_err(|_| err(format!("bad vertex {}", pair[0])))?;
-        let t: VertexId = pair[1].parse().map_err(|_| err(format!("bad vertex {}", pair[1])))?;
+        pairs.push((parse_vertex(pair[0])?, parse_vertex(pair[1])?));
+    }
+    if let Some(batch) = args.opt("--pairs") {
+        let text =
+            std::fs::read_to_string(batch).map_err(|e| err(format!("cannot open {batch}: {e}")))?;
+        for line in text.lines() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut it = line.split_whitespace();
+            let (Some(s), Some(t), None) = (it.next(), it.next(), it.next()) else {
+                return Err(err(format!("bad pair line in {batch}: `{line}`")));
+            };
+            pairs.push((parse_vertex(s)?, parse_vertex(t)?));
+        }
+    }
+    if pairs.is_empty() {
+        return Err(err("query needs vertex pairs: s t [s t ...] and/or --pairs FILE"));
+    }
+    for &(s, t) in &pairs {
         if s as usize >= ranking.len() || t as usize >= ranking.len() {
             return Err(err(format!("vertex out of range: {s} or {t}")));
         }
-        let d = disk.query(ranking.rank_of(s), ranking.rank_of(t))?;
+    }
+
+    let rank_pairs: Vec<(VertexId, VertexId)> =
+        pairs.iter().map(|&(s, t)| (ranking.rank_of(s), ranking.rank_of(t))).collect();
+    let threads: usize = args.parsed("--threads")?.unwrap_or(1);
+    let dists = flat.query_many(&rank_pairs, threads);
+    for (&(s, t), d) in pairs.iter().zip(dists) {
         if d == INF_DIST {
             writeln!(out, "dist({s}, {t}) = unreachable")?;
         } else {
@@ -422,6 +460,42 @@ mod tests {
         for f in [&graph, &seq_idx, &par_idx] {
             let _ = std::fs::remove_file(f);
             let _ = std::fs::remove_file(format!("{f}.rank"));
+        }
+    }
+
+    #[test]
+    fn batch_query_file_and_threads() {
+        let graph = tmp("batch.txt");
+        let index = tmp("batch.idx");
+        let pairs_file = tmp("batch.pairs");
+        run_vec(&["gen", "--model", "glp", "--vertices", "300", "--seed", "9", "-o", &graph])
+            .unwrap();
+        run_vec(&["build", "-i", &graph, "-o", &index]).unwrap();
+        std::fs::write(&pairs_file, "# header comment\n0 1\n5 5   # self pair\n\n7 42\n").unwrap();
+
+        let batch = run_vec(&["query", "-x", &index, "--pairs", &pairs_file]).unwrap();
+        assert_eq!(batch.lines().count(), 3, "{batch}");
+        assert!(batch.contains("dist(5, 5) = 0"), "{batch}");
+
+        // Same answers pair-by-pair, any thread count, any mix of
+        // positional and file pairs — order is input order.
+        let threaded =
+            run_vec(&["query", "-x", &index, "--pairs", &pairs_file, "--threads", "4"]).unwrap();
+        assert_eq!(batch, threaded);
+        let mixed =
+            run_vec(&["query", "-x", &index, "3", "4", "--pairs", &pairs_file, "--threads", "0"])
+                .unwrap();
+        assert!(mixed.starts_with("dist(3, 4)"), "{mixed}");
+        assert!(mixed.ends_with(&batch), "positional pairs come first:\n{mixed}");
+
+        assert!(run_vec(&["query", "-x", &index, "--pairs", "/nonexistent"]).is_err());
+        std::fs::write(&pairs_file, "1 2 3\n").unwrap();
+        assert!(run_vec(&["query", "-x", &index, "--pairs", &pairs_file])
+            .unwrap_err()
+            .0
+            .contains("bad pair line"));
+        for f in [&graph, &index, &pairs_file, &format!("{index}.rank")] {
+            let _ = std::fs::remove_file(f);
         }
     }
 

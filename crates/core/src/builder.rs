@@ -1,5 +1,6 @@
 //! Top-level build API: rank, relabel, run the engine, wrap the result.
 
+use hoplabels::flat::FlatIndex;
 use hoplabels::index::LabelIndex;
 use sfgraph::ranking::{rank_vertices, relabel_by_rank, RankBy, Ranking};
 use sfgraph::{Dist, Graph, VertexId};
@@ -11,8 +12,14 @@ use crate::postprune;
 
 /// A built HopDb index: labels over the rank-relabeled graph plus the
 /// ranking that maps user-facing vertex ids to rank ids.
+///
+/// Queries are served from a frozen [`FlatIndex`] snapshot of the
+/// built labels — the nested [`LabelIndex`] is kept alongside for
+/// statistics, serialization, and further processing (post-pruning,
+/// bit-parallel augmentation), but the hot read path never touches it.
 pub struct HopDb {
     index: LabelIndex,
+    flat: FlatIndex,
     ranking: Ranking,
     stats: BuildStats,
 }
@@ -21,12 +28,28 @@ impl HopDb {
     /// Exact distance between two vertices of the *original* graph.
     #[inline]
     pub fn query(&self, s: VertexId, t: VertexId) -> Dist {
-        self.index.query(self.ranking.rank_of(s), self.ranking.rank_of(t))
+        self.flat.query(self.ranking.rank_of(s), self.ranking.rank_of(t))
+    }
+
+    /// Answer a batch of `(s, t)` pairs (original vertex ids) across up
+    /// to `threads` scoped workers (`0` = all cores); results come back
+    /// in input order, each bit-identical to [`HopDb::query`].
+    pub fn query_many(&self, pairs: &[(VertexId, VertexId)], threads: usize) -> Vec<Dist> {
+        let rank_pairs: Vec<(VertexId, VertexId)> = pairs
+            .iter()
+            .map(|&(s, t)| (self.ranking.rank_of(s), self.ranking.rank_of(t)))
+            .collect();
+        self.flat.query_many(&rank_pairs, threads)
     }
 
     /// The underlying label index (vertex ids are rank positions).
     pub fn index(&self) -> &LabelIndex {
         &self.index
+    }
+
+    /// The frozen flat index queries are served from (rank ids).
+    pub fn flat_index(&self) -> &FlatIndex {
+        &self.flat
     }
 
     /// The vertex ranking used for relabeling.
@@ -71,7 +94,8 @@ pub fn build(g: &Graph, cfg: &HopDbConfig) -> HopDb {
     let ranking = rank_vertices(g, &rank_by);
     let relabeled = relabel_by_rank(g, &ranking);
     let (index, stats) = build_prelabeled(&relabeled, cfg);
-    HopDb { index, ranking, stats }
+    let flat = FlatIndex::from_index(&index);
+    HopDb { index, flat, ranking, stats }
 }
 
 /// Build on a graph that is *already* rank-relabeled (id 0 = highest
@@ -141,6 +165,20 @@ mod tests {
                 assert_eq!(pruned.query(s, t), ap[s as usize][t as usize]);
             }
         }
+    }
+
+    #[test]
+    fn query_many_agrees_with_query_on_original_ids() {
+        let g = shuffled_star();
+        let db = build(&g, &HopDbConfig::default());
+        let pairs: Vec<(VertexId, VertexId)> =
+            g.vertices().flat_map(|s| g.vertices().map(move |t| (s, t))).collect();
+        let expect: Vec<u32> = pairs.iter().map(|&(s, t)| db.query(s, t)).collect();
+        for threads in [0usize, 1, 2, 8] {
+            assert_eq!(db.query_many(&pairs, threads), expect, "threads {threads}");
+        }
+        // The flat snapshot matches the nested index entry-for-entry.
+        assert_eq!(db.flat_index().total_entries(), db.index().total_entries());
     }
 
     #[test]

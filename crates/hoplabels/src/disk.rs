@@ -29,6 +29,79 @@ use crate::index::{join_min, LabelIndex, VertexLabels};
 const MAGIC: &[u8; 8] = b"HOPIDX01";
 const ENTRY_BYTES: u64 = 8;
 
+/// Parsed `HOPIDX01` header: flags, vertex count, offset directories,
+/// and the byte positions where the entry regions start. Shared by
+/// [`DiskIndex::open`] (which reads it through a counted file) and
+/// [`crate::flat::FlatIndex::from_hopidx_bytes`] (which parses a byte
+/// image directly).
+pub(crate) struct HopIdxHeader {
+    pub(crate) directed: bool,
+    pub(crate) n: usize,
+    pub(crate) out_offsets: Vec<u64>,
+    pub(crate) in_offsets: Vec<u64>,
+    /// Byte offset of the first out-entry.
+    pub(crate) out_base: usize,
+    /// Byte offset of the first in-entry (== end of out region when
+    /// undirected).
+    pub(crate) in_base: usize,
+}
+
+impl HopIdxHeader {
+    /// Parse the header from the front of a serialized index image.
+    pub(crate) fn parse(bytes: &[u8]) -> std::io::Result<HopIdxHeader> {
+        let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+        if bytes.len() < 20 || &bytes[..8] != MAGIC {
+            return Err(bad("not a HOPIDX01 file"));
+        }
+        let directed = bytes[8] != 0;
+        let n = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
+        let dirs = if directed { 2 } else { 1 };
+        // All size arithmetic is on attacker-controlled header fields:
+        // checked/saturating math turns a crafted vertex count into a
+        // clean InvalidData error instead of an overflow panic or an
+        // absurd allocation.
+        let header_len = n
+            .checked_add(1)
+            .and_then(|slots| slots.checked_mul(8 * dirs))
+            .and_then(|dir| dir.checked_add(20))
+            .ok_or_else(|| bad("vertex count overflows the offset directory"))?;
+        if bytes.len() < header_len {
+            return Err(bad("truncated offset directory"));
+        }
+        let offsets_at = |at: usize| -> Vec<u64> {
+            bytes[at..at + (n + 1) * 8]
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                .collect()
+        };
+        let out_offsets = offsets_at(20);
+        let in_offsets = if directed { offsets_at(20 + (n + 1) * 8) } else { Vec::new() };
+        if !offsets_sorted(&out_offsets) || !offsets_sorted(&in_offsets) {
+            return Err(bad("offset directory not monotone"));
+        }
+        let out_total = *out_offsets.last().ok_or_else(|| bad("empty offset table"))? as usize;
+        let out_base = header_len;
+        let in_base = out_total
+            .checked_mul(ENTRY_BYTES as usize)
+            .and_then(|b| b.checked_add(out_base))
+            .ok_or_else(|| bad("entry counts overflow the out region"))?;
+        Ok(HopIdxHeader { directed, n, out_offsets, in_offsets, out_base, in_base })
+    }
+
+    /// Total byte length a well-formed file with this header must have
+    /// (saturating: a length no real file can reach simply fails the
+    /// caller's `len >= expected` check).
+    pub(crate) fn expected_len(&self) -> usize {
+        (self.in_offsets.last().copied().unwrap_or(0) as usize)
+            .saturating_mul(ENTRY_BYTES as usize)
+            .saturating_add(self.in_base)
+    }
+}
+
+fn offsets_sorted(offsets: &[u64]) -> bool {
+    offsets.windows(2).all(|w| w[0] <= w[1])
+}
+
 /// A 2-hop index stored in a counted file, queryable without loading the
 /// labels into memory.
 pub struct DiskIndex {
@@ -105,41 +178,38 @@ impl DiskIndex {
     /// a persisted file re-opened in a later process).
     pub fn open(mut file: CountedFile) -> std::io::Result<DiskIndex> {
         let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
-        let mut magic = [0u8; 8];
-        file.read_exact_at(0, &mut magic)?;
-        if &magic != MAGIC {
+        let mut prefix = [0u8; 20];
+        file.read_exact_at(0, &mut prefix)?;
+        if &prefix[..8] != MAGIC {
             return Err(bad("not a HOPIDX01 file"));
         }
-        let mut flags = [0u8; 4];
-        file.read_exact_at(8, &mut flags)?;
-        let directed = flags[0] != 0;
-        let mut nbuf = [0u8; 8];
-        file.read_exact_at(12, &mut nbuf)?;
-        let n = u64::from_le_bytes(nbuf) as usize;
-        let read_offsets = |file: &mut CountedFile, at: u64| -> std::io::Result<Vec<u64>> {
-            let mut bytes = vec![0u8; (n + 1) * 8];
-            file.read_exact_at(at, &mut bytes)?;
-            Ok(bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect())
-        };
-        let out_offsets = read_offsets(&mut file, 20)?;
-        let in_offsets =
-            if directed { read_offsets(&mut file, 20 + (n as u64 + 1) * 8)? } else { Vec::new() };
-        let header_len = 20 + (n as u64 + 1) * 8 * if directed { 2 } else { 1 };
-        let out_total = *out_offsets.last().ok_or_else(|| bad("empty offset table"))?;
-        let out_base = header_len;
-        let in_base = out_base + out_total * ENTRY_BYTES;
-        let expect = in_base + in_offsets.last().copied().unwrap_or(0) * ENTRY_BYTES;
-        if file.len()? < expect {
+        let directed = prefix[8] != 0;
+        let n = u64::from_le_bytes(prefix[12..20].try_into().unwrap()) as usize;
+        // Bound the untrusted vertex count by the file length before
+        // sizing the header buffer from it: the directory alone needs
+        // more than 8 bytes per vertex, so a corrupt count either
+        // fails here or yields a modest allocation.
+        let file_len = file.len()? as usize;
+        let header_len = n
+            .checked_add(1)
+            .and_then(|slots| slots.checked_mul(8 * if directed { 2 } else { 1 }))
+            .and_then(|dir| dir.checked_add(20))
+            .filter(|&len| len <= file_len)
+            .ok_or_else(|| bad("vertex count exceeds the index file"))?;
+        let mut header_bytes = vec![0u8; header_len];
+        file.read_exact_at(0, &mut header_bytes)?;
+        let header = HopIdxHeader::parse(&header_bytes)?;
+        if (file.len()? as usize) < header.expected_len() {
             return Err(bad("truncated index file"));
         }
         Ok(DiskIndex {
             file,
-            directed,
-            n,
-            out_offsets,
-            in_offsets,
-            out_base,
-            in_base,
+            directed: header.directed,
+            n: header.n,
+            out_offsets: header.out_offsets,
+            in_offsets: header.in_offsets,
+            out_base: header.out_base as u64,
+            in_base: header.in_base as u64,
             scratch_s: Vec::new(),
             scratch_t: Vec::new(),
         })
@@ -192,7 +262,14 @@ impl DiskIndex {
     }
 
     /// Disk-based distance query: two label reads plus a merge join.
+    ///
+    /// `s == t` is answered from the trivial self-entry without
+    /// touching the disk — paying two label reads to rediscover
+    /// `dist(v, v) = 0` would double the I/O of self-queries.
     pub fn query(&mut self, s: VertexId, t: VertexId) -> std::io::Result<Dist> {
+        if s == t {
+            return Ok(0);
+        }
         let (s_base, s_offsets) = (self.out_base, &self.out_offsets);
         Self::read_label(&mut self.file, s_base, s_offsets, s, &mut self.scratch_s)?;
         let (t_base, t_offsets) = if self.directed {
@@ -269,8 +346,12 @@ impl CachedDiskIndex {
         Ok(scratch)
     }
 
-    /// Distance query; label reads go through the cache.
+    /// Distance query; label reads go through the cache (`s == t`
+    /// short-circuits to 0 without consulting cache or disk).
     pub fn query(&mut self, s: VertexId, t: VertexId) -> std::io::Result<Dist> {
+        if s == t {
+            return Ok(0);
+        }
         let ls = self.label(s, false)?;
         let lt = self.label(t, true)?;
         Ok(join_min(&ls, &lt))
@@ -343,6 +424,28 @@ mod tests {
     }
 
     #[test]
+    fn self_query_does_no_io() {
+        let store = TempStore::new().unwrap();
+        let index = small_directed_index();
+        let mut disk = DiskIndex::create(&index, &store, "self").unwrap();
+        let stats = disk.stats();
+        let (ops, bytes) = (stats.read_ops(), stats.read_bytes());
+        for v in 0..4u32 {
+            assert_eq!(disk.query(v, v).unwrap(), 0);
+        }
+        assert_eq!(stats.read_ops(), ops, "self-queries must not read labels");
+        assert_eq!(stats.read_bytes(), bytes, "self-queries must not read bytes");
+
+        // The cached wrapper must not spend cache slots on them either.
+        let mut cached = CachedDiskIndex::new(disk, 16);
+        for v in 0..4u32 {
+            assert_eq!(cached.query(v, v).unwrap(), 0);
+        }
+        assert_eq!(cached.hit_stats(), (0, 0), "self-queries bypass the cache");
+        assert_eq!(stats.read_ops(), ops);
+    }
+
+    #[test]
     fn unreachable_pairs() {
         let store = TempStore::new().unwrap();
         let index = small_directed_index();
@@ -367,8 +470,10 @@ mod tests {
             }
         }
         let (hits, misses) = cached.hit_stats();
-        assert_eq!(hits + misses, 64);
-        assert!(hits >= 32, "second round must be all hits: {hits} hits");
+        // 16 pairs per round, minus the 4 self-pairs that short-circuit
+        // before touching the cache, times 2 label lookups and 2 rounds.
+        assert_eq!(hits + misses, 48);
+        assert!(hits >= 24, "second round must be all hits: {hits} hits");
         // I/O stops growing once the cache is warm.
         let ops_warm = stats.read_ops();
         cached.query(1, 2).unwrap();
@@ -423,6 +528,20 @@ mod tests {
         std::io::Write::write_all(&mut junk, b"definitely-not-an-index").unwrap();
         std::io::Write::flush(&mut junk).unwrap();
         assert!(DiskIndex::open(junk).is_err());
+
+        // Valid magic, absurd vertex count: must fail cleanly without
+        // an overflow panic or a vertex-count-sized allocation.
+        for bogus_n in [u64::MAX, 1u64 << 61, 1 << 40] {
+            let mut crafted = store.create("crafted").unwrap();
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(MAGIC);
+            bytes.extend_from_slice(&[1, 0, 0, 0]);
+            bytes.extend_from_slice(&bogus_n.to_le_bytes());
+            bytes.extend_from_slice(&[0u8; 16]);
+            std::io::Write::write_all(&mut crafted, &bytes).unwrap();
+            std::io::Write::flush(&mut crafted).unwrap();
+            assert!(DiskIndex::open(crafted).is_err(), "n = {bogus_n}");
+        }
 
         // Valid header but truncated body.
         let index = small_directed_index();

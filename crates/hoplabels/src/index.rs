@@ -183,11 +183,24 @@ pub fn join_min(a: &[LabelEntry], b: &[LabelEntry]) -> Dist {
 }
 
 /// Like [`join_min`] but also reports the winning pivot.
+///
+/// The merge stops as soon as either slice is exhausted *or* the
+/// current pivot on one side exceeds the other side's last pivot —
+/// labels are sorted, so no further common pivot can exist and draining
+/// the longer tail would be wasted work (on scale-free graphs a tail
+/// vertex's short label routinely ends far before a hub label does).
 pub fn join_min_pivot(a: &[LabelEntry], b: &[LabelEntry]) -> Option<(VertexId, Dist)> {
+    let (Some(a_last), Some(b_last)) = (a.last(), b.last()) else {
+        return None;
+    };
+    let (a_last, b_last) = (a_last.pivot, b_last.pivot);
     let (mut i, mut j) = (0usize, 0usize);
     let mut best: Option<(VertexId, Dist)> = None;
     while i < a.len() && j < b.len() {
         let (pa, pb) = (a[i].pivot, b[j].pivot);
+        if pa > b_last || pb > a_last {
+            break; // past the other side's range: no partner possible
+        }
         match pa.cmp(&pb) {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
@@ -277,8 +290,15 @@ impl LabelIndex {
     }
 
     /// Exact distance query `dist(s, t)`; [`INF_DIST`] when unreachable.
+    ///
+    /// `s == t` short-circuits to 0 — every vertex carries the trivial
+    /// self-entry, so joining two labels to rediscover it is pure
+    /// overhead.
     #[inline]
     pub fn query(&self, s: VertexId, t: VertexId) -> Dist {
+        if s == t {
+            return 0;
+        }
         join_min(self.source_labels(s).entries(), self.target_labels(t).entries())
     }
 
@@ -308,10 +328,22 @@ impl LabelIndex {
         }
     }
 
-    /// Index size in bytes at 8 bytes per entry (pivot + dist), the
-    /// in-memory footprint used for Table 6's index-size column.
-    pub fn size_bytes(&self) -> usize {
+    /// Bytes of raw label entries at 8 bytes per `(pivot, dist)` pair —
+    /// the information-theoretic payload of the index.
+    pub fn entry_bytes(&self) -> usize {
         self.total_entries() * std::mem::size_of::<LabelEntry>()
+    }
+
+    /// Practical resident footprint: entry payload plus the per-vertex
+    /// offset directory (8 bytes per vertex per direction, `n + 1`
+    /// slots each) that any frozen or disk-resident layout
+    /// ([`crate::flat::FlatIndex`], [`crate::disk::DiskIndex`]) holds
+    /// to find a label. This is the number Table 6's memory column
+    /// should quote — `entry_bytes` alone undercounts what a serving
+    /// process actually keeps resident.
+    pub fn resident_bytes(&self) -> usize {
+        let directions = if self.is_directed() { 2 } else { 1 };
+        self.entry_bytes() + directions * (self.num_vertices() + 1) * std::mem::size_of::<u64>()
     }
 }
 
@@ -443,7 +475,31 @@ mod tests {
         }
         assert_eq!(idx.total_entries(), 3);
         assert_eq!(idx.avg_label_size(), 1.5);
-        assert_eq!(idx.size_bytes(), 24);
+        assert_eq!(idx.entry_bytes(), 24);
+        // 3 entries × 8 plus the (n + 1) × 8-byte offset directory.
+        assert_eq!(idx.resident_bytes(), 24 + 3 * 8);
+
+        let mut didx = LabelIndex::new_directed(2);
+        if let LabelIndex::Directed(d) = &mut didx {
+            d.out_labels[1].insert_min(LabelEntry::new(0, 1));
+        }
+        assert_eq!(didx.entry_bytes(), 5 * 8);
+        // Two directories for a directed index.
+        assert_eq!(didx.resident_bytes(), 5 * 8 + 2 * 3 * 8);
+    }
+
+    #[test]
+    fn join_exits_past_the_other_sides_range() {
+        // b's pivots all exceed a's last pivot after the first step:
+        // the merge must still find nothing and must not panic.
+        let a = VertexLabels::from_entries(vec![LabelEntry::new(1, 1), LabelEntry::new(3, 1)]);
+        let b = VertexLabels::from_entries(vec![LabelEntry::new(5, 1), LabelEntry::new(9, 1)]);
+        assert_eq!(join_min(a.entries(), b.entries()), INF_DIST);
+        assert_eq!(join_min(b.entries(), a.entries()), INF_DIST);
+        // A shared pivot right at the boundary still wins.
+        let c = VertexLabels::from_entries(vec![LabelEntry::new(3, 2), LabelEntry::new(9, 1)]);
+        assert_eq!(join_min(a.entries(), c.entries()), 3);
+        assert_eq!(join_min(&[], c.entries()), INF_DIST);
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //! * [`index::LabelIndex`] — the full index: `Lin`/`Lout` per vertex for
 //!   directed graphs, a single `L` per vertex for undirected graphs, with
 //!   the merge-join distance query of Section 2;
+//! * [`flat::FlatIndex`] — the frozen read path: struct-of-arrays CSR
+//!   labels with sentinel-terminated runs, an adaptive merge/gallop
+//!   join, and the batched parallel `query_many` used for serving;
 //! * [`stats`] — label-size and pivot-coverage statistics backing
 //!   Table 7 and Figures 8–9;
 //! * [`disk`] — the on-disk index layout and the I/O-counted disk query
@@ -29,10 +32,12 @@
 pub mod bitparallel;
 pub mod disk;
 pub mod entry;
+pub mod flat;
 pub mod index;
 pub mod path;
 pub mod stats;
 pub mod verify;
 
 pub use entry::LabelEntry;
+pub use flat::FlatIndex;
 pub use index::{DirectedLabels, LabelIndex, UndirectedLabels, VertexLabels};
