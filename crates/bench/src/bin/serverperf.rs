@@ -1,0 +1,198 @@
+//! Serving-path performance snapshot (the CI `server-perf` artifact).
+//!
+//! Boots a real `hopdb-server` daemon on an ephemeral loopback port
+//! over a GLP-built index, then drives it with closed-loop clients —
+//! each client one TCP connection issuing `--batch`-pair query frames
+//! back to back — at 1 connection and at `--conns` connections.
+//! Before any timing, every served answer is asserted bit-identical to
+//! in-process `FlatIndex::query_many`.
+//!
+//! The snapshot lands in `BENCH_server.json`: pairs/second (QPS) and
+//! request latency percentiles (p50/p99) per connection count.
+//!
+//! Gates (any failure exits non-zero):
+//!
+//! * `--min-qps N` — pairs/second floor at `--conns` connections.
+//!
+//! ```text
+//! BENCH_SCALE=small cargo run --release -p bench --bin serverperf -- \
+//!     --threads 4 --conns 4 --batch 256 --min-qps 150000 -o BENCH_server.json
+//! ```
+
+use std::time::Instant;
+
+use bench::Scale;
+use graphgen::{glp, GlpParams};
+use hopdb::{build_prelabeled, HopDbConfig};
+use hopdb_server::{serve, Client, ServerConfig};
+use hoplabels::disk::DiskIndex;
+use hoplabels::flat::FlatIndex;
+use sfgraph::ranking::{rank_vertices, relabel_by_rank, RankBy};
+use sfgraph::VertexId;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// One connection-count measurement.
+struct Run {
+    conns: usize,
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    requests: usize,
+}
+
+/// Drive the server closed-loop from `conns` concurrent connections.
+fn measure(
+    addr: std::net::SocketAddr,
+    pairs: &[(VertexId, VertexId)],
+    conns: usize,
+    batch: usize,
+    requests_per_conn: usize,
+) -> Run {
+    let started = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut lat = Vec::with_capacity(requests_per_conn);
+                    for r in 0..requests_per_conn {
+                        // Each request replays a rotating window so
+                        // different connections touch different pairs.
+                        let at = (c * 31 + r * batch) % (pairs.len() - batch);
+                        let t0 = Instant::now();
+                        let got = client.query(&pairs[at..at + batch]).expect("query");
+                        lat.push(t0.elapsed().as_secs_f64() * 1e6);
+                        assert_eq!(got.len(), batch);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect()
+    });
+    let wall = started.elapsed().as_secs_f64();
+    latencies.sort_by(f64::total_cmp);
+    let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+    let total_requests = conns * requests_per_conn;
+    Run {
+        conns,
+        qps: (total_requests * batch) as f64 / wall,
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        requests: total_requests,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_env();
+    let out_path = arg_value(&args, "-o").unwrap_or_else(|| "BENCH_server.json".to_string());
+    let threads: usize =
+        arg_value(&args, "--threads").map_or(4, |v| v.parse().expect("bad --threads"));
+    let conns: usize =
+        arg_value(&args, "--conns").map_or(threads, |v| v.parse().expect("bad --conns"));
+    let batch: usize = arg_value(&args, "--batch").map_or(256, |v| v.parse().expect("bad --batch"));
+    assert!(batch >= 1, "--batch must be at least 1 pair");
+    let min_qps: Option<f64> =
+        arg_value(&args, "--min-qps").map(|v| v.parse().expect("bad --min-qps"));
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let (n, density, requests_per_conn) = match scale {
+        Scale::Small => (4_000, 3.0, 400),
+        Scale::Medium => (12_000, 4.0, 1_500),
+        Scale::Large => (40_000, 4.0, 4_000),
+    };
+    eprintln!(
+        "serverperf: GLP n={n} d={density} (scale {scale:?}, {cores} cores, \
+         {threads} server threads, batch {batch})"
+    );
+    let g = glp(&GlpParams::with_density(n, density, 42));
+    let ranking = rank_vertices(&g, &RankBy::Degree);
+    let relabeled = relabel_by_rank(&g, &ranking);
+    let (index, _) = build_prelabeled(&relabeled, &HopDbConfig::default().with_parallelism(0));
+    let flat = FlatIndex::from_index(&index);
+
+    // Serialize the index to a standalone file the daemon boots from.
+    let store = extmem::device::TempStore::new().expect("temp store");
+    let staged = DiskIndex::create(&index, &store, "serverperf").expect("serialize").persist();
+    let index_path =
+        std::env::temp_dir().join(format!("hopdb-serverperf-{}.idx", std::process::id()));
+    std::fs::copy(&staged, &index_path).expect("stage index");
+    std::fs::remove_file(staged).ok();
+
+    let config = ServerConfig { threads, batch_threads: 1, ..ServerConfig::default() };
+    let handle = serve("127.0.0.1:0", &index_path, config).expect("serve");
+    let addr = handle.local_addr();
+    eprintln!("  daemon on {addr}");
+
+    // Correctness gate before any timing: wire answers must be
+    // bit-identical to the in-process flat index.
+    let sweep = bench::query_pairs(&relabeled, 8_192, 0xC0FFEE);
+    let expect = flat.query_many(&sweep, 0);
+    let mut checker = Client::connect(addr).expect("connect");
+    let mut served = Vec::with_capacity(sweep.len());
+    for chunk in sweep.chunks(batch.max(1)) {
+        served.extend(checker.query(chunk).expect("sweep query"));
+    }
+    assert_eq!(served, expect, "wire-served distances diverge from FlatIndex::query_many");
+    drop(checker);
+    eprintln!("  answers bit-identical to FlatIndex on {} pairs", sweep.len());
+
+    // Size the replay pool relative to the batch so the rotating-window
+    // arithmetic in `measure` always has room (pool > batch).
+    let pairs = bench::query_pairs(&relabeled, 65_536.max(batch * 8), 0xBEEF);
+    // Warm up connections, caches, and the accept path.
+    measure(addr, &pairs, 1, batch, requests_per_conn / 4 + 1);
+    let runs = [
+        measure(addr, &pairs, 1, batch, requests_per_conn),
+        measure(addr, &pairs, conns, batch, requests_per_conn),
+    ];
+    for run in &runs {
+        eprintln!(
+            "  {} conn(s): {:>10.0} pairs/s   p50 {:>7.1} µs   p99 {:>7.1} µs   ({} requests)",
+            run.conns, run.qps, run.p50_us, run.p99_us, run.requests
+        );
+    }
+
+    let run_json = |r: &Run| {
+        format!(
+            r#"{{"conns":{},"qps":{:.0},"p50_us":{:.1},"p99_us":{:.1},"requests":{}}}"#,
+            r.conns, r.qps, r.p50_us, r.p99_us, r.requests
+        )
+    };
+    let json = format!(
+        concat!(
+            r#"{{"workload":{{"model":"glp","vertices":{},"density":{},"seed":42}},"#,
+            r#""scale":"{:?}","cores":{},"server_threads":{},"batch":{},"#,
+            r#""index":{{"entries":{},"resident_bytes":{}}},"#,
+            r#""runs":[{},{}]}}"#
+        ),
+        n,
+        density,
+        scale,
+        cores,
+        threads,
+        batch,
+        index.total_entries(),
+        flat.resident_bytes(),
+        run_json(&runs[0]),
+        run_json(&runs[1]),
+    );
+    std::fs::write(&out_path, format!("{json}\n")).expect("write snapshot");
+    eprintln!("wrote {out_path}");
+
+    handle.shutdown();
+    std::fs::remove_file(&index_path).ok();
+
+    if let Some(want) = min_qps {
+        let got = runs[1].qps;
+        if got < want {
+            eprintln!("QPS regression: {got:.0} pairs/s at {conns} conns, gate wants {want:.0}");
+            std::process::exit(1);
+        }
+        eprintln!("qps ok: {got:.0} pairs/s at {conns} conns (gate {want:.0})");
+    }
+}

@@ -2,7 +2,7 @@
 
 //! # hopdb-cli — command-line front end
 //!
-//! Four subcommands wire the library into a usable tool:
+//! Six subcommands wire the library into a usable tool:
 //!
 //! ```text
 //! hopdb-cli gen   --model glp --vertices 100000 --density 4 -o graph.txt
@@ -12,6 +12,9 @@
 //!                 [--threads N]
 //! hopdb-cli query -x graph.idx 17 4242 [more pairs…]
 //! hopdb-cli query -x graph.idx --pairs batch.txt --threads 4
+//! hopdb-cli serve -x graph.idx --addr 127.0.0.1:7654 --threads 8
+//!                 [--swap-path next.idx] [--max-resident-bytes N]
+//! hopdb-cli admin -a 127.0.0.1:7654 stats|swap|shutdown
 //! ```
 //!
 //! `build` writes two artifacts: the disk index (`hoplabels::disk`
@@ -19,9 +22,11 @@
 //! so `query` can accept original vertex ids. `query` loads the index
 //! into the flat serving layout (`hoplabels::flat::FlatIndex`) and
 //! answers single pairs or whole batch files, sharding batches across
-//! `--threads` workers. Argument parsing is handwritten (no external
-//! dependency); all logic lives in [`run`] so tests drive the CLI
-//! in-process.
+//! `--threads` workers. `serve` runs the `hopdb-server` daemon over the
+//! same index + sidecar pair, and `admin` speaks the wire protocol to a
+//! running daemon (statistics, hot index swap, shutdown). Argument
+//! parsing is handwritten (no external dependency); all logic lives in
+//! [`run`] so tests drive the CLI in-process.
 
 use std::fmt::Write as _;
 use std::io::{Read, Write};
@@ -115,7 +120,7 @@ impl<'a> Args<'a> {
     }
 }
 
-const BOOL_FLAGS: &[&str] = &["--directed", "--weighted", "--external"];
+const BOOL_FLAGS: &[&str] = &["--directed", "--weighted", "--external", "--allow-remote-shutdown"];
 
 /// Run the CLI with `args` (excluding the program name); human-readable
 /// output goes to `out`.
@@ -129,6 +134,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "stats" => cmd_stats(&rest, out),
         "build" => cmd_build(&rest, out),
         "query" => cmd_query(&rest, out),
+        "serve" => cmd_serve(&rest, out),
+        "admin" => cmd_admin(&rest, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;
             Ok(())
@@ -148,7 +155,13 @@ commands:
          [--strategy hybrid|stepping|doubling] [--switch-at K] [--post-prune]
          [--threads N]   (0 = all cores; any N builds the identical index)
   query  -x INDEX [s t ...] [--pairs FILE] [--threads N]
-         (pairs from arguments and/or FILE of `s t` lines; N workers, 0 = all cores)";
+         (pairs from arguments and/or FILE of `s t` lines; N workers, 0 = all cores)
+  serve  -x INDEX [--addr HOST:PORT] [--threads N] [--batch-threads N]
+         [--max-batch PAIRS] [--max-resident-bytes B] [--swap-path FILE]
+         [--announce-file FILE] [--allow-remote-shutdown]
+         (long-running TCP daemon; HOPQ wire protocol; swap promotes --swap-path)
+  admin  -a HOST:PORT stats|swap|shutdown
+         (talk to a running serve daemon)";
 
 fn cmd_gen(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let model = args.opt("--model").unwrap_or("glp");
@@ -234,7 +247,7 @@ fn cmd_build(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let io = IoStats::shared();
     let file = CountedFile::create_path(Path::new(target), io)?;
     write_index_to(&index, file)?;
-    write_ranking_sidecar(target, &ranking, g.num_vertices())?;
+    write_ranking_sidecar(target, &ranking)?;
 
     writeln!(
         out,
@@ -260,37 +273,30 @@ fn write_index_to(index: &hoplabels::LabelIndex, file: CountedFile) -> Result<()
     Ok(())
 }
 
-fn write_ranking_sidecar(target: &str, ranking: &Ranking, n: usize) -> Result<(), CliError> {
-    let mut bytes = Vec::with_capacity(8 + 4 * n);
-    bytes.extend_from_slice(b"HOPRANK1");
-    for r in 0..n as u32 {
-        bytes.extend_from_slice(&ranking.vertex_at(r).to_le_bytes());
-    }
-    std::fs::write(format!("{target}.rank"), bytes)?;
+fn write_ranking_sidecar(target: &str, ranking: &Ranking) -> Result<(), CliError> {
+    std::fs::write(format!("{target}.rank"), ranking.to_sidecar_bytes())?;
     Ok(())
 }
 
-fn read_ranking_sidecar(target: &str) -> Result<Ranking, CliError> {
+fn read_ranking_sidecar(target: &str, expect_n: usize) -> Result<Ranking, CliError> {
     let path = format!("{target}.rank");
     let mut bytes = Vec::new();
     std::fs::File::open(&path)
         .map_err(|e| err(format!("cannot open {path}: {e}")))?
         .read_to_end(&mut bytes)?;
-    if bytes.len() < 8 || &bytes[..8] != b"HOPRANK1" || (bytes.len() - 8) % 4 != 0 {
-        return Err(err(format!("{path} is not a ranking sidecar")));
-    }
-    let order: Vec<VertexId> =
-        bytes[8..].chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect();
-    Ok(Ranking::from_order(order))
+    // Validating the vertex count here turns a stale sidecar (index
+    // rebuilt without its .rank) into a clean error instead of an
+    // out-of-range panic inside the query workers.
+    Ranking::from_sidecar_bytes(&bytes, Some(expect_n)).map_err(|msg| err(format!("{path}: {msg}")))
 }
 
 fn cmd_query(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let target = args.required("-x")?;
-    let ranking = read_ranking_sidecar(target)?;
     // Load the serialized index straight into the flat serving layout —
     // no per-vertex allocations, no disk reads per query.
     let flat = FlatIndex::load(Path::new(target))
         .map_err(|e| err(format!("cannot load {target}: {e}")))?;
+    let ranking = read_ranking_sidecar(target, flat.num_vertices())?;
 
     // Pairs come from the positional arguments and/or a batch file of
     // whitespace-separated `s t` lines (`#` comments allowed).
@@ -339,6 +345,72 @@ fn cmd_query(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         } else {
             writeln!(out, "dist({s}, {t}) = {d}")?;
         }
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let target = args.required("-x")?;
+    let addr = args.opt("--addr").unwrap_or("127.0.0.1:7654");
+    let config = hopdb_server::ServerConfig {
+        threads: args.parsed("--threads")?.unwrap_or(0),
+        batch_threads: args.parsed("--batch-threads")?.unwrap_or(1),
+        max_batch: args.parsed("--max-batch")?.unwrap_or(hopdb_server::proto::DEFAULT_MAX_BATCH),
+        max_resident_bytes: args.parsed("--max-resident-bytes")?,
+        swap_path: args.opt("--swap-path").map(std::path::PathBuf::from),
+        allow_shutdown: args.has("--allow-remote-shutdown"),
+    };
+    let handle = hopdb_server::serve(addr, Path::new(target), config)
+        .map_err(|e| err(format!("cannot serve {target} on {addr}: {e}")))?;
+    let announced = (|| -> Result<(), CliError> {
+        writeln!(out, "serving {target} on {} (generation 1)", handle.local_addr())?;
+        out.flush()?;
+        // Scripts and tests poll this file instead of parsing stdout —
+        // with `--addr 127.0.0.1:0` it is the only way to learn the port.
+        if let Some(announce) = args.opt("--announce-file") {
+            std::fs::write(announce, handle.local_addr().to_string())?;
+        }
+        Ok(())
+    })();
+    if let Err(e) = announced {
+        // The daemon is already running; a dropped handle would leak
+        // its threads and the bound port for the process lifetime.
+        handle.shutdown();
+        return Err(e);
+    }
+    handle.wait();
+    writeln!(out, "server stopped")?;
+    Ok(())
+}
+
+fn cmd_admin(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let addr = args.required("-a")?;
+    let positional = args.positional();
+    let [action] = positional[..] else {
+        return Err(err("admin needs exactly one action: stats|swap|shutdown"));
+    };
+    let mut client = hopdb_server::Client::connect(addr)
+        .map_err(|e| err(format!("cannot connect to {addr}: {e}")))?;
+    let admin_err = |what: &str, e: std::io::Error| err(format!("{what} failed: {e}"));
+    match action {
+        "stats" => {
+            let s = client.stats().map_err(|e| admin_err("stats", e))?;
+            writeln!(out, "generation       {}", s.generation)?;
+            writeln!(out, "vertices         {}", s.vertices)?;
+            writeln!(out, "directed         {}", s.directed)?;
+            writeln!(out, "resident         {}", s.resident)?;
+            writeln!(out, "requests served  {}", s.requests)?;
+            writeln!(out, "protocol errors  {}", s.protocol_errors)?;
+        }
+        "swap" => {
+            let (generation, vertices) = client.swap().map_err(|e| admin_err("swap", e))?;
+            writeln!(out, "promoted generation {generation} ({vertices} vertices)")?;
+        }
+        "shutdown" => {
+            client.shutdown_server().map_err(|e| admin_err("shutdown", e))?;
+            writeln!(out, "server is shutting down")?;
+        }
+        other => return Err(err(format!("unknown admin action `{other}` (stats|swap|shutdown)"))),
     }
     Ok(())
 }
@@ -523,6 +595,80 @@ mod tests {
     fn help_prints_usage() {
         let out = run_vec(&["help"]).unwrap();
         assert!(out.contains("usage: hopdb-cli"));
+        assert!(out.contains("serve"), "{out}");
+        assert!(out.contains("admin"), "{out}");
+    }
+
+    #[test]
+    fn serve_and_admin_roundtrip() {
+        let graph = tmp("serve.txt");
+        let index = tmp("serve.idx");
+        let announce = tmp("serve.addr");
+        run_vec(&["gen", "--model", "glp", "--vertices", "250", "--seed", "21", "-o", &graph])
+            .unwrap();
+        run_vec(&["build", "-i", &graph, "-o", &index]).unwrap();
+
+        // The daemon blocks until shutdown; run it on its own thread
+        // and learn the ephemeral port from the announce file.
+        let serve_args: Vec<String> = [
+            "serve",
+            "-x",
+            &index,
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "2",
+            "--announce-file",
+            &announce,
+            "--allow-remote-shutdown",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let server = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            run(&serve_args, &mut out).map(|()| String::from_utf8(out).unwrap())
+        });
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        let addr = loop {
+            if let Ok(addr) = std::fs::read_to_string(&announce) {
+                if !addr.is_empty() {
+                    break addr;
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "server never announced its address");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+
+        // Served answers (original vertex ids, via the .rank sidecar)
+        // must match the CLI's direct query path.
+        let direct = run_vec(&["query", "-x", &index, "0", "1", "17", "42"]).unwrap();
+        let mut client = hopdb_server::Client::connect(&addr).unwrap();
+        let served = client.query(&[(0, 1), (17, 42)]).unwrap();
+        for (line, dist) in direct.lines().zip(&served) {
+            let rendered =
+                if *dist == INF_DIST { "unreachable".to_string() } else { dist.to_string() };
+            assert!(line.ends_with(&format!("= {rendered}")), "{line} vs {dist}");
+        }
+
+        let stats = run_vec(&["admin", "-a", &addr, "stats"]).unwrap();
+        assert!(stats.contains("generation       1"), "{stats}");
+        assert!(stats.contains("vertices         250"), "{stats}");
+        // No --swap-path: swap re-loads the boot index, bumping the
+        // generation without changing answers.
+        let swap = run_vec(&["admin", "-a", &addr, "swap"]).unwrap();
+        assert!(swap.contains("promoted generation 2"), "{swap}");
+        assert_eq!(client.query(&[(0, 1), (17, 42)]).unwrap(), served);
+
+        assert!(run_vec(&["admin", "-a", &addr, "frobnicate"]).is_err());
+        let bye = run_vec(&["admin", "-a", &addr, "shutdown"]).unwrap();
+        assert!(bye.contains("shutting down"), "{bye}");
+        let out = server.join().unwrap().unwrap();
+        assert!(out.contains("serving"), "{out}");
+        assert!(out.contains("server stopped"), "{out}");
+        for f in [&graph, &index, &announce, &format!("{index}.rank")] {
+            let _ = std::fs::remove_file(f);
+        }
     }
 
     #[test]

@@ -87,6 +87,14 @@ impl CountedFile {
         Ok(CountedFile { file, path: path.to_path_buf(), stats, delete_on_drop: false })
     }
 
+    /// Open an existing file read-only (not deleted on drop). Writes
+    /// through the handle fail; use this for serving artifacts that may
+    /// be deployed on read-only media or with read-only permissions.
+    pub fn open_path_readonly(path: &Path, stats: Arc<IoStats>) -> std::io::Result<CountedFile> {
+        let file = OpenOptions::new().read(true).open(path)?;
+        Ok(CountedFile { file, path: path.to_path_buf(), stats, delete_on_drop: false })
+    }
+
     /// Create (truncate) a counted file at an explicit path (not deleted
     /// on drop).
     pub fn create_path(path: &Path, stats: Arc<IoStats>) -> std::io::Result<CountedFile> {

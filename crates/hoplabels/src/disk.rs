@@ -53,6 +53,11 @@ impl HopIdxHeader {
         if bytes.len() < 20 || &bytes[..8] != MAGIC {
             return Err(bad("not a HOPIDX01 file"));
         }
+        // The flags word is `[directed, 0, 0, 0]`: reject anything else
+        // so corruption in the header cannot be silently ignored.
+        if bytes[8] > 1 || bytes[9..12] != [0, 0, 0] {
+            return Err(bad("invalid flags word"));
+        }
         let directed = bytes[8] != 0;
         let n = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
         let dirs = if directed { 2 } else { 1 };
@@ -88,9 +93,11 @@ impl HopIdxHeader {
         Ok(HopIdxHeader { directed, n, out_offsets, in_offsets, out_base, in_base })
     }
 
-    /// Total byte length a well-formed file with this header must have
-    /// (saturating: a length no real file can reach simply fails the
-    /// caller's `len >= expected` check).
+    /// Total byte length a well-formed file with this header must have.
+    /// Both loaders require the actual length to match this *exactly* —
+    /// trailing bytes are rejected, not tolerated — and the saturating
+    /// arithmetic turns overflowing header fields into a length no real
+    /// file can match.
     pub(crate) fn expected_len(&self) -> usize {
         (self.in_offsets.last().copied().unwrap_or(0) as usize)
             .saturating_mul(ENTRY_BYTES as usize)
@@ -199,8 +206,10 @@ impl DiskIndex {
         let mut header_bytes = vec![0u8; header_len];
         file.read_exact_at(0, &mut header_bytes)?;
         let header = HopIdxHeader::parse(&header_bytes)?;
-        if (file.len()? as usize) < header.expected_len() {
-            return Err(bad("truncated index file"));
+        // Exact, not `>=`: trailing bytes mean the file is not what the
+        // header says it is, and serving from it would be a guess.
+        if file.len()? as usize != header.expected_len() {
+            return Err(bad("index file length does not match its header"));
         }
         Ok(DiskIndex {
             file,
@@ -227,9 +236,20 @@ impl DiskIndex {
         self.n
     }
 
+    /// Whether this index stores separate `Lin`/`Lout` directions.
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
     /// Bytes occupied by the index file.
     pub fn file_bytes(&self) -> std::io::Result<u64> {
         self.file.len()
+    }
+
+    /// Bytes held resident by this handle (the offset directories; the
+    /// entries stay on disk).
+    pub fn resident_bytes(&self) -> usize {
+        (self.out_offsets.len() + self.in_offsets.len()) * std::mem::size_of::<u64>()
     }
 
     /// The I/O counters recording query traffic.
@@ -317,6 +337,16 @@ impl CachedDiskIndex {
     /// `(hits, misses)` since creation.
     pub fn hit_stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Number of vertices covered by the wrapped index.
+    pub fn num_vertices(&self) -> usize {
+        self.inner.num_vertices()
+    }
+
+    /// Whether the wrapped index is directed.
+    pub fn is_directed(&self) -> bool {
+        self.inner.is_directed()
     }
 
     fn label(&mut self, v: VertexId, target_side: bool) -> std::io::Result<Vec<LabelEntry>> {

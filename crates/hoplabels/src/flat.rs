@@ -257,6 +257,11 @@ impl FlatIndex {
     pub fn from_hopidx_bytes(bytes: &[u8]) -> std::io::Result<FlatIndex> {
         let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
         let header = crate::disk::HopIdxHeader::parse(bytes)?;
+        // Exact, not `>=`: a trailing-garbage image is as untrustworthy
+        // as a truncated one — refuse to serve from it.
+        if bytes.len() != header.expected_len() {
+            return Err(bad("index image length does not match its header"));
+        }
         let n = header.n;
 
         let side_of = |entry_base: usize, offsets: &[u64]| -> std::io::Result<FlatSide> {

@@ -1,0 +1,218 @@
+//! The serving backend behind one index *generation*.
+//!
+//! A [`Generation`] is everything the daemon needs to answer queries
+//! from one loaded index: the index itself (fully resident
+//! [`FlatIndex`], or the [`CachedDiskIndex`] LRU fallback when the file
+//! exceeds the `--max-resident-bytes` admission budget), the optional
+//! `.rank` sidecar translating original vertex ids to rank space, and a
+//! monotone generation number so clients can observe hot swaps.
+//!
+//! Generations are immutable once loaded; the server publishes them
+//! behind an `Arc` and swaps the `Arc` atomically, so requests that
+//! started on the old index finish on it untouched.
+
+use std::path::Path;
+use std::sync::Mutex;
+
+use extmem::device::CountedFile;
+use extmem::stats::IoStats;
+use hoplabels::disk::{CachedDiskIndex, DiskIndex};
+use hoplabels::flat::FlatIndex;
+use sfgraph::ranking::Ranking;
+use sfgraph::{Dist, VertexId};
+
+/// How many whole per-vertex labels the disk fallback's LRU cache
+/// holds. Labels on scale-free graphs average tens of entries, so this
+/// keeps the cache in the single-digit-MiB range regardless of index
+/// size while still absorbing the hot-vertex skew of real workloads.
+const DISK_CACHE_LABELS: usize = 4096;
+
+/// The two ways an index generation can be served.
+enum ServeIndex {
+    /// The whole index frozen into the flat SoA layout.
+    Resident(FlatIndex),
+    /// Too big for the admission budget: disk-resident with an LRU
+    /// label cache. Disk handles carry read positions, so the fallback
+    /// serializes queries behind a mutex — correct first, resident
+    /// serving is the fast path.
+    Disk(Mutex<CachedDiskIndex>),
+}
+
+/// One immutable, queryable index generation.
+pub struct Generation {
+    index: ServeIndex,
+    ranking: Option<Ranking>,
+    generation: u64,
+    vertices: usize,
+    directed: bool,
+}
+
+impl Generation {
+    /// Load the index at `path` as generation `generation`.
+    ///
+    /// When `max_resident_bytes` is set and the file is larger, the
+    /// index is served from disk through [`CachedDiskIndex`] instead of
+    /// being loaded resident. A `<path>.rank` sidecar (as written by
+    /// `hopdb-cli build`) is picked up automatically so queries use
+    /// original vertex ids; without one, queries are in rank space.
+    pub fn load(
+        path: &Path,
+        max_resident_bytes: Option<u64>,
+        generation: u64,
+    ) -> std::io::Result<Generation> {
+        let file_len = std::fs::metadata(path)?.len();
+        let resident = max_resident_bytes.is_none_or(|budget| file_len <= budget);
+        let (index, vertices, directed) = if resident {
+            let flat = FlatIndex::load(path)?;
+            let (n, d) = (flat.num_vertices(), flat.is_directed());
+            (ServeIndex::Resident(flat), n, d)
+        } else {
+            // Read-only: a serving index may live on read-only media,
+            // and the daemon never writes it.
+            let file = CountedFile::open_path_readonly(path, IoStats::shared())?;
+            let disk = DiskIndex::open(file)?;
+            let (n, d) = (disk.num_vertices(), disk.is_directed());
+            (ServeIndex::Disk(Mutex::new(CachedDiskIndex::new(disk, DISK_CACHE_LABELS))), n, d)
+        };
+        let ranking = load_ranking_sidecar(path, vertices)?;
+        Ok(Generation { index, ranking, generation, vertices, directed })
+    }
+
+    /// Build a generation from an already-frozen index (tests, or a
+    /// rebuild promoted without a round-trip through disk).
+    pub fn from_flat(flat: FlatIndex, ranking: Option<Ranking>, generation: u64) -> Generation {
+        let (vertices, directed) = (flat.num_vertices(), flat.is_directed());
+        Generation { index: ServeIndex::Resident(flat), ranking, generation, vertices, directed }
+    }
+
+    /// Monotone generation number assigned at load time.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Vertices covered by this generation.
+    pub fn vertices(&self) -> usize {
+        self.vertices
+    }
+
+    /// Whether the underlying index is directed.
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Whether this generation serves from memory (as opposed to the
+    /// disk-backed admission fallback).
+    pub fn is_resident(&self) -> bool {
+        matches!(self.index, ServeIndex::Resident(_))
+    }
+
+    /// Answer a batch of pairs, fanning resident batches across up to
+    /// `threads` scoped workers via [`FlatIndex::query_many`]. Errors
+    /// (out-of-range vertex, disk I/O failure) fail the whole batch —
+    /// partial answers would be ambiguous on the wire.
+    pub fn query_many(
+        &self,
+        pairs: &[(VertexId, VertexId)],
+        threads: usize,
+    ) -> Result<Vec<Dist>, String> {
+        let n = self.vertices as VertexId;
+        for &(s, t) in pairs {
+            if s >= n || t >= n {
+                return Err(format!("vertex out of range: ({s}, {t}) on a {n}-vertex index"));
+            }
+        }
+        // Translate ids only when a sidecar is loaded — the common
+        // rank-space serving path must not copy the batch per request.
+        let translated: Vec<(VertexId, VertexId)>;
+        let ranked: &[(VertexId, VertexId)] = match &self.ranking {
+            Some(r) => {
+                translated = pairs.iter().map(|&(s, t)| (r.rank_of(s), r.rank_of(t))).collect();
+                &translated
+            }
+            None => pairs,
+        };
+        match &self.index {
+            ServeIndex::Resident(flat) => Ok(flat.query_many(ranked, threads)),
+            ServeIndex::Disk(disk) => {
+                let mut disk = disk.lock().map_err(|_| "disk index poisoned".to_string())?;
+                ranked
+                    .iter()
+                    .map(|&(s, t)| disk.query(s, t).map_err(|e| format!("disk query: {e}")))
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Read the `<path>.rank` sidecar if present. `Ok(None)` when the file
+/// does not exist; a present-but-invalid sidecar is an error — serving
+/// with silently wrong id translation would corrupt every answer.
+/// Validation (magic, permutation, vertex count) lives in
+/// [`Ranking::from_sidecar_bytes`], shared with `hopdb-cli`.
+fn load_ranking_sidecar(path: &Path, n: usize) -> std::io::Result<Option<Ranking>> {
+    let mut sidecar = path.as_os_str().to_os_string();
+    sidecar.push(".rank");
+    let bytes = match std::fs::read(&sidecar) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    Ranking::from_sidecar_bytes(&bytes, Some(n)).map(Some).map_err(|msg| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("{}: {msg}", sidecar.to_string_lossy()),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoplabels::{LabelEntry, LabelIndex};
+
+    fn tiny_flat() -> FlatIndex {
+        let mut idx = LabelIndex::new_undirected(3);
+        if let LabelIndex::Undirected(u) = &mut idx {
+            u.labels[1].insert_min(LabelEntry::new(0, 2));
+            u.labels[2].insert_min(LabelEntry::new(0, 5));
+        }
+        FlatIndex::from_index(&idx)
+    }
+
+    #[test]
+    fn from_flat_serves_and_range_checks() {
+        let g = Generation::from_flat(tiny_flat(), None, 1);
+        assert!(g.is_resident());
+        assert_eq!(g.vertices(), 3);
+        assert_eq!(g.query_many(&[(1, 2), (2, 2)], 1).unwrap(), vec![7, 0]);
+        let err = g.query_many(&[(0, 3)], 1).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn ranking_translates_original_ids() {
+        // Ranking [2, 0, 1]: original vertex 2 is rank 0, etc.
+        let ranking = Ranking::from_order(vec![2, 0, 1]);
+        let g = Generation::from_flat(tiny_flat(), Some(ranking), 1);
+        // original (0, 1) -> ranks (1, 2) -> 7.
+        assert_eq!(g.query_many(&[(0, 1)], 1).unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn missing_sidecar_is_none_invalid_is_error() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("hopdb-backend-test-{}.idx", std::process::id()));
+        assert!(load_ranking_sidecar(&path, 3).unwrap().is_none());
+        let sidecar = format!("{}.rank", path.to_string_lossy());
+        // Wrong magic.
+        std::fs::write(&sidecar, b"NOTRANK!").unwrap();
+        assert!(load_ranking_sidecar(&path, 0).is_err());
+        // Not a permutation.
+        let mut bytes = b"HOPRANK1".to_vec();
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        std::fs::write(&sidecar, &bytes).unwrap();
+        assert!(load_ranking_sidecar(&path, 2).is_err());
+        std::fs::remove_file(&sidecar).unwrap();
+    }
+}

@@ -1,0 +1,113 @@
+//! A minimal blocking client for the `HOPQ` protocol.
+//!
+//! One [`Client`] wraps one TCP connection and issues one request at a
+//! time (the protocol itself allows pipelining — ids are echoed — but
+//! the closed-loop client is all the CLI, tests, and the `serverperf`
+//! harness need).
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use sfgraph::{Dist, VertexId};
+
+use crate::proto::{read_response, ProtoError, Request, RequestBody, ResponseBody, StatsReply};
+
+/// A blocking connection to a `hopdb-server` daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+}
+
+fn invalid(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { reader, writer: BufWriter::new(stream), next_id: 1 })
+    }
+
+    /// Send one request and read the matching response body. Server-side
+    /// errors come back as `InvalidData` I/O errors carrying the
+    /// server's message.
+    fn roundtrip(&mut self, body: RequestBody) -> std::io::Result<ResponseBody> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.writer.write_all(&Request { id, body }.encode())?;
+        self.writer.flush()?;
+        let response = read_response(&mut self.reader).map_err(|e| match e {
+            ProtoError::Io(io) => io,
+            other => invalid(other.to_string()),
+        })?;
+        if response.id != id {
+            // A fatal protocol error is answered with id 0 before the
+            // server closes the stream: surface the server's reason,
+            // not a bare id mismatch.
+            if let ResponseBody::Error(msg) = response.body {
+                return Err(invalid(msg));
+            }
+            return Err(invalid(format!("response id {} for request {id}", response.id)));
+        }
+        Ok(response.body)
+    }
+
+    /// Distance of a batch of `(s, t)` pairs, in input order;
+    /// [`crate::proto::UNREACHABLE`] marks disconnected pairs.
+    pub fn query(&mut self, pairs: &[(VertexId, VertexId)]) -> std::io::Result<Vec<Dist>> {
+        // Refuse frames the server could only treat as stream
+        // corruption (the declared payload would exceed the cap) while
+        // the connection is still healthy.
+        if 4 + 8 * pairs.len() as u64 > crate::proto::MAX_PAYLOAD as u64 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("batch of {} pairs exceeds the wire payload cap", pairs.len()),
+            ));
+        }
+        match self.roundtrip(RequestBody::Query(pairs.to_vec()))? {
+            ResponseBody::Distances(dists) if dists.len() == pairs.len() => Ok(dists),
+            ResponseBody::Distances(dists) => {
+                Err(invalid(format!("{} answers for {} pairs", dists.len(), pairs.len())))
+            }
+            ResponseBody::Error(msg) => Err(invalid(msg)),
+            other => Err(invalid(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Distance of a single pair.
+    pub fn query_one(&mut self, s: VertexId, t: VertexId) -> std::io::Result<Dist> {
+        Ok(self.query(&[(s, t)])?[0])
+    }
+
+    /// Trigger a hot index swap; returns `(generation, vertices)` of
+    /// the newly promoted index.
+    pub fn swap(&mut self) -> std::io::Result<(u64, u64)> {
+        match self.roundtrip(RequestBody::Swap)? {
+            ResponseBody::Swapped { generation, vertices } => Ok((generation, vertices)),
+            ResponseBody::Error(msg) => Err(invalid(msg)),
+            other => Err(invalid(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Fetch serving statistics.
+    pub fn stats(&mut self) -> std::io::Result<StatsReply> {
+        match self.roundtrip(RequestBody::Stats)? {
+            ResponseBody::Stats(stats) => Ok(stats),
+            ResponseBody::Error(msg) => Err(invalid(msg)),
+            other => Err(invalid(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Ask the server to stop (requires the server to allow it).
+    pub fn shutdown_server(&mut self) -> std::io::Result<()> {
+        match self.roundtrip(RequestBody::Shutdown)? {
+            ResponseBody::Bye => Ok(()),
+            ResponseBody::Error(msg) => Err(invalid(msg)),
+            other => Err(invalid(format!("unexpected response {other:?}"))),
+        }
+    }
+}

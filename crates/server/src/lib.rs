@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! # hopdb-server — a long-running query daemon over `FlatIndex`
+//!
+//! The serving process the paper's sub-microsecond query path deserves:
+//! a TCP daemon speaking a small length-prefixed binary protocol
+//! ([`proto`]), booting straight from a serialized `HOPIDX01` index
+//! into the frozen [`hoplabels::flat::FlatIndex`] layout (falling back
+//! to the disk-resident LRU path when the file exceeds an admission
+//! budget), fanning request batches across `FlatIndex::query_many`'s
+//! scoped worker pool, and supporting *hot index swap*: an
+//! admin-frame-triggered atomic `Arc<Generation>` promotion so a
+//! parallel rebuild can replace the serving index without dropping a
+//! single connection.
+//!
+//! * [`proto`] — the `HOPQ`/`HOPR` wire format and its codec;
+//! * [`backend`] — one immutable index generation (resident or
+//!   disk-cached) plus optional `.rank` id translation;
+//! * [`server`] — accept loop, connection worker pool, dispatch, swap;
+//! * [`client`] — a blocking client used by `hopdb-cli admin`, the
+//!   `serverperf` harness, and the end-to-end tests.
+//!
+//! ```
+//! use extmem::device::TempStore;
+//! use hoplabels::disk::DiskIndex;
+//! use hoplabels::{LabelEntry, LabelIndex};
+//! use hopdb_server::{serve, Client, ServerConfig};
+//!
+//! // A 3-vertex path 1 –2– 0 –5– 2, serialized to disk.
+//! let mut idx = LabelIndex::new_undirected(3);
+//! if let LabelIndex::Undirected(u) = &mut idx {
+//!     u.labels[1].insert_min(LabelEntry::new(0, 2));
+//!     u.labels[2].insert_min(LabelEntry::new(0, 5));
+//! }
+//! let store = TempStore::new().unwrap();
+//! let path = DiskIndex::create(&idx, &store, "doc").unwrap().persist();
+//!
+//! let handle = serve("127.0.0.1:0", &path, ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(handle.local_addr()).unwrap();
+//! assert_eq!(client.query(&[(1, 2), (2, 2)]).unwrap(), vec![7, 0]);
+//! handle.shutdown();
+//! std::fs::remove_file(path).unwrap();
+//! ```
+
+pub mod backend;
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use backend::Generation;
+pub use client::Client;
+pub use server::{serve, ServerConfig, ServerHandle};

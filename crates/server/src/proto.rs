@@ -1,0 +1,473 @@
+//! The `HOPQ` wire protocol: length-prefixed binary frames.
+//!
+//! Every frame — request or response — starts with the same fixed
+//! 18-byte header followed by a `payload_len`-byte payload:
+//!
+//! ```text
+//! magic        4 bytes   "HOPQ" (request) / "HOPR" (response)
+//! version      u8        1
+//! kind/status  u8        request kind, or response status
+//! request id   u64 LE    echoed verbatim in the response
+//! payload_len  u32 LE    bytes following the header (≤ MAX_PAYLOAD)
+//! ```
+//!
+//! Request kinds and their payloads:
+//!
+//! | kind | name     | payload |
+//! |------|----------|---------|
+//! | 1    | query    | `count u32 LE`, then `count` × (`s u32 LE`, `t u32 LE`) |
+//! | 2    | swap     | empty — promote the server's configured swap path |
+//! | 3    | stats    | empty |
+//! | 4    | shutdown | empty — honoured only when the server allows it |
+//!
+//! Response statuses: `0` = ok (payload depends on the request kind),
+//! `1` = error (payload is a UTF-8 message). A query response carries
+//! `count u32 LE` then `count` × `dist u32 LE` in input order, with
+//! [`UNREACHABLE`] (`u32::MAX`, numerically equal to
+//! `sfgraph::INF_DIST`) marking disconnected pairs.
+//!
+//! ## Error discipline
+//!
+//! Decoding distinguishes *recoverable* violations from *fatal* ones.
+//! A frame whose header is well-formed but whose payload is invalid
+//! (zero-pair batch, batch over the server limit, payload/count
+//! mismatch, unknown kind) has already been consumed in full, so the
+//! stream is still frame-aligned: the server answers with an error
+//! response and keeps the connection. Bad magic, a version mismatch, a
+//! declared length above [`MAX_PAYLOAD`], or EOF mid-frame leave the
+//! stream unsynchronizable: the server sends a final error frame (id 0)
+//! and closes. Nothing in this module panics on malformed input.
+
+use std::io::Read;
+
+/// Request frame magic.
+pub const REQ_MAGIC: [u8; 4] = *b"HOPQ";
+/// Response frame magic.
+pub const RESP_MAGIC: [u8; 4] = *b"HOPR";
+/// Protocol version carried in every frame header.
+pub const VERSION: u8 = 1;
+/// Fixed frame header size: magic + version + kind + id + payload len.
+pub const HEADER_LEN: usize = 18;
+/// Hard cap on a declared payload length. A header announcing more is
+/// treated as stream corruption (fatal), not as a large request — the
+/// cap bounds the allocation a malicious or broken peer can force.
+pub const MAX_PAYLOAD: u32 = 1 << 24;
+/// Distance value marking an unreachable pair in query responses
+/// (numerically identical to `sfgraph::INF_DIST`).
+pub const UNREACHABLE: u32 = u32::MAX;
+/// Default cap on pairs per query request (servers may lower it).
+pub const DEFAULT_MAX_BATCH: usize = 1 << 16;
+
+const KIND_QUERY: u8 = 1;
+const KIND_SWAP: u8 = 2;
+const KIND_STATS: u8 = 3;
+const KIND_SHUTDOWN: u8 = 4;
+
+const STATUS_OK: u8 = 0;
+const STATUS_ERROR: u8 = 1;
+
+/// A decoded request frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Client-chosen id echoed in the matching response.
+    pub id: u64,
+    /// What the client asked for.
+    pub body: RequestBody,
+}
+
+/// The request kinds a client can send.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RequestBody {
+    /// Answer a batch of `(s, t)` distance queries.
+    Query(Vec<(u32, u32)>),
+    /// Promote the server's configured swap path to the serving index.
+    Swap,
+    /// Report serving statistics.
+    Stats,
+    /// Stop the server (honoured only when explicitly allowed).
+    Shutdown,
+}
+
+impl RequestBody {
+    fn kind(&self) -> u8 {
+        match self {
+            RequestBody::Query(_) => KIND_QUERY,
+            RequestBody::Swap => KIND_SWAP,
+            RequestBody::Stats => KIND_STATS,
+            RequestBody::Shutdown => KIND_SHUTDOWN,
+        }
+    }
+}
+
+/// A decoded response frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// The id of the request this answers.
+    pub id: u64,
+    /// The answer.
+    pub body: ResponseBody,
+}
+
+/// Serving statistics returned by a stats request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsReply {
+    /// Monotone index generation (bumped by every promoted swap).
+    pub generation: u64,
+    /// Vertices covered by the serving index.
+    pub vertices: u64,
+    /// Whether the serving index is directed.
+    pub directed: bool,
+    /// Whether the index is fully resident (`FlatIndex`) as opposed to
+    /// the disk-backed LRU fallback.
+    pub resident: bool,
+    /// Requests answered since boot (all kinds, errors included).
+    pub requests: u64,
+    /// Malformed frames seen since boot (recoverable and fatal).
+    pub protocol_errors: u64,
+}
+
+/// The response payloads a server can send.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ResponseBody {
+    /// Per-pair distances in input order ([`UNREACHABLE`] = no path).
+    Distances(Vec<u32>),
+    /// A swap was promoted: the new generation and its vertex count.
+    Swapped {
+        /// Generation of the newly promoted index.
+        generation: u64,
+        /// Vertices covered by the newly promoted index.
+        vertices: u64,
+    },
+    /// Serving statistics.
+    Stats(StatsReply),
+    /// The server accepted a shutdown request and is stopping.
+    Bye,
+    /// The request failed; the payload is a human-readable reason.
+    Error(String),
+}
+
+/// Why a frame could not be decoded.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// Clean EOF at a frame boundary: the peer closed the connection.
+    Closed,
+    /// The header was valid and the payload fully consumed, but its
+    /// contents violate the protocol. The stream is still
+    /// frame-aligned; the connection can continue after an error
+    /// response carrying the echoed `id`.
+    Bad {
+        /// Request id from the offending frame's header.
+        id: u64,
+        /// What was wrong with the payload.
+        msg: String,
+    },
+    /// The stream cannot be trusted to be frame-aligned any more (bad
+    /// magic/version, oversized declared length, EOF mid-frame). The
+    /// connection must be closed.
+    Fatal(String),
+    /// An I/O error from the underlying stream.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Closed => write!(f, "connection closed"),
+            ProtoError::Bad { id, msg } => write!(f, "bad request {id}: {msg}"),
+            ProtoError::Fatal(msg) => write!(f, "protocol violation: {msg}"),
+            ProtoError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<std::io::Error> for ProtoError {
+    fn from(e: std::io::Error) -> ProtoError {
+        ProtoError::Io(e)
+    }
+}
+
+fn put_header(buf: &mut Vec<u8>, magic: [u8; 4], kind: u8, id: u64, payload_len: usize) {
+    buf.extend_from_slice(&magic);
+    buf.push(VERSION);
+    buf.push(kind);
+    buf.extend_from_slice(&id.to_le_bytes());
+    buf.extend_from_slice(&(payload_len as u32).to_le_bytes());
+}
+
+impl Request {
+    /// Serialize this request into one wire frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let payload: Vec<u8> = match &self.body {
+            RequestBody::Query(pairs) => {
+                let mut p = Vec::with_capacity(4 + 8 * pairs.len());
+                p.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+                for &(s, t) in pairs {
+                    p.extend_from_slice(&s.to_le_bytes());
+                    p.extend_from_slice(&t.to_le_bytes());
+                }
+                p
+            }
+            RequestBody::Swap | RequestBody::Stats | RequestBody::Shutdown => Vec::new(),
+        };
+        let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+        put_header(&mut buf, REQ_MAGIC, self.body.kind(), self.id, payload.len());
+        buf.extend_from_slice(&payload);
+        buf
+    }
+}
+
+impl Response {
+    /// Serialize this response into one wire frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let (status, payload): (u8, Vec<u8>) = match &self.body {
+            ResponseBody::Distances(dists) => {
+                let mut p = Vec::with_capacity(4 + 4 * dists.len());
+                p.extend_from_slice(&(dists.len() as u32).to_le_bytes());
+                for &d in dists {
+                    p.extend_from_slice(&d.to_le_bytes());
+                }
+                (STATUS_OK, p)
+            }
+            ResponseBody::Swapped { generation, vertices } => {
+                let mut p = Vec::with_capacity(17);
+                p.push(KIND_SWAP);
+                p.extend_from_slice(&generation.to_le_bytes());
+                p.extend_from_slice(&vertices.to_le_bytes());
+                (STATUS_OK, p)
+            }
+            ResponseBody::Stats(s) => {
+                let mut p = Vec::with_capacity(35);
+                p.push(KIND_STATS);
+                p.extend_from_slice(&s.generation.to_le_bytes());
+                p.extend_from_slice(&s.vertices.to_le_bytes());
+                p.push(s.directed as u8);
+                p.push(s.resident as u8);
+                p.extend_from_slice(&s.requests.to_le_bytes());
+                p.extend_from_slice(&s.protocol_errors.to_le_bytes());
+                (STATUS_OK, p)
+            }
+            ResponseBody::Bye => (STATUS_OK, vec![KIND_SHUTDOWN]),
+            ResponseBody::Error(msg) => (STATUS_ERROR, msg.as_bytes().to_vec()),
+        };
+        let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+        put_header(&mut buf, RESP_MAGIC, status, self.id, payload.len());
+        buf.extend_from_slice(&payload);
+        buf
+    }
+}
+
+/// Read one frame header + payload. Returns `(kind, id, payload)`;
+/// `Closed` only on EOF before the first header byte.
+fn read_frame(r: &mut impl Read, expect_magic: [u8; 4]) -> Result<(u8, u64, Vec<u8>), ProtoError> {
+    let mut header = [0u8; HEADER_LEN];
+    // Distinguish "no next frame" (clean close) from "EOF mid-header".
+    match r.read(&mut header) {
+        Ok(0) => return Err(ProtoError::Closed),
+        Ok(mut got) => {
+            while got < HEADER_LEN {
+                match r.read(&mut header[got..]) {
+                    Ok(0) => return Err(ProtoError::Fatal("truncated frame header".into())),
+                    Ok(n) => got += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(ProtoError::Io(e)),
+                }
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+            return read_frame(r, expect_magic)
+        }
+        Err(e) => return Err(ProtoError::Io(e)),
+    }
+    if header[..4] != expect_magic {
+        return Err(ProtoError::Fatal("bad frame magic".into()));
+    }
+    if header[4] != VERSION {
+        return Err(ProtoError::Fatal(format!(
+            "unsupported protocol version {} (want {VERSION})",
+            header[4]
+        )));
+    }
+    let kind = header[5];
+    let id = u64::from_le_bytes(header[6..14].try_into().unwrap());
+    let payload_len = u32::from_le_bytes(header[14..18].try_into().unwrap());
+    if payload_len > MAX_PAYLOAD {
+        return Err(ProtoError::Fatal(format!(
+            "declared payload length {payload_len} exceeds the {MAX_PAYLOAD}-byte cap"
+        )));
+    }
+    let mut payload = vec![0u8; payload_len as usize];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            ProtoError::Fatal("truncated frame payload".into())
+        } else {
+            ProtoError::Io(e)
+        }
+    })?;
+    Ok((kind, id, payload))
+}
+
+/// Decode one request frame from `r`, enforcing `max_batch` pairs per
+/// query. Payload-level violations come back as recoverable
+/// [`ProtoError::Bad`] values carrying the request id.
+pub fn read_request(r: &mut impl Read, max_batch: usize) -> Result<Request, ProtoError> {
+    let (kind, id, payload) = read_frame(r, REQ_MAGIC)?;
+    let bad = |msg: String| ProtoError::Bad { id, msg };
+    let body = match kind {
+        KIND_QUERY => {
+            if payload.len() < 4 {
+                return Err(bad("query payload shorter than its pair count".into()));
+            }
+            let count = u32::from_le_bytes(payload[..4].try_into().unwrap()) as usize;
+            if count == 0 {
+                return Err(bad("query batch declares zero pairs".into()));
+            }
+            if count > max_batch {
+                return Err(bad(format!("query batch of {count} pairs exceeds limit {max_batch}")));
+            }
+            if payload.len() != 4 + 8 * count {
+                return Err(bad(format!(
+                    "query payload is {} bytes but {count} pairs need {}",
+                    payload.len(),
+                    4 + 8 * count
+                )));
+            }
+            let pairs = payload[4..]
+                .chunks_exact(8)
+                .map(|c| {
+                    (
+                        u32::from_le_bytes(c[..4].try_into().unwrap()),
+                        u32::from_le_bytes(c[4..].try_into().unwrap()),
+                    )
+                })
+                .collect();
+            RequestBody::Query(pairs)
+        }
+        KIND_SWAP | KIND_STATS | KIND_SHUTDOWN => {
+            if !payload.is_empty() {
+                return Err(bad(format!("kind {kind} takes no payload, got {}", payload.len())));
+            }
+            match kind {
+                KIND_SWAP => RequestBody::Swap,
+                KIND_STATS => RequestBody::Stats,
+                _ => RequestBody::Shutdown,
+            }
+        }
+        other => return Err(bad(format!("unknown request kind {other}"))),
+    };
+    Ok(Request { id, body })
+}
+
+/// Decode one response frame from `r`. Malformed responses are always
+/// fatal on the client side — a client has no one to report them to.
+pub fn read_response(r: &mut impl Read) -> Result<Response, ProtoError> {
+    let (status, id, payload) = read_frame(r, RESP_MAGIC)?;
+    let bad = |msg: &str| ProtoError::Fatal(msg.to_string());
+    let body = match status {
+        STATUS_ERROR => ResponseBody::Error(String::from_utf8_lossy(&payload).into_owned()),
+        STATUS_OK => {
+            // Ok payloads for the empty-bodied kinds are tagged with
+            // the request kind so the stream stays self-describing.
+            match payload.first() {
+                None => return Err(bad("empty ok response payload")),
+                Some(&KIND_SWAP) if payload.len() == 17 => ResponseBody::Swapped {
+                    generation: u64::from_le_bytes(payload[1..9].try_into().unwrap()),
+                    vertices: u64::from_le_bytes(payload[9..17].try_into().unwrap()),
+                },
+                Some(&KIND_STATS) if payload.len() == 35 => ResponseBody::Stats(StatsReply {
+                    generation: u64::from_le_bytes(payload[1..9].try_into().unwrap()),
+                    vertices: u64::from_le_bytes(payload[9..17].try_into().unwrap()),
+                    directed: payload[17] != 0,
+                    resident: payload[18] != 0,
+                    requests: u64::from_le_bytes(payload[19..27].try_into().unwrap()),
+                    protocol_errors: u64::from_le_bytes(payload[27..35].try_into().unwrap()),
+                }),
+                Some(&KIND_SHUTDOWN) if payload.len() == 1 => ResponseBody::Bye,
+                _ => {
+                    // Distances: count-prefixed u32s. The tag bytes of
+                    // the variants above cannot collide because a
+                    // distance payload is always 4 + 4k bytes with a
+                    // leading LE count — re-parse as such.
+                    if payload.len() < 4 {
+                        return Err(bad("ok response payload too short"));
+                    }
+                    let count = u32::from_le_bytes(payload[..4].try_into().unwrap()) as usize;
+                    if payload.len() != 4 + 4 * count {
+                        return Err(bad("distance payload length mismatch"));
+                    }
+                    let dists = payload[4..]
+                        .chunks_exact(4)
+                        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                        .collect();
+                    ResponseBody::Distances(dists)
+                }
+            }
+        }
+        other => return Err(ProtoError::Fatal(format!("unknown response status {other}"))),
+    };
+    Ok(Response { id, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn request_roundtrip_all_kinds() {
+        for body in [
+            RequestBody::Query(vec![(0, 1), (7, 7), (u32::MAX - 1, 3)]),
+            RequestBody::Swap,
+            RequestBody::Stats,
+            RequestBody::Shutdown,
+        ] {
+            let req = Request { id: 0xDEAD_BEEF_0BAD_CAFE, body };
+            let bytes = req.encode();
+            let got = read_request(&mut Cursor::new(&bytes), 1 << 16).unwrap();
+            assert_eq!(got, req);
+        }
+    }
+
+    #[test]
+    fn response_roundtrip_all_kinds() {
+        for body in [
+            ResponseBody::Distances(vec![0, 5, UNREACHABLE]),
+            ResponseBody::Swapped { generation: 3, vertices: 1000 },
+            ResponseBody::Stats(StatsReply {
+                generation: 2,
+                vertices: 42,
+                directed: true,
+                resident: false,
+                requests: 17,
+                protocol_errors: 3,
+            }),
+            ResponseBody::Bye,
+            ResponseBody::Error("nope".into()),
+        ] {
+            let resp = Response { id: 99, body };
+            let bytes = resp.encode();
+            let got = read_response(&mut Cursor::new(&bytes)).unwrap();
+            assert_eq!(got, resp);
+        }
+    }
+
+    #[test]
+    fn eof_at_boundary_is_closed_mid_header_is_fatal() {
+        assert!(matches!(read_request(&mut Cursor::new(&[]), 16), Err(ProtoError::Closed)));
+        let frame = Request { id: 1, body: RequestBody::Stats }.encode();
+        for cut in 1..HEADER_LEN {
+            let r = read_request(&mut Cursor::new(&frame[..cut]), 16);
+            assert!(matches!(r, Err(ProtoError::Fatal(_))), "cut at {cut}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn zero_pair_batch_is_recoverable() {
+        let frame = Request { id: 7, body: RequestBody::Query(vec![]) }.encode();
+        match read_request(&mut Cursor::new(&frame), 16) {
+            Err(ProtoError::Bad { id: 7, msg }) => assert!(msg.contains("zero pairs"), "{msg}"),
+            other => panic!("want Bad, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,381 @@
+//! The TCP daemon: accept loop, connection worker pool, dispatch, and
+//! hot index swap.
+//!
+//! Architecture (all `std`, no async runtime):
+//!
+//! ```text
+//! accept thread ──► mpsc queue ──► N connection workers
+//!                                    │  read_request → dispatch → write response
+//!                                    ▼
+//!                        RwLock<Arc<Generation>>  ◄── swap (admin frame
+//!                        (clone per request)           or ServerHandle::swap)
+//! ```
+//!
+//! Each query request clones the current [`Generation`] `Arc` once and
+//! answers the whole batch from it via `FlatIndex::query_many`, so a
+//! concurrent swap never mixes two indexes inside one response and
+//! never drops a connection: the new generation is loaded *outside* the
+//! write lock and promoted with a single pointer swap.
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+use crate::backend::Generation;
+use crate::proto::{
+    read_request, ProtoError, Request, RequestBody, Response, ResponseBody, StatsReply,
+    DEFAULT_MAX_BATCH,
+};
+
+/// Tunables for [`serve`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Connection worker threads (0 = one per core).
+    pub threads: usize,
+    /// Threads `query_many` may fan one batch across (0 = all cores).
+    /// Leave at 1 when many concurrent connections already saturate the
+    /// cores; raise it for few-connection, huge-batch workloads.
+    pub batch_threads: usize,
+    /// Pairs accepted per query request; larger batches are rejected
+    /// with a protocol error. (Per-frame allocation is bounded by the
+    /// protocol's [`crate::proto::MAX_PAYLOAD`] cap, not by this knob —
+    /// a declared length over the cap closes the connection before any
+    /// allocation.)
+    pub max_batch: usize,
+    /// Admission budget: index files larger than this are served from
+    /// disk through the LRU-cached fallback instead of resident memory.
+    /// `None` = always resident.
+    pub max_resident_bytes: Option<u64>,
+    /// File promoted by a swap request. `None` = re-load the boot path
+    /// (in-place rebuild promotion).
+    pub swap_path: Option<PathBuf>,
+    /// Honour remote shutdown frames. Off by default: a query port
+    /// should not double as a kill switch unless explicitly enabled.
+    pub allow_shutdown: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            threads: 0,
+            batch_threads: 1,
+            max_batch: DEFAULT_MAX_BATCH,
+            max_resident_bytes: None,
+            swap_path: None,
+            allow_shutdown: false,
+        }
+    }
+}
+
+/// State shared by the accept thread, workers, and the handle.
+struct Shared {
+    current: RwLock<Arc<Generation>>,
+    config: ServerConfig,
+    index_path: PathBuf,
+    local_addr: SocketAddr,
+    stop: AtomicBool,
+    /// Serializes swap promotions (two concurrent swaps would race the
+    /// generation numbering; queries are never blocked by this).
+    swap_serial: Mutex<()>,
+    generation_seq: AtomicU64,
+    conn_seq: AtomicU64,
+    /// Live connections (cloned handles) so shutdown can unblock
+    /// workers parked in `read`.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    requests: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+impl Shared {
+    /// Flip the stop flag, close every live connection, and wake the
+    /// accept loop. Idempotent.
+    fn begin_stop(&self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        if let Ok(conns) = self.conns.lock() {
+            for conn in conns.values() {
+                let _ = conn.shutdown(Shutdown::Both);
+            }
+        }
+        // Unblock `accept` with a throwaway connection to ourselves.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+}
+
+/// A running server. Dropping the handle does *not* stop the daemon;
+/// call [`ServerHandle::shutdown`] (or let a remote shutdown frame stop
+/// it) and then [`ServerHandle::wait`].
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (resolves `:0` ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Generation number of the index currently being served.
+    pub fn current_generation(&self) -> u64 {
+        self.shared.current.read().map(|g| g.generation()).unwrap_or(0)
+    }
+
+    /// Promote the configured swap path (or re-load the boot path) to
+    /// the serving index *from this process* — the in-process analogue
+    /// of the wire swap frame, for supervisors that rebuild and promote
+    /// without a client connection. Returns `(generation, vertices)`.
+    pub fn swap(&self) -> std::io::Result<(u64, u64)> {
+        let fresh = do_swap(&self.shared)?;
+        Ok((fresh.generation(), fresh.vertices() as u64))
+    }
+
+    /// Ask the daemon to stop and wait for every thread to exit.
+    pub fn shutdown(mut self) {
+        self.shared.begin_stop();
+        self.join_all();
+    }
+
+    /// Block until the daemon stops (remote shutdown frame or
+    /// [`ServerHandle::shutdown`] from another thread via a clone of
+    /// the shared state — in practice: until a shutdown frame arrives).
+    pub fn wait(mut self) {
+        self.join_all();
+    }
+
+    fn join_all(&mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Bind `addr`, load the index at `index_path`, and start serving.
+///
+/// Returns as soon as the listener is bound and the index is loaded;
+/// accepting and answering happens on background threads owned by the
+/// returned handle.
+pub fn serve(
+    addr: impl ToSocketAddrs,
+    index_path: &Path,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local_addr = listener.local_addr()?;
+    let boot = Generation::load(index_path, config.max_resident_bytes, 1)?;
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        config.threads
+    };
+    let shared = Arc::new(Shared {
+        current: RwLock::new(Arc::new(boot)),
+        config,
+        index_path: index_path.to_path_buf(),
+        local_addr,
+        stop: AtomicBool::new(false),
+        swap_serial: Mutex::new(()),
+        generation_seq: AtomicU64::new(1),
+        conn_seq: AtomicU64::new(0),
+        conns: Mutex::new(HashMap::new()),
+        requests: AtomicU64::new(0),
+        protocol_errors: AtomicU64::new(0),
+    });
+
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    let workers: Vec<JoinHandle<()>> = (0..threads)
+        .map(|_| {
+            let (shared, rx) = (Arc::clone(&shared), Arc::clone(&rx));
+            std::thread::spawn(move || worker_loop(&shared, &rx))
+        })
+        .collect();
+
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(stream) = stream {
+                    // A send can only fail after stop; drop the socket.
+                    let _ = tx.send(stream);
+                }
+            }
+            // Dropping the sender drains the workers once their current
+            // connections finish.
+        })
+    };
+
+    Ok(ServerHandle { shared, accept: Some(accept), workers })
+}
+
+fn worker_loop(shared: &Shared, rx: &Mutex<mpsc::Receiver<TcpStream>>) {
+    loop {
+        // Only one worker parks in `recv` at a time (the rest queue on
+        // the mutex) — the standard shared-queue pool without external
+        // crates.
+        let stream = match rx.lock() {
+            Ok(guard) => match guard.recv() {
+                Ok(stream) => stream,
+                Err(_) => return, // accept loop gone, queue drained
+            },
+            Err(_) => return,
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let conn_id = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            if let Ok(mut conns) = shared.conns.lock() {
+                conns.insert(conn_id, clone);
+            }
+        }
+        let _ = handle_connection(shared, &stream);
+        if let Ok(mut conns) = shared.conns.lock() {
+            conns.remove(&conn_id);
+        }
+    }
+}
+
+/// Serve one connection until the peer closes, a fatal protocol error
+/// desynchronizes the stream, or the daemon stops.
+fn handle_connection(shared: &Shared, stream: &TcpStream) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        match read_request(&mut reader, shared.config.max_batch) {
+            Ok(request) => {
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                let stopping =
+                    matches!(request.body, RequestBody::Shutdown) && shared.config.allow_shutdown;
+                let response = dispatch(shared, request);
+                writer.write_all(&response.encode())?;
+                writer.flush()?;
+                if stopping {
+                    shared.begin_stop();
+                    return Ok(());
+                }
+            }
+            Err(ProtoError::Bad { id, msg }) => {
+                // Payload-level violation: the frame was consumed, the
+                // stream is still aligned — answer and keep serving.
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                writer.write_all(&Response { id, body: ResponseBody::Error(msg) }.encode())?;
+                writer.flush()?;
+            }
+            Err(ProtoError::Closed) => return Ok(()),
+            Err(ProtoError::Fatal(msg)) => {
+                // Unsynchronizable stream: best-effort error frame,
+                // then close — never leave the peer hanging.
+                shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let bye = Response { id: 0, body: ResponseBody::Error(msg) };
+                let _ = writer.write_all(&bye.encode());
+                let _ = writer.flush();
+                // Half-close and drain (bounded) before the full close:
+                // closing with unread bytes in the receive queue makes
+                // the kernel send RST, which would destroy the error
+                // frame before the peer reads it.
+                let _ = stream.shutdown(Shutdown::Write);
+                drain_bounded(&mut reader, stream);
+                let _ = stream.shutdown(Shutdown::Both);
+                return Ok(());
+            }
+            Err(ProtoError::Io(e)) => return Err(e),
+        }
+    }
+}
+
+/// Swallow whatever the peer already sent, bounded in bytes and time,
+/// so the close after a fatal protocol error doesn't RST away the error
+/// frame. A peer that keeps streaming past the budget gets the reset.
+fn drain_bounded(reader: &mut impl std::io::Read, stream: &TcpStream) {
+    const DRAIN_BUDGET: usize = 1 << 20;
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(2)));
+    let mut scratch = [0u8; 4096];
+    let mut drained = 0usize;
+    while drained < DRAIN_BUDGET {
+        match reader.read(&mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
+    }
+}
+
+fn dispatch(shared: &Shared, request: Request) -> Response {
+    let id = request.id;
+    let body = match request.body {
+        RequestBody::Query(pairs) => {
+            // One Arc clone pins this whole batch to one generation,
+            // even while a swap promotes the next one.
+            let generation = match shared.current.read() {
+                Ok(current) => Arc::clone(&current),
+                Err(_) => return error(id, "server state poisoned"),
+            };
+            match generation.query_many(&pairs, shared.config.batch_threads) {
+                Ok(dists) => ResponseBody::Distances(dists),
+                Err(msg) => ResponseBody::Error(msg),
+            }
+        }
+        RequestBody::Swap => match do_swap(shared) {
+            Ok(fresh) => ResponseBody::Swapped {
+                generation: fresh.generation(),
+                vertices: fresh.vertices() as u64,
+            },
+            Err(e) => ResponseBody::Error(format!("swap failed: {e}")),
+        },
+        RequestBody::Stats => match shared.current.read() {
+            Ok(current) => ResponseBody::Stats(StatsReply {
+                generation: current.generation(),
+                vertices: current.vertices() as u64,
+                directed: current.is_directed(),
+                resident: current.is_resident(),
+                requests: shared.requests.load(Ordering::Relaxed),
+                protocol_errors: shared.protocol_errors.load(Ordering::Relaxed),
+            }),
+            Err(_) => return error(id, "server state poisoned"),
+        },
+        RequestBody::Shutdown => {
+            if shared.config.allow_shutdown {
+                ResponseBody::Bye
+            } else {
+                ResponseBody::Error("remote shutdown is disabled on this server".into())
+            }
+        }
+    };
+    Response { id, body }
+}
+
+fn error(id: u64, msg: &str) -> Response {
+    Response { id, body: ResponseBody::Error(msg.to_string()) }
+}
+
+/// Load the swap path (fallback: the boot path) as a fresh generation
+/// and promote it. The load happens outside the write lock, so queries
+/// keep flowing on the old index for the whole load; the promotion
+/// itself is one pointer store.
+fn do_swap(shared: &Shared) -> std::io::Result<Arc<Generation>> {
+    let _serial =
+        shared.swap_serial.lock().map_err(|_| std::io::Error::other("swap lock poisoned"))?;
+    let path = shared.config.swap_path.as_deref().unwrap_or(&shared.index_path);
+    let next = shared.generation_seq.fetch_add(1, Ordering::SeqCst) + 1;
+    let fresh = Arc::new(Generation::load(path, shared.config.max_resident_bytes, next)?);
+    let mut current =
+        shared.current.write().map_err(|_| std::io::Error::other("server state poisoned"))?;
+    *current = Arc::clone(&fresh);
+    Ok(fresh)
+}

@@ -1,0 +1,203 @@
+//! Property tests for the `HOPQ` wire codec: encode/decode round-trips
+//! over arbitrary request/response batches, plus a malformed-frame
+//! corpus (truncated header, oversized declared length, bad
+//! magic/version, zero-pair batch, mutated bytes) that must always
+//! yield clean protocol errors — never a panic and never a frame the
+//! decoder silently misreads.
+
+use std::io::Cursor;
+
+use hopdb_server::proto::{
+    read_request, read_response, ProtoError, Request, RequestBody, Response, ResponseBody,
+    StatsReply, HEADER_LEN, MAX_PAYLOAD, VERSION,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary request of any kind.
+fn request_strategy() -> impl Strategy<Value = Request> {
+    (0u64..u64::MAX, 0u8..4, vec((0u32..u32::MAX, 0u32..u32::MAX), 1..300)).prop_map(
+        |(id, kind, pairs)| {
+            let body = match kind {
+                0 => RequestBody::Query(pairs),
+                1 => RequestBody::Swap,
+                2 => RequestBody::Stats,
+                _ => RequestBody::Shutdown,
+            };
+            Request { id, body }
+        },
+    )
+}
+
+/// Strategy: an arbitrary response of any kind.
+fn response_strategy() -> impl Strategy<Value = Response> {
+    (0u64..u64::MAX, 0u8..5, vec(0u32..=u32::MAX, 0..300), 0u64..1 << 40, 0u64..1 << 32).prop_map(
+        |(id, kind, dists, a, b)| {
+            let body = match kind {
+                0 => ResponseBody::Distances(dists),
+                1 => ResponseBody::Swapped { generation: a, vertices: b },
+                2 => ResponseBody::Stats(StatsReply {
+                    generation: a,
+                    vertices: b,
+                    directed: a % 2 == 0,
+                    resident: b % 2 == 0,
+                    requests: a ^ b,
+                    protocol_errors: a.wrapping_mul(b),
+                }),
+                3 => ResponseBody::Bye,
+                _ => ResponseBody::Error(format!("error {a}")),
+            };
+            Response { id, body }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn request_roundtrip(req in request_strategy()) {
+        let bytes = req.encode();
+        let got = read_request(&mut Cursor::new(&bytes), usize::MAX).expect("roundtrip");
+        prop_assert_eq!(got, req);
+    }
+
+    #[test]
+    fn response_roundtrip(resp in response_strategy()) {
+        let bytes = resp.encode();
+        let got = read_response(&mut Cursor::new(&bytes)).expect("roundtrip");
+        prop_assert_eq!(got, resp);
+    }
+
+    #[test]
+    fn truncated_request_frames_never_panic(
+        (req, keep_millionths) in (request_strategy(), 0u32..1_000_000)
+    ) {
+        let bytes = req.encode();
+        let keep = (bytes.len() as u64 * keep_millionths as u64 / 1_000_000) as usize;
+        match read_request(&mut Cursor::new(&bytes[..keep]), usize::MAX) {
+            Ok(_) => prop_assert_eq!(keep, bytes.len(), "decoded from a strict prefix"),
+            Err(ProtoError::Closed) => prop_assert_eq!(keep, 0),
+            Err(ProtoError::Fatal(_)) => {}
+            Err(other) => panic!("unexpected error class: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics_or_misparses_silently(
+        (req, at_millionths, xor) in (request_strategy(), 0u32..1_000_000, 1u8..=255)
+    ) {
+        let mut bytes = req.encode();
+        let at = (bytes.len() as u64 * at_millionths as u64 / 1_000_000) as usize % bytes.len();
+        bytes[at] ^= xor;
+        // Any outcome is acceptable except a panic — a flipped byte in
+        // the id or pair region still decodes, by design — but a
+        // corrupted *header* must never decode as the original frame.
+        if let Ok(got) = read_request(&mut Cursor::new(&bytes), usize::MAX) {
+            prop_assert!(at >= 4, "corrupt magic byte {at} still decoded");
+            prop_assert_ne!(got.encode(), req.encode());
+        }
+    }
+}
+
+#[test]
+fn truncated_header_every_cut_is_fatal() {
+    let frame = Request { id: 3, body: RequestBody::Query(vec![(1, 2)]) }.encode();
+    for cut in 1..frame.len() {
+        match read_request(&mut Cursor::new(&frame[..cut]), 1 << 16) {
+            Err(ProtoError::Fatal(_)) => {}
+            other => panic!("cut at {cut}: want Fatal, got {other:?}"),
+        }
+    }
+    assert!(matches!(read_request(&mut Cursor::new(&[]), 16), Err(ProtoError::Closed)));
+}
+
+#[test]
+fn oversized_declared_length_is_fatal_without_allocation() {
+    // Header declaring MAX_PAYLOAD + 1 bytes, with no payload behind
+    // it: must fail on the declared length, not on the missing bytes
+    // (and must not try to allocate the declared amount).
+    let mut frame = Vec::new();
+    frame.extend_from_slice(b"HOPQ");
+    frame.push(VERSION);
+    frame.push(1); // query
+    frame.extend_from_slice(&7u64.to_le_bytes());
+    frame.extend_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+    match read_request(&mut Cursor::new(&frame), 1 << 16) {
+        Err(ProtoError::Fatal(msg)) => assert!(msg.contains("cap"), "{msg}"),
+        other => panic!("want Fatal, got {other:?}"),
+    }
+}
+
+#[test]
+fn bad_magic_and_version_are_fatal() {
+    let good = Request { id: 9, body: RequestBody::Stats }.encode();
+    for at in 0..4 {
+        let mut bad = good.clone();
+        bad[at] ^= 0x20;
+        assert!(
+            matches!(read_request(&mut Cursor::new(&bad), 16), Err(ProtoError::Fatal(_))),
+            "magic byte {at}"
+        );
+    }
+    let mut wrong_version = good.clone();
+    wrong_version[4] = VERSION + 1;
+    match read_request(&mut Cursor::new(&wrong_version), 16) {
+        Err(ProtoError::Fatal(msg)) => assert!(msg.contains("version"), "{msg}"),
+        other => panic!("want Fatal, got {other:?}"),
+    }
+}
+
+#[test]
+fn payload_level_violations_are_recoverable_with_id() {
+    // Zero-pair batch.
+    let zero = Request { id: 42, body: RequestBody::Query(vec![]) }.encode();
+    match read_request(&mut Cursor::new(&zero), 16) {
+        Err(ProtoError::Bad { id: 42, msg }) => assert!(msg.contains("zero"), "{msg}"),
+        other => panic!("want Bad, got {other:?}"),
+    }
+
+    // Batch larger than the server's limit.
+    let big = Request { id: 7, body: RequestBody::Query(vec![(0, 0); 17]) }.encode();
+    match read_request(&mut Cursor::new(&big), 16) {
+        Err(ProtoError::Bad { id: 7, msg }) => assert!(msg.contains("limit"), "{msg}"),
+        other => panic!("want Bad, got {other:?}"),
+    }
+
+    // Pair count disagreeing with the payload length.
+    let mut mismatch = Request { id: 8, body: RequestBody::Query(vec![(1, 2), (3, 4)]) }.encode();
+    mismatch[HEADER_LEN] = 3; // claims 3 pairs, carries 2
+    match read_request(&mut Cursor::new(&mismatch), 16) {
+        Err(ProtoError::Bad { id: 8, msg }) => assert!(msg.contains("pairs need"), "{msg}"),
+        other => panic!("want Bad, got {other:?}"),
+    }
+
+    // Unknown request kind (with an empty, fully consumed payload).
+    let mut unknown = Request { id: 9, body: RequestBody::Stats }.encode();
+    unknown[5] = 99;
+    match read_request(&mut Cursor::new(&unknown), 16) {
+        Err(ProtoError::Bad { id: 9, msg }) => assert!(msg.contains("unknown"), "{msg}"),
+        other => panic!("want Bad, got {other:?}"),
+    }
+
+    // Non-empty payload on an empty-bodied kind.
+    let mut stuffed = Request { id: 10, body: RequestBody::Query(vec![(1, 2)]) }.encode();
+    stuffed[5] = 2; // swap, but with the query payload still attached
+    match read_request(&mut Cursor::new(&stuffed), 16) {
+        Err(ProtoError::Bad { id: 10, msg }) => assert!(msg.contains("no payload"), "{msg}"),
+        other => panic!("want Bad, got {other:?}"),
+    }
+}
+
+#[test]
+fn recoverable_errors_leave_the_stream_aligned() {
+    // A zero-pair batch followed by a valid request on the same stream:
+    // after the Bad error, the next read must decode the valid frame.
+    let mut stream = Vec::new();
+    stream.extend_from_slice(&Request { id: 1, body: RequestBody::Query(vec![]) }.encode());
+    let good = Request { id: 2, body: RequestBody::Query(vec![(5, 6)]) };
+    stream.extend_from_slice(&good.encode());
+    let mut cursor = Cursor::new(&stream);
+    assert!(matches!(read_request(&mut cursor, 16), Err(ProtoError::Bad { id: 1, .. })));
+    assert_eq!(read_request(&mut cursor, 16).unwrap(), good);
+}

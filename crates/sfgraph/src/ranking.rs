@@ -84,7 +84,52 @@ impl Ranking {
     pub fn outranks(&self, u: VertexId, v: VertexId) -> bool {
         self.rank_of[u as usize] < self.rank_of[v as usize]
     }
+
+    /// Serialize as a `HOPRANK1` sidecar image: the magic followed by
+    /// the `vertex_at` permutation as little-endian `u32`s. This is the
+    /// `.rank` file `hopdb-cli build` writes next to every index.
+    pub fn to_sidecar_bytes(&self) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(8 + 4 * self.vertex_at.len());
+        bytes.extend_from_slice(RANK_SIDECAR_MAGIC);
+        for &v in &self.vertex_at {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        bytes
+    }
+
+    /// Parse a `HOPRANK1` sidecar image, validating magic, that the
+    /// order is a true permutation, and (when `expect_n` is given) that
+    /// it covers exactly that many vertices — a sidecar that silently
+    /// mistranslates ids would corrupt every answer served through it.
+    pub fn from_sidecar_bytes(bytes: &[u8], expect_n: Option<usize>) -> Result<Ranking, String> {
+        if bytes.len() < 8
+            || &bytes[..8] != RANK_SIDECAR_MAGIC
+            || !(bytes.len() - 8).is_multiple_of(4)
+        {
+            return Err("not a HOPRANK1 ranking sidecar".to_string());
+        }
+        let order: Vec<VertexId> =
+            bytes[8..].chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect();
+        if let Some(n) = expect_n {
+            if order.len() != n {
+                return Err(format!(
+                    "ranking sidecar covers {} vertices, expected {n}",
+                    order.len()
+                ));
+            }
+        }
+        let mut seen = vec![false; order.len()];
+        for &v in &order {
+            if (v as usize) >= order.len() || std::mem::replace(&mut seen[v as usize], true) {
+                return Err(format!("ranking sidecar is not a permutation (vertex {v})"));
+            }
+        }
+        Ok(Ranking::from_order(order))
+    }
 }
+
+/// Magic prefix of the serialized `.rank` sidecar format.
+pub const RANK_SIDECAR_MAGIC: &[u8; 8] = b"HOPRANK1";
 
 /// Compute a ranking of `g`'s vertices.
 pub fn rank_vertices(g: &Graph, by: &RankBy) -> Ranking {

@@ -14,7 +14,9 @@
 //!   bit-parallel labels;
 //! * [`hopdb`] — the paper's contribution: Hop-Doubling / Hop-Stepping
 //!   / Hybrid construction, in memory and external;
-//! * [`baselines`] — BIDIJ, PLL, IS-Label, highway-cover comparators.
+//! * [`baselines`] — BIDIJ, PLL, IS-Label, highway-cover comparators;
+//! * [`hopdb_server`] — the long-running TCP query daemon serving a
+//!   `FlatIndex` over the `HOPQ` wire protocol, with hot index swap.
 //!
 //! ## Quickstart
 //!
@@ -32,5 +34,6 @@ pub use baselines;
 pub use extmem;
 pub use graphgen;
 pub use hopdb;
+pub use hopdb_server;
 pub use hoplabels;
 pub use sfgraph;

@@ -1,0 +1,128 @@
+//! Corruption corpus for `FlatIndex::from_hopidx_bytes`: systematic
+//! single-byte truncations and header bit flips of valid `HOPIDX01`
+//! images must come back as clean `Err`s — never a panic — and no
+//! mutation of the body may ever produce an index that panics under
+//! queries. Extends the checked-header work from the flat read path
+//! with an exhaustive sweep (`DiskIndex::open` shares the same header
+//! parser).
+
+use hop_doubling::extmem::device::TempStore;
+use hop_doubling::graphgen::{glp, orient_scale_free, GlpParams};
+use hop_doubling::hopdb::{build_prelabeled, HopDbConfig};
+use hop_doubling::hoplabels::disk::DiskIndex;
+use hop_doubling::hoplabels::flat::FlatIndex;
+use hop_doubling::sfgraph::ranking::{rank_vertices, relabel_by_rank, RankBy};
+use hop_doubling::sfgraph::VertexId;
+
+/// Serialized `HOPIDX01` image of a small GLP-built index.
+fn serialized_image(directed: bool) -> Vec<u8> {
+    let und = glp(&GlpParams::with_density(40, 3.0, if directed { 31 } else { 30 }));
+    let g = if directed { orient_scale_free(&und, 0.25, 31) } else { und };
+    let rank_by = if directed { RankBy::DegreeProduct } else { RankBy::Degree };
+    let relabeled = relabel_by_rank(&g, &rank_vertices(&g, &rank_by));
+    let (index, _) = build_prelabeled(&relabeled, &HopDbConfig::default());
+    let store = TempStore::new().expect("temp store");
+    let path = DiskIndex::create(&index, &store, "corpus").expect("serialize").persist();
+    let bytes = std::fs::read(&path).expect("read image");
+    std::fs::remove_file(path).ok();
+    bytes
+}
+
+/// The fixed header: magic (8) + flags (4) + vertex count (8).
+const FIXED_HEADER: usize = 20;
+
+#[test]
+fn every_truncation_is_a_clean_error() {
+    for directed in [false, true] {
+        let image = serialized_image(directed);
+        assert!(FlatIndex::from_hopidx_bytes(&image).is_ok(), "pristine image must load");
+        for cut in 0..image.len() {
+            let r = FlatIndex::from_hopidx_bytes(&image[..cut]);
+            assert!(r.is_err(), "directed={directed}: truncation to {cut} bytes parsed");
+        }
+    }
+}
+
+#[test]
+fn trailing_garbage_is_a_clean_error() {
+    for directed in [false, true] {
+        let mut image = serialized_image(directed);
+        for extra in [1usize, 7, 4096] {
+            image.extend(std::iter::repeat_n(0xA5u8, extra));
+            assert!(
+                FlatIndex::from_hopidx_bytes(&image).is_err(),
+                "directed={directed}: {extra} trailing bytes accepted"
+            );
+            image.truncate(image.len() - extra);
+        }
+    }
+}
+
+#[test]
+fn every_fixed_header_bit_flip_is_a_clean_error() {
+    // Magic, flags word (directed + reserved), and the vertex count:
+    // every single-bit flip must be rejected. The magic and reserved
+    // flags are checked directly; vertex-count flips are caught by the
+    // monotone-offsets and exact-length checks.
+    for directed in [false, true] {
+        let image = serialized_image(directed);
+        for byte in 0..FIXED_HEADER {
+            for bit in 0..8 {
+                let mut mutated = image.clone();
+                mutated[byte] ^= 1 << bit;
+                let r = FlatIndex::from_hopidx_bytes(&mutated);
+                assert!(
+                    r.is_err(),
+                    "directed={directed}: flip of bit {bit} in header byte {byte} parsed"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn body_bit_flips_never_panic_and_surviving_indexes_answer_safely() {
+    // Beyond the fixed header (offset directories, entry regions) a
+    // flip may legitimately still parse — the format carries no
+    // checksum — but it must never panic, and any index that does
+    // parse must answer every in-range query without panicking.
+    for directed in [false, true] {
+        let image = serialized_image(directed);
+        // Every byte, one flipped bit each (rotating which bit, to keep
+        // the corpus linear in the image size while touching high and
+        // low bits across the file).
+        for byte in FIXED_HEADER..image.len() {
+            let mut mutated = image.clone();
+            mutated[byte] ^= 1 << (byte % 8);
+            if let Ok(index) = FlatIndex::from_hopidx_bytes(&mutated) {
+                let n = index.num_vertices() as VertexId;
+                for s in (0..n).step_by(7) {
+                    for t in (0..n).step_by(5) {
+                        let _ = index.query(s, t);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn disk_open_rejects_the_same_fixed_header_corpus() {
+    // DiskIndex::open goes through the same HopIdxHeader::parse; the
+    // sweep keeps both loaders honest about the shared checks.
+    let store = TempStore::new().expect("temp store");
+    for directed in [false, true] {
+        let image = serialized_image(directed);
+        for byte in 0..FIXED_HEADER {
+            let mut mutated = image.clone();
+            mutated[byte] ^= 1 << (byte % 8);
+            let mut f = store.create("mut").expect("create");
+            std::io::Write::write_all(&mut f, &mutated).expect("write");
+            std::io::Write::flush(&mut f).expect("flush");
+            assert!(
+                DiskIndex::open(f).is_err(),
+                "directed={directed}: header byte {byte} flip opened"
+            );
+        }
+    }
+}
