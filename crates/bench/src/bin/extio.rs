@@ -9,6 +9,13 @@
 //! iteration) blows the gate, loose enough for platform noise in run
 //! sizing.
 //!
+//! Each case then rebuilds with the threaded pipeline (4 workers) and
+//! asserts every counter is *exactly* the sequential number: the
+//! threaded engine only reschedules the same record streams, so any
+//! drift means a worker did I/O the sequential build would not.
+//! (Measured at the introduction of the threaded path: byte counters
+//! unchanged, budgets kept as-is.)
+//!
 //! ```text
 //! cargo run --release -p bench --bin extio
 //! ```
@@ -30,6 +37,7 @@ struct Budget {
     merge_passes: u64,
 }
 
+#[derive(PartialEq, Eq, Debug)]
 struct Measured {
     read_bytes: u64,
     write_bytes: u64,
@@ -39,13 +47,14 @@ struct Measured {
     merge_passes: u64,
 }
 
-fn run_case(g: &Graph, rank_by: &RankBy) -> Measured {
+fn run_case(g: &Graph, rank_by: &RankBy, threads: usize) -> Measured {
     let ranking = rank_vertices(g, rank_by);
     let relabeled = relabel_by_rank(g, &ranking);
     // Tiny budget so the sorters actually spill: M = 16 Ki records,
     // B = 4 KiB — the workloads are ~100 Ki records of traffic.
     let ext = ExtMemConfig { memory_records: 1 << 14, block_bytes: 4 << 10 };
-    let result = build_external(&relabeled, &HopDbConfig::default(), &ext).expect("external build");
+    let cfg = HopDbConfig::default().with_parallelism(threads);
+    let result = build_external(&relabeled, &cfg, &ext).expect("external build");
     let (read_bytes, write_bytes, _, _) = result.io;
     // Re-derive op counts from the block report: io.2/io.3 are blocks.
     Measured {
@@ -81,9 +90,12 @@ fn main() {
     let und = glp(&GlpParams::with_density(2_000, 3.0, 7));
     let dir = orient_scale_free(&glp(&GlpParams::with_density(1_500, 2.5, 13)), 0.25, 13);
 
-    // Baselines measured at the seed of this gate (see git history):
-    // undirected 9.44 MB read / 6.71 MB written, 22 runs, 12 merges;
-    // directed 7.78 MB read / 5.55 MB written, 41 runs, 22 merges.
+    // Baselines re-measured when the in-side survivor re-sort was
+    // replaced by reusing the pivot-sorted prune output (the threaded
+    // pipeline itself moved no counter): undirected 9.44 MB read /
+    // 6.71 MB written, 22 runs, 12 merges (unchanged); directed
+    // 7.66 MB read / 5.43 MB written, 37 runs, 22 merges (down from
+    // 7.78 MB / 5.55 MB / 41 runs at the seed of this gate).
     let budgets = [
         Budget {
             name: "undirected glp-2k-d3 (seed 7)",
@@ -96,18 +108,18 @@ fn main() {
         },
         Budget {
             name: "directed glp-1.5k-d2.5 (seed 13)",
-            read_bytes: 9_700_000,
-            write_bytes: 6_900_000,
-            read_ops: 2_400,
-            write_ops: 1_700,
-            sort_runs: 52,
+            read_bytes: 9_600_000,
+            write_bytes: 6_800_000,
+            read_ops: 2_350,
+            write_ops: 1_660,
+            sort_runs: 47,
             merge_passes: 28,
         },
     ];
 
     println!("external-build I/O budget gate (§4 cost model)\n");
-    let m_und = run_case(&und, &RankBy::Degree);
-    let m_dir = run_case(&dir, &RankBy::DegreeProduct);
+    let m_und = run_case(&und, &RankBy::Degree, 1);
+    let m_dir = run_case(&dir, &RankBy::DegreeProduct, 1);
     let ok = check(&budgets[0], &m_und) & check(&budgets[1], &m_dir);
     if !ok {
         eprintln!("\nI/O budget regression: the external build does more I/O than the");
@@ -116,4 +128,22 @@ fn main() {
         std::process::exit(1);
     }
     println!("\nall counters within budget");
+
+    // The threaded pipeline reschedules the same record streams across
+    // workers; the atomic counters must land on exactly the sequential
+    // totals or a worker is doing I/O the cost model does not account.
+    println!("\nthreaded rebuild (4 workers): counters must match exactly");
+    for (name, g, rank_by, sequential) in [
+        ("undirected", &und, RankBy::Degree, &m_und),
+        ("directed", &dir, RankBy::DegreeProduct, &m_dir),
+    ] {
+        let threaded = run_case(g, &rank_by, 4);
+        if &threaded != sequential {
+            eprintln!("threaded {name} build I/O diverged from sequential:");
+            eprintln!("  sequential {sequential:?}");
+            eprintln!("  threaded   {threaded:?}");
+            std::process::exit(1);
+        }
+        println!("  {name}: threaded counters identical");
+    }
 }

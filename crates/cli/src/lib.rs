@@ -9,7 +9,7 @@
 //! hopdb-cli stats -i graph.txt
 //! hopdb-cli build -i graph.txt -o graph.idx [--directed] [--weighted]
 //!                 [--strategy hybrid|stepping|doubling] [--switch-at 10]
-//!                 [--threads N]
+//!                 [--threads N] [--external [--memory-records M] [--block-bytes B]]
 //! hopdb-cli query -x graph.idx 17 4242 [more pairs…]
 //! hopdb-cli query -x graph.idx --pairs batch.txt --threads 4
 //! hopdb-cli serve -x graph.idx --addr 127.0.0.1:7654 --threads 8
@@ -154,6 +154,9 @@ commands:
   build  -i EDGELIST -o INDEX [--directed] [--weighted]
          [--strategy hybrid|stepping|doubling] [--switch-at K] [--post-prune]
          [--threads N]   (0 = all cores; any N builds the identical index)
+         [--external [--memory-records M] [--block-bytes B]]
+         (--external runs the §4 disk-based build under an M-record /
+          B-byte budget; --threads ≥ 2 pipelines its joins and spills)
   query  -x INDEX [s t ...] [--pairs FILE] [--threads N]
          (pairs from arguments and/or FILE of `s t` lines; N workers, 0 = all cores)
   serve  -x INDEX [--addr HOST:PORT] [--threads N] [--batch-threads N]
@@ -239,7 +242,19 @@ fn cmd_build(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let rank_by = if g.is_directed() { RankBy::DegreeProduct } else { RankBy::Degree };
     let ranking = rank_vertices(&g, &rank_by);
     let relabeled = relabel_by_rank(&g, &ranking);
-    let (index, stats) = hopdb::build_prelabeled(&relabeled, &cfg);
+    let mut external_io = None;
+    let (index, stats) = if args.has("--external") {
+        let ext = extmem::ExtMemConfig {
+            memory_records: args.parsed("--memory-records")?.unwrap_or(1 << 20),
+            block_bytes: args.parsed("--block-bytes")?.unwrap_or(64 << 10),
+        };
+        let result = hopdb::external::build_external(&relabeled, &cfg, &ext)
+            .map_err(|e| err(format!("external build failed: {e}")))?;
+        external_io = Some((result.io, result.sort_runs, result.merge_passes));
+        (result.index, result.stats)
+    } else {
+        hopdb::build_prelabeled(&relabeled, &cfg)
+    };
     let elapsed = started.elapsed();
 
     // Persist: index file + ranking sidecar.
@@ -258,6 +273,16 @@ fn cmd_build(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         stats.num_iterations(),
         stats.threads,
     )?;
+    if let Some(((read_bytes, write_bytes, read_blocks, write_blocks), sort_runs, merge_passes)) =
+        external_io
+    {
+        writeln!(
+            out,
+            "external I/O: {read_bytes} B read / {write_bytes} B written \
+             ({read_blocks}+{write_blocks} blocks), {sort_runs} sort runs, \
+             {merge_passes} merge passes",
+        )?;
+    }
     writeln!(out, "index: {target}  ranking: {target}.rank")?;
     Ok(())
 }
@@ -530,6 +555,57 @@ mod tests {
             std::fs::read(format!("{par_idx}.rank")).unwrap()
         );
         for f in [&graph, &seq_idx, &par_idx] {
+            let _ = std::fs::remove_file(f);
+            let _ = std::fs::remove_file(format!("{f}.rank"));
+        }
+    }
+
+    #[test]
+    fn external_build_is_byte_identical_to_memory_and_across_threads() {
+        let graph = tmp("ext.txt");
+        run_vec(&["gen", "--model", "glp", "--vertices", "300", "--seed", "19", "-o", &graph])
+            .unwrap();
+        let mem_idx = tmp("ext-mem.idx");
+        let ext1_idx = tmp("ext-t1.idx");
+        let ext4_idx = tmp("ext-t4.idx");
+        run_vec(&["build", "-i", &graph, "-o", &mem_idx]).unwrap();
+        // Tiny budget so the external sorters really spill.
+        let out = run_vec(&[
+            "build",
+            "-i",
+            &graph,
+            "-o",
+            &ext1_idx,
+            "--external",
+            "--memory-records",
+            "1024",
+            "--block-bytes",
+            "4096",
+        ])
+        .unwrap();
+        assert!(out.contains("external I/O:"), "{out}");
+        let out = run_vec(&[
+            "build",
+            "-i",
+            &graph,
+            "-o",
+            &ext4_idx,
+            "--external",
+            "--memory-records",
+            "1024",
+            "--block-bytes",
+            "4096",
+            "--threads",
+            "4",
+        ])
+        .unwrap();
+        assert!(out.contains("(4 threads)"), "{out}");
+        let mem = std::fs::read(&mem_idx).unwrap();
+        let ext1 = std::fs::read(&ext1_idx).unwrap();
+        let ext4 = std::fs::read(&ext4_idx).unwrap();
+        assert_eq!(ext1, mem, "external build diverges from the in-memory engine");
+        assert_eq!(ext4, ext1, "threaded external build diverges from sequential");
+        for f in [&graph, &mem_idx, &ext1_idx, &ext4_idx] {
             let _ = std::fs::remove_file(f);
             let _ = std::fs::remove_file(format!("{f}.rank"));
         }

@@ -61,6 +61,12 @@ pub struct HopDbConfig {
     /// `1` (the default) runs the sequential path. The built index is
     /// bit-identical for every setting — the candidate pool is
     /// partitioned by owner vertex and merged deterministically.
+    ///
+    /// The external engine ([`crate::external`]) reads the same knob as
+    /// a concurrency budget over its fixed pipeline structure (side
+    /// threads, spill workers, concurrent merges) rather than an exact
+    /// worker count; see that module's docs for the thread and memory
+    /// implications.
     pub parallelism: usize,
 }
 

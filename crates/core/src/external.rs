@@ -26,6 +26,38 @@
 //! [`ExternalBuildResult::io`] report gives honest `scan(N) = N/B`
 //! figures for Table 6's disk-based columns.
 //!
+//! # Threading
+//!
+//! With [`HopDbConfig::parallelism`] ≥ 2 the per-iteration work is
+//! pipelined without changing a single byte of output or I/O traffic:
+//!
+//! * the **out-side and in-side rule joins** of the directed case run on
+//!   separate scoped threads — their generate → prune → invert chains
+//!   share only read-only label files;
+//! * every candidate sorter uses the `extmem` **background spill
+//!   worker**, so `cogroup_join` keeps streaming groups while previous
+//!   full buffers quicksort and write behind a bounded channel;
+//! * the **four label-file merges** (two for undirected) at the end of
+//!   each iteration consume disjoint run pairs and run concurrently —
+//!   all four at once when the thread budget allows (≥ 4), in two waves
+//!   of two otherwise.
+//!
+//! The knob is a concurrency *budget* over this fixed structure, not an
+//! exact worker count: `2` and `3` behave alike (two compute threads,
+//! each briefly shadowed by a mostly-I/O-bound spill worker), and values
+//! above 4 buy nothing more — the structural parallelism tops out at the
+//! four merge streams. Memory honesty: a pipelined sorter can hold up to
+//! `(spill queue depth + 2) × M` records in flight (one buffer filling,
+//! two queued, one being sorted), and the directed case runs two such
+//! sorters at once, so size `memory_records` with roughly an 8× margin
+//! when threading; the sequential path stays strictly within one `M`
+//! buffer per operator.
+//!
+//! Determinism is structural, not locked: each parallel unit owns its
+//! files, the record flow per unit is exactly the sequential one, and
+//! the shared `extmem` counters are atomics — so the build is
+//! bit-identical at any thread count and the I/O totals do not move.
+//!
 //! Deviation from the paper: the *graph topology* (for stepping's edge
 //! joins) is exported to edge files, but the final index is loaded
 //! back into memory at the end so callers can verify/serve it — at
@@ -63,6 +95,10 @@ pub struct ExternalBuildResult {
 
 /// Build a label index for a rank-relabeled graph with bounded memory.
 ///
+/// [`HopDbConfig::parallelism`] ≥ 2 enables the threaded pipeline (see
+/// the module docs); the built index and the I/O totals are identical
+/// at every thread count.
+///
 /// # Panics
 /// Panics if `cfg.prune` is false — the external path implements the
 /// paper's (always-pruned) §4 algorithm only.
@@ -73,11 +109,18 @@ pub fn build_external(
 ) -> io::Result<ExternalBuildResult> {
     assert!(cfg.prune, "the external engine implements the pruned algorithm of §4");
     let store = TempStore::new()?;
-    if g.is_directed() {
-        run_directed(g, cfg, ext, &store)
+    let mut result = if g.is_directed() {
+        run_directed(g, cfg, ext, &store)?
     } else {
-        run_undirected(g, cfg, ext, &store)
+        run_undirected(g, cfg, ext, &store)?
+    };
+    // The §5.2 exhaustive pass runs on the loaded index, exactly as the
+    // in-memory engine does — same flag, same final label sets.
+    if cfg.post_prune {
+        result.stats.post_pruned = crate::postprune::post_prune(&mut result.index);
+        result.stats.final_entries = result.index.total_entries() as u64;
     }
+    Ok(result)
 }
 
 const IO_BUF: usize = 4096; // records per reader/writer buffer
@@ -168,8 +211,19 @@ fn keep_min(a: LabelRecord, b: LabelRecord) -> LabelRecord {
     }
 }
 
-fn sorter<'s>(store: &'s TempStore, ext: &ExtMemConfig) -> ExternalSorter<'s, LabelRecord> {
-    ExternalSorter::new(store, ext.clone()).with_combiner(group_eq, keep_min)
+/// Candidate sorter; `overlap` moves its spill passes onto a background
+/// worker (bit-identical output and I/O counts, see `extmem::sorter`).
+fn sorter<'s>(
+    store: &'s TempStore,
+    ext: &ExtMemConfig,
+    overlap: bool,
+) -> ExternalSorter<'s, LabelRecord> {
+    let s = ExternalSorter::new(store, ext.clone()).with_combiner(group_eq, keep_min);
+    if overlap {
+        s.with_background_spill()
+    } else {
+        s
+    }
 }
 
 /// Sort a run of records by `(key, pivot)` with min-distance combining.
@@ -177,8 +231,9 @@ fn sort_run(
     store: &TempStore,
     ext: &ExtMemConfig,
     run: Run<LabelRecord>,
+    overlap: bool,
 ) -> io::Result<Run<LabelRecord>> {
-    let mut s = sorter(store, ext);
+    let mut s = sorter(store, ext, overlap);
     let mut reader = run.reader(buffer_records(ext))?;
     while let Some(r) = reader.next_record()? {
         s.push(r)?;
@@ -196,13 +251,36 @@ fn merge_sorted(
     merge_runs(store, vec![a, b], buffer_records(ext), Some(keep_min), group_eq)
 }
 
+/// Merge two independent `(base, survivors)` pairs — concurrently on a
+/// scoped thread when `concurrent` (the pairs consume disjoint runs, so
+/// scheduling cannot change either output).
+#[allow(clippy::type_complexity)]
+fn merge_two(
+    store: &TempStore,
+    ext: &ExtMemConfig,
+    concurrent: bool,
+    a: (Run<LabelRecord>, Run<LabelRecord>),
+    b: (Run<LabelRecord>, Run<LabelRecord>),
+) -> (io::Result<Run<LabelRecord>>, io::Result<Run<LabelRecord>>) {
+    if concurrent {
+        std::thread::scope(|sc| {
+            let ma = sc.spawn(|| merge_sorted(store, ext, a.0, a.1));
+            let mb = merge_sorted(store, ext, b.0, b.1);
+            (ma.join().expect("merge worker panicked"), mb)
+        })
+    } else {
+        (merge_sorted(store, ext, a.0, a.1), merge_sorted(store, ext, b.0, b.1))
+    }
+}
+
 /// Invert (`key` ↔ `pivot`) and sort — produces the pivot-sorted view.
 fn inverted_sorted(
     store: &TempStore,
     ext: &ExtMemConfig,
     run: &Run<LabelRecord>,
+    overlap: bool,
 ) -> io::Result<Run<LabelRecord>> {
-    let mut s = sorter(store, ext);
+    let mut s = sorter(store, ext, overlap);
     let mut reader = run.reader_shared(buffer_records(ext))?;
     while let Some(r) = reader.next_record()? {
         s.push(r.inverted())?;
@@ -217,7 +295,7 @@ fn initial_run(
     n: usize,
     entries: impl Iterator<Item = LabelRecord>,
 ) -> io::Result<Run<LabelRecord>> {
-    let mut s = sorter(store, ext);
+    let mut s = sorter(store, ext, false);
     for v in 0..n as u32 {
         s.push(LabelRecord::new(v, v, 0))?;
     }
@@ -249,7 +327,7 @@ fn sort_slice(
     ext: &ExtMemConfig,
     records: &[LabelRecord],
 ) -> io::Result<Run<LabelRecord>> {
-    let mut s = sorter(store, ext);
+    let mut s = sorter(store, ext, false);
     for &r in records {
         s.push(r)?;
     }
@@ -334,6 +412,7 @@ fn prune_candidates(
     cands: Run<LabelRecord>,
     src_labels: &Run<LabelRecord>,
     dst_labels: &Run<LabelRecord>,
+    overlap: bool,
 ) -> io::Result<(Run<LabelRecord>, u64)> {
     let buf = buffer_records(ext);
     let block_budget = (ext.memory_records / 2).max(64);
@@ -397,8 +476,186 @@ fn prune_candidates(
     // Survivors were written in per-block (pivot, key) order; resort by
     // (key, pivot) for the merge step.
     let run = survivors.finish()?;
-    let sorted = sort_run(store, ext, run)?;
+    let sorted = sort_run(store, ext, run, overlap)?;
     Ok((sorted, pruned))
+}
+
+// -------------------------------------------------------------------
+// Rule emitters (shared by both directions and both orientations)
+// -------------------------------------------------------------------
+
+/// Stepping rules (R1+R2 / R4+R5 composed with single edges): prev entry
+/// `(·, v, d)` × edge `(·, x, w)` emits `(x, v, d + w)` for `x > v`.
+fn emit_stepping(
+    pg: &[LabelRecord],
+    eg: &[LabelRecord],
+    s: &mut ExternalSorter<'_, LabelRecord>,
+) -> io::Result<()> {
+    for p in pg {
+        for e in eg {
+            if e.pivot > p.pivot {
+                s.push(LabelRecord::new(e.pivot, p.pivot, p.dist.saturating_add(e.dist)))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Doubling rules R1/R4: prev entry `(u, v, d)` × label entry `(·, x, d')`
+/// with `v < x < u` emits `(x, v, d + d')`.
+fn emit_doubling_label(
+    pg: &[LabelRecord],
+    lg: &[LabelRecord],
+    s: &mut ExternalSorter<'_, LabelRecord>,
+) -> io::Result<()> {
+    for p in pg {
+        for l in lg {
+            if l.pivot > p.pivot && l.pivot < p.key {
+                s.push(LabelRecord::new(l.pivot, p.pivot, p.dist.saturating_add(l.dist)))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Doubling rules R2/R5: prev entry `(u, v, d)` × inverted-file owner
+/// `(·, x, d')` with `x > u` emits `(x, v, d + d')`.
+fn emit_doubling_inverted(
+    pg: &[LabelRecord],
+    ig: &[LabelRecord],
+    s: &mut ExternalSorter<'_, LabelRecord>,
+) -> io::Result<()> {
+    for p in pg {
+        for o in ig {
+            if o.pivot > p.key {
+                s.push(LabelRecord::new(o.pivot, p.pivot, p.dist.saturating_add(o.dist)))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+// -------------------------------------------------------------------
+// Per-side iteration pipelines
+// -------------------------------------------------------------------
+
+/// Everything one join side produces in one iteration: the surviving
+/// candidates (owner- and pivot-sorted) ready for the label-file merges,
+/// the next iteration's `prev` run, and the iteration counters.
+struct SideOutcome {
+    candidates: u64,
+    pruned: u64,
+    surv: Run<LabelRecord>,
+    surv_inv: Run<LabelRecord>,
+    prev: Run<LabelRecord>,
+}
+
+/// Shared read-only label state one directed join side works against.
+struct SideInputs<'r> {
+    /// Edge file joined during stepping iterations (in-edges for the
+    /// out side, out-edges for the in side).
+    edges: &'r Run<LabelRecord>,
+    /// Owner-sorted out-label file.
+    out: &'r Run<LabelRecord>,
+    /// Owner-sorted in-label file.
+    inn: &'r Run<LabelRecord>,
+    /// Pivot-sorted view of this side's own label file.
+    own_inv: &'r Run<LabelRecord>,
+}
+
+/// Out-side of a directed iteration: generate out-candidates from
+/// `prev_out`, prune them (the candidate key *is* the query source),
+/// and prepare the merge inputs.
+fn directed_out_side(
+    store: &TempStore,
+    ext: &ExtMemConfig,
+    overlap: bool,
+    stepping: bool,
+    prev_out: &Run<LabelRecord>,
+    inputs: SideInputs<'_>,
+) -> io::Result<SideOutcome> {
+    let mut s = sorter(store, ext, overlap);
+    if stepping {
+        // R1+R2 over in-edges of the prev out-entry's owner.
+        cogroup_join(prev_out, inputs.edges, ext, &mut s, emit_stepping)?;
+    } else {
+        // R1: prev out (u,v,d) × Lin(u) entries (u1,d1), v < u1 < u.
+        cogroup_join(prev_out, inputs.inn, ext, &mut s, emit_doubling_label)?;
+        // R2: prev out (u,v,d) × out-inv group of u: owners u2 > u.
+        cogroup_join(prev_out, inputs.own_inv, ext, &mut s, emit_doubling_inverted)?;
+    }
+    let cands = s.finish()?;
+    let candidates = cands.len();
+    // Out-candidates: key = owner = query source; join Lout(key) with
+    // Lin(pivot).
+    let (surv, pruned) = prune_candidates(store, ext, cands, inputs.out, inputs.inn, overlap)?;
+    let surv_inv = inverted_sorted(store, ext, &surv, overlap)?;
+    let prev = copy_run(store, ext, &surv)?;
+    Ok(SideOutcome { candidates, pruned, surv, surv_inv, prev })
+}
+
+/// In-side of a directed iteration. In-candidates `(owner v, pivot u)`
+/// cover a path `u ⇝ v`: the query source is the *pivot*, so the side
+/// swaps key/pivot around the prune and swaps back.
+fn directed_in_side(
+    store: &TempStore,
+    ext: &ExtMemConfig,
+    overlap: bool,
+    stepping: bool,
+    prev_in: &Run<LabelRecord>,
+    inputs: SideInputs<'_>,
+) -> io::Result<SideOutcome> {
+    let mut s = sorter(store, ext, overlap);
+    if stepping {
+        // R4+R5 over out-edges of the prev in-entry's owner.
+        cogroup_join(prev_in, inputs.edges, ext, &mut s, emit_stepping)?;
+    } else {
+        // R4: prev in (v,u,d) × Lout(v) entries (u4,d4), u < u4 < v.
+        cogroup_join(prev_in, inputs.out, ext, &mut s, emit_doubling_label)?;
+        // R5: prev in (v,u,d) × in-inv group of v: owners u5 > v.
+        cogroup_join(prev_in, inputs.own_inv, ext, &mut s, emit_doubling_inverted)?;
+    }
+    let cands_by_owner = s.finish()?;
+    let candidates = cands_by_owner.len();
+    let cands_by_src = inverted_sorted(store, ext, &cands_by_owner, overlap)?;
+    drop(cands_by_owner);
+    let (surv_by_src, pruned) =
+        prune_candidates(store, ext, cands_by_src, inputs.out, inputs.inn, overlap)?;
+    let surv = inverted_sorted(store, ext, &surv_by_src, overlap)?;
+    // `surv_by_src` *is* the pivot-sorted view of `surv`: invert ∘
+    // invert is the identity, and both runs carry combined,
+    // `(key, pivot)`-sorted records — reuse it rather than paying a
+    // third sort of the survivor set.
+    let surv_inv = surv_by_src;
+    let prev = copy_run(store, ext, &surv)?;
+    Ok(SideOutcome { candidates, pruned, surv, surv_inv, prev })
+}
+
+/// One undirected iteration (§7: one label file plays both join roles —
+/// `inputs.out` and `inputs.inn` are both the single label file).
+fn undirected_iteration(
+    store: &TempStore,
+    ext: &ExtMemConfig,
+    overlap: bool,
+    stepping: bool,
+    prev: &Run<LabelRecord>,
+    inputs: SideInputs<'_>,
+) -> io::Result<SideOutcome> {
+    let mut s = sorter(store, ext, overlap);
+    if stepping {
+        cogroup_join(prev, inputs.edges, ext, &mut s, emit_stepping)?;
+    } else {
+        // Converted R1: prev (u,v,d) × L(u) entries with v < u1 < u.
+        cogroup_join(prev, inputs.out, ext, &mut s, emit_doubling_label)?;
+        // Converted R2: prev (u,v,d) × inv group of u: owners > u.
+        cogroup_join(prev, inputs.own_inv, ext, &mut s, emit_doubling_inverted)?;
+    }
+    let cands = s.finish()?;
+    let candidates = cands.len();
+    let (surv, pruned) = prune_candidates(store, ext, cands, inputs.out, inputs.inn, overlap)?;
+    let surv_inv = inverted_sorted(store, ext, &surv, overlap)?;
+    let prev = copy_run(store, ext, &surv)?;
+    Ok(SideOutcome { candidates, pruned, surv, surv_inv, prev })
 }
 
 fn io_report(store: &TempStore, ext: &ExtMemConfig) -> (u64, u64, u64, u64) {
@@ -423,7 +680,9 @@ fn run_directed(
 ) -> io::Result<ExternalBuildResult> {
     let started = std::time::Instant::now();
     let n = g.num_vertices();
-    let mut stats = BuildStats { threads: 1, ..BuildStats::default() };
+    let threads = cfg.resolved_parallelism();
+    let threaded = threads >= 2;
+    let mut stats = BuildStats { threads, ..BuildStats::default() };
 
     // Initialization (iteration 1): self-entries + one entry per edge.
     let init_start = std::time::Instant::now();
@@ -441,8 +700,8 @@ fn run_directed(
     let init_count = (out_init.len() + in_init.len()) as u64;
     let mut out = initial_run(store, ext, n, out_init.iter().copied())?;
     let mut inn = initial_run(store, ext, n, in_init.iter().copied())?;
-    let mut out_inv = inverted_sorted(store, ext, &out)?;
-    let mut in_inv = inverted_sorted(store, ext, &inn)?;
+    let mut out_inv = inverted_sorted(store, ext, &out, false)?;
+    let mut in_inv = inverted_sorted(store, ext, &inn, false)?;
     let edges_in = edge_run(store, ext, g, Direction::In)?;
     let edges_out = edge_run(store, ext, g, Direction::Out)?;
     // prev runs hold only new entries (no self-entries).
@@ -465,135 +724,67 @@ fn run_directed(
         let round_start = std::time::Instant::now();
         let stepping = cfg.strategy.steps_at(iter);
 
-        // ---- generation ----
-        let mut out_sorter = sorter(store, ext);
-        let mut in_sorter = sorter(store, ext);
-        if stepping {
-            // R1+R2 over in-edges of the prev out-entry's owner.
-            cogroup_join(&prev_out, &edges_in, ext, &mut out_sorter, |pg, eg, s| {
-                for p in pg {
-                    for e in eg {
-                        if e.pivot > p.pivot {
-                            s.push(LabelRecord::new(
-                                e.pivot,
-                                p.pivot,
-                                p.dist.saturating_add(e.dist),
-                            ))?;
-                        }
-                    }
-                }
-                Ok(())
-            })?;
-            // R4+R5 over out-edges of the prev in-entry's owner.
-            cogroup_join(&prev_in, &edges_out, ext, &mut in_sorter, |pg, eg, s| {
-                for p in pg {
-                    for e in eg {
-                        if e.pivot > p.pivot {
-                            s.push(LabelRecord::new(
-                                e.pivot,
-                                p.pivot,
-                                p.dist.saturating_add(e.dist),
-                            ))?;
-                        }
-                    }
-                }
-                Ok(())
-            })?;
+        // ---- generation + pruning, one pipeline per join side ----
+        let out_inputs = SideInputs { edges: &edges_in, out: &out, inn: &inn, own_inv: &out_inv };
+        let in_inputs = SideInputs { edges: &edges_out, out: &out, inn: &inn, own_inv: &in_inv };
+        let (out_side, in_side) = if threaded {
+            // The sides share only read-only label files; each owns its
+            // sorters and temp runs, so scheduling cannot reorder any
+            // per-side record stream.
+            std::thread::scope(|sc| {
+                let out_task = sc
+                    .spawn(|| directed_out_side(store, ext, true, stepping, &prev_out, out_inputs));
+                let in_side = directed_in_side(store, ext, true, stepping, &prev_in, in_inputs);
+                (out_task.join().expect("out-side worker panicked"), in_side)
+            })
         } else {
-            // R1: prev out (u,v,d) × Lin(u) entries (u1,d1), v < u1 < u.
-            cogroup_join(&prev_out, &inn, ext, &mut out_sorter, |pg, lg, s| {
-                for p in pg {
-                    for l in lg {
-                        if l.pivot > p.pivot && l.pivot < p.key {
-                            s.push(LabelRecord::new(
-                                l.pivot,
-                                p.pivot,
-                                p.dist.saturating_add(l.dist),
-                            ))?;
-                        }
-                    }
-                }
-                Ok(())
-            })?;
-            // R2: prev out (u,v,d) × out-inv group of u: owners u2 > u.
-            cogroup_join(&prev_out, &out_inv, ext, &mut out_sorter, |pg, ig, s| {
-                for p in pg {
-                    for o in ig {
-                        if o.pivot > p.key {
-                            s.push(LabelRecord::new(
-                                o.pivot,
-                                p.pivot,
-                                p.dist.saturating_add(o.dist),
-                            ))?;
-                        }
-                    }
-                }
-                Ok(())
-            })?;
-            // R4: prev in (v,u,d) × Lout(v) entries (u4,d4), u < u4 < v.
-            cogroup_join(&prev_in, &out, ext, &mut in_sorter, |pg, lg, s| {
-                for p in pg {
-                    for l in lg {
-                        if l.pivot > p.pivot && l.pivot < p.key {
-                            s.push(LabelRecord::new(
-                                l.pivot,
-                                p.pivot,
-                                p.dist.saturating_add(l.dist),
-                            ))?;
-                        }
-                    }
-                }
-                Ok(())
-            })?;
-            // R5: prev in (v,u,d) × in-inv group of v: owners u5 > v.
-            cogroup_join(&prev_in, &in_inv, ext, &mut in_sorter, |pg, ig, s| {
-                for p in pg {
-                    for o in ig {
-                        if o.pivot > p.key {
-                            s.push(LabelRecord::new(
-                                o.pivot,
-                                p.pivot,
-                                p.dist.saturating_add(o.dist),
-                            ))?;
-                        }
-                    }
-                }
-                Ok(())
-            })?;
-        }
-        let out_cands = out_sorter.finish()?;
-        let in_cands_by_owner = in_sorter.finish()?;
-        let candidates = out_cands.len() + in_cands_by_owner.len();
-
-        // ---- pruning ----
-        // Out-candidates: key = owner = query source; join Lout(key)
-        // with Lin(pivot).
-        let (out_surv, out_pruned) = prune_candidates(store, ext, out_cands, &out, &inn)?;
-        // In-candidates (owner v, pivot u) cover a path u ⇝ v: the query
-        // source is the *pivot*. Swap key/pivot, prune, swap back.
-        let in_cands_by_src = inverted_sorted(store, ext, &in_cands_by_owner)?;
-        drop(in_cands_by_owner);
-        let (in_surv_by_src, in_pruned) =
-            prune_candidates(store, ext, in_cands_by_src, &out, &inn)?;
-        let in_surv = inverted_sorted(store, ext, &in_surv_by_src)?;
-        drop(in_surv_by_src);
-        let inserted = out_surv.len() + in_surv.len();
+            (
+                directed_out_side(store, ext, false, stepping, &prev_out, out_inputs),
+                directed_in_side(store, ext, false, stepping, &prev_in, in_inputs),
+            )
+        };
+        let out_side = out_side?;
+        let in_side = in_side?;
+        let candidates = out_side.candidates + in_side.candidates;
+        let pruned = out_side.pruned + in_side.pruned;
+        let inserted = out_side.surv.len() + in_side.surv.len();
+        prev_out = out_side.prev;
+        prev_in = in_side.prev;
 
         // ---- merge survivors into the label files ----
-        let out_surv_inv = inverted_sorted(store, ext, &out_surv)?;
-        let in_surv_inv = inverted_sorted(store, ext, &in_surv)?;
-        prev_out = copy_run(store, ext, &out_surv)?;
-        prev_in = copy_run(store, ext, &in_surv)?;
-        out = merge_sorted(store, ext, out, out_surv)?;
-        out_inv = merge_sorted(store, ext, out_inv, out_surv_inv)?;
-        inn = merge_sorted(store, ext, inn, in_surv)?;
-        in_inv = merge_sorted(store, ext, in_inv, in_surv_inv)?;
+        // The four merges consume disjoint run pairs; how many run at
+        // once is capped by the configured thread budget.
+        let (out_surv, out_surv_inv) = (out_side.surv, out_side.surv_inv);
+        let (in_surv, in_surv_inv) = (in_side.surv, in_side.surv_inv);
+        let (new_out, new_out_inv, new_inn, new_in_inv) = if threads >= 4 {
+            std::thread::scope(|sc| {
+                let m_out = sc.spawn(|| merge_sorted(store, ext, out, out_surv));
+                let m_out_inv = sc.spawn(|| merge_sorted(store, ext, out_inv, out_surv_inv));
+                let m_inn = sc.spawn(|| merge_sorted(store, ext, inn, in_surv));
+                let m_in_inv = merge_sorted(store, ext, in_inv, in_surv_inv);
+                (
+                    m_out.join().expect("merge worker panicked"),
+                    m_out_inv.join().expect("merge worker panicked"),
+                    m_inn.join().expect("merge worker panicked"),
+                    m_in_inv,
+                )
+            })
+        } else {
+            // ≤ 3 threads: two waves of (at most) two concurrent merges.
+            let (a, b) = merge_two(store, ext, threaded, (out, out_surv), (out_inv, out_surv_inv));
+            let (c, d) = merge_two(store, ext, threaded, (inn, in_surv), (in_inv, in_surv_inv));
+            (a, b, c, d)
+        };
+        out = new_out?;
+        out_inv = new_out_inv?;
+        inn = new_inn?;
+        in_inv = new_in_inv?;
 
         stats.iterations.push(IterationStats {
             iteration: iter,
             stepping,
             candidates,
-            pruned: out_pruned + in_pruned,
+            pruned,
             inserted,
             total_entries: out.len() + inn.len(),
             elapsed: round_start.elapsed(),
@@ -632,7 +823,9 @@ fn run_undirected(
 ) -> io::Result<ExternalBuildResult> {
     let started = std::time::Instant::now();
     let n = g.num_vertices();
-    let mut stats = BuildStats { threads: 1, ..BuildStats::default() };
+    let threads = cfg.resolved_parallelism();
+    let threaded = threads >= 2;
+    let mut stats = BuildStats { threads, ..BuildStats::default() };
 
     let init_start = std::time::Instant::now();
     let mut init = Vec::new();
@@ -641,7 +834,7 @@ fn run_undirected(
     }
     let init_count = init.len() as u64;
     let mut lab = initial_run(store, ext, n, init.iter().copied())?;
-    let mut lab_inv = inverted_sorted(store, ext, &lab)?;
+    let mut lab_inv = inverted_sorted(store, ext, &lab, false)?;
     let edges = edge_run(store, ext, g, Direction::Out)?;
     let mut prev = sort_slice(store, ext, &init)?;
     stats.iterations.push(IterationStats {
@@ -661,63 +854,23 @@ fn run_undirected(
         let round_start = std::time::Instant::now();
         let stepping = cfg.strategy.steps_at(iter);
 
-        let mut cand_sorter = sorter(store, ext);
-        if stepping {
-            cogroup_join(&prev, &edges, ext, &mut cand_sorter, |pg, eg, s| {
-                for p in pg {
-                    for e in eg {
-                        if e.pivot > p.pivot {
-                            s.push(LabelRecord::new(
-                                e.pivot,
-                                p.pivot,
-                                p.dist.saturating_add(e.dist),
-                            ))?;
-                        }
-                    }
-                }
-                Ok(())
-            })?;
-        } else {
-            // Converted R1: prev (u,v,d) × L(u) entries with v < u1 < u.
-            cogroup_join(&prev, &lab, ext, &mut cand_sorter, |pg, lg, s| {
-                for p in pg {
-                    for l in lg {
-                        if l.pivot > p.pivot && l.pivot < p.key {
-                            s.push(LabelRecord::new(
-                                l.pivot,
-                                p.pivot,
-                                p.dist.saturating_add(l.dist),
-                            ))?;
-                        }
-                    }
-                }
-                Ok(())
-            })?;
-            // Converted R2: prev (u,v,d) × inv group of u: owners > u.
-            cogroup_join(&prev, &lab_inv, ext, &mut cand_sorter, |pg, ig, s| {
-                for p in pg {
-                    for o in ig {
-                        if o.pivot > p.key {
-                            s.push(LabelRecord::new(
-                                o.pivot,
-                                p.pivot,
-                                p.dist.saturating_add(o.dist),
-                            ))?;
-                        }
-                    }
-                }
-                Ok(())
-            })?;
-        }
-        let cands = cand_sorter.finish()?;
-        let candidates = cands.len();
-
-        let (surv, pruned) = prune_candidates(store, ext, cands, &lab, &lab)?;
-        let inserted = surv.len();
-        let surv_inv = inverted_sorted(store, ext, &surv)?;
-        prev = copy_run(store, ext, &surv)?;
-        lab = merge_sorted(store, ext, lab, surv)?;
-        lab_inv = merge_sorted(store, ext, lab_inv, surv_inv)?;
+        // The single join side still pipelines its sorter spills; the
+        // two label-file merges consume disjoint run pairs and overlap.
+        let side = undirected_iteration(
+            store,
+            ext,
+            threaded,
+            stepping,
+            &prev,
+            SideInputs { edges: &edges, out: &lab, inn: &lab, own_inv: &lab_inv },
+        )?;
+        let (candidates, pruned) = (side.candidates, side.pruned);
+        let inserted = side.surv.len();
+        prev = side.prev;
+        let (new_lab, new_lab_inv) =
+            merge_two(store, ext, threaded, (lab, side.surv), (lab_inv, side.surv_inv));
+        lab = new_lab?;
+        lab_inv = new_lab_inv?;
 
         stats.iterations.push(IterationStats {
             iteration: iter,
@@ -815,6 +968,73 @@ mod tests {
             let result = build_external(&g, &cfg, &tiny_ext()).unwrap();
             assert_eq!(result.index, mem, "case {case}");
             assert_exact(&g, &result.index);
+        }
+    }
+
+    #[test]
+    fn threaded_build_matches_sequential_and_memory() {
+        let g = graphgen::example_graph_fig3();
+        for strategy in [Strategy::Doubling, Strategy::Stepping, Strategy::Hybrid { switch_at: 3 }]
+        {
+            let cfg = HopDbConfig::with_strategy(strategy);
+            let (mem, _) = build_prelabeled(&g, &cfg);
+            let seq = build_external(&g, &cfg, &tiny_ext()).unwrap();
+            for threads in [2usize, 4] {
+                let cfg = cfg.clone().with_parallelism(threads);
+                let par = build_external(&g, &cfg, &tiny_ext()).unwrap();
+                assert_eq!(par.index, seq.index, "threads={threads} {:?}", cfg.strategy);
+                assert_eq!(par.index, mem, "threads={threads} vs memory engine");
+                assert_eq!(
+                    (par.io, par.sort_runs, par.merge_passes),
+                    (seq.io, seq.sort_runs, seq.merge_passes),
+                    "I/O accounting must not depend on the thread count (threads={threads})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_undirected_matches_sequential() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(29);
+        let n = 40;
+        let mut b = GraphBuilder::new_undirected(n);
+        for _ in 0..4 * n {
+            b.add_edge(rng.gen_range(0..n) as VertexId, rng.gen_range(0..n) as VertexId);
+        }
+        let g = b.build();
+        let cfg = HopDbConfig::with_strategy(Strategy::Hybrid { switch_at: 2 });
+        let seq = build_external(&g, &cfg, &tiny_ext()).unwrap();
+        let par = build_external(&g, &cfg.clone().with_parallelism(4), &tiny_ext()).unwrap();
+        assert_eq!(par.index, seq.index);
+        assert_eq!(
+            (par.io, par.sort_runs, par.merge_passes),
+            (seq.io, seq.sort_runs, seq.merge_passes)
+        );
+        assert_eq!(par.stats.num_iterations(), seq.stats.num_iterations());
+    }
+
+    #[test]
+    fn post_prune_flag_matches_memory_engine() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let n = 30;
+        let mut b = GraphBuilder::new_undirected(n);
+        for _ in 0..4 * n {
+            b.add_edge(rng.gen_range(0..n) as VertexId, rng.gen_range(0..n) as VertexId);
+        }
+        let g = b.build();
+        // Doubling leaves §5.2-removable entries behind, so the pass has
+        // real work to mirror.
+        let cfg =
+            HopDbConfig { post_prune: true, ..HopDbConfig::with_strategy(Strategy::Doubling) };
+        let (mem, mem_stats) = build_prelabeled(&g, &cfg);
+        for threads in [1usize, 4] {
+            let cfg = cfg.clone().with_parallelism(threads);
+            let result = build_external(&g, &cfg, &tiny_ext()).unwrap();
+            assert_eq!(result.index, mem, "post-pruned external != memory at {threads} threads");
+            assert_eq!(result.stats.post_pruned, mem_stats.post_pruned);
+            assert_eq!(result.stats.final_entries, mem_stats.final_entries);
         }
     }
 

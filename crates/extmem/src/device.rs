@@ -14,11 +14,26 @@ use crate::stats::IoStats;
 /// counter, so an external computation's total traffic is observable at
 /// a single point.
 pub struct TempStore {
+    inner: Arc<StoreInner>,
+    /// Remove the directory itself on drop (set when we created it).
+    own_dir: bool,
+}
+
+/// Shared creation state: directory, file-name counter, I/O counters.
+struct StoreInner {
     dir: PathBuf,
     counter: AtomicU64,
     stats: Arc<IoStats>,
-    /// Remove `dir` itself on drop (set when we created it).
-    own_dir: bool,
+}
+
+impl StoreInner {
+    fn create(&self, tag: &str) -> std::io::Result<CountedFile> {
+        let id = self.counter.fetch_add(1, Ordering::Relaxed);
+        let path = self.dir.join(format!("{tag}-{id}.bin"));
+        let file =
+            OpenOptions::new().create(true).truncate(true).read(true).write(true).open(&path)?;
+        Ok(CountedFile { file, path, stats: Arc::clone(&self.stats), delete_on_drop: true })
+    }
 }
 
 impl TempStore {
@@ -34,40 +49,74 @@ impl TempStore {
                 .unwrap_or(0)
         ));
         std::fs::create_dir_all(&dir)?;
-        Ok(TempStore { dir, counter: AtomicU64::new(0), stats: IoStats::shared(), own_dir: true })
+        Ok(TempStore {
+            inner: Arc::new(StoreInner {
+                dir,
+                counter: AtomicU64::new(0),
+                stats: IoStats::shared(),
+            }),
+            own_dir: true,
+        })
     }
 
     /// Use an existing directory (not removed on drop).
     pub fn in_dir(dir: &Path) -> std::io::Result<TempStore> {
         std::fs::create_dir_all(dir)?;
         Ok(TempStore {
-            dir: dir.to_path_buf(),
-            counter: AtomicU64::new(0),
-            stats: IoStats::shared(),
+            inner: Arc::new(StoreInner {
+                dir: dir.to_path_buf(),
+                counter: AtomicU64::new(0),
+                stats: IoStats::shared(),
+            }),
             own_dir: false,
         })
     }
 
     /// The shared I/O counters for this store.
     pub fn stats(&self) -> Arc<IoStats> {
-        Arc::clone(&self.stats)
+        Arc::clone(&self.inner.stats)
     }
 
     /// Create a new empty counted file.
     pub fn create(&self, tag: &str) -> std::io::Result<CountedFile> {
-        let id = self.counter.fetch_add(1, Ordering::Relaxed);
-        let path = self.dir.join(format!("{tag}-{id}.bin"));
-        let file =
-            OpenOptions::new().create(true).truncate(true).read(true).write(true).open(&path)?;
-        Ok(CountedFile { file, path, stats: Arc::clone(&self.stats), delete_on_drop: true })
+        self.inner.create(tag)
+    }
+
+    /// An owned, `'static` handle that can create files in this store
+    /// from another thread (same name counter, same I/O counters).
+    ///
+    /// The handle does not keep the directory alive: creating a file
+    /// after the owning `TempStore` dropped fails with `NotFound`, so
+    /// workers must be joined before the store goes away (the sorter's
+    /// background spill does exactly that).
+    pub fn handle(&self) -> StoreHandle {
+        StoreHandle { inner: Arc::clone(&self.inner) }
     }
 }
 
 impl Drop for TempStore {
     fn drop(&mut self) {
         if self.own_dir {
-            let _ = std::fs::remove_dir_all(&self.dir);
+            let _ = std::fs::remove_dir_all(&self.inner.dir);
         }
+    }
+}
+
+/// Cloneable, thread-movable file-creation handle for a [`TempStore`].
+#[derive(Clone)]
+pub struct StoreHandle {
+    inner: Arc<StoreInner>,
+}
+
+impl StoreHandle {
+    /// Create a new empty counted file (see [`TempStore::create`]).
+    pub fn create(&self, tag: &str) -> std::io::Result<CountedFile> {
+        self.inner.create(tag)
+    }
+
+    /// The shared I/O counters of the underlying store.
+    pub fn stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.inner.stats)
     }
 }
 
@@ -236,6 +285,26 @@ mod tests {
         f.read_exact_at(3, &mut buf).unwrap();
         assert_eq!(&buf, b"def");
         assert_eq!(store.stats().read_bytes(), 6);
+    }
+
+    #[test]
+    fn handle_creates_files_from_other_threads() {
+        let store = TempStore::new().unwrap();
+        let handle = store.handle();
+        let worker = std::thread::spawn(move || {
+            let mut f = handle.create("worker").unwrap();
+            f.write_all(b"spill").unwrap();
+            f.flush().unwrap();
+            f.persist();
+            f.path().to_path_buf()
+        });
+        let path = worker.join().unwrap();
+        assert!(path.exists());
+        assert_eq!(store.stats().write_bytes(), 5);
+        // Names from handles and the store share one counter: no clashes.
+        let f = store.create("worker").unwrap();
+        assert_ne!(f.path(), path);
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

@@ -17,7 +17,9 @@
 //!   streams over counted files;
 //! * [`sorter::ExternalSorter`] — budgeted run formation plus k-way merge
 //!   with an optional combiner for equal keys (used to keep the minimum
-//!   distance per `(vertex, pivot)` candidate).
+//!   distance per `(vertex, pivot)` candidate), optionally pipelining the
+//!   spill passes onto a background worker
+//!   ([`sorter::ExternalSorter::with_background_spill`]).
 //!
 //! Everything is deterministic and the simulated "disk" is honest: bytes
 //! really hit the filesystem, so the I/O counts benchmarked by `bench`
@@ -30,7 +32,7 @@ pub mod sorter;
 pub mod stats;
 
 pub use codec::{LabelRecord, Record};
-pub use device::{CountedFile, TempStore};
+pub use device::{CountedFile, StoreHandle, TempStore};
 pub use run::{Run, RunReader, RunWriter};
 pub use sorter::ExternalSorter;
 pub use stats::IoStats;

@@ -17,7 +17,13 @@ use crate::{Dist, VertexId};
 /// Parse a text edge list.
 ///
 /// Vertex ids may be sparse; the graph gets `max_id + 1` vertices. If
-/// `weighted` is set, a third column is required on every edge line.
+/// `weighted` is set, a third column is required on every edge line and
+/// its value must lie in `1 ..= Dist::MAX` — zero weights would break
+/// the strictly-positive-distance assumption the traversal and pruning
+/// code relies on, and larger values cannot be represented.
+///
+/// Edges stream into the builder one line at a time; the parser holds
+/// no copy of the edge list of its own.
 pub fn read_edge_list<R: BufRead>(
     reader: R,
     directed: bool,
@@ -28,7 +34,6 @@ pub fn read_edge_list<R: BufRead>(
     if weighted {
         builder = builder.weighted();
     }
-    let mut edges: Vec<(VertexId, VertexId, Dist)> = Vec::new();
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
         let line = line.trim();
@@ -50,14 +55,23 @@ pub fn read_edge_list<R: BufRead>(
         if u > u32::MAX as u64 || v > u32::MAX as u64 {
             return Err(GraphError::VertexOutOfRange { vertex: u.max(v), n: u32::MAX as usize });
         }
-        edges.push((u as VertexId, v as VertexId, w.min(u32::MAX as u64) as Dist));
-    }
-    for &(u, v, _) in &edges {
-        builder.ensure_vertex(u);
-        builder.ensure_vertex(v);
-    }
-    for (u, v, w) in edges {
-        builder.add_weighted_edge(u, v, w);
+        if w == 0 {
+            return Err(GraphError::Parse {
+                line: lineno + 1,
+                msg: "edge weight 0 (weights must be ≥ 1: shortest-path \
+                      distances are strictly positive)"
+                    .into(),
+            });
+        }
+        if w > Dist::MAX as u64 {
+            return Err(GraphError::Parse {
+                line: lineno + 1,
+                msg: format!("edge weight {w} exceeds the maximum representable {}", Dist::MAX),
+            });
+        }
+        builder.ensure_vertex(u as VertexId);
+        builder.ensure_vertex(v as VertexId);
+        builder.add_weighted_edge(u as VertexId, v as VertexId, w as Dist);
     }
     Ok(builder.build())
 }
@@ -189,6 +203,53 @@ mod tests {
     fn missing_weight_column_is_an_error() {
         let text = "0 1\n";
         assert!(read_edge_list(Cursor::new(text), false, true).is_err());
+    }
+
+    #[test]
+    fn overflowing_weight_is_an_error_not_a_clamp() {
+        // 2^32 + 5 used to load as u32::MAX silently.
+        let text = "0 1 2\n1 2 4294967301\n";
+        let err = read_edge_list(Cursor::new(text), false, true).unwrap_err();
+        match err {
+            GraphError::Parse { line, msg } => {
+                assert_eq!(line, 2);
+                assert!(msg.contains("4294967301"), "{msg}");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+        // The maximum representable weight itself still parses.
+        let max = format!("0 1 {}\n", Dist::MAX);
+        let g = read_edge_list(Cursor::new(max), false, true).unwrap();
+        assert_eq!(g.edge_weight(0, 1), Some(Dist::MAX));
+    }
+
+    #[test]
+    fn zero_weight_is_an_error_in_weighted_mode() {
+        let text = "# header\n0 1 3\n2 3 0\n";
+        let err = read_edge_list(Cursor::new(text), true, true).unwrap_err();
+        match err {
+            GraphError::Parse { line, msg } => {
+                assert_eq!(line, 3, "error must name the offending line");
+                assert!(msg.contains("weight 0"), "{msg}");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn large_input_streams_in_one_pass() {
+        // A smoke test for the streaming parse: enough edges that a
+        // buffered second copy would be noticeable, with sparse ids so
+        // ensure_vertex actually drives the vertex count.
+        let m = 100_000u32;
+        let mut text = String::with_capacity(m as usize * 12);
+        for i in 0..m {
+            use std::fmt::Write as _;
+            let _ = writeln!(text, "{} {}", i % 10_000, (i * 7 + 1) % 10_000);
+        }
+        let g = read_edge_list(Cursor::new(text), true, false).unwrap();
+        assert_eq!(g.num_vertices(), 10_000);
+        assert!(g.num_edges() > 9_000, "dedup keeps distinct pairs: {}", g.num_edges());
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Threaded external-build determinism: the §4 disk-based engine must
+//! produce an index that serializes to byte-identical files at every
+//! thread count, equals the in-memory engine's index entry for entry,
+//! reports thread-count-independent I/O totals, and answers every query
+//! exactly like the BFS ground truth.
+
+use hop_doubling::extmem::device::TempStore;
+use hop_doubling::extmem::ExtMemConfig;
+use hop_doubling::graphgen::{glp, orient_scale_free, GlpParams};
+use hop_doubling::hopdb::external::build_external;
+use hop_doubling::hopdb::{build_prelabeled, HopDbConfig};
+use hop_doubling::hoplabels::disk::DiskIndex;
+use hop_doubling::sfgraph::ranking::{rank_vertices, relabel_by_rank, RankBy};
+use hop_doubling::sfgraph::traversal::bfs;
+use hop_doubling::sfgraph::{Direction, Graph, VertexId};
+
+/// Serialize an index through the one on-disk code path and return the
+/// file's bytes.
+fn serialized(index: &hop_doubling::hoplabels::LabelIndex) -> Vec<u8> {
+    let store = TempStore::new().unwrap();
+    let disk = DiskIndex::create(index, &store, "ext-determinism").unwrap();
+    let path = disk.persist();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(path).unwrap();
+    bytes
+}
+
+/// Budget small enough that the sorters spill and the background spill
+/// worker actually runs on these test-sized graphs.
+fn spilling_ext() -> ExtMemConfig {
+    ExtMemConfig { memory_records: 512, block_bytes: 1024 }
+}
+
+fn assert_external_thread_counts_agree(g: &Graph) {
+    let (mem, _) = build_prelabeled(g, &HopDbConfig::default());
+    let seq = build_external(g, &HopDbConfig::default().with_parallelism(1), &spilling_ext())
+        .expect("sequential external build");
+    assert_eq!(seq.index, mem, "external engine diverges from the in-memory engine");
+    let seq_bytes = serialized(&seq.index);
+    for threads in [2usize, 4] {
+        let par =
+            build_external(g, &HopDbConfig::default().with_parallelism(threads), &spilling_ext())
+                .expect("threaded external build");
+        assert_eq!(
+            par.index, seq.index,
+            "{threads}-thread external index differs from sequential entry-for-entry"
+        );
+        assert_eq!(
+            serialized(&par.index),
+            seq_bytes,
+            "{threads}-thread serialized external index is not byte-identical"
+        );
+        assert_eq!(
+            (par.io, par.sort_runs, par.merge_passes),
+            (seq.io, seq.sort_runs, seq.merge_passes),
+            "I/O accounting must not depend on the thread count ({threads} threads)"
+        );
+        assert_eq!(par.stats.num_iterations(), seq.stats.num_iterations());
+        for (p, s) in par.stats.iterations.iter().zip(&seq.stats.iterations) {
+            assert_eq!(
+                (p.candidates, p.pruned, p.inserted, p.total_entries),
+                (s.candidates, s.pruned, s.inserted, s.total_entries),
+                "iteration {} counters diverged at {threads} threads",
+                p.iteration
+            );
+        }
+    }
+}
+
+#[test]
+fn undirected_glp_external_builds_identically_across_thread_counts() {
+    let raw = glp(&GlpParams::with_density(450, 3.0, 31));
+    let ranking = rank_vertices(&raw, &RankBy::Degree);
+    let g = relabel_by_rank(&raw, &ranking);
+    assert_external_thread_counts_agree(&g);
+
+    // And the threaded external build answers exactly like BFS truth.
+    let result = build_external(&g, &HopDbConfig::default().with_parallelism(4), &spilling_ext())
+        .expect("threaded external build");
+    for s in (0..g.num_vertices() as VertexId).step_by(41) {
+        let truth = bfs(&g, s, Direction::Out);
+        for t in 0..g.num_vertices() as VertexId {
+            assert_eq!(result.index.query(s, t), truth[t as usize], "dist({s}, {t})");
+        }
+    }
+}
+
+#[test]
+fn directed_glp_external_builds_identically_across_thread_counts() {
+    let raw = orient_scale_free(&glp(&GlpParams::with_density(400, 2.5, 47)), 0.25, 47);
+    let ranking = rank_vertices(&raw, &RankBy::DegreeProduct);
+    let g = relabel_by_rank(&raw, &ranking);
+    assert_external_thread_counts_agree(&g);
+
+    let result = build_external(&g, &HopDbConfig::default().with_parallelism(4), &spilling_ext())
+        .expect("threaded external build");
+    for s in (0..g.num_vertices() as VertexId).step_by(37) {
+        let truth = bfs(&g, s, Direction::Out);
+        for t in 0..g.num_vertices() as VertexId {
+            assert_eq!(result.index.query(s, t), truth[t as usize], "dist({s}, {t})");
+        }
+    }
+}
+
+#[test]
+fn zero_parallelism_resolves_to_all_cores_externally() {
+    // `--threads 0` means "all cores"; whatever that resolves to, the
+    // index must still be the sequential one.
+    let raw = glp(&GlpParams::with_density(250, 3.0, 5));
+    let ranking = rank_vertices(&raw, &RankBy::Degree);
+    let g = relabel_by_rank(&raw, &ranking);
+    let seq = build_external(&g, &HopDbConfig::default(), &spilling_ext()).unwrap();
+    let auto =
+        build_external(&g, &HopDbConfig::default().with_parallelism(0), &spilling_ext()).unwrap();
+    assert_eq!(auto.index, seq.index);
+    assert_eq!(serialized(&auto.index), serialized(&seq.index));
+}
