@@ -105,14 +105,14 @@ fn bench_queries(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let disk = DiskIndex::create(hopdb.index(), &store, "bench-c").unwrap();
-                let mut cached = CachedDiskIndex::new(disk, 4096);
+                let cached = CachedDiskIndex::new(disk, 4096);
                 // Warm with the same pairs the measurement replays.
                 for &(s, t) in rank_pairs.iter().take(64) {
                     cached.query(s, t).unwrap();
                 }
                 cached
             },
-            |mut cached| {
+            |cached| {
                 for &(s, t) in rank_pairs.iter().take(64) {
                     std::hint::black_box(cached.query(s, t).unwrap());
                 }

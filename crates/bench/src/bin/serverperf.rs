@@ -1,30 +1,42 @@
 //! Serving-path performance snapshot (the CI `server-perf` artifact).
 //!
 //! Boots a real `hopdb-server` daemon on an ephemeral loopback port
-//! over a GLP-built index, then drives it with closed-loop clients —
-//! each client one TCP connection issuing `--batch`-pair query frames
-//! back to back — at 1 connection and at `--conns` connections.
+//! over a GLP-built index, then drives it with fast clients — each one
+//! TCP connection issuing `--batch`-pair query frames, keeping
+//! `--pipeline` requests in flight (1 = classic closed loop) — at 1
+//! connection and at `--conns` connections. `--slow-conns` adds
+//! background connections that trickle single-pair queries with
+//! 10–20 ms pauses, so the latency gate reflects a mixed fleet: slow
+//! pollers must not drag the fast clients' tail.
+//!
 //! Before any timing, every served answer is asserted bit-identical to
 //! in-process `FlatIndex::query_many`.
 //!
 //! The snapshot lands in `BENCH_server.json`: pairs/second (QPS) and
-//! request latency percentiles (p50/p99) per connection count.
+//! request latency percentiles (p50/p99) per connection count, plus
+//! the serving backend and pipelining depth.
 //!
 //! Gates (any failure exits non-zero):
 //!
 //! * `--min-qps N` — pairs/second floor at `--conns` connections.
+//! * `--max-p99-us N` — fast-client p99 request latency ceiling (µs)
+//!   at `--conns` connections, measured with the slow fleet running.
 //!
 //! ```text
 //! BENCH_SCALE=small cargo run --release -p bench --bin serverperf -- \
-//!     --threads 4 --conns 4 --batch 256 --min-qps 150000 -o BENCH_server.json
+//!     --backend epoll --conns 4 --batch 256 --pipeline 8 --slow-conns 2 \
+//!     --min-qps 150000 --max-p99-us 50000 -o BENCH_server.json
 //! ```
 
-use std::time::Instant;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 use bench::Scale;
 use graphgen::{glp, GlpParams};
 use hopdb::{build_prelabeled, HopDbConfig};
-use hopdb_server::{serve, Client, ServerConfig};
+use hopdb_server::client::Session;
+use hopdb_server::{serve, Backend, Client, ServerConfig};
 use hoplabels::disk::DiskIndex;
 use hoplabels::flat::FlatIndex;
 use sfgraph::ranking::{rank_vertices, relabel_by_rank, RankBy};
@@ -41,39 +53,86 @@ struct Run {
     p50_us: f64,
     p99_us: f64,
     requests: usize,
+    slow_requests: usize,
 }
 
-/// Drive the server closed-loop from `conns` concurrent connections.
+/// Drive the server from `conns` fast connections (each keeping
+/// `pipeline` requests in flight) while `slow_conns` background
+/// connections trickle single-pair queries with 10–20 ms pauses.
+/// Percentiles cover the fast clients only — the gate is about slow
+/// pollers not wrecking the fast tail, not about the pollers
+/// themselves.
 fn measure(
     addr: std::net::SocketAddr,
     pairs: &[(VertexId, VertexId)],
     conns: usize,
     batch: usize,
     requests_per_conn: usize,
+    pipeline: usize,
+    slow_conns: usize,
 ) -> Run {
+    let stop_slow = AtomicBool::new(false);
     let started = Instant::now();
-    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..conns)
+    let (mut latencies, wall, slow_requests) = std::thread::scope(|scope| {
+        let slow: Vec<_> = (0..slow_conns)
+            .map(|c| {
+                let stop_slow = &stop_slow;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("slow connect");
+                    let (mut count, mut i) = (0usize, c * 13);
+                    while !stop_slow.load(Ordering::Relaxed) {
+                        let (s, t) = pairs[i % pairs.len()];
+                        client.query_one(s, t).expect("slow query");
+                        count += 1;
+                        std::thread::sleep(Duration::from_millis(10 + (i % 11) as u64));
+                        i += 7;
+                    }
+                    count
+                })
+            })
+            .collect();
+
+        let fast: Vec<_> = (0..conns)
             .map(|c| {
                 scope.spawn(move || {
-                    let mut client = Client::connect(addr).expect("connect");
+                    let mut session = Session::connect(addr).expect("connect");
+                    let mut window: VecDeque<(hopdb_server::client::Ticket, Instant)> =
+                        VecDeque::with_capacity(pipeline);
                     let mut lat = Vec::with_capacity(requests_per_conn);
+                    let redeem =
+                        |session: &mut Session, window: &mut VecDeque<_>, lat: &mut Vec<f64>| {
+                            let (ticket, t0): (_, Instant) = window.pop_front().unwrap();
+                            let got = session.wait(ticket).expect("wait");
+                            lat.push(t0.elapsed().as_secs_f64() * 1e6);
+                            assert_eq!(got.len(), batch);
+                        };
                     for r in 0..requests_per_conn {
                         // Each request replays a rotating window so
                         // different connections touch different pairs.
                         let at = (c * 31 + r * batch) % (pairs.len() - batch);
-                        let t0 = Instant::now();
-                        let got = client.query(&pairs[at..at + batch]).expect("query");
-                        lat.push(t0.elapsed().as_secs_f64() * 1e6);
-                        assert_eq!(got.len(), batch);
+                        window.push_back((
+                            session.submit(&pairs[at..at + batch]).expect("submit"),
+                            Instant::now(),
+                        ));
+                        if window.len() >= pipeline.max(1) {
+                            redeem(&mut session, &mut window, &mut lat);
+                        }
+                    }
+                    while !window.is_empty() {
+                        redeem(&mut session, &mut window, &mut lat);
                     }
                     lat
                 })
             })
             .collect();
-        handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect()
+
+        let latencies: Vec<f64> =
+            fast.into_iter().flat_map(|h| h.join().expect("fast client")).collect();
+        let wall = started.elapsed().as_secs_f64();
+        stop_slow.store(true, Ordering::Relaxed);
+        let slow_requests = slow.into_iter().map(|h| h.join().expect("slow client")).sum();
+        (latencies, wall, slow_requests)
     });
-    let wall = started.elapsed().as_secs_f64();
     latencies.sort_by(f64::total_cmp);
     let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
     let total_requests = conns * requests_per_conn;
@@ -83,6 +142,7 @@ fn measure(
         p50_us: pct(0.50),
         p99_us: pct(0.99),
         requests: total_requests,
+        slow_requests,
     }
 }
 
@@ -90,14 +150,23 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = Scale::from_env();
     let out_path = arg_value(&args, "-o").unwrap_or_else(|| "BENCH_server.json".to_string());
+    let backend: Backend = arg_value(&args, "--backend")
+        .map_or_else(Backend::default, |v| v.parse().expect("bad --backend"));
     let threads: usize =
         arg_value(&args, "--threads").map_or(4, |v| v.parse().expect("bad --threads"));
     let conns: usize =
         arg_value(&args, "--conns").map_or(threads, |v| v.parse().expect("bad --conns"));
     let batch: usize = arg_value(&args, "--batch").map_or(256, |v| v.parse().expect("bad --batch"));
     assert!(batch >= 1, "--batch must be at least 1 pair");
+    let pipeline: usize =
+        arg_value(&args, "--pipeline").map_or(1, |v| v.parse().expect("bad --pipeline"));
+    assert!(pipeline >= 1, "--pipeline must be at least 1 request in flight");
+    let slow_conns: usize =
+        arg_value(&args, "--slow-conns").map_or(0, |v| v.parse().expect("bad --slow-conns"));
     let min_qps: Option<f64> =
         arg_value(&args, "--min-qps").map(|v| v.parse().expect("bad --min-qps"));
+    let max_p99_us: Option<f64> =
+        arg_value(&args, "--max-p99-us").map(|v| v.parse().expect("bad --max-p99-us"));
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
 
     let (n, density, requests_per_conn) = match scale {
@@ -106,8 +175,8 @@ fn main() {
         Scale::Large => (40_000, 4.0, 4_000),
     };
     eprintln!(
-        "serverperf: GLP n={n} d={density} (scale {scale:?}, {cores} cores, \
-         {threads} server threads, batch {batch})"
+        "serverperf: GLP n={n} d={density} (scale {scale:?}, {cores} cores, backend {backend:?}, \
+         {threads} server threads, batch {batch}, pipeline {pipeline}, {slow_conns} slow conns)"
     );
     let g = glp(&GlpParams::with_density(n, density, 42));
     let ranking = rank_vertices(&g, &RankBy::Degree);
@@ -123,7 +192,7 @@ fn main() {
     std::fs::copy(&staged, &index_path).expect("stage index");
     std::fs::remove_file(staged).ok();
 
-    let config = ServerConfig { threads, batch_threads: 1, ..ServerConfig::default() };
+    let config = ServerConfig { backend, threads, batch_threads: 1, ..ServerConfig::default() };
     let handle = serve("127.0.0.1:0", &index_path, config).expect("serve");
     let addr = handle.local_addr();
     eprintln!("  daemon on {addr}");
@@ -145,28 +214,33 @@ fn main() {
     // arithmetic in `measure` always has room (pool > batch).
     let pairs = bench::query_pairs(&relabeled, 65_536.max(batch * 8), 0xBEEF);
     // Warm up connections, caches, and the accept path.
-    measure(addr, &pairs, 1, batch, requests_per_conn / 4 + 1);
+    measure(addr, &pairs, 1, batch, requests_per_conn / 4 + 1, pipeline, 0);
     let runs = [
-        measure(addr, &pairs, 1, batch, requests_per_conn),
-        measure(addr, &pairs, conns, batch, requests_per_conn),
+        measure(addr, &pairs, 1, batch, requests_per_conn, pipeline, slow_conns),
+        measure(addr, &pairs, conns, batch, requests_per_conn, pipeline, slow_conns),
     ];
     for run in &runs {
         eprintln!(
-            "  {} conn(s): {:>10.0} pairs/s   p50 {:>7.1} µs   p99 {:>7.1} µs   ({} requests)",
-            run.conns, run.qps, run.p50_us, run.p99_us, run.requests
+            "  {} conn(s): {:>10.0} pairs/s   p50 {:>7.1} µs   p99 {:>7.1} µs   \
+             ({} requests, {} slow)",
+            run.conns, run.qps, run.p50_us, run.p99_us, run.requests, run.slow_requests
         );
     }
 
     let run_json = |r: &Run| {
         format!(
-            r#"{{"conns":{},"qps":{:.0},"p50_us":{:.1},"p99_us":{:.1},"requests":{}}}"#,
-            r.conns, r.qps, r.p50_us, r.p99_us, r.requests
+            concat!(
+                r#"{{"conns":{},"qps":{:.0},"p50_us":{:.1},"p99_us":{:.1},"#,
+                r#""requests":{},"slow_requests":{}}}"#
+            ),
+            r.conns, r.qps, r.p50_us, r.p99_us, r.requests, r.slow_requests
         )
     };
     let json = format!(
         concat!(
             r#"{{"workload":{{"model":"glp","vertices":{},"density":{},"seed":42}},"#,
-            r#""scale":"{:?}","cores":{},"server_threads":{},"batch":{},"#,
+            r#""scale":"{:?}","cores":{},"backend":"{}","server_threads":{},"batch":{},"#,
+            r#""pipeline":{},"slow_conns":{},"#,
             r#""index":{{"entries":{},"resident_bytes":{}}},"#,
             r#""runs":[{},{}]}}"#
         ),
@@ -174,8 +248,11 @@ fn main() {
         density,
         scale,
         cores,
+        format!("{backend:?}").to_lowercase(),
         threads,
         batch,
+        pipeline,
+        slow_conns,
         index.total_entries(),
         flat.resident_bytes(),
         run_json(&runs[0]),
@@ -187,12 +264,26 @@ fn main() {
     handle.shutdown();
     std::fs::remove_file(&index_path).ok();
 
+    let mut failed = false;
     if let Some(want) = min_qps {
         let got = runs[1].qps;
         if got < want {
             eprintln!("QPS regression: {got:.0} pairs/s at {conns} conns, gate wants {want:.0}");
-            std::process::exit(1);
+            failed = true;
+        } else {
+            eprintln!("qps ok: {got:.0} pairs/s at {conns} conns (gate {want:.0})");
         }
-        eprintln!("qps ok: {got:.0} pairs/s at {conns} conns (gate {want:.0})");
+    }
+    if let Some(want) = max_p99_us {
+        let got = runs[1].p99_us;
+        if got > want {
+            eprintln!("p99 regression: {got:.1} µs at {conns} conns, gate allows {want:.1}");
+            failed = true;
+        } else {
+            eprintln!("p99 ok: {got:.1} µs at {conns} conns (gate {want:.1})");
+        }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

@@ -12,9 +12,10 @@
 //!                 [--threads N] [--external [--memory-records M] [--block-bytes B]]
 //! hopdb-cli query -x graph.idx 17 4242 [more pairs…]
 //! hopdb-cli query -x graph.idx --pairs batch.txt --threads 4
-//! hopdb-cli serve -x graph.idx --addr 127.0.0.1:7654 --threads 8
+//! hopdb-cli serve -x graph.idx --addr 127.0.0.1:7654 [--backend epoll|threads]
+//!                 [--flush-us 100] [--coalesce-pairs 4096] [--max-inflight 128]
 //!                 [--swap-path next.idx] [--max-resident-bytes N]
-//! hopdb-cli admin -a 127.0.0.1:7654 stats|swap|shutdown
+//! hopdb-cli admin -a 127.0.0.1:7654 [--timeout-ms 5000] stats|swap|shutdown
 //! ```
 //!
 //! `build` writes two artifacts: the disk index (`hoplabels::disk`
@@ -159,12 +160,19 @@ commands:
           B-byte budget; --threads ≥ 2 pipelines its joins and spills)
   query  -x INDEX [s t ...] [--pairs FILE] [--threads N]
          (pairs from arguments and/or FILE of `s t` lines; N workers, 0 = all cores)
-  serve  -x INDEX [--addr HOST:PORT] [--threads N] [--batch-threads N]
-         [--max-batch PAIRS] [--max-resident-bytes B] [--swap-path FILE]
+  serve  -x INDEX [--addr HOST:PORT] [--backend epoll|threads]
+         [--threads N] [--batch-threads N] [--max-batch PAIRS]
+         [--flush-us US] [--coalesce-pairs P] [--max-inflight N]
+         [--idle-timeout-ms MS] [--max-resident-bytes B] [--swap-path FILE]
          [--announce-file FILE] [--allow-remote-shutdown]
-         (long-running TCP daemon; HOPQ wire protocol; swap promotes --swap-path)
-  admin  -a HOST:PORT stats|swap|shutdown
-         (talk to a running serve daemon)";
+         (long-running TCP daemon; HOPQ wire protocol + HTTP/JSON on the
+          same port under the epoll backend; swap promotes --swap-path;
+          --flush-us/--coalesce-pairs tune micro-batching, --max-inflight
+          caps pipelining per connection, --threads applies to the
+          threads backend)
+  admin  -a HOST:PORT [--timeout-ms MS] stats|swap|shutdown
+         (talk to a running serve daemon; default 5000 ms timeout so a
+          dead server fails the command instead of hanging it, 0 = wait)";
 
 fn cmd_gen(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let model = args.opt("--model").unwrap_or("glp");
@@ -377,13 +385,23 @@ fn cmd_query(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let target = args.required("-x")?;
     let addr = args.opt("--addr").unwrap_or("127.0.0.1:7654");
+    let defaults = hopdb_server::ServerConfig::default();
+    let backend = match args.opt("--backend") {
+        None => defaults.backend,
+        Some(v) => v.parse::<hopdb_server::Backend>().map_err(err)?,
+    };
     let config = hopdb_server::ServerConfig {
+        backend,
         threads: args.parsed("--threads")?.unwrap_or(0),
         batch_threads: args.parsed("--batch-threads")?.unwrap_or(1),
         max_batch: args.parsed("--max-batch")?.unwrap_or(hopdb_server::proto::DEFAULT_MAX_BATCH),
         max_resident_bytes: args.parsed("--max-resident-bytes")?,
         swap_path: args.opt("--swap-path").map(std::path::PathBuf::from),
         allow_shutdown: args.has("--allow-remote-shutdown"),
+        flush_us: args.parsed("--flush-us")?.unwrap_or(defaults.flush_us),
+        coalesce_pairs: args.parsed("--coalesce-pairs")?.unwrap_or(defaults.coalesce_pairs),
+        max_inflight: args.parsed("--max-inflight")?.unwrap_or(defaults.max_inflight),
+        idle_timeout_ms: args.parsed("--idle-timeout-ms")?.unwrap_or(defaults.idle_timeout_ms),
     };
     let handle = hopdb_server::serve(addr, Path::new(target), config)
         .map_err(|e| err(format!("cannot serve {target} on {addr}: {e}")))?;
@@ -414,8 +432,23 @@ fn cmd_admin(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let [action] = positional[..] else {
         return Err(err("admin needs exactly one action: stats|swap|shutdown"));
     };
-    let mut client = hopdb_server::Client::connect(addr)
-        .map_err(|e| err(format!("cannot connect to {addr}: {e}")))?;
+    // A dead or wedged server (bound port, nobody answering) must fail
+    // the command, not hang it: the timeout bounds connect AND every
+    // read/write of the conversation. 0 = wait forever.
+    let timeout_ms: u64 = args.parsed("--timeout-ms")?.unwrap_or(5_000);
+    let mut client = if timeout_ms == 0 {
+        hopdb_server::Client::connect(addr)
+    } else {
+        use std::net::ToSocketAddrs;
+        let timeout = std::time::Duration::from_millis(timeout_ms);
+        let sock_addr = addr
+            .to_socket_addrs()
+            .map_err(|e| err(format!("cannot resolve {addr}: {e}")))?
+            .next()
+            .ok_or_else(|| err(format!("cannot resolve {addr}")))?;
+        hopdb_server::Client::connect_timeout(&sock_addr, timeout)
+    }
+    .map_err(|e| err(format!("cannot connect to {addr}: {e}")))?;
     let admin_err = |what: &str, e: std::io::Error| err(format!("{what} failed: {e}"));
     match action {
         "stats" => {
@@ -745,6 +778,30 @@ mod tests {
         for f in [&graph, &index, &announce, &format!("{index}.rank")] {
             let _ = std::fs::remove_file(f);
         }
+    }
+
+    #[test]
+    fn admin_times_out_against_a_dead_server() {
+        // A listener that is bound but never accepts (and never
+        // answers) models a wedged daemon: the kernel completes the
+        // TCP handshake from the backlog, then nothing ever arrives.
+        // Before --timeout-ms, `admin stats` would hang forever here.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let started = std::time::Instant::now();
+        let got = run_vec(&["admin", "-a", &addr, "--timeout-ms", "300", "stats"]);
+        let elapsed = started.elapsed();
+        let msg = got.unwrap_err().0;
+        assert!(msg.contains("stats failed"), "{msg}");
+        assert!(
+            elapsed >= std::time::Duration::from_millis(250),
+            "returned before the timeout could have fired: {elapsed:?}"
+        );
+        assert!(
+            elapsed < std::time::Duration::from_secs(10),
+            "timeout did not bound the hang: {elapsed:?}"
+        );
+        drop(listener);
     }
 
     #[test]

@@ -309,7 +309,18 @@ impl DiskIndex {
 /// query endpoints* repeat heavily in real workloads too. Caching whole
 /// per-vertex labels (not blocks) exploits that skew: a few thousand
 /// cached labels absorb most of the two reads a cold query pays.
+///
+/// Queries take `&self`: the disk handle and cache live behind an
+/// internal mutex, so one `CachedDiskIndex` can be shared across
+/// serving threads (concurrent queries serialize — correct first; the
+/// resident [`crate::flat::FlatIndex`] is the parallel fast path).
 pub struct CachedDiskIndex {
+    n: usize,
+    directed: bool,
+    state: Mutex<CacheState>,
+}
+
+struct CacheState {
     inner: DiskIndex,
     capacity: usize,
     /// vertex (by side) -> (entries, LRU stamp)
@@ -320,35 +331,71 @@ pub struct CachedDiskIndex {
 }
 
 use std::collections::HashMap;
+use std::sync::Mutex;
+
+fn poisoned() -> std::io::Error {
+    std::io::Error::other("disk index lock poisoned")
+}
 
 impl CachedDiskIndex {
     /// Wrap a disk index with a cache of up to `capacity` labels.
     pub fn new(inner: DiskIndex, capacity: usize) -> CachedDiskIndex {
+        let (n, directed) = (inner.num_vertices(), inner.is_directed());
         CachedDiskIndex {
-            inner,
-            capacity: capacity.max(2),
-            cache: HashMap::new(),
-            clock: 0,
-            hits: 0,
-            misses: 0,
+            n,
+            directed,
+            state: Mutex::new(CacheState {
+                inner,
+                capacity: capacity.max(2),
+                cache: HashMap::new(),
+                clock: 0,
+                hits: 0,
+                misses: 0,
+            }),
         }
     }
 
     /// `(hits, misses)` since creation.
     pub fn hit_stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+        self.state.lock().map(|s| (s.hits, s.misses)).unwrap_or((0, 0))
     }
 
     /// Number of vertices covered by the wrapped index.
     pub fn num_vertices(&self) -> usize {
-        self.inner.num_vertices()
+        self.n
     }
 
     /// Whether the wrapped index is directed.
     pub fn is_directed(&self) -> bool {
-        self.inner.is_directed()
+        self.directed
     }
 
+    /// Bytes held resident: the wrapped index's offset directories plus
+    /// the entries currently cached.
+    pub fn resident_bytes(&self) -> usize {
+        self.state
+            .lock()
+            .map(|s| {
+                s.inner.resident_bytes()
+                    + s.cache.values().map(|(l, _)| l.len() * ENTRY_BYTES as usize).sum::<usize>()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Distance query; label reads go through the cache (`s == t`
+    /// short-circuits to 0 without consulting cache, disk, or lock).
+    pub fn query(&self, s: VertexId, t: VertexId) -> std::io::Result<Dist> {
+        if s == t {
+            return Ok(0);
+        }
+        let mut state = self.state.lock().map_err(|_| poisoned())?;
+        let ls = state.label(s, false)?;
+        let lt = state.label(t, true)?;
+        Ok(join_min(&ls, &lt))
+    }
+}
+
+impl CacheState {
     fn label(&mut self, v: VertexId, target_side: bool) -> std::io::Result<Vec<LabelEntry>> {
         self.clock += 1;
         let clock = self.clock;
@@ -374,17 +421,6 @@ impl CachedDiskIndex {
         }
         self.cache.insert((v, target_side), (scratch.clone(), clock));
         Ok(scratch)
-    }
-
-    /// Distance query; label reads go through the cache (`s == t`
-    /// short-circuits to 0 without consulting cache or disk).
-    pub fn query(&mut self, s: VertexId, t: VertexId) -> std::io::Result<Dist> {
-        if s == t {
-            return Ok(0);
-        }
-        let ls = self.label(s, false)?;
-        let lt = self.label(t, true)?;
-        Ok(join_min(&ls, &lt))
     }
 }
 
@@ -467,7 +503,7 @@ mod tests {
         assert_eq!(stats.read_bytes(), bytes, "self-queries must not read bytes");
 
         // The cached wrapper must not spend cache slots on them either.
-        let mut cached = CachedDiskIndex::new(disk, 16);
+        let cached = CachedDiskIndex::new(disk, 16);
         for v in 0..4u32 {
             assert_eq!(cached.query(v, v).unwrap(), 0);
         }
@@ -490,7 +526,7 @@ mod tests {
         let index = small_directed_index();
         let disk = DiskIndex::create(&index, &store, "cache").unwrap();
         let stats = disk.stats();
-        let mut cached = CachedDiskIndex::new(disk, 16);
+        let cached = CachedDiskIndex::new(disk, 16);
         // First round: cold; second round: every label cached.
         for _round in 0..2 {
             for s in 0..4u32 {
@@ -515,7 +551,7 @@ mod tests {
         let store = TempStore::new().unwrap();
         let index = small_directed_index();
         let disk = DiskIndex::create(&index, &store, "evict").unwrap();
-        let mut cached = CachedDiskIndex::new(disk, 2); // thrashing capacity
+        let cached = CachedDiskIndex::new(disk, 2); // thrashing capacity
         for _ in 0..3 {
             for s in 0..4u32 {
                 for t in 0..4u32 {

@@ -373,17 +373,33 @@ impl FlatIndex {
     /// returned in input order; each pair's answer is bit-identical to
     /// [`FlatIndex::query`] on the same pair.
     pub fn query_many(&self, pairs: &[(VertexId, VertexId)], threads: usize) -> Vec<Dist> {
+        let mut results = Vec::with_capacity(pairs.len());
+        self.query_many_into(pairs, threads, &mut results);
+        results
+    }
+
+    /// Like [`FlatIndex::query_many`], but *appends* the answers to
+    /// `out` instead of allocating a fresh vector — the serving tier
+    /// reuses one buffer across coalesced micro-batches.
+    pub fn query_many_into(
+        &self,
+        pairs: &[(VertexId, VertexId)],
+        threads: usize,
+        out: &mut Vec<Dist>,
+    ) {
         let threads = if threads == 0 {
             std::thread::available_parallelism().map_or(1, usize::from)
         } else {
             threads
         };
-        let mut results = vec![INF_DIST; pairs.len()];
+        let base = out.len();
+        out.resize(base + pairs.len(), INF_DIST);
+        let results = &mut out[base..];
         if threads <= 1 || pairs.len() < 2 {
             for (r, &(s, t)) in results.iter_mut().zip(pairs) {
                 *r = self.query(s, t);
             }
-            return results;
+            return;
         }
         let chunk = pairs.len().div_ceil(threads);
         std::thread::scope(|scope| {
@@ -395,7 +411,6 @@ impl FlatIndex {
                 });
             }
         });
-        results
     }
 }
 

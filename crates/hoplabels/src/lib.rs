@@ -18,6 +18,8 @@
 //!   Table 7 and Figures 8–9;
 //! * [`disk`] — the on-disk index layout and the I/O-counted disk query
 //!   of Table 6's "Disk query time" column;
+//! * [`query::QueryBackend`] — the unified serving-time query surface
+//!   implemented by both `FlatIndex` and `disk::CachedDiskIndex`;
 //! * [`bitparallel`] — the bit-parallel post-processing of Section 6;
 //! * [`path`] — shortest-path reconstruction on top of any oracle;
 //! * [`verify`] — brute-force exactness/minimality checkers for tests.
@@ -35,9 +37,11 @@ pub mod entry;
 pub mod flat;
 pub mod index;
 pub mod path;
+pub mod query;
 pub mod stats;
 pub mod verify;
 
 pub use entry::LabelEntry;
 pub use flat::FlatIndex;
 pub use index::{DirectedLabels, LabelIndex, UndirectedLabels, VertexLabels};
+pub use query::QueryBackend;

@@ -12,12 +12,12 @@
 //! started on the old index finish on it untouched.
 
 use std::path::Path;
-use std::sync::Mutex;
 
 use extmem::device::CountedFile;
 use extmem::stats::IoStats;
 use hoplabels::disk::{CachedDiskIndex, DiskIndex};
 use hoplabels::flat::FlatIndex;
+use hoplabels::QueryBackend;
 use sfgraph::ranking::Ranking;
 use sfgraph::{Dist, VertexId};
 
@@ -27,20 +27,12 @@ use sfgraph::{Dist, VertexId};
 /// size while still absorbing the hot-vertex skew of real workloads.
 const DISK_CACHE_LABELS: usize = 4096;
 
-/// The two ways an index generation can be served.
-enum ServeIndex {
-    /// The whole index frozen into the flat SoA layout.
-    Resident(FlatIndex),
-    /// Too big for the admission budget: disk-resident with an LRU
-    /// label cache. Disk handles carry read positions, so the fallback
-    /// serializes queries behind a mutex — correct first, resident
-    /// serving is the fast path.
-    Disk(Mutex<CachedDiskIndex>),
-}
-
-/// One immutable, queryable index generation.
+/// One immutable, queryable index generation. Both serving shapes —
+/// fully resident [`FlatIndex`] and the [`CachedDiskIndex`] admission
+/// fallback — are dispatched through one [`QueryBackend`] object; the
+/// generation adds id translation and range checking on top.
 pub struct Generation {
-    index: ServeIndex,
+    index: Box<dyn QueryBackend>,
     ranking: Option<Ranking>,
     generation: u64,
     vertices: usize,
@@ -62,18 +54,16 @@ impl Generation {
     ) -> std::io::Result<Generation> {
         let file_len = std::fs::metadata(path)?.len();
         let resident = max_resident_bytes.is_none_or(|budget| file_len <= budget);
-        let (index, vertices, directed) = if resident {
-            let flat = FlatIndex::load(path)?;
-            let (n, d) = (flat.num_vertices(), flat.is_directed());
-            (ServeIndex::Resident(flat), n, d)
+        let index: Box<dyn QueryBackend> = if resident {
+            Box::new(FlatIndex::load(path)?)
         } else {
             // Read-only: a serving index may live on read-only media,
             // and the daemon never writes it.
             let file = CountedFile::open_path_readonly(path, IoStats::shared())?;
             let disk = DiskIndex::open(file)?;
-            let (n, d) = (disk.num_vertices(), disk.is_directed());
-            (ServeIndex::Disk(Mutex::new(CachedDiskIndex::new(disk, DISK_CACHE_LABELS))), n, d)
+            Box::new(CachedDiskIndex::new(disk, DISK_CACHE_LABELS))
         };
+        let (vertices, directed) = (index.num_vertices(), index.is_directed());
         let ranking = load_ranking_sidecar(path, vertices)?;
         Ok(Generation { index, ranking, generation, vertices, directed })
     }
@@ -82,7 +72,7 @@ impl Generation {
     /// rebuild promoted without a round-trip through disk).
     pub fn from_flat(flat: FlatIndex, ranking: Option<Ranking>, generation: u64) -> Generation {
         let (vertices, directed) = (flat.num_vertices(), flat.is_directed());
-        Generation { index: ServeIndex::Resident(flat), ranking, generation, vertices, directed }
+        Generation { index: Box::new(flat), ranking, generation, vertices, directed }
     }
 
     /// Monotone generation number assigned at load time.
@@ -103,7 +93,12 @@ impl Generation {
     /// Whether this generation serves from memory (as opposed to the
     /// disk-backed admission fallback).
     pub fn is_resident(&self) -> bool {
-        matches!(self.index, ServeIndex::Resident(_))
+        self.index.is_resident()
+    }
+
+    /// Bytes the serving index holds resident in memory.
+    pub fn resident_bytes(&self) -> usize {
+        self.index.resident_bytes()
     }
 
     /// Answer a batch of pairs, fanning resident batches across up to
@@ -115,6 +110,20 @@ impl Generation {
         pairs: &[(VertexId, VertexId)],
         threads: usize,
     ) -> Result<Vec<Dist>, String> {
+        let mut out = Vec::with_capacity(pairs.len());
+        self.query_many_into(pairs, threads, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Generation::query_many`] appending into a caller-owned buffer
+    /// — the reactor's micro-batcher answers many coalesced frames into
+    /// one result vector. On error nothing is appended.
+    pub fn query_many_into(
+        &self,
+        pairs: &[(VertexId, VertexId)],
+        threads: usize,
+        out: &mut Vec<Dist>,
+    ) -> Result<(), String> {
         let n = self.vertices as VertexId;
         for &(s, t) in pairs {
             if s >= n || t >= n {
@@ -131,16 +140,7 @@ impl Generation {
             }
             None => pairs,
         };
-        match &self.index {
-            ServeIndex::Resident(flat) => Ok(flat.query_many(ranked, threads)),
-            ServeIndex::Disk(disk) => {
-                let mut disk = disk.lock().map_err(|_| "disk index poisoned".to_string())?;
-                ranked
-                    .iter()
-                    .map(|&(s, t)| disk.query(s, t).map_err(|e| format!("disk query: {e}")))
-                    .collect()
-            }
-        }
+        self.index.query_many_into(ranked, threads, out).map_err(|e| format!("index query: {e}"))
     }
 }
 

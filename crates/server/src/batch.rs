@@ -1,0 +1,278 @@
+//! Adaptive micro-batching for the epoll backend.
+//!
+//! The reactor thread never runs queries. It cuts query frames off
+//! connections and [`Batcher::submit`]s them; a dedicated executor
+//! thread pulls *batches* with [`Batcher::next_batch`], coalescing the
+//! query pairs of many connections into one `FlatIndex::query_many`
+//! call — the paper's query path is so cheap (sub-microsecond resident)
+//! that per-request overheads dominate, and batching amortizes them.
+//!
+//! A batch is released when either
+//!
+//! * the queued pair count reaches the coalescing threshold
+//!   (`coalesce_pairs`), or
+//! * the oldest queued job has waited the flush deadline (`flush_us`) —
+//!   the knob that bounds the latency a lonely request pays for the
+//!   chance of company.
+//!
+//! `epoll_wait` has millisecond granularity, so sub-millisecond
+//! deadlines live here instead: the executor parks on a condition
+//! variable with `wait_timeout` against the oldest job's deadline.
+//!
+//! Results travel back through [`Completions`]: the executor pushes
+//! encoded response bytes keyed by connection token and wakes the
+//! reactor's eventfd; the reactor drains the pile and queues the bytes
+//! onto the right connections.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::reactor::WakeFd;
+
+/// How a job's answer should be encoded once the distances are known.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RespondAs {
+    /// A binary `HOPR` distances frame echoing this request id.
+    Hopq {
+        /// Client-chosen request id.
+        id: u64,
+    },
+    /// A `GET /query` JSON object (single pair).
+    HttpOne {
+        /// Close the connection after this response.
+        close: bool,
+    },
+    /// A `POST /query_many` JSON array.
+    HttpMany {
+        /// Close the connection after this response.
+        close: bool,
+    },
+}
+
+/// One unit of work cut off a connection by the reactor.
+#[derive(Debug)]
+pub enum Job {
+    /// A batch of distance queries from one request frame.
+    Query {
+        /// Connection token the answer goes back to.
+        conn: u64,
+        /// Response encoding.
+        respond: RespondAs,
+        /// The query pairs.
+        pairs: Vec<(u32, u32)>,
+    },
+    /// A hot-swap request (runs on the executor so the disk load never
+    /// blocks the reactor).
+    Swap {
+        /// Connection token the answer goes back to.
+        conn: u64,
+        /// Client-chosen request id.
+        id: u64,
+    },
+}
+
+impl Job {
+    fn pairs(&self) -> usize {
+        match self {
+            Job::Query { pairs, .. } => pairs.len(),
+            // A swap flushes the queue on its own; weight it like a
+            // full batch so it never lingers behind the deadline.
+            Job::Swap { .. } => usize::MAX,
+        }
+    }
+}
+
+struct Queue {
+    jobs: Vec<Job>,
+    pending_pairs: usize,
+    oldest: Option<Instant>,
+    stopped: bool,
+}
+
+/// The shared reactor→executor job queue with coalescing flush rules.
+pub struct Batcher {
+    queue: Mutex<Queue>,
+    ready: Condvar,
+}
+
+impl Batcher {
+    /// An empty queue.
+    pub fn new() -> Batcher {
+        Batcher {
+            queue: Mutex::new(Queue {
+                jobs: Vec::new(),
+                pending_pairs: 0,
+                oldest: None,
+                stopped: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Queue a job. Returns `false` (job dropped) after [`Batcher::stop`].
+    pub fn submit(&self, job: Job) -> bool {
+        let Ok(mut q) = self.queue.lock() else { return false };
+        if q.stopped {
+            return false;
+        }
+        q.pending_pairs = q.pending_pairs.saturating_add(job.pairs());
+        q.oldest.get_or_insert_with(Instant::now);
+        q.jobs.push(job);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Block until a batch is due, and take the whole queue.
+    ///
+    /// Returns `None` only when stopped *and* drained — pending jobs
+    /// submitted before the stop are still delivered, so every accepted
+    /// request gets its response during shutdown.
+    pub fn next_batch(&self, coalesce_pairs: usize, flush_after: Duration) -> Option<Vec<Job>> {
+        let mut q = self.queue.lock().ok()?;
+        loop {
+            if !q.jobs.is_empty() {
+                let due = q.stopped
+                    || q.pending_pairs >= coalesce_pairs
+                    || q.oldest.is_some_and(|t| t.elapsed() >= flush_after);
+                if due {
+                    q.pending_pairs = 0;
+                    q.oldest = None;
+                    return Some(std::mem::take(&mut q.jobs));
+                }
+                // Not due yet: park until the oldest job's deadline.
+                let remaining = q
+                    .oldest
+                    .map(|t| flush_after.saturating_sub(t.elapsed()))
+                    .unwrap_or(flush_after);
+                let (guard, _) = self.ready.wait_timeout(q, remaining).ok()?;
+                q = guard;
+            } else if q.stopped {
+                return None;
+            } else {
+                q = self.ready.wait(q).ok()?;
+            }
+        }
+    }
+
+    /// Stop the queue: future submits are refused, queued jobs still
+    /// drain through [`Batcher::next_batch`].
+    pub fn stop(&self) {
+        if let Ok(mut q) = self.queue.lock() {
+            q.stopped = true;
+        }
+        self.ready.notify_all();
+    }
+}
+
+impl Default for Batcher {
+    fn default() -> Batcher {
+        Batcher::new()
+    }
+}
+
+/// One finished job: response bytes bound for a connection.
+#[derive(Debug)]
+pub struct Completion {
+    /// Connection token.
+    pub conn: u64,
+    /// Encoded response (HOPR frame or HTTP response).
+    pub bytes: Vec<u8>,
+    /// How many in-flight requests this completes on that connection.
+    pub answered: usize,
+    /// Close the connection once these bytes flush.
+    pub close_after: bool,
+}
+
+/// The executor→reactor completion pile, coupled to the reactor's
+/// wakeup eventfd.
+pub struct Completions {
+    pile: Mutex<Vec<Completion>>,
+    wake: Arc<WakeFd>,
+}
+
+impl Completions {
+    /// An empty pile that wakes `wake` on every push.
+    pub fn new(wake: Arc<WakeFd>) -> Completions {
+        Completions { pile: Mutex::new(Vec::new()), wake }
+    }
+
+    /// Push one completion and wake the reactor.
+    pub fn push(&self, completion: Completion) {
+        if let Ok(mut pile) = self.pile.lock() {
+            pile.push(completion);
+        }
+        self.wake.wake();
+    }
+
+    /// Take everything queued (reactor side).
+    pub fn drain(&self) -> Vec<Completion> {
+        self.pile.lock().map(|mut pile| std::mem::take(&mut *pile)).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn query(conn: u64, pairs: usize) -> Job {
+        Job::Query { conn, respond: RespondAs::Hopq { id: conn }, pairs: vec![(0, 0); pairs] }
+    }
+
+    #[test]
+    fn flushes_on_pair_threshold_without_waiting() {
+        let b = Batcher::new();
+        assert!(b.submit(query(1, 3)));
+        assert!(b.submit(query(2, 5)));
+        let start = Instant::now();
+        let batch = b.next_batch(8, Duration::from_secs(60)).unwrap();
+        assert_eq!(batch.len(), 2);
+        assert!(start.elapsed() < Duration::from_secs(5), "threshold flush must not wait");
+    }
+
+    #[test]
+    fn flushes_on_deadline_when_below_threshold() {
+        let b = Batcher::new();
+        assert!(b.submit(query(1, 1)));
+        let start = Instant::now();
+        let batch = b.next_batch(1_000_000, Duration::from_millis(20)).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert!(start.elapsed() >= Duration::from_millis(15), "flushed before the deadline");
+    }
+
+    #[test]
+    fn swap_jobs_flush_immediately_and_stop_drains() {
+        let b = Batcher::new();
+        assert!(b.submit(query(1, 1)));
+        assert!(b.submit(Job::Swap { conn: 2, id: 9 }));
+        let batch = b.next_batch(1_000_000, Duration::from_secs(60)).unwrap();
+        assert_eq!(batch.len(), 2, "swap weight forces the flush");
+
+        assert!(b.submit(query(3, 1)));
+        b.stop();
+        assert!(!b.submit(query(4, 1)), "submit after stop must refuse");
+        let drained = b.next_batch(1_000_000, Duration::from_secs(60)).unwrap();
+        assert_eq!(drained.len(), 1, "queued job still drains after stop");
+        assert!(b.next_batch(8, Duration::from_millis(1)).is_none());
+    }
+
+    #[test]
+    fn completions_wake_the_reactor() {
+        use crate::reactor::{Poller, EV_READ};
+        let wake = Arc::new(WakeFd::new().unwrap());
+        let mut poller = Poller::new(4).unwrap();
+        poller.register(&*wake, EV_READ, 1).unwrap();
+        let completions = Completions::new(Arc::clone(&wake));
+        completions.push(Completion {
+            conn: 7,
+            bytes: vec![1, 2, 3],
+            answered: 1,
+            close_after: false,
+        });
+        let mut woke = false;
+        poller.wait(Some(1000), |ev| woke = ev.token == 1).unwrap();
+        assert!(woke);
+        let drained = completions.drain();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].conn, 7);
+    }
+}

@@ -1,81 +1,226 @@
-//! A minimal blocking client for the `HOPQ` protocol.
+//! Clients for the `HOPQ` protocol: a pipelined [`Session`] and the
+//! thin blocking [`Client`] wrapper.
 //!
-//! One [`Client`] wraps one TCP connection and issues one request at a
-//! time (the protocol itself allows pipelining — ids are echoed — but
-//! the closed-loop client is all the CLI, tests, and the `serverperf`
-//! harness need).
+//! The protocol is pipelined — request ids are echoed verbatim and the
+//! epoll backend may answer **out of order** (micro-batches complete
+//! independently). [`Session`] exposes that directly:
+//!
+//! ```text
+//! let t1 = session.submit(&pairs_a)?;   // fire...
+//! let t2 = session.submit(&pairs_b)?;   // ...and keep firing
+//! let b  = session.wait(t2)?;           // answers correlate by id,
+//! let a  = session.wait(t1)?;           // any completion order works
+//! ```
+//!
+//! `wait` reads frames off the socket and stashes answers for tickets
+//! the caller hasn't asked about yet, so tickets can be awaited in any
+//! order. [`Client`] keeps the one-request-at-a-time surface the CLI,
+//! tests, and `serverperf` use — each call is submit-then-wait on an
+//! internal session.
+//!
+//! Both types take an optional I/O timeout ([`Session::set_io_timeout`],
+//! [`Client::connect_timeout`]) so admin tooling pointed at a hung
+//! server fails with `TimedOut` instead of blocking forever.
 
+use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use sfgraph::{Dist, VertexId};
 
 use crate::proto::{read_response, ProtoError, Request, RequestBody, ResponseBody, StatsReply};
 
-/// A blocking connection to a `hopdb-server` daemon.
-pub struct Client {
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
-    next_id: u64,
-}
-
 fn invalid(msg: String) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
 }
 
-impl Client {
+/// A claim on one in-flight query batch, returned by
+/// [`Session::submit`] and redeemed by [`Session::wait`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Ticket {
+    id: u64,
+    pairs: usize,
+}
+
+impl Ticket {
+    /// The wire request id this ticket correlates on.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+/// A pipelined connection: submit many query batches, await their
+/// answers in any order.
+pub struct Session {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+    /// Answers that arrived while waiting for a different ticket.
+    stash: HashMap<u64, ResponseBody>,
+    /// Ids submitted and not yet redeemed (guards double-waits).
+    outstanding: HashMap<u64, usize>,
+}
+
+impl Session {
     /// Connect to a server.
-    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        let reader = BufReader::new(stream.try_clone()?);
-        Ok(Client { reader, writer: BufWriter::new(stream), next_id: 1 })
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Session> {
+        Session::from_stream(TcpStream::connect(addr)?)
     }
 
-    /// Send one request and read the matching response body. Server-side
-    /// errors come back as `InvalidData` I/O errors carrying the
-    /// server's message.
-    fn roundtrip(&mut self, body: RequestBody) -> std::io::Result<ResponseBody> {
+    /// Connect with a timeout covering the TCP connect itself; the same
+    /// timeout is installed as the session's I/O timeout.
+    pub fn connect_timeout(addr: &SocketAddr, timeout: Duration) -> std::io::Result<Session> {
+        let mut session = Session::from_stream(TcpStream::connect_timeout(addr, timeout)?)?;
+        session.set_io_timeout(Some(timeout))?;
+        Ok(session)
+    }
+
+    fn from_stream(stream: TcpStream) -> std::io::Result<Session> {
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Session {
+            reader,
+            writer: BufWriter::new(stream),
+            next_id: 1,
+            stash: HashMap::new(),
+            outstanding: HashMap::new(),
+        })
+    }
+
+    /// Bound every subsequent socket read and write: a server that goes
+    /// silent surfaces as `TimedOut`/`WouldBlock` instead of hanging
+    /// the caller. `None` restores blocking forever.
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        let stream = self.reader.get_ref();
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)?;
+        Ok(())
+    }
+
+    fn send(&mut self, body: RequestBody) -> std::io::Result<u64> {
         let id = self.next_id;
         self.next_id += 1;
         self.writer.write_all(&Request { id, body }.encode())?;
         self.writer.flush()?;
-        let response = read_response(&mut self.reader).map_err(|e| match e {
-            ProtoError::Io(io) => io,
-            other => invalid(other.to_string()),
-        })?;
-        if response.id != id {
-            // A fatal protocol error is answered with id 0 before the
-            // server closes the stream: surface the server's reason,
-            // not a bare id mismatch.
-            if let ResponseBody::Error(msg) = response.body {
-                return Err(invalid(msg));
-            }
-            return Err(invalid(format!("response id {} for request {id}", response.id)));
-        }
-        Ok(response.body)
+        Ok(id)
     }
 
-    /// Distance of a batch of `(s, t)` pairs, in input order;
-    /// [`crate::proto::UNREACHABLE`] marks disconnected pairs.
-    pub fn query(&mut self, pairs: &[(VertexId, VertexId)]) -> std::io::Result<Vec<Dist>> {
+    /// Fire one query batch without waiting for its answer. The ticket
+    /// is redeemed by [`Session::wait`], in any order relative to other
+    /// tickets.
+    pub fn submit(&mut self, pairs: &[(VertexId, VertexId)]) -> std::io::Result<Ticket> {
         // Refuse frames the server could only treat as stream
-        // corruption (the declared payload would exceed the cap) while
-        // the connection is still healthy.
+        // corruption (declared payload above the wire cap) while the
+        // connection is still healthy.
         if 4 + 8 * pairs.len() as u64 > crate::proto::MAX_PAYLOAD as u64 {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidInput,
                 format!("batch of {} pairs exceeds the wire payload cap", pairs.len()),
             ));
         }
-        match self.roundtrip(RequestBody::Query(pairs.to_vec()))? {
-            ResponseBody::Distances(dists) if dists.len() == pairs.len() => Ok(dists),
+        let id = self.send(RequestBody::Query(pairs.to_vec()))?;
+        self.outstanding.insert(id, pairs.len());
+        Ok(Ticket { id, pairs: pairs.len() })
+    }
+
+    /// Number of submitted-but-unredeemed tickets.
+    pub fn in_flight(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Block until `ticket`'s answer is available and return its
+    /// distances (input order, [`crate::proto::UNREACHABLE`] for
+    /// disconnected pairs). Answers for *other* tickets read along the
+    /// way are stashed for their own `wait` calls.
+    pub fn wait(&mut self, ticket: Ticket) -> std::io::Result<Vec<Dist>> {
+        if self.outstanding.remove(&ticket.id).is_none() {
+            return Err(invalid(format!(
+                "ticket {} was never submitted or already redeemed",
+                ticket.id
+            )));
+        }
+        let body = self.wait_body(ticket.id)?;
+        match body {
+            ResponseBody::Distances(dists) if dists.len() == ticket.pairs => Ok(dists),
             ResponseBody::Distances(dists) => {
-                Err(invalid(format!("{} answers for {} pairs", dists.len(), pairs.len())))
+                Err(invalid(format!("{} answers for {} pairs", dists.len(), ticket.pairs)))
             }
             ResponseBody::Error(msg) => Err(invalid(msg)),
             other => Err(invalid(format!("unexpected response {other:?}"))),
         }
+    }
+
+    /// Read frames until the response for `id` arrives, stashing
+    /// answers to other in-flight ids.
+    fn wait_body(&mut self, id: u64) -> std::io::Result<ResponseBody> {
+        if let Some(body) = self.stash.remove(&id) {
+            return Ok(body);
+        }
+        loop {
+            let response = read_response(&mut self.reader).map_err(|e| match e {
+                ProtoError::Io(io) => io,
+                other => invalid(other.to_string()),
+            })?;
+            if response.id == id {
+                return Ok(response.body);
+            }
+            if self.outstanding.contains_key(&response.id) {
+                self.stash.insert(response.id, response.body);
+                continue;
+            }
+            // Not ours and not in flight: a fatal server error frame
+            // (id 0) carries the reason the stream is about to close.
+            if let ResponseBody::Error(msg) = response.body {
+                return Err(invalid(msg));
+            }
+            return Err(invalid(format!("response id {} was never requested", response.id)));
+        }
+    }
+
+    /// Submit-and-wait for one admin request (no pipelining — admin
+    /// frames are rare and their ordering matters to the caller).
+    fn roundtrip(&mut self, body: RequestBody) -> std::io::Result<ResponseBody> {
+        let id = self.send(body)?;
+        self.wait_body(id)
+    }
+}
+
+/// A blocking connection to a `hopdb-server` daemon: each call is one
+/// request and its answer. Wraps a [`Session`]; use the session
+/// directly to pipeline.
+pub struct Client {
+    session: Session,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        Ok(Client { session: Session::connect(addr)? })
+    }
+
+    /// Connect with a timeout that also bounds every later read/write —
+    /// the variant admin tooling should use so a dead server cannot
+    /// hang it.
+    pub fn connect_timeout(addr: &SocketAddr, timeout: Duration) -> std::io::Result<Client> {
+        Ok(Client { session: Session::connect_timeout(addr, timeout)? })
+    }
+
+    /// Bound every subsequent socket read/write (`None` = block forever).
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.session.set_io_timeout(timeout)
+    }
+
+    /// The underlying pipelined session.
+    pub fn session(&mut self) -> &mut Session {
+        &mut self.session
+    }
+
+    /// Distance of a batch of `(s, t)` pairs, in input order;
+    /// [`crate::proto::UNREACHABLE`] marks disconnected pairs.
+    pub fn query(&mut self, pairs: &[(VertexId, VertexId)]) -> std::io::Result<Vec<Dist>> {
+        let ticket = self.session.submit(pairs)?;
+        self.session.wait(ticket)
     }
 
     /// Distance of a single pair.
@@ -86,7 +231,7 @@ impl Client {
     /// Trigger a hot index swap; returns `(generation, vertices)` of
     /// the newly promoted index.
     pub fn swap(&mut self) -> std::io::Result<(u64, u64)> {
-        match self.roundtrip(RequestBody::Swap)? {
+        match self.session.roundtrip(RequestBody::Swap)? {
             ResponseBody::Swapped { generation, vertices } => Ok((generation, vertices)),
             ResponseBody::Error(msg) => Err(invalid(msg)),
             other => Err(invalid(format!("unexpected response {other:?}"))),
@@ -95,7 +240,7 @@ impl Client {
 
     /// Fetch serving statistics.
     pub fn stats(&mut self) -> std::io::Result<StatsReply> {
-        match self.roundtrip(RequestBody::Stats)? {
+        match self.session.roundtrip(RequestBody::Stats)? {
             ResponseBody::Stats(stats) => Ok(stats),
             ResponseBody::Error(msg) => Err(invalid(msg)),
             other => Err(invalid(format!("unexpected response {other:?}"))),
@@ -104,7 +249,7 @@ impl Client {
 
     /// Ask the server to stop (requires the server to allow it).
     pub fn shutdown_server(&mut self) -> std::io::Result<()> {
-        match self.roundtrip(RequestBody::Shutdown)? {
+        match self.session.roundtrip(RequestBody::Shutdown)? {
             ResponseBody::Bye => Ok(()),
             ResponseBody::Error(msg) => Err(invalid(msg)),
             other => Err(invalid(format!("unexpected response {other:?}"))),

@@ -1,0 +1,387 @@
+//! A minimal HTTP/1.1 + JSON front for browser and dashboard clients.
+//!
+//! The epoll backend speaks two protocols on one port: the binary
+//! `HOPQ` framing and this HTTP front, distinguished by the first bytes
+//! a connection sends. The HTTP surface is deliberately small:
+//!
+//! | endpoint            | answer |
+//! |---------------------|--------|
+//! | `GET /query?s=S&t=T` | `{"s":S,"t":T,"dist":D}` (`"dist":null` when unreachable) |
+//! | `POST /query_many`  | body `{"pairs":[[s,t],...]}` → `{"dists":[...]}` (null = unreachable) |
+//! | `GET /stats`        | serving statistics as JSON |
+//!
+//! Query answers ride the same micro-batch path as binary frames; only
+//! `/stats` (and errors) are answered inline. Keep-alive is honoured
+//! (HTTP/1.1 default); HTTP requests on one connection are answered in
+//! order, so the per-connection in-flight cap is 1 for HTTP mode —
+//! browsers do not pipeline anyway, and it keeps responses ordered
+//! without a resequencing buffer.
+//!
+//! Parsing is hand-rolled (no external dependencies, like the rest of
+//! the tree): request line + headers up to a CRLFCRLF, an optional
+//! `Content-Length` body, and a tiny JSON scanner for the one body
+//! shape `/query_many` accepts. Head and body sizes are capped; a peer
+//! exceeding them gets a 4xx and the connection closed.
+
+use sfgraph::{Dist, VertexId, INF_DIST};
+
+/// Cap on the request head (request line + headers).
+pub const MAX_HEAD: usize = 8 << 10;
+/// Cap on a request body (`POST /query_many` pair lists).
+pub const MAX_BODY: usize = 1 << 20;
+
+/// A parsed HTTP request the server acts on.
+#[derive(Debug, PartialEq, Eq)]
+pub enum HttpRequest {
+    /// `GET /query?s=&t=`.
+    QueryOne {
+        /// Source vertex.
+        s: VertexId,
+        /// Target vertex.
+        t: VertexId,
+    },
+    /// `POST /query_many` with a JSON pair list.
+    QueryMany(Vec<(VertexId, VertexId)>),
+    /// `GET /stats`.
+    Stats,
+}
+
+/// Outcome of trying to parse one HTTP request from a buffer prefix.
+#[derive(Debug)]
+pub enum HttpDecoded {
+    /// Need more bytes (head or body still incomplete).
+    Incomplete,
+    /// A request the server should act on; consume `used` bytes.
+    Request {
+        /// What was asked.
+        request: HttpRequest,
+        /// Whether the client asked to close after the response.
+        close: bool,
+        /// Bytes consumed from the buffer.
+        used: usize,
+    },
+    /// Answer with this pre-rendered error response, then close.
+    Error(Vec<u8>),
+}
+
+/// Whether a buffer prefix looks like the start of an HTTP request
+/// (used for protocol detection on a fresh connection).
+pub fn looks_like_http(prefix: &[u8]) -> bool {
+    const METHODS: [&[u8]; 6] = [b"GET ", b"POST", b"HEAD", b"PUT ", b"DELE", b"OPTI"];
+    if prefix.len() < 4 {
+        return false;
+    }
+    METHODS.iter().any(|m| prefix.starts_with(m))
+}
+
+/// Try to parse one request from the front of `buf`.
+pub fn decode_http(buf: &[u8]) -> HttpDecoded {
+    let Some(head_len) = find_head_end(buf) else {
+        if buf.len() > MAX_HEAD {
+            return HttpDecoded::Error(render_error(431, "request head too large"));
+        }
+        return HttpDecoded::Incomplete;
+    };
+    let Ok(head) = std::str::from_utf8(&buf[..head_len]) else {
+        return HttpDecoded::Error(render_error(400, "request head is not UTF-8"));
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return HttpDecoded::Error(render_error(400, "malformed request line"));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return HttpDecoded::Error(render_error(505, "only HTTP/1.x is supported"));
+    }
+
+    let mut content_length = 0usize;
+    let mut close = version == "HTTP/1.0";
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else { continue };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            match value.parse::<usize>() {
+                Ok(v) => content_length = v,
+                Err(_) => return HttpDecoded::Error(render_error(400, "bad Content-Length")),
+            }
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                close = true;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                close = false;
+            }
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return HttpDecoded::Error(render_error(501, "chunked bodies are not supported"));
+        }
+    }
+    if content_length > MAX_BODY {
+        return HttpDecoded::Error(render_error(413, "request body too large"));
+    }
+    let total = head_len + 4 + content_length;
+    if buf.len() < total {
+        return HttpDecoded::Incomplete;
+    }
+    let body = &buf[head_len + 4..total];
+
+    let (path, rawquery) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let request = match (method, path) {
+        ("GET", "/query") => {
+            let (mut s, mut t) = (None, None);
+            for kv in rawquery.split('&') {
+                match kv.split_once('=') {
+                    Some(("s", v)) => s = v.parse::<VertexId>().ok(),
+                    Some(("t", v)) => t = v.parse::<VertexId>().ok(),
+                    _ => {}
+                }
+            }
+            match (s, t) {
+                (Some(s), Some(t)) => HttpRequest::QueryOne { s, t },
+                _ => {
+                    return HttpDecoded::Error(render_error(
+                        400,
+                        "need numeric query parameters s and t",
+                    ))
+                }
+            }
+        }
+        ("POST", "/query_many") => match parse_pairs_json(body) {
+            Ok(pairs) if pairs.is_empty() => {
+                return HttpDecoded::Error(render_error(400, "pair list is empty"))
+            }
+            Ok(pairs) => HttpRequest::QueryMany(pairs),
+            Err(msg) => return HttpDecoded::Error(render_error(400, msg)),
+        },
+        ("GET", "/stats") => HttpRequest::Stats,
+        ("GET" | "POST", _) => return HttpDecoded::Error(render_error(404, "unknown endpoint")),
+        _ => return HttpDecoded::Error(render_error(405, "method not allowed")),
+    };
+    HttpDecoded::Request { request, close, used: total }
+}
+
+/// Byte offset of the `\r\n\r\n` terminating the head, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let horizon = buf.len().min(MAX_HEAD + 4);
+    buf[..horizon].windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Parse `{"pairs":[[s,t],...]}` (or a bare `[[s,t],...]`) without a
+/// JSON library: scan for the bracketed pair list and read number
+/// pairs. Tolerates arbitrary whitespace; rejects anything else.
+fn parse_pairs_json(body: &[u8]) -> Result<Vec<(VertexId, VertexId)>, &'static str> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8")?;
+    let list = match text.find("\"pairs\"") {
+        Some(at) => {
+            let rest = &text[at + "\"pairs\"".len()..];
+            let rest = rest.trim_start();
+            let rest = rest.strip_prefix(':').ok_or("expected : after \"pairs\"")?;
+            rest.trim_start()
+        }
+        None => text.trim_start(),
+    };
+    let list = list.strip_prefix('[').ok_or("expected a JSON array of pairs")?;
+    let mut pairs = Vec::new();
+    let mut rest = list.trim_start();
+    if let Some(after) = rest.strip_prefix(']') {
+        // Empty list: valid JSON, rejected later as a zero-pair batch.
+        let _ = after;
+        return Ok(pairs);
+    }
+    loop {
+        rest = rest.strip_prefix('[').ok_or("expected [s,t]")?.trim_start();
+        let (s, r) = take_number(rest)?;
+        rest = r.trim_start().strip_prefix(',').ok_or("expected , between s and t")?.trim_start();
+        let (t, r) = take_number(rest)?;
+        rest = r.trim_start().strip_prefix(']').ok_or("expected ] after t")?.trim_start();
+        pairs.push((s, t));
+        if pairs.len() > crate::proto::DEFAULT_MAX_BATCH {
+            return Err("too many pairs");
+        }
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r.trim_start();
+            continue;
+        }
+        rest.strip_prefix(']').ok_or("expected , or ] after a pair")?;
+        return Ok(pairs);
+    }
+}
+
+fn take_number(text: &str) -> Result<(VertexId, &str), &'static str> {
+    let digits = text.len() - text.trim_start_matches(|c: char| c.is_ascii_digit()).len();
+    if digits == 0 {
+        return Err("expected a vertex id");
+    }
+    let v = text[..digits].parse::<VertexId>().map_err(|_| "vertex id out of range")?;
+    Ok((v, &text[digits..]))
+}
+
+fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Error",
+    }
+}
+
+/// Render a complete response with a JSON body.
+pub fn render_response(code: u16, body: &str, close: bool) -> Vec<u8> {
+    let connection = if close { "close" } else { "keep-alive" };
+    format!(
+        "HTTP/1.1 {code} {}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+        status_text(code),
+        body.len(),
+    )
+    .into_bytes()
+}
+
+/// Render an error response (always closes: the connection state after
+/// a refused request is not worth resynchronizing).
+pub fn render_error(code: u16, msg: &str) -> Vec<u8> {
+    render_response(code, &format!("{{\"error\":{}}}", json_string(msg)), true)
+}
+
+/// JSON for one `GET /query` answer.
+pub fn render_query_one(s: VertexId, t: VertexId, dist: Dist, close: bool) -> Vec<u8> {
+    let body = format!("{{\"s\":{s},\"t\":{t},\"dist\":{}}}", json_dist(dist));
+    render_response(200, &body, close)
+}
+
+/// JSON for one `POST /query_many` answer, in input order.
+pub fn render_query_many(dists: &[Dist], close: bool) -> Vec<u8> {
+    let mut body = String::with_capacity(12 + dists.len() * 4);
+    body.push_str("{\"dists\":[");
+    for (i, &d) in dists.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&json_dist(d));
+    }
+    body.push_str("]}");
+    render_response(200, &body, close)
+}
+
+fn json_dist(d: Dist) -> String {
+    if d == INF_DIST {
+        "null".to_string()
+    } else {
+        d.to_string()
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(raw: &[u8]) -> (HttpRequest, bool, usize) {
+        match decode_http(raw) {
+            HttpDecoded::Request { request, close, used } => (request, close, used),
+            other => panic!("want Request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn get_query_parses_and_is_incremental() {
+        let raw = b"GET /query?s=3&t=9 HTTP/1.1\r\nHost: x\r\n\r\n";
+        for cut in 1..raw.len() {
+            assert!(matches!(decode_http(&raw[..cut]), HttpDecoded::Incomplete), "cut at {cut}");
+        }
+        let (req, close, used) = parse_ok(raw);
+        assert_eq!(req, HttpRequest::QueryOne { s: 3, t: 9 });
+        assert!(!close, "HTTP/1.1 defaults to keep-alive");
+        assert_eq!(used, raw.len());
+
+        let (_, close, _) = parse_ok(b"GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(close);
+    }
+
+    #[test]
+    fn post_query_many_parses_wrapped_and_bare_lists() {
+        for body in ["{\"pairs\":[[0,1],[5,5], [7,42]]}", "[[0,1],[5,5],[7,42]]"] {
+            let raw = format!(
+                "POST /query_many HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            );
+            let (req, _, used) = parse_ok(raw.as_bytes());
+            assert_eq!(req, HttpRequest::QueryMany(vec![(0, 1), (5, 5), (7, 42)]), "{body}");
+            assert_eq!(used, raw.len());
+        }
+        // Body split across reads: incomplete until the last byte.
+        let body = "{\"pairs\":[[1,2]]}";
+        let raw =
+            format!("POST /query_many HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}", body.len());
+        assert!(matches!(decode_http(&raw.as_bytes()[..raw.len() - 1]), HttpDecoded::Incomplete));
+    }
+
+    #[test]
+    fn errors_are_rendered_not_panicked() {
+        let cases: &[&[u8]] = &[
+            b"GET /nope HTTP/1.1\r\n\r\n",
+            b"GET /query?s=x&t=2 HTTP/1.1\r\n\r\n",
+            b"DELETE /query HTTP/1.1\r\n\r\n",
+            b"GET /query HTTP/9.9\r\n\r\n",
+            b"POST /query_many HTTP/1.1\r\nContent-Length: 7\r\n\r\nnot json",
+            b"POST /query_many HTTP/1.1\r\nContent-Length: 2\r\n\r\n[]",
+            b"POST /query_many HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+        ];
+        for raw in cases {
+            match decode_http(raw) {
+                HttpDecoded::Error(resp) => {
+                    let text = String::from_utf8_lossy(&resp);
+                    assert!(text.starts_with("HTTP/1.1 4") || text.starts_with("HTTP/1.1 5"));
+                    assert!(text.contains("\"error\""), "{text}");
+                }
+                other => panic!("{:?}: want Error, got {other:?}", String::from_utf8_lossy(raw)),
+            }
+        }
+    }
+
+    #[test]
+    fn renderers_emit_valid_bodies() {
+        let one = String::from_utf8(render_query_one(1, 2, 7, false)).unwrap();
+        assert!(one.contains("\"dist\":7"), "{one}");
+        let unreachable =
+            String::from_utf8(render_query_one(1, 2, sfgraph::INF_DIST, false)).unwrap();
+        assert!(unreachable.contains("\"dist\":null"), "{unreachable}");
+        let many = String::from_utf8(render_query_many(&[0, sfgraph::INF_DIST, 3], true)).unwrap();
+        assert!(many.contains("[0,null,3]"), "{many}");
+        assert!(many.contains("Connection: close"), "{many}");
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\u000a\"");
+    }
+
+    #[test]
+    fn protocol_detection() {
+        assert!(looks_like_http(b"GET /query"));
+        assert!(looks_like_http(b"POST /query_many"));
+        assert!(!looks_like_http(b"HOPQ...."));
+        assert!(!looks_like_http(b"GE")); // too short to tell
+    }
+}

@@ -43,10 +43,17 @@
 //! ```
 
 pub mod backend;
+#[cfg(target_os = "linux")]
+pub mod batch;
 pub mod client;
+#[cfg(target_os = "linux")]
+pub mod conn;
+pub mod http;
 pub mod proto;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 pub mod server;
 
 pub use backend::Generation;
 pub use client::Client;
-pub use server::{serve, ServerConfig, ServerHandle};
+pub use server::{serve, Backend, ServerConfig, ServerHandle};

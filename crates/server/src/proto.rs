@@ -26,6 +26,29 @@
 //! [`UNREACHABLE`] (`u32::MAX`, numerically equal to
 //! `sfgraph::INF_DIST`) marking disconnected pairs.
 //!
+//! ## Pipelining
+//!
+//! The protocol is *pipelined by design*: the request id in every
+//! header is chosen by the client and echoed verbatim in the matching
+//! response, so a client may keep many requests in flight on one
+//! connection without waiting for answers. Ordering guarantees:
+//!
+//! * Every well-formed request gets exactly one response carrying its
+//!   id (recoverable violations get an error response with the id).
+//! * Responses may arrive **out of order**: the epoll backend coalesces
+//!   query frames from many connections into shared micro-batches, and
+//!   batches complete independently. Clients must correlate by id
+//!   (see `client::Session`), never by arrival order.
+//! * The threaded backend happens to answer in order; clients must not
+//!   rely on that.
+//! * Servers cap the number of unanswered query frames per connection
+//!   (default 128) and stop *reading* — not answering — beyond the cap,
+//!   so a well-behaved pipelined client just sees backpressure.
+//!
+//! Id reuse while a request is still in flight is legal on the wire but
+//! makes responses ambiguous to the client; `client::Session` always
+//! allocates fresh ids.
+//!
 //! ## Error discipline
 //!
 //! Decoding distinguishes *recoverable* violations from *fatal* ones.
@@ -37,6 +60,12 @@
 //! declared length above [`MAX_PAYLOAD`], or EOF mid-frame leave the
 //! stream unsynchronizable: the server sends a final error frame (id 0)
 //! and closes. Nothing in this module panics on malformed input.
+//!
+//! Two decoding front ends share one payload parser: [`read_request`]
+//! blocks on a stream (the threaded backend), while [`decode_request`]
+//! consumes a byte buffer incrementally and reports `Incomplete` until
+//! a whole frame has arrived (the epoll backend's per-connection read
+//! buffer, where frames arrive split at arbitrary byte boundaries).
 
 use std::io::Read;
 
@@ -308,30 +337,31 @@ fn read_frame(r: &mut impl Read, expect_magic: [u8; 4]) -> Result<(u8, u64, Vec<
     Ok((kind, id, payload))
 }
 
-/// Decode one request frame from `r`, enforcing `max_batch` pairs per
-/// query. Payload-level violations come back as recoverable
-/// [`ProtoError::Bad`] values carrying the request id.
-pub fn read_request(r: &mut impl Read, max_batch: usize) -> Result<Request, ProtoError> {
-    let (kind, id, payload) = read_frame(r, REQ_MAGIC)?;
-    let bad = |msg: String| ProtoError::Bad { id, msg };
-    let body = match kind {
+/// Parse a fully-received request payload. Violations are reported as
+/// `Err(message)` — recoverable, since the frame was consumed whole.
+fn parse_request_payload(
+    kind: u8,
+    payload: &[u8],
+    max_batch: usize,
+) -> Result<RequestBody, String> {
+    match kind {
         KIND_QUERY => {
             if payload.len() < 4 {
-                return Err(bad("query payload shorter than its pair count".into()));
+                return Err("query payload shorter than its pair count".into());
             }
             let count = u32::from_le_bytes(payload[..4].try_into().unwrap()) as usize;
             if count == 0 {
-                return Err(bad("query batch declares zero pairs".into()));
+                return Err("query batch declares zero pairs".into());
             }
             if count > max_batch {
-                return Err(bad(format!("query batch of {count} pairs exceeds limit {max_batch}")));
+                return Err(format!("query batch of {count} pairs exceeds limit {max_batch}"));
             }
             if payload.len() != 4 + 8 * count {
-                return Err(bad(format!(
+                return Err(format!(
                     "query payload is {} bytes but {count} pairs need {}",
                     payload.len(),
                     4 + 8 * count
-                )));
+                ));
             }
             let pairs = payload[4..]
                 .chunks_exact(8)
@@ -342,21 +372,98 @@ pub fn read_request(r: &mut impl Read, max_batch: usize) -> Result<Request, Prot
                     )
                 })
                 .collect();
-            RequestBody::Query(pairs)
+            Ok(RequestBody::Query(pairs))
         }
         KIND_SWAP | KIND_STATS | KIND_SHUTDOWN => {
             if !payload.is_empty() {
-                return Err(bad(format!("kind {kind} takes no payload, got {}", payload.len())));
+                return Err(format!("kind {kind} takes no payload, got {}", payload.len()));
             }
-            match kind {
+            Ok(match kind {
                 KIND_SWAP => RequestBody::Swap,
                 KIND_STATS => RequestBody::Stats,
                 _ => RequestBody::Shutdown,
-            }
+            })
         }
-        other => return Err(bad(format!("unknown request kind {other}"))),
-    };
-    Ok(Request { id, body })
+        other => Err(format!("unknown request kind {other}")),
+    }
+}
+
+/// Decode one request frame from `r`, enforcing `max_batch` pairs per
+/// query. Payload-level violations come back as recoverable
+/// [`ProtoError::Bad`] values carrying the request id.
+pub fn read_request(r: &mut impl Read, max_batch: usize) -> Result<Request, ProtoError> {
+    let (kind, id, payload) = read_frame(r, REQ_MAGIC)?;
+    match parse_request_payload(kind, &payload, max_batch) {
+        Ok(body) => Ok(Request { id, body }),
+        Err(msg) => Err(ProtoError::Bad { id, msg }),
+    }
+}
+
+/// Outcome of trying to decode one request frame from the front of a
+/// byte buffer (the nonblocking read path).
+#[derive(Debug)]
+pub enum Decoded {
+    /// The buffer does not yet hold a whole frame; read more bytes and
+    /// try again. Nothing was consumed.
+    Incomplete,
+    /// A well-formed request: consume `used` bytes.
+    Request {
+        /// The decoded request.
+        request: Request,
+        /// Bytes of the buffer this frame occupied.
+        used: usize,
+    },
+    /// A complete frame with an invalid payload (recoverable): consume
+    /// `used` bytes, answer with an error response, keep the stream.
+    Bad {
+        /// Request id from the offending frame's header.
+        id: u64,
+        /// What was wrong with the payload.
+        msg: String,
+        /// Bytes of the buffer this frame occupied.
+        used: usize,
+    },
+    /// Stream corruption (bad magic/version, oversized declared
+    /// length): send a final error frame and close.
+    Fatal(String),
+}
+
+/// Incrementally decode one request frame from the front of `buf`.
+///
+/// Mirrors [`read_request`]'s error discipline exactly, but never
+/// blocks: with fewer bytes than one whole frame it returns
+/// [`Decoded::Incomplete`] and consumes nothing. Header-level
+/// violations (magic, version, declared length over [`MAX_PAYLOAD`])
+/// are detected as soon as the relevant bytes are present, before the
+/// payload arrives.
+pub fn decode_request(buf: &[u8], max_batch: usize) -> Decoded {
+    // Validate the prefix eagerly: a bad magic or version is fatal on
+    // byte 4, not after a full header straggles in.
+    if buf.len() >= 4 && buf[..4] != REQ_MAGIC {
+        return Decoded::Fatal("bad frame magic".into());
+    }
+    if buf.len() >= 5 && buf[4] != VERSION {
+        return Decoded::Fatal(format!("unsupported protocol version {} (want {VERSION})", buf[4]));
+    }
+    if buf.len() < HEADER_LEN {
+        return Decoded::Incomplete;
+    }
+    let kind = buf[5];
+    let id = u64::from_le_bytes(buf[6..14].try_into().unwrap());
+    let payload_len = u32::from_le_bytes(buf[14..18].try_into().unwrap());
+    if payload_len > MAX_PAYLOAD {
+        return Decoded::Fatal(format!(
+            "declared payload length {payload_len} exceeds the {MAX_PAYLOAD}-byte cap"
+        ));
+    }
+    let used = HEADER_LEN + payload_len as usize;
+    if buf.len() < used {
+        return Decoded::Incomplete;
+    }
+    match parse_request_payload(kind, &buf[HEADER_LEN..used], max_batch) {
+        Ok(body) => Decoded::Request { request: Request { id, body }, used },
+        Err(msg) => Decoded::Bad { id, msg, used },
+    }
 }
 
 /// Decode one response frame from `r`. Malformed responses are always
@@ -467,6 +574,65 @@ mod tests {
         let frame = Request { id: 7, body: RequestBody::Query(vec![]) }.encode();
         match read_request(&mut Cursor::new(&frame), 16) {
             Err(ProtoError::Bad { id: 7, msg }) => assert!(msg.contains("zero pairs"), "{msg}"),
+            other => panic!("want Bad, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incremental_decode_matches_blocking_at_every_prefix() {
+        for body in [
+            RequestBody::Query(vec![(0, 1), (7, 7), (u32::MAX - 1, 3)]),
+            RequestBody::Swap,
+            RequestBody::Stats,
+            RequestBody::Shutdown,
+        ] {
+            let req = Request { id: 0x0123_4567_89AB_CDEF, body };
+            let frame = req.encode();
+            // Every strict prefix is Incomplete; the full frame decodes.
+            for cut in 0..frame.len() {
+                assert!(
+                    matches!(decode_request(&frame[..cut], 1 << 16), Decoded::Incomplete),
+                    "prefix of {cut} bytes must be Incomplete"
+                );
+            }
+            match decode_request(&frame, 1 << 16) {
+                Decoded::Request { request, used } => {
+                    assert_eq!(request, req);
+                    assert_eq!(used, frame.len());
+                }
+                other => panic!("want Request, got {other:?}"),
+            }
+            // Trailing bytes of the next frame must not disturb it.
+            let mut two = frame.clone();
+            two.extend_from_slice(&frame[..7]);
+            match decode_request(&two, 1 << 16) {
+                Decoded::Request { used, .. } => assert_eq!(used, frame.len()),
+                other => panic!("want Request, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_decode_flags_header_violations_early() {
+        assert!(matches!(decode_request(b"HTTP", 16), Decoded::Fatal(_)), "magic at 4 bytes");
+        assert!(matches!(decode_request(b"HOP", 16), Decoded::Incomplete));
+        let mut bad_version = REQ_MAGIC.to_vec();
+        bad_version.push(99);
+        assert!(matches!(decode_request(&bad_version, 16), Decoded::Fatal(_)));
+        // Oversized declared payload: fatal with just the header.
+        let mut frame = Vec::new();
+        put_header(&mut frame, REQ_MAGIC, KIND_QUERY, 1, (MAX_PAYLOAD + 1) as usize);
+        assert!(matches!(decode_request(&frame, 16), Decoded::Fatal(_)));
+    }
+
+    #[test]
+    fn incremental_decode_bad_payload_is_recoverable_with_length() {
+        let frame = Request { id: 9, body: RequestBody::Query(vec![]) }.encode();
+        match decode_request(&frame, 16) {
+            Decoded::Bad { id: 9, msg, used } => {
+                assert!(msg.contains("zero pairs"), "{msg}");
+                assert_eq!(used, frame.len());
+            }
             other => panic!("want Bad, got {other:?}"),
         }
     }

@@ -31,10 +31,47 @@ use crate::proto::{
     DEFAULT_MAX_BATCH,
 };
 
+/// Which serving backend answers connections.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Blocking thread-per-connection worker pool: one worker owns a
+    /// connection for its whole life, requests are answered in order.
+    Threads,
+    /// Readiness-driven epoll reactor (Linux only): nonblocking
+    /// sockets, pipelined out-of-order responses, adaptive
+    /// micro-batching across connections, and the HTTP/JSON front.
+    Epoll,
+}
+
+impl Default for Backend {
+    fn default() -> Backend {
+        if cfg!(target_os = "linux") {
+            Backend::Epoll
+        } else {
+            Backend::Threads
+        }
+    }
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Backend, String> {
+        match s {
+            "threads" => Ok(Backend::Threads),
+            "epoll" => Ok(Backend::Epoll),
+            other => Err(format!("unknown backend '{other}' (want threads or epoll)")),
+        }
+    }
+}
+
 /// Tunables for [`serve`].
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
-    /// Connection worker threads (0 = one per core).
+    /// Serving backend (defaults to [`Backend::Epoll`] on Linux).
+    pub backend: Backend,
+    /// Connection worker threads (0 = one per core). Threads backend
+    /// only; the epoll backend runs one reactor and one executor.
     pub threads: usize,
     /// Threads `query_many` may fan one batch across (0 = all cores).
     /// Leave at 1 when many concurrent connections already saturate the
@@ -56,17 +93,34 @@ pub struct ServerConfig {
     /// Honour remote shutdown frames. Off by default: a query port
     /// should not double as a kill switch unless explicitly enabled.
     pub allow_shutdown: bool,
+    /// Epoll backend: longest a queued query waits (µs) for company
+    /// before its micro-batch flushes anyway.
+    pub flush_us: u64,
+    /// Epoll backend: queued pair count that flushes a micro-batch
+    /// immediately, without waiting out `flush_us`.
+    pub coalesce_pairs: usize,
+    /// Epoll backend: unanswered query frames per connection before the
+    /// server stops *reading* that connection (pipelining backpressure).
+    pub max_inflight: usize,
+    /// Epoll backend: evict connections idle longer than this many
+    /// milliseconds (0 = never).
+    pub idle_timeout_ms: u64,
 }
 
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
         ServerConfig {
+            backend: Backend::default(),
             threads: 0,
             batch_threads: 1,
             max_batch: DEFAULT_MAX_BATCH,
             max_resident_bytes: None,
             swap_path: None,
             allow_shutdown: false,
+            flush_us: 100,
+            coalesce_pairs: 4096,
+            max_inflight: 128,
+            idle_timeout_ms: 0,
         }
     }
 }
@@ -88,21 +142,35 @@ struct Shared {
     conns: Mutex<HashMap<u64, TcpStream>>,
     requests: AtomicU64,
     protocol_errors: AtomicU64,
+    /// Epoll backend wiring, set once by `serve_epoll` so `begin_stop`
+    /// (and the in-process swap) can reach the reactor and batcher.
+    #[cfg(target_os = "linux")]
+    epoll_ctl: std::sync::OnceLock<epoll_backend::EpollCtl>,
 }
 
 impl Shared {
-    /// Flip the stop flag, close every live connection, and wake the
-    /// accept loop. Idempotent.
+    /// Flip the stop flag and wake whichever backend is serving so it
+    /// can drain and exit. Idempotent.
     fn begin_stop(&self) {
         if self.stop.swap(true, Ordering::SeqCst) {
             return;
         }
+        #[cfg(target_os = "linux")]
+        if let Some(ctl) = self.epoll_ctl.get() {
+            // The reactor observes the flag, stops accepting/reading,
+            // flushes what is owed, and exits; the batcher drains.
+            ctl.batcher.stop();
+            ctl.wake.wake();
+            return;
+        }
+        // Threads backend: close every live connection to unpark
+        // workers blocked in `read`...
         if let Ok(conns) = self.conns.lock() {
             for conn in conns.values() {
                 let _ = conn.shutdown(Shutdown::Both);
             }
         }
-        // Unblock `accept` with a throwaway connection to ourselves.
+        // ...and unblock `accept` with a throwaway connection.
         let _ = TcpStream::connect(self.local_addr);
     }
 }
@@ -172,11 +240,7 @@ pub fn serve(
     let listener = TcpListener::bind(addr)?;
     let local_addr = listener.local_addr()?;
     let boot = Generation::load(index_path, config.max_resident_bytes, 1)?;
-    let threads = if config.threads == 0 {
-        std::thread::available_parallelism().map_or(1, usize::from)
-    } else {
-        config.threads
-    };
+    let backend = config.backend;
     let shared = Arc::new(Shared {
         current: RwLock::new(Arc::new(boot)),
         config,
@@ -189,8 +253,28 @@ pub fn serve(
         conns: Mutex::new(HashMap::new()),
         requests: AtomicU64::new(0),
         protocol_errors: AtomicU64::new(0),
+        #[cfg(target_os = "linux")]
+        epoll_ctl: std::sync::OnceLock::new(),
     });
+    match backend {
+        Backend::Threads => serve_threads(listener, shared),
+        #[cfg(target_os = "linux")]
+        Backend::Epoll => epoll_backend::serve_epoll(listener, shared),
+        #[cfg(not(target_os = "linux"))]
+        Backend::Epoll => Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "the epoll backend requires Linux; use Backend::Threads",
+        )),
+    }
+}
 
+/// The blocking thread-per-connection backend.
+fn serve_threads(listener: TcpListener, shared: Arc<Shared>) -> std::io::Result<ServerHandle> {
+    let threads = if shared.config.threads == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        shared.config.threads
+    };
     let (tx, rx) = mpsc::channel::<TcpStream>();
     let rx = Arc::new(Mutex::new(rx));
     let workers: Vec<JoinHandle<()>> = (0..threads)
@@ -378,4 +462,636 @@ fn do_swap(shared: &Shared) -> std::io::Result<Arc<Generation>> {
         shared.current.write().map_err(|_| std::io::Error::other("server state poisoned"))?;
     *current = Arc::clone(&fresh);
     Ok(fresh)
+}
+
+/// The readiness-driven backend: one reactor thread multiplexing every
+/// connection over epoll, one executor thread running coalesced query
+/// micro-batches.
+///
+/// ```text
+/// reactor thread                     executor thread
+///   epoll_wait ──► accept / read       Batcher::next_batch
+///   cut frames (HOPQ or HTTP)  ──────►   coalesce pairs across conns
+///   answer stats/shutdown inline         ONE Generation clone per batch
+///   queue + flush responses   ◄──────    query_many → encode responses
+///   (Completions + eventfd wake)         (swaps run here too)
+/// ```
+///
+/// The reactor never blocks on a socket and never runs a query; the
+/// executor never touches a socket. In-flight caps and the write
+/// high-water mark turn misbehaving peers into *paused* peers (their
+/// readable interest is dropped) instead of unbounded memory.
+#[cfg(target_os = "linux")]
+mod epoll_backend {
+    use super::*;
+    use crate::batch::{Batcher, Completion, Completions, Job, RespondAs};
+    use crate::conn::{Conn, ConnRequest, ConnState, Mode};
+    use crate::http::{self, HttpRequest};
+    use crate::proto::Response;
+    use crate::reactor::{Event, Poller, WakeFd, EV_READ, EV_WRITE};
+    use std::io::Read;
+    use std::time::{Duration, Instant};
+
+    const TOKEN_LISTENER: u64 = 0;
+    const TOKEN_WAKER: u64 = 1;
+    const FIRST_CONN_TOKEN: u64 = 2;
+    /// Reactor tick: upper bound on how stale idle/drain bookkeeping
+    /// can get; all real work is event-driven.
+    const POLL_TICK_MS: i32 = 25;
+    /// Graceful-drain budget after a stop: owed responses get this long
+    /// to flush before connections are cut.
+    const DRAIN_DEADLINE: Duration = Duration::from_secs(3);
+    /// Post-error discard budget (bytes, and seconds of patience) so a
+    /// close doesn't RST away the final error frame.
+    const DISCARD_BUDGET: usize = 1 << 20;
+    const DISCARD_TIMEOUT: Duration = Duration::from_secs(2);
+
+    /// One executable query job: (connection token, response
+    /// encoding, query pairs).
+    type QueryJob = (u64, RespondAs, Vec<(u32, u32)>);
+
+    /// Hooks `Shared::begin_stop` uses to reach a running reactor.
+    pub(super) struct EpollCtl {
+        pub(super) wake: Arc<WakeFd>,
+        pub(super) batcher: Arc<Batcher>,
+    }
+
+    pub(super) fn serve_epoll(
+        listener: TcpListener,
+        shared: Arc<Shared>,
+    ) -> std::io::Result<ServerHandle> {
+        listener.set_nonblocking(true)?;
+        let poller = Poller::new(256)?;
+        let wake = Arc::new(WakeFd::new()?);
+        let batcher = Arc::new(Batcher::new());
+        let completions = Arc::new(Completions::new(Arc::clone(&wake)));
+        poller.register(&listener, EV_READ, TOKEN_LISTENER)?;
+        poller.register(&*wake, EV_READ, TOKEN_WAKER)?;
+        let _ = shared
+            .epoll_ctl
+            .set(EpollCtl { wake: Arc::clone(&wake), batcher: Arc::clone(&batcher) });
+
+        let executor = {
+            let (shared, batcher, completions) =
+                (Arc::clone(&shared), Arc::clone(&batcher), Arc::clone(&completions));
+            std::thread::spawn(move || executor_loop(&shared, &batcher, &completions))
+        };
+        let reactor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                Reactor {
+                    shared,
+                    poller,
+                    wake,
+                    batcher,
+                    completions,
+                    listener,
+                    conns: HashMap::new(),
+                    next_token: FIRST_CONN_TOKEN,
+                    draining_since: None,
+                }
+                .run()
+            })
+        };
+        Ok(ServerHandle { shared, accept: None, workers: vec![reactor, executor] })
+    }
+
+    struct Reactor {
+        shared: Arc<Shared>,
+        poller: Poller,
+        wake: Arc<WakeFd>,
+        batcher: Arc<Batcher>,
+        completions: Arc<Completions>,
+        listener: TcpListener,
+        conns: HashMap<u64, Conn>,
+        next_token: u64,
+        draining_since: Option<Instant>,
+    }
+
+    impl Reactor {
+        fn run(mut self) {
+            let mut events: Vec<Event> = Vec::new();
+            loop {
+                if self.shared.stop.load(Ordering::SeqCst) && self.draining_since.is_none() {
+                    self.begin_drain();
+                }
+                if let Some(since) = self.draining_since {
+                    let owed =
+                        self.conns.values().any(|c| c.inflight > 0 || c.pending_write_bytes() > 0);
+                    if !owed || since.elapsed() > DRAIN_DEADLINE {
+                        break;
+                    }
+                }
+                events.clear();
+                if self.poller.wait(Some(POLL_TICK_MS), |ev| events.push(ev)).is_err() {
+                    break;
+                }
+                for ev in &events {
+                    match ev.token {
+                        TOKEN_LISTENER => self.accept_ready(),
+                        TOKEN_WAKER => self.wake.drain(),
+                        token => {
+                            if ev.readable() {
+                                self.conn_readable(token);
+                            }
+                            if ev.writable() {
+                                self.conn_writable(token);
+                            }
+                        }
+                    }
+                }
+                self.apply_completions();
+                self.advance_all();
+            }
+            // Dropping the map closes every socket; dropping the
+            // listener closes the port.
+        }
+
+        fn begin_drain(&mut self) {
+            self.draining_since = Some(Instant::now());
+            let _ = self.poller.deregister(&self.listener);
+            for conn in self.conns.values_mut() {
+                if conn.state == ConnState::Open {
+                    conn.state = ConnState::CloseAfterFlush;
+                }
+            }
+        }
+
+        fn accept_ready(&mut self) {
+            if self.draining_since.is_some() {
+                return;
+            }
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        let _ = stream.set_nodelay(true);
+                        let token = self.next_token;
+                        self.next_token += 1;
+                        if self.poller.register(&stream, EV_READ, token).is_ok() {
+                            let mut conn = Conn::new(stream, Instant::now());
+                            conn.registered = EV_READ;
+                            self.conns.insert(token, conn);
+                            self.shared.conn_seq.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => break,
+                }
+            }
+        }
+
+        /// Per-connection cap on unanswered requests: HTTP answers must
+        /// stay in order, so HTTP connections run one at a time.
+        fn inflight_cap(&self, mode: Mode) -> usize {
+            if mode == Mode::Http {
+                1
+            } else {
+                self.shared.config.max_inflight.max(1)
+            }
+        }
+
+        fn conn_readable(&mut self, token: u64) {
+            let Some(conn) = self.conns.get_mut(&token) else { return };
+            match conn.state {
+                ConnState::Open => {
+                    let cap = if conn.mode == Mode::Http {
+                        1
+                    } else {
+                        self.shared.config.max_inflight.max(1)
+                    };
+                    // Backpressure: a capped or backed-up connection is
+                    // simply not read. Level-triggered epoll re-reports
+                    // it once interest returns.
+                    if conn.inflight >= cap || conn.write_backed_up() {
+                        return;
+                    }
+                    if conn.fill(Instant::now()).is_err() {
+                        conn.state = ConnState::Dead;
+                        return;
+                    }
+                    self.parse_conn(token);
+                }
+                ConnState::Draining { budget } => {
+                    let mut left = budget;
+                    let mut chunk = [0u8; 4096];
+                    loop {
+                        if left == 0 {
+                            conn.state = ConnState::Dead;
+                            break;
+                        }
+                        match conn.stream.read(&mut chunk) {
+                            Ok(0) => {
+                                conn.state = ConnState::Dead;
+                                break;
+                            }
+                            Ok(n) => left = left.saturating_sub(n),
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                conn.state = ConnState::Draining { budget: left };
+                                break;
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                            Err(_) => {
+                                conn.state = ConnState::Dead;
+                                break;
+                            }
+                        }
+                    }
+                }
+                ConnState::CloseAfterFlush | ConnState::Dead => {}
+            }
+        }
+
+        fn conn_writable(&mut self, token: u64) {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                if conn.pending_write_bytes() > 0 && conn.flush().is_err() {
+                    conn.state = ConnState::Dead;
+                }
+            }
+        }
+
+        /// Cut and dispatch every whole request buffered on `token`,
+        /// stopping at the in-flight cap.
+        fn parse_conn(&mut self, token: u64) {
+            loop {
+                let request = {
+                    let Some(conn) = self.conns.get_mut(&token) else { return };
+                    if conn.state != ConnState::Open {
+                        return;
+                    }
+                    let cap = if conn.mode == Mode::Http {
+                        1
+                    } else {
+                        self.shared.config.max_inflight.max(1)
+                    };
+                    if conn.inflight >= cap || conn.write_backed_up() {
+                        return;
+                    }
+                    match conn.next_request(self.shared.config.max_batch) {
+                        Some(request) => request,
+                        None => {
+                            // EOF with a partial frame still buffered:
+                            // the peer can never complete it.
+                            if conn.peer_eof && conn.pending_read_bytes() > 0 {
+                                self.shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                                let bye = Response {
+                                    id: 0,
+                                    body: ResponseBody::Error("truncated frame".into()),
+                                };
+                                conn.queue_write(&bye.encode(), Instant::now());
+                                conn.state = ConnState::CloseAfterFlush;
+                            }
+                            return;
+                        }
+                    }
+                };
+                self.dispatch(token, request);
+            }
+        }
+
+        fn dispatch(&mut self, token: u64, request: ConnRequest) {
+            match request {
+                ConnRequest::Hopq(req) => {
+                    self.shared.requests.fetch_add(1, Ordering::Relaxed);
+                    let id = req.id;
+                    match req.body {
+                        RequestBody::Query(pairs) => {
+                            self.submit_query(token, RespondAs::Hopq { id }, pairs);
+                        }
+                        RequestBody::Swap => {
+                            if self.batcher.submit(Job::Swap { conn: token, id }) {
+                                if let Some(c) = self.conns.get_mut(&token) {
+                                    c.inflight += 1;
+                                }
+                            } else {
+                                self.queue_response(token, error(id, "server is stopping"), false);
+                            }
+                        }
+                        RequestBody::Stats => {
+                            let reply = self.stats_reply();
+                            let resp = Response { id, body: ResponseBody::Stats(reply) };
+                            self.queue_response(token, resp, false);
+                        }
+                        RequestBody::Shutdown => {
+                            if self.shared.config.allow_shutdown {
+                                let resp = Response { id, body: ResponseBody::Bye };
+                                self.queue_response(token, resp, false);
+                                self.shared.begin_stop();
+                            } else {
+                                let resp = error(id, "remote shutdown is disabled on this server");
+                                self.queue_response(token, resp, false);
+                            }
+                        }
+                    }
+                }
+                ConnRequest::HopqBad { id, msg } => {
+                    self.shared.requests.fetch_add(1, Ordering::Relaxed);
+                    self.shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    self.queue_response(token, error(id, &msg), false);
+                }
+                ConnRequest::HopqFatal(msg) => {
+                    self.shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    self.queue_response(token, error(0, &msg), true);
+                }
+                ConnRequest::Http { request, close } => {
+                    self.shared.requests.fetch_add(1, Ordering::Relaxed);
+                    match request {
+                        HttpRequest::QueryOne { s, t } => {
+                            self.submit_query(token, RespondAs::HttpOne { close }, vec![(s, t)]);
+                        }
+                        HttpRequest::QueryMany(pairs) => {
+                            self.submit_query(token, RespondAs::HttpMany { close }, pairs);
+                        }
+                        HttpRequest::Stats => {
+                            let body = self.stats_json();
+                            let bytes = http::render_response(200, &body, close);
+                            self.queue_bytes(token, &bytes, close);
+                        }
+                    }
+                }
+                ConnRequest::HttpError(resp) => {
+                    self.shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    self.queue_bytes(token, &resp, true);
+                }
+            }
+        }
+
+        fn submit_query(&mut self, token: u64, respond: RespondAs, pairs: Vec<(u32, u32)>) {
+            if self.batcher.submit(Job::Query { conn: token, respond, pairs }) {
+                if let Some(c) = self.conns.get_mut(&token) {
+                    c.inflight += 1;
+                }
+            } else {
+                let (bytes, close) = match respond {
+                    RespondAs::Hopq { id } => (error(id, "server is stopping").encode(), false),
+                    RespondAs::HttpOne { .. } | RespondAs::HttpMany { .. } => {
+                        (http::render_error(503, "server is stopping"), true)
+                    }
+                };
+                self.queue_bytes(token, &bytes, close);
+            }
+        }
+
+        fn queue_response(&mut self, token: u64, resp: Response, close_after: bool) {
+            self.queue_bytes(token, &resp.encode(), close_after);
+        }
+
+        fn queue_bytes(&mut self, token: u64, bytes: &[u8], close_after: bool) {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.queue_write(bytes, Instant::now());
+                if close_after && conn.state == ConnState::Open {
+                    conn.state = ConnState::CloseAfterFlush;
+                }
+            }
+        }
+
+        fn apply_completions(&mut self) {
+            for done in self.completions.drain() {
+                if let Some(conn) = self.conns.get_mut(&done.conn) {
+                    conn.inflight = conn.inflight.saturating_sub(done.answered);
+                    conn.queue_write(&done.bytes, Instant::now());
+                    if done.close_after && conn.state == ConnState::Open {
+                        conn.state = ConnState::CloseAfterFlush;
+                    }
+                }
+            }
+        }
+
+        /// Advance every connection's state machine: parse leftovers
+        /// (capacity may have freed), flush, transition, re-arm.
+        fn advance_all(&mut self) {
+            let now = Instant::now();
+            let tokens: Vec<u64> = self.conns.keys().copied().collect();
+            for token in tokens {
+                self.advance_conn(token, now);
+            }
+        }
+
+        fn advance_conn(&mut self, token: u64, now: Instant) {
+            self.parse_conn(token);
+            let idle = match self.shared.config.idle_timeout_ms {
+                0 => None,
+                ms => Some(Duration::from_millis(ms)),
+            };
+            let cap = {
+                let Some(conn) = self.conns.get(&token) else { return };
+                self.inflight_cap(conn.mode)
+            };
+            let drain_mode = self.draining_since.is_some();
+            let Some(conn) = self.conns.get_mut(&token) else { return };
+            if conn.pending_write_bytes() > 0 && conn.flush().is_err() {
+                conn.state = ConnState::Dead;
+            }
+            match conn.state {
+                ConnState::Open => {
+                    if conn.peer_eof
+                        && conn.inflight == 0
+                        && conn.pending_write_bytes() == 0
+                        && conn.pending_read_bytes() == 0
+                    {
+                        conn.state = ConnState::Dead;
+                    } else if let Some(idle) = idle {
+                        if conn.inflight == 0
+                            && conn.pending_write_bytes() == 0
+                            && now.duration_since(conn.last_activity) >= idle
+                        {
+                            conn.state = ConnState::Dead;
+                        }
+                    }
+                }
+                ConnState::CloseAfterFlush => {
+                    if conn.inflight == 0 && conn.pending_write_bytes() == 0 {
+                        // Half-close, then linger (bounded) discarding
+                        // what the peer already sent, so the close
+                        // can't RST away the frames just flushed.
+                        let _ = conn.stream.shutdown(Shutdown::Write);
+                        conn.state = if conn.peer_eof {
+                            ConnState::Dead
+                        } else {
+                            ConnState::Draining { budget: DISCARD_BUDGET }
+                        };
+                        conn.last_activity = now;
+                    }
+                }
+                ConnState::Draining { .. } => {
+                    if conn.peer_eof || now.duration_since(conn.last_activity) > DISCARD_TIMEOUT {
+                        conn.state = ConnState::Dead;
+                    }
+                }
+                ConnState::Dead => {}
+            }
+            let mut dead = conn.state == ConnState::Dead;
+            if !dead {
+                let desired = desired_interest(conn, cap, drain_mode);
+                if desired != conn.registered {
+                    match self.poller.rearm(&conn.stream, desired, token) {
+                        Ok(()) => conn.registered = desired,
+                        Err(_) => dead = true,
+                    }
+                }
+            }
+            if dead {
+                if let Some(conn) = self.conns.remove(&token) {
+                    let _ = self.poller.deregister(&conn.stream);
+                }
+            }
+        }
+
+        fn stats_reply(&self) -> StatsReply {
+            match self.shared.current.read() {
+                Ok(current) => StatsReply {
+                    generation: current.generation(),
+                    vertices: current.vertices() as u64,
+                    directed: current.is_directed(),
+                    resident: current.is_resident(),
+                    requests: self.shared.requests.load(Ordering::Relaxed),
+                    protocol_errors: self.shared.protocol_errors.load(Ordering::Relaxed),
+                },
+                Err(_) => StatsReply::default(),
+            }
+        }
+
+        fn stats_json(&self) -> String {
+            let s = self.stats_reply();
+            let resident_bytes =
+                self.shared.current.read().map(|g| g.resident_bytes()).unwrap_or(0);
+            format!(
+                "{{\"generation\":{},\"vertices\":{},\"directed\":{},\"resident\":{},\
+                 \"resident_bytes\":{resident_bytes},\"requests\":{},\"protocol_errors\":{}}}",
+                s.generation, s.vertices, s.directed, s.resident, s.requests, s.protocol_errors,
+            )
+        }
+    }
+
+    /// The interest mask a connection's state calls for.
+    fn desired_interest(conn: &Conn, cap: usize, drain_mode: bool) -> u32 {
+        let mut mask = 0;
+        match conn.state {
+            ConnState::Open => {
+                let paused =
+                    conn.inflight >= cap || conn.write_backed_up() || conn.peer_eof || drain_mode;
+                if !paused {
+                    mask |= EV_READ;
+                }
+                if conn.pending_write_bytes() > 0 {
+                    mask |= EV_WRITE;
+                }
+            }
+            ConnState::CloseAfterFlush => mask |= EV_WRITE,
+            ConnState::Draining { .. } => mask |= EV_READ,
+            ConnState::Dead => {}
+        }
+        mask
+    }
+
+    /// The executor: pull coalesced batches, answer them, run swaps.
+    fn executor_loop(shared: &Shared, batcher: &Batcher, completions: &Completions) {
+        let flush_after = Duration::from_micros(shared.config.flush_us.max(1));
+        let coalesce = shared.config.coalesce_pairs.max(1);
+        while let Some(jobs) = batcher.next_batch(coalesce, flush_after) {
+            let mut queries: Vec<QueryJob> = Vec::new();
+            for job in jobs {
+                match job {
+                    Job::Query { conn, respond, pairs } => queries.push((conn, respond, pairs)),
+                    Job::Swap { conn, id } => {
+                        // Queries queued before the swap answer on the
+                        // old generation; flush them first.
+                        run_queries(shared, completions, std::mem::take(&mut queries));
+                        let body = match do_swap(shared) {
+                            Ok(fresh) => ResponseBody::Swapped {
+                                generation: fresh.generation(),
+                                vertices: fresh.vertices() as u64,
+                            },
+                            Err(e) => ResponseBody::Error(format!("swap failed: {e}")),
+                        };
+                        completions.push(Completion {
+                            conn,
+                            bytes: Response { id, body }.encode(),
+                            answered: 1,
+                            close_after: false,
+                        });
+                    }
+                }
+            }
+            run_queries(shared, completions, queries);
+        }
+    }
+
+    /// Answer one coalesced batch: a single `Generation` clone pins the
+    /// whole batch to one index, a single `query_many_into` call
+    /// answers every pair, and per-job slices are encoded back out.
+    fn run_queries(shared: &Shared, completions: &Completions, jobs: Vec<QueryJob>) {
+        if jobs.is_empty() {
+            return;
+        }
+        let generation = match shared.current.read() {
+            Ok(current) => Arc::clone(&current),
+            Err(_) => {
+                for (conn, respond, _) in jobs {
+                    push_error(completions, conn, respond, "server state poisoned");
+                }
+                return;
+            }
+        };
+        let n = generation.vertices() as u32;
+        // Range-check per job so one bad frame can't fail its batchmates.
+        let mut combined: Vec<(u32, u32)> = Vec::new();
+        let mut plan: Vec<(usize, usize, usize)> = Vec::new();
+        for (i, (conn, respond, pairs)) in jobs.iter().enumerate() {
+            match pairs.iter().find(|&&(s, t)| s >= n || t >= n) {
+                Some(&(s, t)) => {
+                    let msg = format!("vertex out of range: ({s}, {t}) on a {n}-vertex index");
+                    push_error(completions, *conn, *respond, &msg);
+                }
+                None => {
+                    plan.push((i, combined.len(), pairs.len()));
+                    combined.extend_from_slice(pairs);
+                }
+            }
+        }
+        if combined.is_empty() {
+            return;
+        }
+        let mut dists = Vec::with_capacity(combined.len());
+        match generation.query_many_into(&combined, shared.config.batch_threads, &mut dists) {
+            Err(msg) => {
+                for &(i, _, _) in &plan {
+                    let (conn, respond, _) = &jobs[i];
+                    push_error(completions, *conn, *respond, &msg);
+                }
+            }
+            Ok(()) => {
+                for &(i, offset, len) in &plan {
+                    let (conn, respond, pairs) = &jobs[i];
+                    let slice = &dists[offset..offset + len];
+                    let (bytes, close_after) = match *respond {
+                        RespondAs::Hopq { id } => (
+                            Response { id, body: ResponseBody::Distances(slice.to_vec()) }.encode(),
+                            false,
+                        ),
+                        RespondAs::HttpOne { close } => {
+                            (http::render_query_one(pairs[0].0, pairs[0].1, slice[0], close), close)
+                        }
+                        RespondAs::HttpMany { close } => {
+                            (http::render_query_many(slice, close), close)
+                        }
+                    };
+                    completions.push(Completion { conn: *conn, bytes, answered: 1, close_after });
+                }
+            }
+        }
+    }
+
+    fn push_error(completions: &Completions, conn: u64, respond: RespondAs, msg: &str) {
+        let (bytes, close_after) = match respond {
+            RespondAs::Hopq { id } => (error(id, msg).encode(), false),
+            RespondAs::HttpOne { .. } | RespondAs::HttpMany { .. } => {
+                (http::render_error(400, msg), true)
+            }
+        };
+        completions.push(Completion { conn, bytes, answered: 1, close_after });
+    }
 }

@@ -37,3 +37,5 @@ pub use hopdb;
 pub use hopdb_server;
 pub use hoplabels;
 pub use sfgraph;
+
+pub use hoplabels::QueryBackend;
