@@ -7,25 +7,34 @@
 //! connection and at `--conns` connections. `--slow-conns` adds
 //! background connections that trickle single-pair queries with
 //! 10–20 ms pauses, so the latency gate reflects a mixed fleet: slow
-//! pollers must not drag the fast clients' tail.
+//! pollers must not drag the fast clients' tail. `--update-conns K`
+//! adds K background connections streaming live edge-insert (`update`)
+//! frames from a fixed deterministic pool, and appends a third run
+//! recording query p99 *under writes*; afterwards the tool verifies a
+//! compaction promoted under concurrent query fire: every response
+//! during and after the promotion must be bit-identical to an
+//! in-process build of the mutated graph — no drops, no mixed
+//! generations.
 //!
 //! Before any timing, every served answer is asserted bit-identical to
 //! in-process `FlatIndex::query_many`.
 //!
 //! The snapshot lands in `BENCH_server.json`: pairs/second (QPS) and
 //! request latency percentiles (p50/p99) per connection count, plus
-//! the serving backend and pipelining depth.
+//! the serving backend, pipelining depth, and write mix.
 //!
 //! Gates (any failure exits non-zero):
 //!
 //! * `--min-qps N` — pairs/second floor at `--conns` connections.
 //! * `--max-p99-us N` — fast-client p99 request latency ceiling (µs)
-//!   at `--conns` connections, measured with the slow fleet running.
+//!   at `--conns` connections, measured with the slow fleet running
+//!   (without the write mix — writes get their own run entry).
+//! * with `--update-conns`, the compaction-under-load check above.
 //!
 //! ```text
 //! BENCH_SCALE=small cargo run --release -p bench --bin serverperf -- \
 //!     --backend epoll --conns 4 --batch 256 --pipeline 8 --slow-conns 2 \
-//!     --min-qps 150000 --max-p99-us 50000 -o BENCH_server.json
+//!     --update-conns 2 --min-qps 150000 --max-p99-us 50000 -o BENCH_server.json
 //! ```
 
 use std::collections::VecDeque;
@@ -54,14 +63,18 @@ struct Run {
     p99_us: f64,
     requests: usize,
     slow_requests: usize,
+    update_conns: usize,
+    update_frames: usize,
 }
 
 /// Drive the server from `conns` fast connections (each keeping
 /// `pipeline` requests in flight) while `slow_conns` background
-/// connections trickle single-pair queries with 10–20 ms pauses.
-/// Percentiles cover the fast clients only — the gate is about slow
-/// pollers not wrecking the fast tail, not about the pollers
-/// themselves.
+/// connections trickle single-pair queries with 10–20 ms pauses and
+/// `update_conns` background connections stream edge inserts from
+/// `update_pool`. Percentiles cover the fast clients only — the gate
+/// is about background traffic not wrecking the fast tail, not about
+/// the background connections themselves.
+#[allow(clippy::too_many_arguments)]
 fn measure(
     addr: std::net::SocketAddr,
     pairs: &[(VertexId, VertexId)],
@@ -70,10 +83,12 @@ fn measure(
     requests_per_conn: usize,
     pipeline: usize,
     slow_conns: usize,
+    update_conns: usize,
+    update_pool: &[(VertexId, VertexId, u32)],
 ) -> Run {
     let stop_slow = AtomicBool::new(false);
     let started = Instant::now();
-    let (mut latencies, wall, slow_requests) = std::thread::scope(|scope| {
+    let (mut latencies, wall, slow_requests, update_frames) = std::thread::scope(|scope| {
         let slow: Vec<_> = (0..slow_conns)
             .map(|c| {
                 let stop_slow = &stop_slow;
@@ -86,6 +101,27 @@ fn measure(
                         count += 1;
                         std::thread::sleep(Duration::from_millis(10 + (i % 11) as u64));
                         i += 7;
+                    }
+                    count
+                })
+            })
+            .collect();
+
+        // Writers cycle a fixed pool, so the overlay stays bounded (the
+        // log dedups) while every frame still exercises the full
+        // update path: log append, overlay rebuild, generation publish.
+        let updaters: Vec<_> = (0..update_conns)
+            .map(|c| {
+                let stop_slow = &stop_slow;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("update connect");
+                    let (mut count, mut at) = (0usize, (c * 3) % update_pool.len());
+                    while !stop_slow.load(Ordering::Relaxed) {
+                        let end = (at + 8).min(update_pool.len());
+                        client.update(&update_pool[at..end]).expect("update frame");
+                        count += 1;
+                        at = if end == update_pool.len() { 0 } else { end };
+                        std::thread::sleep(Duration::from_millis(2));
                     }
                     count
                 })
@@ -131,7 +167,8 @@ fn measure(
         let wall = started.elapsed().as_secs_f64();
         stop_slow.store(true, Ordering::Relaxed);
         let slow_requests = slow.into_iter().map(|h| h.join().expect("slow client")).sum();
-        (latencies, wall, slow_requests)
+        let update_frames = updaters.into_iter().map(|h| h.join().expect("updater")).sum();
+        (latencies, wall, slow_requests, update_frames)
     });
     latencies.sort_by(f64::total_cmp);
     let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
@@ -143,7 +180,108 @@ fn measure(
         p99_us: pct(0.99),
         requests: total_requests,
         slow_requests,
+        update_conns,
+        update_frames,
     }
+}
+
+/// `count` distinct weight-1..3 edges over `n` vertices, deterministic
+/// in `seed`, pair-unique so the overlay log dedups to `count` edges.
+fn update_edge_pool(n: usize, count: usize, seed: u64) -> Vec<(VertexId, VertexId, u32)> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut seen = std::collections::HashSet::new();
+    let mut pool = Vec::with_capacity(count);
+    while pool.len() < count {
+        let (s, t) = ((next() % n as u64) as VertexId, (next() % n as u64) as VertexId);
+        let (lo, hi) = (s.min(t), s.max(t));
+        if lo != hi && seen.insert((lo, hi)) {
+            pool.push((s, t, (next() % 3) as u32 + 1));
+        }
+    }
+    pool
+}
+
+/// Apply the whole pool (the writers cycled it, so this is idempotent),
+/// build the mutated graph from scratch in-process, then fire `conns`
+/// query threads that assert every response against that ground truth
+/// while the main thread promotes a compaction. Panics — failing the
+/// bench run — on any dropped, erroring, or misanswered query.
+fn verify_compaction_under_load(
+    addr: std::net::SocketAddr,
+    g: &sfgraph::Graph,
+    update_pool: &[(VertexId, VertexId, u32)],
+    sweep: &[(VertexId, VertexId)],
+    conns: usize,
+    batch: usize,
+) {
+    use sfgraph::builder::GraphBuilder;
+
+    let mut admin = Client::connect(addr).expect("verify connect");
+    admin.update(update_pool).expect("apply full pool");
+
+    // From-scratch oracle: base graph + pool, rebuilt and re-ranked the
+    // same way the daemon's compactor does it.
+    let mut b = GraphBuilder::new_undirected(g.num_vertices()).weighted();
+    for (u, v, w) in g.edge_list() {
+        b.add_weighted_edge(u, v, w);
+    }
+    for &(u, v, w) in update_pool {
+        b.add_weighted_edge(u, v, w);
+    }
+    let mutated = b.build();
+    let ranking = rank_vertices(&mutated, &RankBy::Degree);
+    let relabeled = relabel_by_rank(&mutated, &ranking);
+    let (index, _) = build_prelabeled(&relabeled, &HopDbConfig::default().with_parallelism(0));
+    let flat = FlatIndex::from_index(&index);
+    let ranked: Vec<(VertexId, VertexId)> =
+        sweep.iter().map(|&(s, t)| (ranking.rank_of(s), ranking.rank_of(t))).collect();
+    let expect = flat.query_many(&ranked, 0);
+
+    let stop = AtomicBool::new(false);
+    let answered = std::thread::scope(|scope| {
+        let fleet: Vec<_> = (0..conns)
+            .map(|c| {
+                let (stop, sweep, expect) = (&stop, sweep, &expect);
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("fleet connect");
+                    let mut answered = 0usize;
+                    let mut at = (c * 127) % sweep.len();
+                    while !stop.load(Ordering::Relaxed) {
+                        let end = (at + batch).min(sweep.len());
+                        let got = client.query(&sweep[at..end]).expect("query during compaction");
+                        assert_eq!(
+                            got,
+                            expect[at..end],
+                            "misanswered query during compaction promotion"
+                        );
+                        answered += end - at;
+                        at = if end == sweep.len() { 0 } else { end };
+                    }
+                    answered
+                })
+            })
+            .collect();
+
+        std::thread::sleep(Duration::from_millis(100));
+        let (generation, _) = admin.compact().expect("compact under load");
+        assert!(generation >= 2, "compaction did not bump the generation");
+        std::thread::sleep(Duration::from_millis(150));
+        stop.store(true, Ordering::Relaxed);
+        fleet.into_iter().map(|h| h.join().expect("fleet thread")).sum::<usize>()
+    });
+    let info = admin.info().expect("info");
+    assert_eq!(info.overlay_edges, 0, "compaction must drain the overlay");
+    eprintln!(
+        "  compaction under load ok: {answered} pairs answered across the promotion \
+         (generation {}, {} compactions)",
+        info.generation, info.compactions
+    );
 }
 
 fn main() {
@@ -163,6 +301,8 @@ fn main() {
     assert!(pipeline >= 1, "--pipeline must be at least 1 request in flight");
     let slow_conns: usize =
         arg_value(&args, "--slow-conns").map_or(0, |v| v.parse().expect("bad --slow-conns"));
+    let update_conns: usize =
+        arg_value(&args, "--update-conns").map_or(0, |v| v.parse().expect("bad --update-conns"));
     let min_qps: Option<f64> =
         arg_value(&args, "--min-qps").map(|v| v.parse().expect("bad --min-qps"));
     let max_p99_us: Option<f64> =
@@ -184,23 +324,41 @@ fn main() {
     let (index, _) = build_prelabeled(&relabeled, &HopDbConfig::default().with_parallelism(0));
     let flat = FlatIndex::from_index(&index);
 
-    // Serialize the index to a standalone file the daemon boots from.
+    // Stage the artifacts the way `hopdb-cli build` would: index file,
+    // `.rank` sidecar (so the wire speaks original vertex ids), and the
+    // source edge list (so the daemon can compact).
     let store = extmem::device::TempStore::new().expect("temp store");
     let staged = DiskIndex::create(&index, &store, "serverperf").expect("serialize").persist();
     let index_path =
         std::env::temp_dir().join(format!("hopdb-serverperf-{}.idx", std::process::id()));
     std::fs::copy(&staged, &index_path).expect("stage index");
     std::fs::remove_file(staged).ok();
+    std::fs::write(format!("{}.rank", index_path.to_string_lossy()), ranking.to_sidecar_bytes())
+        .expect("write sidecar");
+    let graph_path =
+        std::env::temp_dir().join(format!("hopdb-serverperf-{}.txt", std::process::id()));
+    let graph_file = std::fs::File::create(&graph_path).expect("create edge list");
+    sfgraph::io::write_edge_list(&g, std::io::BufWriter::new(graph_file)).expect("write edge list");
 
-    let config = ServerConfig { backend, threads, batch_threads: 1, ..ServerConfig::default() };
+    let config = ServerConfig {
+        backend,
+        threads,
+        batch_threads: 1,
+        source_graph: Some(graph_path.clone()),
+        compact_threshold: 0, // compaction fires on demand, below
+        ..ServerConfig::default()
+    };
     let handle = serve("127.0.0.1:0", &index_path, config).expect("serve");
     let addr = handle.local_addr();
     eprintln!("  daemon on {addr}");
 
-    // Correctness gate before any timing: wire answers must be
-    // bit-identical to the in-process flat index.
+    // Correctness gate before any timing: wire answers (original id
+    // space, via the sidecar) must be bit-identical to the in-process
+    // flat index (rank space).
     let sweep = bench::query_pairs(&relabeled, 8_192, 0xC0FFEE);
-    let expect = flat.query_many(&sweep, 0);
+    let ranked_sweep: Vec<(VertexId, VertexId)> =
+        sweep.iter().map(|&(s, t)| (ranking.rank_of(s), ranking.rank_of(t))).collect();
+    let expect = flat.query_many(&ranked_sweep, 0);
     let mut checker = Client::connect(addr).expect("connect");
     let mut served = Vec::with_capacity(sweep.len());
     for chunk in sweep.chunks(batch.max(1)) {
@@ -210,39 +368,98 @@ fn main() {
     drop(checker);
     eprintln!("  answers bit-identical to FlatIndex on {} pairs", sweep.len());
 
+    // A fixed deterministic edge pool for the write mix: unique pairs
+    // so the overlay log dedups to at most the pool size. Kept small —
+    // overlay query cost grows with the affected set, and the bench
+    // should measure the serving stack under writes, not drown in a
+    // deliberately bloated overlay.
+    let update_pool = update_edge_pool(n, 16, 0xDEC0DE);
+
     // Size the replay pool relative to the batch so the rotating-window
     // arithmetic in `measure` always has room (pool > batch).
     let pairs = bench::query_pairs(&relabeled, 65_536.max(batch * 8), 0xBEEF);
     // Warm up connections, caches, and the accept path.
-    measure(addr, &pairs, 1, batch, requests_per_conn / 4 + 1, pipeline, 0);
-    let runs = [
-        measure(addr, &pairs, 1, batch, requests_per_conn, pipeline, slow_conns),
-        measure(addr, &pairs, conns, batch, requests_per_conn, pipeline, slow_conns),
+    measure(addr, &pairs, 1, batch, requests_per_conn / 4 + 1, pipeline, 0, 0, &update_pool);
+    let mut runs = vec![
+        measure(addr, &pairs, 1, batch, requests_per_conn, pipeline, slow_conns, 0, &update_pool),
+        measure(
+            addr,
+            &pairs,
+            conns,
+            batch,
+            requests_per_conn,
+            pipeline,
+            slow_conns,
+            0,
+            &update_pool,
+        ),
     ];
+    if update_conns > 0 {
+        // Third run: same fast fleet, now with live writes mixed in —
+        // the p99 here is the "query latency under writes" number.
+        runs.push(measure(
+            addr,
+            &pairs,
+            conns,
+            batch,
+            requests_per_conn,
+            pipeline,
+            slow_conns,
+            update_conns,
+            &update_pool,
+        ));
+    }
     for run in &runs {
         eprintln!(
             "  {} conn(s): {:>10.0} pairs/s   p50 {:>7.1} µs   p99 {:>7.1} µs   \
-             ({} requests, {} slow)",
-            run.conns, run.qps, run.p50_us, run.p99_us, run.requests, run.slow_requests
+             ({} requests, {} slow, {} update frames over {} writers)",
+            run.conns,
+            run.qps,
+            run.p50_us,
+            run.p99_us,
+            run.requests,
+            run.slow_requests,
+            run.update_frames,
+            run.update_conns,
         );
     }
+
+    // Compaction-under-load gate: promote a compaction while a fleet
+    // keeps firing; every response must match the from-scratch build of
+    // the mutated graph — served both by the overlay (before) and the
+    // fresh frozen generation (after), with no drops in between.
+    let compaction_verified = if update_conns > 0 {
+        verify_compaction_under_load(addr, &g, &update_pool, &sweep, conns.max(2), batch);
+        true
+    } else {
+        false
+    };
 
     let run_json = |r: &Run| {
         format!(
             concat!(
                 r#"{{"conns":{},"qps":{:.0},"p50_us":{:.1},"p99_us":{:.1},"#,
-                r#""requests":{},"slow_requests":{}}}"#
+                r#""requests":{},"slow_requests":{},"update_conns":{},"update_frames":{}}}"#
             ),
-            r.conns, r.qps, r.p50_us, r.p99_us, r.requests, r.slow_requests
+            r.conns,
+            r.qps,
+            r.p50_us,
+            r.p99_us,
+            r.requests,
+            r.slow_requests,
+            r.update_conns,
+            r.update_frames
         )
     };
+    let runs_json: Vec<String> = runs.iter().map(run_json).collect();
     let json = format!(
         concat!(
             r#"{{"workload":{{"model":"glp","vertices":{},"density":{},"seed":42}},"#,
             r#""scale":"{:?}","cores":{},"backend":"{}","server_threads":{},"batch":{},"#,
-            r#""pipeline":{},"slow_conns":{},"#,
+            r#""pipeline":{},"slow_conns":{},"update_conns":{},"#,
+            r#""compaction_under_load_verified":{},"#,
             r#""index":{{"entries":{},"resident_bytes":{}}},"#,
-            r#""runs":[{},{}]}}"#
+            r#""runs":[{}]}}"#
         ),
         n,
         density,
@@ -253,16 +470,19 @@ fn main() {
         batch,
         pipeline,
         slow_conns,
+        update_conns,
+        compaction_verified,
         index.total_entries(),
         flat.resident_bytes(),
-        run_json(&runs[0]),
-        run_json(&runs[1]),
+        runs_json.join(","),
     );
     std::fs::write(&out_path, format!("{json}\n")).expect("write snapshot");
     eprintln!("wrote {out_path}");
 
     handle.shutdown();
     std::fs::remove_file(&index_path).ok();
+    std::fs::remove_file(format!("{}.rank", index_path.to_string_lossy())).ok();
+    std::fs::remove_file(&graph_path).ok();
 
     let mut failed = false;
     if let Some(want) = min_qps {

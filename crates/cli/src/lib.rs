@@ -15,7 +15,9 @@
 //! hopdb-cli serve -x graph.idx --addr 127.0.0.1:7654 [--backend epoll|threads]
 //!                 [--flush-us 100] [--coalesce-pairs 4096] [--max-inflight 128]
 //!                 [--swap-path next.idx] [--max-resident-bytes N]
-//! hopdb-cli admin -a 127.0.0.1:7654 [--timeout-ms 5000] stats|swap|shutdown
+//!                 [--graph graph.txt] [--compact-threshold N]
+//! hopdb-cli admin -a 127.0.0.1:7654 [--timeout-ms 5000]
+//!                 stats|info|swap|compact|shutdown|ingest [FILE]
 //! ```
 //!
 //! `build` writes two artifacts: the disk index (`hoplabels::disk`
@@ -24,10 +26,13 @@
 //! into the flat serving layout (`hoplabels::flat::FlatIndex`) and
 //! answers single pairs or whole batch files, sharding batches across
 //! `--threads` workers. `serve` runs the `hopdb-server` daemon over the
-//! same index + sidecar pair, and `admin` speaks the wire protocol to a
-//! running daemon (statistics, hot index swap, shutdown). Argument
-//! parsing is handwritten (no external dependency); all logic lives in
-//! [`run`] so tests drive the CLI in-process.
+//! same index + sidecar pair (pass `--graph` to enable compaction), and
+//! `admin` speaks the wire protocol to a running daemon: statistics,
+//! hot index swap, live edge ingest, overlay compaction, shutdown. Each
+//! admin verb is one `AdminCmd` variant sharing a single
+//! connect-with-timeout path. Argument parsing is handwritten (no
+//! external dependency); all logic lives in [`run`] so tests drive the
+//! CLI in-process.
 
 use std::fmt::Write as _;
 use std::io::{Read, Write};
@@ -164,15 +169,25 @@ commands:
          [--threads N] [--batch-threads N] [--max-batch PAIRS]
          [--flush-us US] [--coalesce-pairs P] [--max-inflight N]
          [--idle-timeout-ms MS] [--max-resident-bytes B] [--swap-path FILE]
+         [--graph EDGELIST] [--compact-threshold EDGES]
          [--announce-file FILE] [--allow-remote-shutdown]
          (long-running TCP daemon; HOPQ wire protocol + HTTP/JSON on the
           same port under the epoll backend; swap promotes --swap-path;
           --flush-us/--coalesce-pairs tune micro-batching, --max-inflight
           caps pipelining per connection, --threads applies to the
-          threads backend)
-  admin  -a HOST:PORT [--timeout-ms MS] stats|swap|shutdown
+          threads backend; --graph names the edge list the index was
+          built from and enables compaction — the overlay folds into a
+          fresh frozen index when it reaches --compact-threshold edges,
+          0 = only on `admin compact`)
+  admin  -a HOST:PORT [--timeout-ms MS] [--batch EDGES]
+         stats|info|swap|compact|shutdown|ingest [FILE]
          (talk to a running serve daemon; default 5000 ms timeout so a
-          dead server fails the command instead of hanging it, 0 = wait)";
+          dead server fails the command instead of hanging it, 0 = wait;
+          `info` adds overlay/compaction state to `stats`; `ingest`
+          streams `s t [w]` edge lines from FILE or stdin as live
+          updates, --batch edges per frame; `compact` rebuilds and
+          promotes a fresh generation and is exempt from the short
+          timeout)";
 
 fn cmd_gen(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let model = args.opt("--model").unwrap_or("glp");
@@ -402,6 +417,10 @@ fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         coalesce_pairs: args.parsed("--coalesce-pairs")?.unwrap_or(defaults.coalesce_pairs),
         max_inflight: args.parsed("--max-inflight")?.unwrap_or(defaults.max_inflight),
         idle_timeout_ms: args.parsed("--idle-timeout-ms")?.unwrap_or(defaults.idle_timeout_ms),
+        source_graph: args.opt("--graph").map(std::path::PathBuf::from),
+        compact_threshold: args
+            .parsed("--compact-threshold")?
+            .unwrap_or(defaults.compact_threshold),
     };
     let handle = hopdb_server::serve(addr, Path::new(target), config)
         .map_err(|e| err(format!("cannot serve {target} on {addr}: {e}")))?;
@@ -426,17 +445,71 @@ fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-fn cmd_admin(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
-    let addr = args.required("-a")?;
-    let positional = args.positional();
-    let [action] = positional[..] else {
-        return Err(err("admin needs exactly one action: stats|swap|shutdown"));
-    };
-    // A dead or wedged server (bound port, nobody answering) must fail
-    // the command, not hang it: the timeout bounds connect AND every
-    // read/write of the conversation. 0 = wait forever.
-    let timeout_ms: u64 = args.parsed("--timeout-ms")?.unwrap_or(5_000);
-    let mut client = if timeout_ms == 0 {
+/// One parsed `admin` action. Every verb shares the same
+/// connect-with-timeout path in [`cmd_admin`]; parsing is separated
+/// from execution so argument errors never open a socket.
+enum AdminCmd {
+    /// Print the serving statistics (`stats` wire request).
+    Stats,
+    /// Print the extended v2 snapshot: stats plus overlay and
+    /// compaction state.
+    Info,
+    /// Promote the `--swap-path` index (or re-load the boot index).
+    Swap,
+    /// Fold the overlay into a freshly built frozen index.
+    Compact,
+    /// Ask the server to stop.
+    Shutdown,
+    /// Stream edge insertions from a file (or stdin) as live updates.
+    Ingest {
+        /// `None` or `Some("-")` reads stdin.
+        source: Option<String>,
+        /// Edges per update frame.
+        batch: usize,
+    },
+}
+
+impl AdminCmd {
+    const ACTIONS: &'static str = "stats|info|swap|compact|shutdown|ingest [FILE]";
+
+    fn parse(args: &Args) -> Result<AdminCmd, CliError> {
+        let positional = args.positional();
+        let Some((&verb, rest)) = positional.split_first() else {
+            return Err(err(format!("admin needs an action: {}", AdminCmd::ACTIONS)));
+        };
+        let cmd = match verb {
+            "stats" => AdminCmd::Stats,
+            "info" => AdminCmd::Info,
+            "swap" => AdminCmd::Swap,
+            "compact" => AdminCmd::Compact,
+            "shutdown" => AdminCmd::Shutdown,
+            "ingest" => {
+                return Ok(AdminCmd::Ingest {
+                    source: match rest {
+                        [] => None,
+                        [file] => Some(file.to_string()),
+                        _ => return Err(err("admin ingest takes at most one FILE")),
+                    },
+                    batch: args.parsed::<usize>("--batch")?.unwrap_or(4096).max(1),
+                });
+            }
+            other => {
+                return Err(err(format!("unknown admin action `{other}` ({})", AdminCmd::ACTIONS)))
+            }
+        };
+        if !rest.is_empty() {
+            return Err(err(format!("admin {verb} takes no further arguments")));
+        }
+        Ok(cmd)
+    }
+}
+
+/// The one connect path every admin verb goes through. A dead or
+/// wedged server (bound port, nobody answering) must fail the command,
+/// not hang it: the timeout bounds connect AND every read/write of the
+/// conversation. 0 = wait forever.
+fn connect_admin(addr: &str, timeout_ms: u64) -> Result<hopdb_server::Client, CliError> {
+    if timeout_ms == 0 {
         hopdb_server::Client::connect(addr)
     } else {
         use std::net::ToSocketAddrs;
@@ -448,10 +521,50 @@ fn cmd_admin(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             .ok_or_else(|| err(format!("cannot resolve {addr}")))?;
         hopdb_server::Client::connect_timeout(&sock_addr, timeout)
     }
-    .map_err(|e| err(format!("cannot connect to {addr}: {e}")))?;
+    .map_err(|e| err(format!("cannot connect to {addr}: {e}")))
+}
+
+/// Parse `s t [w]` edge lines (`#` comments, blank lines allowed;
+/// missing weight means 1) from a file, or stdin for `None`/`"-"`.
+fn read_ingest_edges(source: Option<&str>) -> Result<Vec<(VertexId, VertexId, u32)>, CliError> {
+    let (text, origin) = match source {
+        None | Some("-") => {
+            let mut buf = String::new();
+            std::io::stdin().read_to_string(&mut buf)?;
+            (buf, "stdin".to_string())
+        }
+        Some(path) => (
+            std::fs::read_to_string(path).map_err(|e| err(format!("cannot open {path}: {e}")))?,
+            path.to_string(),
+        ),
+    };
+    let mut edges = Vec::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (s, t, w) = (it.next(), it.next(), it.next());
+        let (Some(s), Some(t), None) = (s, t, it.next()) else {
+            return Err(err(format!("bad edge line in {origin}: `{line}` (want `s t [w]`)")));
+        };
+        let parse = |tok: &str| -> Result<u32, CliError> {
+            tok.parse().map_err(|_| err(format!("bad number `{tok}` in {origin}: `{line}`")))
+        };
+        edges.push((parse(s)?, parse(t)?, w.map(parse).transpose()?.unwrap_or(1)));
+    }
+    Ok(edges)
+}
+
+fn cmd_admin(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let addr = args.required("-a")?;
+    let cmd = AdminCmd::parse(args)?;
+    let timeout_ms: u64 = args.parsed("--timeout-ms")?.unwrap_or(5_000);
+    let mut client = connect_admin(addr, timeout_ms)?;
     let admin_err = |what: &str, e: std::io::Error| err(format!("{what} failed: {e}"));
-    match action {
-        "stats" => {
+    match cmd {
+        AdminCmd::Stats => {
             let s = client.stats().map_err(|e| admin_err("stats", e))?;
             writeln!(out, "generation       {}", s.generation)?;
             writeln!(out, "vertices         {}", s.vertices)?;
@@ -460,15 +573,55 @@ fn cmd_admin(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             writeln!(out, "requests served  {}", s.requests)?;
             writeln!(out, "protocol errors  {}", s.protocol_errors)?;
         }
-        "swap" => {
+        AdminCmd::Info => {
+            let i = client.info().map_err(|e| admin_err("info", e))?;
+            writeln!(out, "protocol         {}", i.protocol)?;
+            writeln!(out, "generation       {}", i.generation)?;
+            writeln!(out, "vertices         {}", i.vertices)?;
+            writeln!(out, "directed         {}", i.directed)?;
+            writeln!(out, "resident         {}", i.resident)?;
+            writeln!(out, "resident bytes   {}", i.resident_bytes)?;
+            writeln!(out, "overlay edges    {}", i.overlay_edges)?;
+            writeln!(out, "overlay affected {}", i.overlay_affected)?;
+            writeln!(out, "compactions      {}", i.compactions)?;
+            writeln!(out, "requests served  {}", i.requests)?;
+            writeln!(out, "protocol errors  {}", i.protocol_errors)?;
+        }
+        AdminCmd::Swap => {
             let (generation, vertices) = client.swap().map_err(|e| admin_err("swap", e))?;
             writeln!(out, "promoted generation {generation} ({vertices} vertices)")?;
         }
-        "shutdown" => {
+        AdminCmd::Compact => {
+            // The rebuild can dwarf the 5 s admin-chat timeout; keep the
+            // short bound for connect, then give the compaction room.
+            if timeout_ms != 0 {
+                client.set_io_timeout(Some(std::time::Duration::from_millis(
+                    timeout_ms.max(600_000),
+                )))?;
+            }
+            let (generation, vertices) = client.compact().map_err(|e| admin_err("compact", e))?;
+            writeln!(out, "compacted into generation {generation} ({vertices} vertices)")?;
+        }
+        AdminCmd::Shutdown => {
             client.shutdown_server().map_err(|e| admin_err("shutdown", e))?;
             writeln!(out, "server is shutting down")?;
         }
-        other => return Err(err(format!("unknown admin action `{other}` (stats|swap|shutdown)"))),
+        AdminCmd::Ingest { source, batch } => {
+            let edges = read_ingest_edges(source.as_deref())?;
+            if edges.is_empty() {
+                return Err(err("ingest: no edges to send"));
+            }
+            let mut last = (0u64, 0u64);
+            for chunk in edges.chunks(batch) {
+                last = client.update(chunk).map_err(|e| admin_err("ingest", e))?;
+            }
+            let (generation, overlay) = last;
+            writeln!(
+                out,
+                "ingested {} edges (generation {generation}, overlay {overlay} edges)",
+                edges.len()
+            )?;
+        }
     }
     Ok(())
 }
@@ -776,6 +929,94 @@ mod tests {
         assert!(out.contains("serving"), "{out}");
         assert!(out.contains("server stopped"), "{out}");
         for f in [&graph, &index, &announce, &format!("{index}.rank")] {
+            let _ = std::fs::remove_file(f);
+        }
+    }
+
+    #[test]
+    fn serve_ingest_info_compact_roundtrip() {
+        let graph = tmp("live.txt");
+        let index = tmp("live.idx");
+        let announce = tmp("live.addr");
+        let edges_file = tmp("live.edges");
+        run_vec(&["gen", "--model", "glp", "--vertices", "200", "--seed", "33", "-o", &graph])
+            .unwrap();
+        run_vec(&["build", "-i", &graph, "-o", &index]).unwrap();
+
+        // --graph enables compaction; threshold 0 = manual only.
+        let serve_args: Vec<String> = [
+            "serve",
+            "-x",
+            &index,
+            "--graph",
+            &graph,
+            "--compact-threshold",
+            "0",
+            "--addr",
+            "127.0.0.1:0",
+            "--announce-file",
+            &announce,
+            "--allow-remote-shutdown",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let server = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            run(&serve_args, &mut out).map(|()| String::from_utf8(out).unwrap())
+        });
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        let addr = loop {
+            if let Ok(addr) = std::fs::read_to_string(&announce) {
+                if !addr.is_empty() {
+                    break addr;
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "server never announced its address");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+
+        let mut client = hopdb_server::Client::connect(&addr).unwrap();
+        let before = client.query_one(0, 199).unwrap();
+        assert!(before > 1, "vertices 0 and 199 are already adjacent; pick others");
+
+        // Ingest a weight-1 edge between them (plus a comment and a
+        // weighted line to exercise the parser) and watch the distance
+        // drop to 1 without a rebuild.
+        std::fs::write(&edges_file, "# live edges\n0 199\n3 4 2\n").unwrap();
+        let ingest = run_vec(&["admin", "-a", &addr, "ingest", &edges_file]).unwrap();
+        assert!(ingest.contains("ingested 2 edges (generation 1"), "{ingest}");
+        assert_eq!(client.query_one(0, 199).unwrap(), 1);
+
+        let info = run_vec(&["admin", "-a", &addr, "info"]).unwrap();
+        assert!(info.contains("generation       1"), "{info}");
+        assert!(info.contains("overlay edges    2"), "{info}");
+        assert!(info.contains("compactions      0"), "{info}");
+
+        // Compaction folds the overlay into a fresh frozen generation;
+        // answers must not change across the promotion.
+        let compact = run_vec(&["admin", "-a", &addr, "compact"]).unwrap();
+        assert!(compact.contains("compacted into generation 2"), "{compact}");
+        assert_eq!(client.query_one(0, 199).unwrap(), 1);
+        let info = run_vec(&["admin", "-a", &addr, "info"]).unwrap();
+        assert!(info.contains("generation       2"), "{info}");
+        assert!(info.contains("overlay edges    0"), "{info}");
+        assert!(info.contains("compactions      1"), "{info}");
+        // The plain stats verb sees the new generation too — scripts
+        // can poll either for promotion.
+        let stats = run_vec(&["admin", "-a", &addr, "stats"]).unwrap();
+        assert!(stats.contains("generation       2"), "{stats}");
+
+        // Parse errors fail before any socket I/O.
+        std::fs::write(&edges_file, "1 2 3 4\n").unwrap();
+        let msg = run_vec(&["admin", "-a", &addr, "ingest", &edges_file]).unwrap_err().0;
+        assert!(msg.contains("bad edge line"), "{msg}");
+        let msg = run_vec(&["admin", "-a", &addr, "stats", "extra"]).unwrap_err().0;
+        assert!(msg.contains("no further arguments"), "{msg}");
+
+        run_vec(&["admin", "-a", &addr, "shutdown"]).unwrap();
+        server.join().unwrap().unwrap();
+        for f in [&graph, &index, &announce, &edges_file, &format!("{index}.rank")] {
             let _ = std::fs::remove_file(f);
         }
     }

@@ -20,6 +20,9 @@
 //!   of Table 6's "Disk query time" column;
 //! * [`query::QueryBackend`] — the unified serving-time query surface
 //!   implemented by both `FlatIndex` and `disk::CachedDiskIndex`;
+//! * [`overlay`] — the delta overlay for live edge insertions:
+//!   [`overlay::LiveIndex`] answers `min(frozen, overlay)` behind
+//!   `QueryBackend` so the serving tier takes writes without a rebuild;
 //! * [`bitparallel`] — the bit-parallel post-processing of Section 6;
 //! * [`path`] — shortest-path reconstruction on top of any oracle;
 //! * [`verify`] — brute-force exactness/minimality checkers for tests.
@@ -36,6 +39,7 @@ pub mod disk;
 pub mod entry;
 pub mod flat;
 pub mod index;
+pub mod overlay;
 pub mod path;
 pub mod query;
 pub mod stats;
@@ -44,4 +48,5 @@ pub mod verify;
 pub use entry::LabelEntry;
 pub use flat::FlatIndex;
 pub use index::{DirectedLabels, LabelIndex, UndirectedLabels, VertexLabels};
+pub use overlay::{LiveIndex, OverlaySnapshot};
 pub use query::QueryBackend;

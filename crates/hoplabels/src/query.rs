@@ -55,6 +55,15 @@ pub trait QueryBackend: Send + Sync {
     /// fallback (`false`).
     fn is_resident(&self) -> bool;
 
+    /// Monotone identifier of the index generation this backend
+    /// serves, so stats paths report provenance uniformly instead of
+    /// special-casing backend types. Bare indexes are unversioned
+    /// (`0`); the serving tier wraps them in
+    /// [`crate::overlay::LiveIndex`], which carries the real id.
+    fn generation_id(&self) -> u64 {
+        0
+    }
+
     /// Exact distance `dist(s, t)` in rank space;
     /// `sfgraph::INF_DIST` when unreachable. Ids must be in range.
     fn query(&self, s: VertexId, t: VertexId) -> std::io::Result<Dist>;

@@ -1,22 +1,35 @@
 //! The serving backend behind one index *generation*.
 //!
-//! A [`Generation`] is everything the daemon needs to answer queries
-//! from one loaded index: the index itself (fully resident
-//! [`FlatIndex`], or the [`CachedDiskIndex`] LRU fallback when the file
-//! exceeds the `--max-resident-bytes` admission budget), the optional
-//! `.rank` sidecar translating original vertex ids to rank space, and a
-//! monotone generation number so clients can observe hot swaps.
+//! A [`LiveGeneration`] is everything the daemon needs to answer
+//! queries from one published index state: the frozen index (fully
+//! resident [`FlatIndex`], or the [`CachedDiskIndex`] LRU fallback when
+//! the file exceeds the `--max-resident-bytes` admission budget)
+//! wrapped together with a delta overlay in a
+//! [`LiveIndex`], the optional `.rank`
+//! sidecar translating original vertex ids to rank space, and a
+//! monotone generation number so clients can observe promotions.
 //!
-//! Generations are immutable once loaded; the server publishes them
-//! behind an `Arc` and swaps the `Arc` atomically, so requests that
-//! started on the old index finish on it untouched.
+//! Generations are immutable once published; the server keeps them
+//! behind an `Arc` and replaces the `Arc` atomically. That one
+//! mechanism covers *both* mutation paths:
+//!
+//! * a **swap or compaction** publishes a new frozen index under a
+//!   bumped generation number;
+//! * an **update batch** publishes a copy-on-write successor sharing
+//!   the same frozen index (same generation number) with a rebuilt
+//!   overlay snapshot.
+//!
+//! Requests that pinned the old `Arc` finish on it untouched, so every
+//! response is consistent with exactly one `(frozen, overlay)` state.
 
 use std::path::Path;
+use std::sync::Arc;
 
 use extmem::device::CountedFile;
 use extmem::stats::IoStats;
 use hoplabels::disk::{CachedDiskIndex, DiskIndex};
 use hoplabels::flat::FlatIndex;
+use hoplabels::overlay::LiveIndex;
 use hoplabels::QueryBackend;
 use sfgraph::ranking::Ranking;
 use sfgraph::{Dist, VertexId};
@@ -27,20 +40,23 @@ use sfgraph::{Dist, VertexId};
 /// size while still absorbing the hot-vertex skew of real workloads.
 const DISK_CACHE_LABELS: usize = 4096;
 
-/// One immutable, queryable index generation. Both serving shapes —
-/// fully resident [`FlatIndex`] and the [`CachedDiskIndex`] admission
-/// fallback — are dispatched through one [`QueryBackend`] object; the
-/// generation adds id translation and range checking on top.
-pub struct Generation {
-    index: Box<dyn QueryBackend>,
-    ranking: Option<Ranking>,
-    generation: u64,
+/// Backwards-compatible name for [`LiveGeneration`].
+pub type Generation = LiveGeneration;
+
+/// One immutable, queryable index generation: a frozen backend plus an
+/// overlay snapshot, dispatched through one [`QueryBackend`] object
+/// (the [`LiveIndex`]); the generation adds id translation and range
+/// checking on top.
+pub struct LiveGeneration {
+    index: LiveIndex,
+    ranking: Option<Arc<Ranking>>,
     vertices: usize,
     directed: bool,
 }
 
-impl Generation {
-    /// Load the index at `path` as generation `generation`.
+impl LiveGeneration {
+    /// Load the index at `path` as generation `generation`, with an
+    /// empty overlay.
     ///
     /// When `max_resident_bytes` is set and the file is larger, the
     /// index is served from disk through [`CachedDiskIndex`] instead of
@@ -51,33 +67,69 @@ impl Generation {
         path: &Path,
         max_resident_bytes: Option<u64>,
         generation: u64,
-    ) -> std::io::Result<Generation> {
+    ) -> std::io::Result<LiveGeneration> {
         let file_len = std::fs::metadata(path)?.len();
         let resident = max_resident_bytes.is_none_or(|budget| file_len <= budget);
-        let index: Box<dyn QueryBackend> = if resident {
-            Box::new(FlatIndex::load(path)?)
+        let index: Arc<dyn QueryBackend> = if resident {
+            Arc::new(FlatIndex::load(path)?)
         } else {
             // Read-only: a serving index may live on read-only media,
             // and the daemon never writes it.
             let file = CountedFile::open_path_readonly(path, IoStats::shared())?;
             let disk = DiskIndex::open(file)?;
-            Box::new(CachedDiskIndex::new(disk, DISK_CACHE_LABELS))
+            Arc::new(CachedDiskIndex::new(disk, DISK_CACHE_LABELS))
         };
         let (vertices, directed) = (index.num_vertices(), index.is_directed());
-        let ranking = load_ranking_sidecar(path, vertices)?;
-        Ok(Generation { index, ranking, generation, vertices, directed })
+        let ranking = load_ranking_sidecar(path, vertices)?.map(Arc::new);
+        Ok(LiveGeneration { index: LiveIndex::new(index, generation), ranking, vertices, directed })
     }
 
     /// Build a generation from an already-frozen index (tests, or a
-    /// rebuild promoted without a round-trip through disk).
-    pub fn from_flat(flat: FlatIndex, ranking: Option<Ranking>, generation: u64) -> Generation {
+    /// compaction promoted without a round-trip through disk).
+    pub fn from_flat(flat: FlatIndex, ranking: Option<Ranking>, generation: u64) -> LiveGeneration {
         let (vertices, directed) = (flat.num_vertices(), flat.is_directed());
-        Generation { index: Box::new(flat), ranking, generation, vertices, directed }
+        LiveGeneration {
+            index: LiveIndex::new(Arc::new(flat), generation),
+            ranking: ranking.map(Arc::new),
+            vertices,
+            directed,
+        }
     }
 
-    /// Monotone generation number assigned at load time.
+    /// A successor generation sharing this one's frozen index whose
+    /// overlay covers `log` — the *complete* list of edge insertions
+    /// `(s, t, w)` in original (public) id space accumulated since the
+    /// frozen index was built. Self-loops are dropped and zero weights
+    /// clamped to 1, matching `sfgraph::GraphBuilder`, so a later full
+    /// rebuild of the mutated graph answers identically.
+    pub fn with_updates(
+        &self,
+        log: &[(VertexId, VertexId, Dist)],
+    ) -> Result<LiveGeneration, String> {
+        let n = self.vertices as VertexId;
+        for &(s, t, _) in log {
+            if s >= n || t >= n {
+                return Err(format!("vertex out of range: ({s}, {t}) on a {n}-vertex index"));
+            }
+        }
+        let ranked: Vec<(VertexId, VertexId, Dist)> = match &self.ranking {
+            Some(r) => log.iter().map(|&(s, t, w)| (r.rank_of(s), r.rank_of(t), w)).collect(),
+            None => log.to_vec(),
+        };
+        let index =
+            self.index.rebuild_overlay(&ranked).map_err(|e| format!("overlay rebuild: {e}"))?;
+        Ok(LiveGeneration {
+            index,
+            ranking: self.ranking.clone(),
+            vertices: self.vertices,
+            directed: self.directed,
+        })
+    }
+
+    /// Monotone generation number, reported uniformly through
+    /// [`QueryBackend::generation_id`].
     pub fn generation(&self) -> u64 {
-        self.generation
+        self.index.generation_id()
     }
 
     /// Vertices covered by this generation.
@@ -96,9 +148,19 @@ impl Generation {
         self.index.is_resident()
     }
 
-    /// Bytes the serving index holds resident in memory.
+    /// Bytes the serving generation holds resident (frozen + overlay).
     pub fn resident_bytes(&self) -> usize {
         self.index.resident_bytes()
+    }
+
+    /// Deduplicated edges in the overlay (0 = frozen-only serving).
+    pub fn overlay_edges(&self) -> usize {
+        self.index.overlay().num_edges()
+    }
+
+    /// Distinct vertices touched by overlay edges.
+    pub fn overlay_affected(&self) -> usize {
+        self.index.overlay().affected()
     }
 
     /// Answer a batch of pairs, fanning resident batches across up to
@@ -115,9 +177,9 @@ impl Generation {
         Ok(out)
     }
 
-    /// [`Generation::query_many`] appending into a caller-owned buffer
-    /// — the reactor's micro-batcher answers many coalesced frames into
-    /// one result vector. On error nothing is appended.
+    /// [`LiveGeneration::query_many`] appending into a caller-owned
+    /// buffer — the reactor's micro-batcher answers many coalesced
+    /// frames into one result vector. On error nothing is appended.
     pub fn query_many_into(
         &self,
         pairs: &[(VertexId, VertexId)],
@@ -184,6 +246,8 @@ mod tests {
         let g = Generation::from_flat(tiny_flat(), None, 1);
         assert!(g.is_resident());
         assert_eq!(g.vertices(), 3);
+        assert_eq!(g.generation(), 1);
+        assert_eq!(g.overlay_edges(), 0);
         assert_eq!(g.query_many(&[(1, 2), (2, 2)], 1).unwrap(), vec![7, 0]);
         let err = g.query_many(&[(0, 3)], 1).unwrap_err();
         assert!(err.contains("out of range"), "{err}");
@@ -196,6 +260,28 @@ mod tests {
         let g = Generation::from_flat(tiny_flat(), Some(ranking), 1);
         // original (0, 1) -> ranks (1, 2) -> 7.
         assert_eq!(g.query_many(&[(0, 1)], 1).unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn with_updates_improves_answers_and_translates_ids() {
+        // Rank space: dist(1, 2) = 7 through pivot 0.
+        let g = Generation::from_flat(tiny_flat(), None, 3);
+        let live = g.with_updates(&[(1, 2, 3)]).unwrap();
+        assert_eq!(live.generation(), 3, "updates do not bump the generation");
+        assert_eq!(live.overlay_edges(), 1);
+        assert_eq!(live.query_many(&[(1, 2), (0, 1)], 1).unwrap(), vec![3, 2]);
+        // The original generation is untouched (copy-on-write).
+        assert_eq!(g.query_many(&[(1, 2)], 1).unwrap(), vec![7]);
+        // Range violations are rejected before anything is built.
+        let err = live.with_updates(&[(1, 2, 3), (0, 9, 1)]).err().unwrap();
+        assert!(err.contains("out of range"), "{err}");
+
+        // With a sidecar, update edges arrive in original id space.
+        let ranking = Ranking::from_order(vec![2, 0, 1]);
+        let g = Generation::from_flat(tiny_flat(), Some(ranking), 1);
+        // original (0, 1) -> ranks (1, 2): same improvement as above.
+        let live = g.with_updates(&[(0, 1, 3)]).unwrap();
+        assert_eq!(live.query_many(&[(0, 1)], 1).unwrap(), vec![3]);
     }
 
     #[test]

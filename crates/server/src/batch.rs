@@ -49,6 +49,21 @@ pub enum RespondAs {
     },
 }
 
+/// How an update job's ack should be encoded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpdateRespond {
+    /// A binary `HOPR` updated frame echoing this request id.
+    Hopq {
+        /// Client-chosen request id.
+        id: u64,
+    },
+    /// A `POST /update` JSON object.
+    Http {
+        /// Close the connection after this response.
+        close: bool,
+    },
+}
+
 /// One unit of work cut off a connection by the reactor.
 #[derive(Debug)]
 pub enum Job {
@@ -69,15 +84,29 @@ pub enum Job {
         /// Client-chosen request id.
         id: u64,
     },
+    /// A live edge-insertion batch. Runs on the executor, between query
+    /// batches, so queries submitted before it see the old overlay and
+    /// queries after it see the new one — per-connection pipelined
+    /// ordering holds without any extra synchronization.
+    Update {
+        /// Connection token the ack goes back to.
+        conn: u64,
+        /// Ack encoding.
+        respond: UpdateRespond,
+        /// `(s, t, w)` edge insertions in original vertex ids.
+        edges: Vec<(u32, u32, u32)>,
+    },
 }
 
 impl Job {
     fn pairs(&self) -> usize {
         match self {
             Job::Query { pairs, .. } => pairs.len(),
-            // A swap flushes the queue on its own; weight it like a
-            // full batch so it never lingers behind the deadline.
-            Job::Swap { .. } => usize::MAX,
+            // Swaps and updates flush the queue on their own; weight
+            // them like a full batch so they never linger behind the
+            // deadline (and so queued queries keep their submission
+            // ordering relative to the mutation).
+            Job::Swap { .. } | Job::Update { .. } => usize::MAX,
         }
     }
 }

@@ -29,7 +29,9 @@ use std::time::Duration;
 
 use sfgraph::{Dist, VertexId};
 
-use crate::proto::{read_response, ProtoError, Request, RequestBody, ResponseBody, StatsReply};
+use crate::proto::{
+    read_response, InfoReply, ProtoError, Request, RequestBody, ResponseBody, StatsReply,
+};
 
 fn invalid(msg: String) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
@@ -233,6 +235,41 @@ impl Client {
     pub fn swap(&mut self) -> std::io::Result<(u64, u64)> {
         match self.session.roundtrip(RequestBody::Swap)? {
             ResponseBody::Swapped { generation, vertices } => Ok((generation, vertices)),
+            ResponseBody::Error(msg) => Err(invalid(msg)),
+            other => Err(invalid(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Insert a batch of weighted edges into the live overlay; returns
+    /// `(generation, overlay_edges)` — the generation serving the
+    /// update (unchanged: updates do not bump it) and the deduplicated
+    /// overlay size after the batch. Protocol v2; a v1 server answers
+    /// with a recoverable `unsupported kind` error.
+    pub fn update(&mut self, edges: &[(VertexId, VertexId, Dist)]) -> std::io::Result<(u64, u64)> {
+        match self.session.roundtrip(RequestBody::Update(edges.to_vec()))? {
+            ResponseBody::Updated { generation, overlay_edges } => Ok((generation, overlay_edges)),
+            ResponseBody::Error(msg) => Err(invalid(msg)),
+            other => Err(invalid(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Fetch the extended `info` snapshot (protocol v2): stats plus
+    /// overlay and compaction state.
+    pub fn info(&mut self) -> std::io::Result<InfoReply> {
+        match self.session.roundtrip(RequestBody::Info)? {
+            ResponseBody::Info(info) => Ok(info),
+            ResponseBody::Error(msg) => Err(invalid(msg)),
+            other => Err(invalid(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Compact: rebuild the frozen index from the server's source graph
+    /// plus the accumulated update log and promote it as a fresh
+    /// generation; returns `(generation, vertices)`. Requires the
+    /// server to have been started with a source graph.
+    pub fn compact(&mut self) -> std::io::Result<(u64, u64)> {
+        match self.session.roundtrip(RequestBody::Compact)? {
+            ResponseBody::Compacted { generation, vertices } => Ok((generation, vertices)),
             ResponseBody::Error(msg) => Err(invalid(msg)),
             other => Err(invalid(format!("unexpected response {other:?}"))),
         }

@@ -8,6 +8,7 @@
 //! |---------------------|--------|
 //! | `GET /query?s=S&t=T` | `{"s":S,"t":T,"dist":D}` (`"dist":null` when unreachable) |
 //! | `POST /query_many`  | body `{"pairs":[[s,t],...]}` → `{"dists":[...]}` (null = unreachable) |
+//! | `POST /update`      | body `{"edges":[[s,t,w],...]}` → `{"generation":G,"overlay_edges":N}` |
 //! | `GET /stats`        | serving statistics as JSON |
 //!
 //! Query answers ride the same micro-batch path as binary frames; only
@@ -42,6 +43,8 @@ pub enum HttpRequest {
     },
     /// `POST /query_many` with a JSON pair list.
     QueryMany(Vec<(VertexId, VertexId)>),
+    /// `POST /update` with a JSON list of weighted edge insertions.
+    Update(Vec<(VertexId, VertexId, Dist)>),
     /// `GET /stats`.
     Stats,
 }
@@ -156,6 +159,13 @@ pub fn decode_http(buf: &[u8]) -> HttpDecoded {
             Ok(pairs) => HttpRequest::QueryMany(pairs),
             Err(msg) => return HttpDecoded::Error(render_error(400, msg)),
         },
+        ("POST", "/update") => match parse_edges_json(body) {
+            Ok(edges) if edges.is_empty() => {
+                return HttpDecoded::Error(render_error(400, "edge list is empty"))
+            }
+            Ok(edges) => HttpRequest::Update(edges),
+            Err(msg) => return HttpDecoded::Error(render_error(400, msg)),
+        },
         ("GET", "/stats") => HttpRequest::Stats,
         ("GET" | "POST", _) => return HttpDecoded::Error(render_error(404, "unknown endpoint")),
         _ => return HttpDecoded::Error(render_error(405, "method not allowed")),
@@ -207,6 +217,47 @@ fn parse_pairs_json(body: &[u8]) -> Result<Vec<(VertexId, VertexId)>, &'static s
         }
         rest.strip_prefix(']').ok_or("expected , or ] after a pair")?;
         return Ok(pairs);
+    }
+}
+
+/// Parse `{"edges":[[s,t,w],...]}` (or a bare `[[s,t,w],...]`), the
+/// `POST /update` body: weighted edge insertions in original ids.
+fn parse_edges_json(body: &[u8]) -> Result<Vec<(VertexId, VertexId, Dist)>, &'static str> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8")?;
+    let list = match text.find("\"edges\"") {
+        Some(at) => {
+            let rest = &text[at + "\"edges\"".len()..];
+            let rest = rest.trim_start();
+            let rest = rest.strip_prefix(':').ok_or("expected : after \"edges\"")?;
+            rest.trim_start()
+        }
+        None => text.trim_start(),
+    };
+    let list = list.strip_prefix('[').ok_or("expected a JSON array of edges")?;
+    let mut edges = Vec::new();
+    let mut rest = list.trim_start();
+    if rest.strip_prefix(']').is_some() {
+        // Empty list: valid JSON, rejected later as a zero-edge batch.
+        return Ok(edges);
+    }
+    loop {
+        rest = rest.strip_prefix('[').ok_or("expected [s,t,w]")?.trim_start();
+        let (s, r) = take_number(rest)?;
+        rest = r.trim_start().strip_prefix(',').ok_or("expected , between s and t")?.trim_start();
+        let (t, r) = take_number(rest)?;
+        rest = r.trim_start().strip_prefix(',').ok_or("expected , between t and w")?.trim_start();
+        let (w, r) = take_number(rest)?;
+        rest = r.trim_start().strip_prefix(']').ok_or("expected ] after w")?.trim_start();
+        edges.push((s, t, w));
+        if edges.len() > crate::proto::DEFAULT_MAX_BATCH {
+            return Err("too many edges");
+        }
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r.trim_start();
+            continue;
+        }
+        rest.strip_prefix(']').ok_or("expected , or ] after an edge")?;
+        return Ok(edges);
     }
 }
 
@@ -270,6 +321,12 @@ pub fn render_query_many(dists: &[Dist], close: bool) -> Vec<u8> {
         body.push_str(&json_dist(d));
     }
     body.push_str("]}");
+    render_response(200, &body, close)
+}
+
+/// JSON for one `POST /update` ack.
+pub fn render_update(generation: u64, overlay_edges: u64, close: bool) -> Vec<u8> {
+    let body = format!("{{\"generation\":{generation},\"overlay_edges\":{overlay_edges}}}");
     render_response(200, &body, close)
 }
 
@@ -339,6 +396,25 @@ mod tests {
         let raw =
             format!("POST /query_many HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}", body.len());
         assert!(matches!(decode_http(&raw.as_bytes()[..raw.len() - 1]), HttpDecoded::Incomplete));
+    }
+
+    #[test]
+    fn post_update_parses_wrapped_and_bare_lists() {
+        for body in ["{\"edges\":[[0,1,5],[5,5,1], [7,42,3]]}", "[[0,1,5],[5,5,1],[7,42,3]]"] {
+            let raw =
+                format!("POST /update HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}", body.len());
+            let (req, _, used) = parse_ok(raw.as_bytes());
+            assert_eq!(req, HttpRequest::Update(vec![(0, 1, 5), (5, 5, 1), (7, 42, 3)]), "{body}");
+            assert_eq!(used, raw.len());
+        }
+        // A pair where a weighted triple is required is refused.
+        let raw = b"POST /update HTTP/1.1\r\nContent-Length: 7\r\n\r\n[[1,2]]";
+        assert!(matches!(decode_http(raw), HttpDecoded::Error(_)));
+        let raw = b"POST /update HTTP/1.1\r\nContent-Length: 2\r\n\r\n[]";
+        assert!(matches!(decode_http(raw), HttpDecoded::Error(_)));
+
+        let ack = String::from_utf8(render_update(3, 17, false)).unwrap();
+        assert!(ack.contains("{\"generation\":3,\"overlay_edges\":17}"), "{ack}");
     }
 
     #[test]

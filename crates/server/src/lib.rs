@@ -54,6 +54,6 @@ pub mod proto;
 pub mod reactor;
 pub mod server;
 
-pub use backend::Generation;
+pub use backend::{Generation, LiveGeneration};
 pub use client::Client;
 pub use server::{serve, Backend, ServerConfig, ServerHandle};

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! magic        4 bytes   "HOPQ" (request) / "HOPR" (response)
-//! version      u8        1
+//! version      u8        1 or 2 (see "Versioning" below)
 //! kind/status  u8        request kind, or response status
 //! request id   u64 LE    echoed verbatim in the response
 //! payload_len  u32 LE    bytes following the header (≤ MAX_PAYLOAD)
@@ -13,18 +13,34 @@
 //!
 //! Request kinds and their payloads:
 //!
-//! | kind | name     | payload |
-//! |------|----------|---------|
-//! | 1    | query    | `count u32 LE`, then `count` × (`s u32 LE`, `t u32 LE`) |
-//! | 2    | swap     | empty — promote the server's configured swap path |
-//! | 3    | stats    | empty |
-//! | 4    | shutdown | empty — honoured only when the server allows it |
+//! | kind | name     | since | payload |
+//! |------|----------|-------|---------|
+//! | 1    | query    | v1    | `count u32 LE`, then `count` × (`s u32 LE`, `t u32 LE`) |
+//! | 2    | swap     | v1    | empty — promote the server's configured swap path |
+//! | 3    | stats    | v1    | empty |
+//! | 4    | shutdown | v1    | empty — honoured only when the server allows it |
+//! | 5    | update   | v2    | `count u32 LE`, then `count` × (`s u32 LE`, `t u32 LE`, `w u32 LE`) weighted edge insertions |
+//! | 6    | info     | v2    | empty — extended serving/overlay statistics |
+//! | 7    | compact  | v2    | empty — fold the overlay into a fresh frozen generation |
 //!
 //! Response statuses: `0` = ok (payload depends on the request kind),
 //! `1` = error (payload is a UTF-8 message). A query response carries
 //! `count u32 LE` then `count` × `dist u32 LE` in input order, with
 //! [`UNREACHABLE`] (`u32::MAX`, numerically equal to
 //! `sfgraph::INF_DIST`) marking disconnected pairs.
+//!
+//! ## Versioning
+//!
+//! Version 2 is a *minor* bump that only adds frame kinds; every v1
+//! frame is unchanged. Decoders accept any version in
+//! `MIN_VERSION..=VERSION` and encoders mark each frame with the lowest
+//! version that defines its kind — legacy kinds still go out as v1, so
+//! a v2 client talking to a v1 server (or through a v1-only proxy)
+//! keeps working for everything except the new kinds. A v2-only kind
+//! arriving in a v1-marked frame is a *recoverable* `unsupported kind`
+//! error: the frame was consumed whole, so the connection survives and
+//! old clients get an error response instead of a slammed connection.
+//! Versions outside the supported range remain fatal.
 //!
 //! ## Pipelining
 //!
@@ -73,8 +89,11 @@ use std::io::Read;
 pub const REQ_MAGIC: [u8; 4] = *b"HOPQ";
 /// Response frame magic.
 pub const RESP_MAGIC: [u8; 4] = *b"HOPR";
-/// Protocol version carried in every frame header.
-pub const VERSION: u8 = 1;
+/// Highest protocol version this build speaks. Frames are encoded with
+/// the lowest version that defines their kind (see "Versioning").
+pub const VERSION: u8 = 2;
+/// Lowest protocol version still accepted on the wire.
+pub const MIN_VERSION: u8 = 1;
 /// Fixed frame header size: magic + version + kind + id + payload len.
 pub const HEADER_LEN: usize = 18;
 /// Hard cap on a declared payload length. A header announcing more is
@@ -91,6 +110,9 @@ const KIND_QUERY: u8 = 1;
 const KIND_SWAP: u8 = 2;
 const KIND_STATS: u8 = 3;
 const KIND_SHUTDOWN: u8 = 4;
+const KIND_UPDATE: u8 = 5;
+const KIND_INFO: u8 = 6;
+const KIND_COMPACT: u8 = 7;
 
 const STATUS_OK: u8 = 0;
 const STATUS_ERROR: u8 = 1;
@@ -115,6 +137,14 @@ pub enum RequestBody {
     Stats,
     /// Stop the server (honoured only when explicitly allowed).
     Shutdown,
+    /// Insert a batch of weighted edges `(s, t, w)` into the live
+    /// overlay (v2). Duplicate edges merge keeping the minimum weight.
+    Update(Vec<(u32, u32, u32)>),
+    /// Report extended serving and overlay statistics (v2).
+    Info,
+    /// Fold the overlay into a freshly built frozen generation and
+    /// promote it (v2).
+    Compact,
 }
 
 impl RequestBody {
@@ -124,6 +154,16 @@ impl RequestBody {
             RequestBody::Swap => KIND_SWAP,
             RequestBody::Stats => KIND_STATS,
             RequestBody::Shutdown => KIND_SHUTDOWN,
+            RequestBody::Update(_) => KIND_UPDATE,
+            RequestBody::Info => KIND_INFO,
+            RequestBody::Compact => KIND_COMPACT,
+        }
+    }
+
+    fn min_version(&self) -> u8 {
+        match self {
+            RequestBody::Update(_) | RequestBody::Info | RequestBody::Compact => 2,
+            _ => 1,
         }
     }
 }
@@ -155,6 +195,35 @@ pub struct StatsReply {
     pub protocol_errors: u64,
 }
 
+/// Extended serving statistics returned by an info request (v2): the
+/// extensible sibling of [`StatsReply`] that also describes the live
+/// overlay, so scripts can watch ingest and poll for compaction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InfoReply {
+    /// Highest protocol version the server speaks.
+    pub protocol: u8,
+    /// Monotone index generation (bumped by swap and compaction).
+    pub generation: u64,
+    /// Vertices covered by the serving index.
+    pub vertices: u64,
+    /// Whether the serving index is directed.
+    pub directed: bool,
+    /// Whether the frozen index is fully resident in memory.
+    pub resident: bool,
+    /// Bytes the serving generation holds resident (frozen + overlay).
+    pub resident_bytes: u64,
+    /// Deduplicated edges currently in the overlay.
+    pub overlay_edges: u64,
+    /// Distinct vertices touched by overlay edges.
+    pub overlay_affected: u64,
+    /// Compactions promoted since boot.
+    pub compactions: u64,
+    /// Requests answered since boot (all kinds, errors included).
+    pub requests: u64,
+    /// Malformed frames seen since boot (recoverable and fatal).
+    pub protocol_errors: u64,
+}
+
 /// The response payloads a server can send.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ResponseBody {
@@ -171,8 +240,36 @@ pub enum ResponseBody {
     Stats(StatsReply),
     /// The server accepted a shutdown request and is stopping.
     Bye,
+    /// An update batch was applied to the overlay (v2).
+    Updated {
+        /// Generation the batch landed in (the one to query for it).
+        generation: u64,
+        /// Deduplicated overlay edges after applying the batch.
+        overlay_edges: u64,
+    },
+    /// Extended serving statistics (v2).
+    Info(InfoReply),
+    /// A compaction was promoted (v2): scripts poll `stats`/`info`
+    /// until they observe this generation.
+    Compacted {
+        /// Generation of the freshly built index.
+        generation: u64,
+        /// Vertices covered by the freshly built index.
+        vertices: u64,
+    },
     /// The request failed; the payload is a human-readable reason.
     Error(String),
+}
+
+impl ResponseBody {
+    fn min_version(&self) -> u8 {
+        match self {
+            ResponseBody::Updated { .. }
+            | ResponseBody::Info(_)
+            | ResponseBody::Compacted { .. } => 2,
+            _ => 1,
+        }
+    }
 }
 
 /// Why a frame could not be decoded.
@@ -217,16 +314,24 @@ impl From<std::io::Error> for ProtoError {
     }
 }
 
-fn put_header(buf: &mut Vec<u8>, magic: [u8; 4], kind: u8, id: u64, payload_len: usize) {
+fn put_header(
+    buf: &mut Vec<u8>,
+    magic: [u8; 4],
+    version: u8,
+    kind: u8,
+    id: u64,
+    payload_len: usize,
+) {
     buf.extend_from_slice(&magic);
-    buf.push(VERSION);
+    buf.push(version);
     buf.push(kind);
     buf.extend_from_slice(&id.to_le_bytes());
     buf.extend_from_slice(&(payload_len as u32).to_le_bytes());
 }
 
 impl Request {
-    /// Serialize this request into one wire frame.
+    /// Serialize this request into one wire frame, marked with the
+    /// lowest protocol version that defines its kind.
     pub fn encode(&self) -> Vec<u8> {
         let payload: Vec<u8> = match &self.body {
             RequestBody::Query(pairs) => {
@@ -238,10 +343,31 @@ impl Request {
                 }
                 p
             }
-            RequestBody::Swap | RequestBody::Stats | RequestBody::Shutdown => Vec::new(),
+            RequestBody::Update(edges) => {
+                let mut p = Vec::with_capacity(4 + 12 * edges.len());
+                p.extend_from_slice(&(edges.len() as u32).to_le_bytes());
+                for &(s, t, w) in edges {
+                    p.extend_from_slice(&s.to_le_bytes());
+                    p.extend_from_slice(&t.to_le_bytes());
+                    p.extend_from_slice(&w.to_le_bytes());
+                }
+                p
+            }
+            RequestBody::Swap
+            | RequestBody::Stats
+            | RequestBody::Shutdown
+            | RequestBody::Info
+            | RequestBody::Compact => Vec::new(),
         };
         let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
-        put_header(&mut buf, REQ_MAGIC, self.body.kind(), self.id, payload.len());
+        put_header(
+            &mut buf,
+            REQ_MAGIC,
+            self.body.min_version(),
+            self.body.kind(),
+            self.id,
+            payload.len(),
+        );
         buf.extend_from_slice(&payload);
         buf
     }
@@ -278,18 +404,52 @@ impl Response {
                 (STATUS_OK, p)
             }
             ResponseBody::Bye => (STATUS_OK, vec![KIND_SHUTDOWN]),
+            ResponseBody::Updated { generation, overlay_edges } => {
+                let mut p = Vec::with_capacity(17);
+                p.push(KIND_UPDATE);
+                p.extend_from_slice(&generation.to_le_bytes());
+                p.extend_from_slice(&overlay_edges.to_le_bytes());
+                (STATUS_OK, p)
+            }
+            ResponseBody::Info(i) => {
+                let mut p = Vec::with_capacity(68);
+                p.push(KIND_INFO);
+                p.push(i.protocol);
+                p.extend_from_slice(&i.generation.to_le_bytes());
+                p.extend_from_slice(&i.vertices.to_le_bytes());
+                p.push(i.directed as u8);
+                p.push(i.resident as u8);
+                p.extend_from_slice(&i.resident_bytes.to_le_bytes());
+                p.extend_from_slice(&i.overlay_edges.to_le_bytes());
+                p.extend_from_slice(&i.overlay_affected.to_le_bytes());
+                p.extend_from_slice(&i.compactions.to_le_bytes());
+                p.extend_from_slice(&i.requests.to_le_bytes());
+                p.extend_from_slice(&i.protocol_errors.to_le_bytes());
+                (STATUS_OK, p)
+            }
+            ResponseBody::Compacted { generation, vertices } => {
+                let mut p = Vec::with_capacity(17);
+                p.push(KIND_COMPACT);
+                p.extend_from_slice(&generation.to_le_bytes());
+                p.extend_from_slice(&vertices.to_le_bytes());
+                (STATUS_OK, p)
+            }
             ResponseBody::Error(msg) => (STATUS_ERROR, msg.as_bytes().to_vec()),
         };
         let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
-        put_header(&mut buf, RESP_MAGIC, status, self.id, payload.len());
+        put_header(&mut buf, RESP_MAGIC, self.body.min_version(), status, self.id, payload.len());
         buf.extend_from_slice(&payload);
         buf
     }
 }
 
-/// Read one frame header + payload. Returns `(kind, id, payload)`;
-/// `Closed` only on EOF before the first header byte.
-fn read_frame(r: &mut impl Read, expect_magic: [u8; 4]) -> Result<(u8, u64, Vec<u8>), ProtoError> {
+/// Read one frame header + payload. Returns
+/// `(version, kind, id, payload)`; `Closed` only on EOF before the
+/// first header byte.
+fn read_frame(
+    r: &mut impl Read,
+    expect_magic: [u8; 4],
+) -> Result<(u8, u8, u64, Vec<u8>), ProtoError> {
     let mut header = [0u8; HEADER_LEN];
     // Distinguish "no next frame" (clean close) from "EOF mid-header".
     match r.read(&mut header) {
@@ -312,10 +472,10 @@ fn read_frame(r: &mut impl Read, expect_magic: [u8; 4]) -> Result<(u8, u64, Vec<
     if header[..4] != expect_magic {
         return Err(ProtoError::Fatal("bad frame magic".into()));
     }
-    if header[4] != VERSION {
+    let version = header[4];
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(ProtoError::Fatal(format!(
-            "unsupported protocol version {} (want {VERSION})",
-            header[4]
+            "unsupported protocol version {version} (want {MIN_VERSION}..={VERSION})"
         )));
     }
     let kind = header[5];
@@ -334,16 +494,25 @@ fn read_frame(r: &mut impl Read, expect_magic: [u8; 4]) -> Result<(u8, u64, Vec<
             ProtoError::Io(e)
         }
     })?;
-    Ok((kind, id, payload))
+    Ok((version, kind, id, payload))
 }
 
 /// Parse a fully-received request payload. Violations are reported as
 /// `Err(message)` — recoverable, since the frame was consumed whole.
+/// `version` is the frame header's version byte: v2 kinds inside a
+/// v1-marked frame are rejected recoverably, which is what an old
+/// server relaying a new client's frame reports too.
 fn parse_request_payload(
+    version: u8,
     kind: u8,
     payload: &[u8],
     max_batch: usize,
 ) -> Result<RequestBody, String> {
+    if version < 2 && matches!(kind, KIND_UPDATE | KIND_INFO | KIND_COMPACT) {
+        return Err(format!(
+            "unsupported kind {kind} at protocol version {version} (needs version 2)"
+        ));
+    }
     match kind {
         KIND_QUERY => {
             if payload.len() < 4 {
@@ -374,13 +543,45 @@ fn parse_request_payload(
                 .collect();
             Ok(RequestBody::Query(pairs))
         }
-        KIND_SWAP | KIND_STATS | KIND_SHUTDOWN => {
+        KIND_UPDATE => {
+            if payload.len() < 4 {
+                return Err("update payload shorter than its edge count".into());
+            }
+            let count = u32::from_le_bytes(payload[..4].try_into().unwrap()) as usize;
+            if count == 0 {
+                return Err("update batch declares zero edges".into());
+            }
+            if count > max_batch {
+                return Err(format!("update batch of {count} edges exceeds limit {max_batch}"));
+            }
+            if payload.len() != 4 + 12 * count {
+                return Err(format!(
+                    "update payload is {} bytes but {count} edges need {}",
+                    payload.len(),
+                    4 + 12 * count
+                ));
+            }
+            let edges = payload[4..]
+                .chunks_exact(12)
+                .map(|c| {
+                    (
+                        u32::from_le_bytes(c[..4].try_into().unwrap()),
+                        u32::from_le_bytes(c[4..8].try_into().unwrap()),
+                        u32::from_le_bytes(c[8..].try_into().unwrap()),
+                    )
+                })
+                .collect();
+            Ok(RequestBody::Update(edges))
+        }
+        KIND_SWAP | KIND_STATS | KIND_SHUTDOWN | KIND_INFO | KIND_COMPACT => {
             if !payload.is_empty() {
                 return Err(format!("kind {kind} takes no payload, got {}", payload.len()));
             }
             Ok(match kind {
                 KIND_SWAP => RequestBody::Swap,
                 KIND_STATS => RequestBody::Stats,
+                KIND_INFO => RequestBody::Info,
+                KIND_COMPACT => RequestBody::Compact,
                 _ => RequestBody::Shutdown,
             })
         }
@@ -392,8 +593,8 @@ fn parse_request_payload(
 /// query. Payload-level violations come back as recoverable
 /// [`ProtoError::Bad`] values carrying the request id.
 pub fn read_request(r: &mut impl Read, max_batch: usize) -> Result<Request, ProtoError> {
-    let (kind, id, payload) = read_frame(r, REQ_MAGIC)?;
-    match parse_request_payload(kind, &payload, max_batch) {
+    let (version, kind, id, payload) = read_frame(r, REQ_MAGIC)?;
+    match parse_request_payload(version, kind, &payload, max_batch) {
         Ok(body) => Ok(Request { id, body }),
         Err(msg) => Err(ProtoError::Bad { id, msg }),
     }
@@ -442,12 +643,16 @@ pub fn decode_request(buf: &[u8], max_batch: usize) -> Decoded {
     if buf.len() >= 4 && buf[..4] != REQ_MAGIC {
         return Decoded::Fatal("bad frame magic".into());
     }
-    if buf.len() >= 5 && buf[4] != VERSION {
-        return Decoded::Fatal(format!("unsupported protocol version {} (want {VERSION})", buf[4]));
+    if buf.len() >= 5 && !(MIN_VERSION..=VERSION).contains(&buf[4]) {
+        return Decoded::Fatal(format!(
+            "unsupported protocol version {} (want {MIN_VERSION}..={VERSION})",
+            buf[4]
+        ));
     }
     if buf.len() < HEADER_LEN {
         return Decoded::Incomplete;
     }
+    let version = buf[4];
     let kind = buf[5];
     let id = u64::from_le_bytes(buf[6..14].try_into().unwrap());
     let payload_len = u32::from_le_bytes(buf[14..18].try_into().unwrap());
@@ -460,7 +665,7 @@ pub fn decode_request(buf: &[u8], max_batch: usize) -> Decoded {
     if buf.len() < used {
         return Decoded::Incomplete;
     }
-    match parse_request_payload(kind, &buf[HEADER_LEN..used], max_batch) {
+    match parse_request_payload(version, kind, &buf[HEADER_LEN..used], max_batch) {
         Ok(body) => Decoded::Request { request: Request { id, body }, used },
         Err(msg) => Decoded::Bad { id, msg, used },
     }
@@ -469,7 +674,7 @@ pub fn decode_request(buf: &[u8], max_batch: usize) -> Decoded {
 /// Decode one response frame from `r`. Malformed responses are always
 /// fatal on the client side — a client has no one to report them to.
 pub fn read_response(r: &mut impl Read) -> Result<Response, ProtoError> {
-    let (status, id, payload) = read_frame(r, RESP_MAGIC)?;
+    let (_version, status, id, payload) = read_frame(r, RESP_MAGIC)?;
     let bad = |msg: &str| ProtoError::Fatal(msg.to_string());
     let body = match status {
         STATUS_ERROR => ResponseBody::Error(String::from_utf8_lossy(&payload).into_owned()),
@@ -491,11 +696,34 @@ pub fn read_response(r: &mut impl Read) -> Result<Response, ProtoError> {
                     protocol_errors: u64::from_le_bytes(payload[27..35].try_into().unwrap()),
                 }),
                 Some(&KIND_SHUTDOWN) if payload.len() == 1 => ResponseBody::Bye,
+                Some(&KIND_UPDATE) if payload.len() == 17 => ResponseBody::Updated {
+                    generation: u64::from_le_bytes(payload[1..9].try_into().unwrap()),
+                    overlay_edges: u64::from_le_bytes(payload[9..17].try_into().unwrap()),
+                },
+                Some(&KIND_INFO) if payload.len() == 68 => ResponseBody::Info(InfoReply {
+                    protocol: payload[1],
+                    generation: u64::from_le_bytes(payload[2..10].try_into().unwrap()),
+                    vertices: u64::from_le_bytes(payload[10..18].try_into().unwrap()),
+                    directed: payload[18] != 0,
+                    resident: payload[19] != 0,
+                    resident_bytes: u64::from_le_bytes(payload[20..28].try_into().unwrap()),
+                    overlay_edges: u64::from_le_bytes(payload[28..36].try_into().unwrap()),
+                    overlay_affected: u64::from_le_bytes(payload[36..44].try_into().unwrap()),
+                    compactions: u64::from_le_bytes(payload[44..52].try_into().unwrap()),
+                    requests: u64::from_le_bytes(payload[52..60].try_into().unwrap()),
+                    protocol_errors: u64::from_le_bytes(payload[60..68].try_into().unwrap()),
+                }),
+                Some(&KIND_COMPACT) if payload.len() == 17 => ResponseBody::Compacted {
+                    generation: u64::from_le_bytes(payload[1..9].try_into().unwrap()),
+                    vertices: u64::from_le_bytes(payload[9..17].try_into().unwrap()),
+                },
                 _ => {
                     // Distances: count-prefixed u32s. The tag bytes of
                     // the variants above cannot collide because a
                     // distance payload is always 4 + 4k bytes with a
-                    // leading LE count — re-parse as such.
+                    // leading LE count — re-parse as such (a 17- or
+                    // 68-byte payload is never 4 + 4k with a matching
+                    // count whose low byte equals the tag).
                     if payload.len() < 4 {
                         return Err(bad("ok response payload too short"));
                     }
@@ -528,6 +756,9 @@ mod tests {
             RequestBody::Swap,
             RequestBody::Stats,
             RequestBody::Shutdown,
+            RequestBody::Update(vec![(0, 9, 1), (5, 2, u32::MAX)]),
+            RequestBody::Info,
+            RequestBody::Compact,
         ] {
             let req = Request { id: 0xDEAD_BEEF_0BAD_CAFE, body };
             let bytes = req.encode();
@@ -550,6 +781,21 @@ mod tests {
                 protocol_errors: 3,
             }),
             ResponseBody::Bye,
+            ResponseBody::Updated { generation: 4, overlay_edges: 12 },
+            ResponseBody::Info(InfoReply {
+                protocol: VERSION,
+                generation: 9,
+                vertices: 777,
+                directed: false,
+                resident: true,
+                resident_bytes: 1 << 20,
+                overlay_edges: 3,
+                overlay_affected: 5,
+                compactions: 2,
+                requests: 1000,
+                protocol_errors: 1,
+            }),
+            ResponseBody::Compacted { generation: 5, vertices: 888 },
             ResponseBody::Error("nope".into()),
         ] {
             let resp = Response { id: 99, body };
@@ -585,6 +831,9 @@ mod tests {
             RequestBody::Swap,
             RequestBody::Stats,
             RequestBody::Shutdown,
+            RequestBody::Update(vec![(0, 9, 1), (5, 2, 3)]),
+            RequestBody::Info,
+            RequestBody::Compact,
         ] {
             let req = Request { id: 0x0123_4567_89AB_CDEF, body };
             let frame = req.encode();
@@ -621,8 +870,44 @@ mod tests {
         assert!(matches!(decode_request(&bad_version, 16), Decoded::Fatal(_)));
         // Oversized declared payload: fatal with just the header.
         let mut frame = Vec::new();
-        put_header(&mut frame, REQ_MAGIC, KIND_QUERY, 1, (MAX_PAYLOAD + 1) as usize);
+        put_header(&mut frame, REQ_MAGIC, VERSION, KIND_QUERY, 1, (MAX_PAYLOAD + 1) as usize);
         assert!(matches!(decode_request(&frame, 16), Decoded::Fatal(_)));
+    }
+
+    #[test]
+    fn v2_kinds_in_a_v1_frame_are_recoverable_unsupported_kind() {
+        for body in [RequestBody::Update(vec![(1, 2, 3)]), RequestBody::Info, RequestBody::Compact]
+        {
+            let mut frame = Request { id: 11, body }.encode();
+            assert_eq!(frame[4], 2, "v2 kinds must be marked v2");
+            frame[4] = 1;
+            match read_request(&mut Cursor::new(&frame), 16) {
+                Err(ProtoError::Bad { id: 11, msg }) => {
+                    assert!(msg.contains("unsupported kind"), "{msg}")
+                }
+                other => panic!("want recoverable Bad, got {other:?}"),
+            }
+            match decode_request(&frame, 16) {
+                Decoded::Bad { id: 11, msg, used } => {
+                    assert!(msg.contains("unsupported kind"), "{msg}");
+                    assert_eq!(used, frame.len());
+                }
+                other => panic!("want recoverable Bad, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_kinds_still_encode_as_version_1() {
+        for body in [RequestBody::Query(vec![(1, 2)]), RequestBody::Swap, RequestBody::Stats] {
+            assert_eq!(Request { id: 1, body }.encode()[4], 1);
+        }
+        assert_eq!(Response { id: 1, body: ResponseBody::Bye }.encode()[4], 1);
+        assert_eq!(
+            Response { id: 1, body: ResponseBody::Updated { generation: 1, overlay_edges: 0 } }
+                .encode()[4],
+            2
+        );
     }
 
     #[test]

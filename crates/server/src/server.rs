@@ -27,7 +27,7 @@ use std::thread::JoinHandle;
 
 use crate::backend::Generation;
 use crate::proto::{
-    read_request, ProtoError, Request, RequestBody, Response, ResponseBody, StatsReply,
+    read_request, InfoReply, ProtoError, Request, RequestBody, Response, ResponseBody, StatsReply,
     DEFAULT_MAX_BATCH,
 };
 
@@ -105,6 +105,18 @@ pub struct ServerConfig {
     /// Epoll backend: evict connections idle longer than this many
     /// milliseconds (0 = never).
     pub idle_timeout_ms: u64,
+    /// Source edge list of the boot index, in original vertex ids.
+    /// Required for compaction: the compactor re-reads it, applies the
+    /// accumulated update log, and rebuilds a frozen index from
+    /// scratch. `None` disables compaction (updates still work, the
+    /// overlay just grows until a swap).
+    pub source_graph: Option<PathBuf>,
+    /// Deduplicated overlay edges that trigger a background compaction
+    /// (0 = only explicit `compact` requests). Overlay query cost grows
+    /// linearly — and snapshot rebuild cost cubically — with the
+    /// affected-vertex count, so the default keeps update batches in
+    /// the low-millisecond range.
+    pub compact_threshold: usize,
 }
 
 impl Default for ServerConfig {
@@ -121,6 +133,8 @@ impl Default for ServerConfig {
             coalesce_pairs: 4096,
             max_inflight: 128,
             idle_timeout_ms: 0,
+            source_graph: None,
+            compact_threshold: 256,
         }
     }
 }
@@ -132,9 +146,20 @@ struct Shared {
     index_path: PathBuf,
     local_addr: SocketAddr,
     stop: AtomicBool,
-    /// Serializes swap promotions (two concurrent swaps would race the
-    /// generation numbering; queries are never blocked by this).
-    swap_serial: Mutex<()>,
+    /// Serializes mutations of the serving pointer — swaps, update
+    /// batches, and compaction promotions (queries are never blocked by
+    /// this; they only take the brief `current` read lock).
+    mutate_serial: Mutex<()>,
+    /// Edge insertions (original ids) accepted since the frozen index
+    /// was built — replayed into every overlay rebuild, consumed by
+    /// compaction, discarded by a swap.
+    update_log: Mutex<Vec<(u32, u32, u32)>>,
+    /// Bumped by every swap so an in-flight compaction can detect that
+    /// its build no longer describes the serving index and abort.
+    swap_epoch: AtomicU64,
+    /// Channel into the compactor thread (`None` once stopping).
+    compact_tx: Mutex<Option<mpsc::Sender<CompactMsg>>>,
+    compactions: AtomicU64,
     generation_seq: AtomicU64,
     conn_seq: AtomicU64,
     /// Live connections (cloned handles) so shutdown can unblock
@@ -154,6 +179,13 @@ impl Shared {
     fn begin_stop(&self) {
         if self.stop.swap(true, Ordering::SeqCst) {
             return;
+        }
+        // Stop the compactor; dropping the sender ends its recv loop
+        // even if the Stop message races a queued threshold poke.
+        if let Ok(mut tx) = self.compact_tx.lock() {
+            if let Some(tx) = tx.take() {
+                let _ = tx.send(CompactMsg::Stop);
+            }
         }
         #[cfg(target_os = "linux")]
         if let Some(ctl) = self.epoll_ctl.get() {
@@ -241,13 +273,18 @@ pub fn serve(
     let local_addr = listener.local_addr()?;
     let boot = Generation::load(index_path, config.max_resident_bytes, 1)?;
     let backend = config.backend;
+    let (compact_tx, compact_rx) = mpsc::channel::<CompactMsg>();
     let shared = Arc::new(Shared {
         current: RwLock::new(Arc::new(boot)),
         config,
         index_path: index_path.to_path_buf(),
         local_addr,
         stop: AtomicBool::new(false),
-        swap_serial: Mutex::new(()),
+        mutate_serial: Mutex::new(()),
+        update_log: Mutex::new(Vec::new()),
+        swap_epoch: AtomicU64::new(0),
+        compact_tx: Mutex::new(Some(compact_tx)),
+        compactions: AtomicU64::new(0),
         generation_seq: AtomicU64::new(1),
         conn_seq: AtomicU64::new(0),
         conns: Mutex::new(HashMap::new()),
@@ -256,15 +293,99 @@ pub fn serve(
         #[cfg(target_os = "linux")]
         epoll_ctl: std::sync::OnceLock::new(),
     });
-    match backend {
-        Backend::Threads => serve_threads(listener, shared),
+    let mut handle = match backend {
+        Backend::Threads => serve_threads(listener, shared)?,
         #[cfg(target_os = "linux")]
-        Backend::Epoll => epoll_backend::serve_epoll(listener, shared),
+        Backend::Epoll => epoll_backend::serve_epoll(listener, shared)?,
         #[cfg(not(target_os = "linux"))]
-        Backend::Epoll => Err(std::io::Error::new(
-            std::io::ErrorKind::Unsupported,
-            "the epoll backend requires Linux; use Backend::Threads",
-        )),
+        Backend::Epoll => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "the epoll backend requires Linux; use Backend::Threads",
+            ))
+        }
+    };
+    let compactor = {
+        let shared = Arc::clone(&handle.shared);
+        std::thread::spawn(move || compactor_loop(&shared, &compact_rx))
+    };
+    handle.workers.push(compactor);
+    Ok(handle)
+}
+
+/// Work order for the background compactor thread.
+enum CompactMsg {
+    /// The overlay crossed the configured threshold at the time of an
+    /// update; compact if it is *still* over (queued pokes dedupe).
+    Threshold,
+    /// An explicit admin request: always compacts, answer goes back.
+    Admin(CompactRespond),
+    /// The server is stopping.
+    Stop,
+}
+
+/// Where an admin compaction's result is delivered.
+enum CompactRespond {
+    /// A threads-backend worker parked on the other end of a channel.
+    Sync(mpsc::Sender<Result<(u64, u64), String>>),
+    /// An epoll connection: the result is pushed straight into the
+    /// reactor's completion pile (the executor is never blocked).
+    #[cfg(target_os = "linux")]
+    Epoll {
+        /// Connection token.
+        conn: u64,
+        /// Client-chosen request id.
+        id: u64,
+    },
+}
+
+/// The compactor thread: runs at most one compaction at a time, fed by
+/// update-threshold pokes and explicit admin requests.
+fn compactor_loop(shared: &Shared, rx: &mpsc::Receiver<CompactMsg>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            CompactMsg::Stop => return,
+            CompactMsg::Threshold => {
+                let threshold = shared.config.compact_threshold;
+                let over = threshold > 0
+                    && shared
+                        .current
+                        .read()
+                        .map(|g| g.overlay_edges() >= threshold)
+                        .unwrap_or(false);
+                if over {
+                    if let Err(e) = do_compact(shared) {
+                        eprintln!("hopdb-server: background compaction failed: {e}");
+                    }
+                }
+            }
+            CompactMsg::Admin(respond) => {
+                let result = do_compact(shared);
+                match respond {
+                    CompactRespond::Sync(tx) => {
+                        let _ = tx.send(result);
+                    }
+                    #[cfg(target_os = "linux")]
+                    CompactRespond::Epoll { conn, id } => {
+                        let body = match result {
+                            Ok((generation, vertices)) => {
+                                ResponseBody::Compacted { generation, vertices }
+                            }
+                            Err(e) => ResponseBody::Error(format!("compact failed: {e}")),
+                        };
+                        if let Some(ctl) = shared.epoll_ctl.get() {
+                            // `push` wakes the reactor's eventfd itself.
+                            ctl.completions.push(crate::batch::Completion {
+                                conn,
+                                bytes: Response { id, body }.encode(),
+                                answered: 1,
+                                close_after: false,
+                            });
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -415,12 +536,24 @@ fn dispatch(shared: &Shared, request: Request) -> Response {
                 Err(msg) => ResponseBody::Error(msg),
             }
         }
+        RequestBody::Update(edges) => match do_update(shared, &edges) {
+            Ok((generation, overlay_edges)) => ResponseBody::Updated { generation, overlay_edges },
+            Err(e) => ResponseBody::Error(format!("update failed: {e}")),
+        },
         RequestBody::Swap => match do_swap(shared) {
             Ok(fresh) => ResponseBody::Swapped {
                 generation: fresh.generation(),
                 vertices: fresh.vertices() as u64,
             },
             Err(e) => ResponseBody::Error(format!("swap failed: {e}")),
+        },
+        RequestBody::Compact => match request_compact_sync(shared) {
+            Ok((generation, vertices)) => ResponseBody::Compacted { generation, vertices },
+            Err(e) => ResponseBody::Error(format!("compact failed: {e}")),
+        },
+        RequestBody::Info => match info_of(shared) {
+            Some(info) => ResponseBody::Info(info),
+            None => return error(id, "server state poisoned"),
         },
         RequestBody::Stats => match shared.current.read() {
             Ok(current) => ResponseBody::Stats(StatsReply {
@@ -452,16 +585,211 @@ fn error(id: u64, msg: &str) -> Response {
 /// and promote it. The load happens outside the write lock, so queries
 /// keep flowing on the old index for the whole load; the promotion
 /// itself is one pointer store.
+///
+/// A swap replaces the served graph *wholesale*: pending overlay edges
+/// describe the previous image and are discarded with it (`compact` is
+/// the lossless promotion that folds them in).
 fn do_swap(shared: &Shared) -> std::io::Result<Arc<Generation>> {
     let _serial =
-        shared.swap_serial.lock().map_err(|_| std::io::Error::other("swap lock poisoned"))?;
+        shared.mutate_serial.lock().map_err(|_| std::io::Error::other("swap lock poisoned"))?;
     let path = shared.config.swap_path.as_deref().unwrap_or(&shared.index_path);
     let next = shared.generation_seq.fetch_add(1, Ordering::SeqCst) + 1;
     let fresh = Arc::new(Generation::load(path, shared.config.max_resident_bytes, next)?);
+    let mut log =
+        shared.update_log.lock().map_err(|_| std::io::Error::other("server state poisoned"))?;
+    log.clear();
+    shared.swap_epoch.fetch_add(1, Ordering::SeqCst);
     let mut current =
         shared.current.write().map_err(|_| std::io::Error::other("server state poisoned"))?;
     *current = Arc::clone(&fresh);
     Ok(fresh)
+}
+
+/// Apply one accepted update batch: replay the full log plus the new
+/// edges into a fresh overlay snapshot and promote a copy-on-write
+/// successor generation. Queries pinned to the old `Arc` finish on it;
+/// nothing is committed if validation or the rebuild fails.
+fn do_update(shared: &Shared, edges: &[(u32, u32, u32)]) -> Result<(u64, u64), String> {
+    let _serial = shared.mutate_serial.lock().map_err(|_| "server state poisoned".to_string())?;
+    let current = {
+        let guard = shared.current.read().map_err(|_| "server state poisoned".to_string())?;
+        Arc::clone(&guard)
+    };
+    let mut log = shared.update_log.lock().map_err(|_| "server state poisoned".to_string())?;
+    let mut candidate = log.clone();
+    candidate.extend_from_slice(edges);
+    let next = current.with_updates(&candidate)?;
+    let generation = next.generation();
+    let overlay_edges = next.overlay_edges() as u64;
+    *log = candidate;
+    {
+        let mut cur = shared.current.write().map_err(|_| "server state poisoned".to_string())?;
+        *cur = Arc::new(next);
+    }
+    drop(log);
+    drop(_serial);
+    // Poke the compactor outside the serial section; a full channel or
+    // stopped compactor is not the client's problem.
+    if shared.config.compact_threshold > 0
+        && overlay_edges as usize >= shared.config.compact_threshold
+        && shared.config.source_graph.is_some()
+    {
+        if let Ok(tx) = shared.compact_tx.lock() {
+            if let Some(tx) = tx.as_ref() {
+                let _ = tx.send(CompactMsg::Threshold);
+            }
+        }
+    }
+    Ok((generation, overlay_edges))
+}
+
+/// Ask the compactor thread to compact now and wait for its answer
+/// (threads-backend path; the epoll reactor uses a completion instead).
+fn request_compact_sync(shared: &Shared) -> Result<(u64, u64), String> {
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let sent = shared
+        .compact_tx
+        .lock()
+        .ok()
+        .and_then(|tx| {
+            tx.as_ref().map(|tx| tx.send(CompactMsg::Admin(CompactRespond::Sync(reply_tx))).is_ok())
+        })
+        .unwrap_or(false);
+    if !sent {
+        return Err("server is stopping".to_string());
+    }
+    match reply_rx.recv() {
+        Ok(result) => result,
+        Err(_) => Err("server is stopping".to_string()),
+    }
+}
+
+/// Whether the first data line of an edge-list file carries a third
+/// (weight) column — how the compactor decides to re-read the source
+/// graph weighted or unweighted.
+fn sniff_weighted(path: &Path) -> std::io::Result<bool> {
+    use std::io::BufRead;
+    let reader = BufReader::new(std::fs::File::open(path)?);
+    for line in reader.lines() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        return Ok(t.split_whitespace().count() >= 3);
+    }
+    Ok(false)
+}
+
+/// Rebuild the frozen index from the configured source graph plus the
+/// pinned prefix of the update log, and promote it as a new generation.
+///
+/// The expensive build runs without holding any lock, so queries and
+/// further updates keep flowing; only the final promotion takes the
+/// mutation locks. Updates that arrived *during* the build stay in the
+/// log and are folded into the fresh generation's overlay, so no
+/// accepted edge is ever lost. If a swap promoted a different image
+/// mid-build, the stale result is thrown away.
+///
+/// Id-space note: the rebuilt index serves the source file's vertex
+/// ids. That matches the running server when the boot index was built
+/// by `hopdb-cli build` from the same file (the `.rank` sidecar maps
+/// original ids), which is the supported deployment for `--graph`.
+fn do_compact(shared: &Shared) -> Result<(u64, u64), String> {
+    use sfgraph::ranking::{rank_vertices, relabel_by_rank, RankBy};
+    let Some(path) = shared.config.source_graph.as_deref() else {
+        return Err("compaction requires the server to be started with --graph".to_string());
+    };
+    // Pin: edges up to `pinned_len` go into the rebuilt image; later
+    // arrivals fold into the fresh overlay at promotion time.
+    let (pinned, epoch) = {
+        let log = shared.update_log.lock().map_err(|_| "server state poisoned".to_string())?;
+        (log.clone(), shared.swap_epoch.load(Ordering::SeqCst))
+    };
+    let pinned_len = pinned.len();
+    let (directed, serving_n) = {
+        let cur = shared.current.read().map_err(|_| "server state poisoned".to_string())?;
+        (cur.is_directed(), cur.vertices())
+    };
+
+    // Build, lock-free. Same pipeline as `hopdb-cli build`: clean the
+    // merged edge set, rank, relabel, label — bit-identical output at
+    // any parallelism, so a compaction never changes an answer.
+    let weighted_file =
+        sniff_weighted(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let file = std::fs::File::open(path).map_err(|e| format!("open {}: {e}", path.display()))?;
+    let base = sfgraph::io::read_edge_list(BufReader::new(file), directed, weighted_file)
+        .map_err(|e| format!("read {}: {e}", path.display()))?;
+    let weighted = weighted_file || pinned.iter().any(|&(_, _, w)| w != 1);
+    let mut builder = if directed {
+        sfgraph::GraphBuilder::new_directed(base.num_vertices())
+    } else {
+        sfgraph::GraphBuilder::new_undirected(base.num_vertices())
+    };
+    if weighted {
+        builder = builder.weighted();
+    }
+    if serving_n > 0 {
+        // Trailing isolated vertices of the serving index must survive
+        // the rebuild, or previously valid ids would start erroring.
+        builder.ensure_vertex(serving_n as u32 - 1);
+    }
+    for (u, v, w) in base.edge_list() {
+        builder.add_weighted_edge(u, v, w);
+    }
+    for &(s, t, w) in &pinned {
+        builder.ensure_vertex(s);
+        builder.ensure_vertex(t);
+        builder.add_weighted_edge(s, t, w);
+    }
+    let merged = builder.build();
+    let rank_by = if merged.is_directed() { RankBy::DegreeProduct } else { RankBy::Degree };
+    let ranking = rank_vertices(&merged, &rank_by);
+    let relabeled = relabel_by_rank(&merged, &ranking);
+    let cfg = hopdb::HopDbConfig { parallelism: 0, ..hopdb::HopDbConfig::default() };
+    let (index, _stats) = hopdb::build_prelabeled(&relabeled, &cfg);
+    let flat = hoplabels::flat::FlatIndex::from_index(&index);
+
+    // Promote. Everything after this point is cheap.
+    let _serial = shared.mutate_serial.lock().map_err(|_| "server state poisoned".to_string())?;
+    if shared.swap_epoch.load(Ordering::SeqCst) != epoch {
+        return Err("aborted: a swap was promoted during compaction".to_string());
+    }
+    let mut log = shared.update_log.lock().map_err(|_| "server state poisoned".to_string())?;
+    let next_gen = shared.generation_seq.fetch_add(1, Ordering::SeqCst) + 1;
+    let mut fresh = Generation::from_flat(flat, Some(ranking), next_gen);
+    let remaining: Vec<(u32, u32, u32)> = log[pinned_len..].to_vec();
+    if !remaining.is_empty() {
+        fresh = fresh.with_updates(&remaining)?;
+    }
+    let generation = fresh.generation();
+    let vertices = fresh.vertices() as u64;
+    *log = remaining;
+    {
+        let mut cur = shared.current.write().map_err(|_| "server state poisoned".to_string())?;
+        *cur = Arc::new(fresh);
+    }
+    shared.compactions.fetch_add(1, Ordering::Relaxed);
+    Ok((generation, vertices))
+}
+
+/// The extended `info` snapshot (protocol v2): everything `stats`
+/// reports plus overlay and compaction state.
+fn info_of(shared: &Shared) -> Option<InfoReply> {
+    let current = shared.current.read().ok()?;
+    Some(InfoReply {
+        protocol: crate::proto::VERSION,
+        generation: current.generation(),
+        vertices: current.vertices() as u64,
+        directed: current.is_directed(),
+        resident: current.is_resident(),
+        resident_bytes: current.resident_bytes() as u64,
+        overlay_edges: current.overlay_edges() as u64,
+        overlay_affected: current.overlay_affected() as u64,
+        compactions: shared.compactions.load(Ordering::Relaxed),
+        requests: shared.requests.load(Ordering::Relaxed),
+        protocol_errors: shared.protocol_errors.load(Ordering::Relaxed),
+    })
 }
 
 /// The readiness-driven backend: one reactor thread multiplexing every
@@ -484,7 +812,7 @@ fn do_swap(shared: &Shared) -> std::io::Result<Arc<Generation>> {
 #[cfg(target_os = "linux")]
 mod epoll_backend {
     use super::*;
-    use crate::batch::{Batcher, Completion, Completions, Job, RespondAs};
+    use crate::batch::{Batcher, Completion, Completions, Job, RespondAs, UpdateRespond};
     use crate::conn::{Conn, ConnRequest, ConnState, Mode};
     use crate::http::{self, HttpRequest};
     use crate::proto::Response;
@@ -510,10 +838,12 @@ mod epoll_backend {
     /// encoding, query pairs).
     type QueryJob = (u64, RespondAs, Vec<(u32, u32)>);
 
-    /// Hooks `Shared::begin_stop` uses to reach a running reactor.
+    /// Hooks `Shared::begin_stop` and the compactor thread use to reach
+    /// a running reactor.
     pub(super) struct EpollCtl {
         pub(super) wake: Arc<WakeFd>,
         pub(super) batcher: Arc<Batcher>,
+        pub(super) completions: Arc<Completions>,
     }
 
     pub(super) fn serve_epoll(
@@ -527,9 +857,11 @@ mod epoll_backend {
         let completions = Arc::new(Completions::new(Arc::clone(&wake)));
         poller.register(&listener, EV_READ, TOKEN_LISTENER)?;
         poller.register(&*wake, EV_READ, TOKEN_WAKER)?;
-        let _ = shared
-            .epoll_ctl
-            .set(EpollCtl { wake: Arc::clone(&wake), batcher: Arc::clone(&batcher) });
+        let _ = shared.epoll_ctl.set(EpollCtl {
+            wake: Arc::clone(&wake),
+            batcher: Arc::clone(&batcher),
+            completions: Arc::clone(&completions),
+        });
 
         let executor = {
             let (shared, batcher, completions) =
@@ -761,6 +1093,20 @@ mod epoll_backend {
                         RequestBody::Query(pairs) => {
                             self.submit_query(token, RespondAs::Hopq { id }, pairs);
                         }
+                        RequestBody::Update(edges) => {
+                            let job = Job::Update {
+                                conn: token,
+                                respond: UpdateRespond::Hopq { id },
+                                edges,
+                            };
+                            if self.batcher.submit(job) {
+                                if let Some(c) = self.conns.get_mut(&token) {
+                                    c.inflight += 1;
+                                }
+                            } else {
+                                self.queue_response(token, error(id, "server is stopping"), false);
+                            }
+                        }
                         RequestBody::Swap => {
                             if self.batcher.submit(Job::Swap { conn: token, id }) {
                                 if let Some(c) = self.conns.get_mut(&token) {
@@ -769,6 +1115,26 @@ mod epoll_backend {
                             } else {
                                 self.queue_response(token, error(id, "server is stopping"), false);
                             }
+                        }
+                        RequestBody::Compact => {
+                            // Hand to the compactor thread; the answer
+                            // comes back as a completion, so neither
+                            // the reactor nor the executor ever blocks
+                            // on a rebuild.
+                            if self.request_compact_async(token, id) {
+                                if let Some(c) = self.conns.get_mut(&token) {
+                                    c.inflight += 1;
+                                }
+                            } else {
+                                self.queue_response(token, error(id, "server is stopping"), false);
+                            }
+                        }
+                        RequestBody::Info => {
+                            let resp = match info_of(&self.shared) {
+                                Some(info) => Response { id, body: ResponseBody::Info(info) },
+                                None => error(id, "server state poisoned"),
+                            };
+                            self.queue_response(token, resp, false);
                         }
                         RequestBody::Stats => {
                             let reply = self.stats_reply();
@@ -805,6 +1171,21 @@ mod epoll_backend {
                         HttpRequest::QueryMany(pairs) => {
                             self.submit_query(token, RespondAs::HttpMany { close }, pairs);
                         }
+                        HttpRequest::Update(edges) => {
+                            let job = Job::Update {
+                                conn: token,
+                                respond: UpdateRespond::Http { close },
+                                edges,
+                            };
+                            if self.batcher.submit(job) {
+                                if let Some(c) = self.conns.get_mut(&token) {
+                                    c.inflight += 1;
+                                }
+                            } else {
+                                let bytes = http::render_error(503, "server is stopping");
+                                self.queue_bytes(token, &bytes, true);
+                            }
+                        }
                         HttpRequest::Stats => {
                             let body = self.stats_json();
                             let bytes = http::render_response(200, &body, close);
@@ -817,6 +1198,15 @@ mod epoll_backend {
                     self.queue_bytes(token, &resp, true);
                 }
             }
+        }
+
+        /// Queue an admin compaction on the compactor thread; the reply
+        /// arrives through the completion pile. Returns `false` when
+        /// the server is stopping.
+        fn request_compact_async(&mut self, token: u64, id: u64) -> bool {
+            let Ok(tx) = self.shared.compact_tx.lock() else { return false };
+            let Some(tx) = tx.as_ref() else { return false };
+            tx.send(CompactMsg::Admin(CompactRespond::Epoll { conn: token, id })).is_ok()
         }
 
         fn submit_query(&mut self, token: u64, respond: RespondAs, pairs: Vec<(u32, u32)>) {
@@ -956,11 +1346,18 @@ mod epoll_backend {
 
         fn stats_json(&self) -> String {
             let s = self.stats_reply();
-            let resident_bytes =
-                self.shared.current.read().map(|g| g.resident_bytes()).unwrap_or(0);
+            let (resident_bytes, overlay_edges, overlay_affected) = self
+                .shared
+                .current
+                .read()
+                .map(|g| (g.resident_bytes(), g.overlay_edges(), g.overlay_affected()))
+                .unwrap_or((0, 0, 0));
+            let compactions = self.shared.compactions.load(Ordering::Relaxed);
             format!(
                 "{{\"generation\":{},\"vertices\":{},\"directed\":{},\"resident\":{},\
-                 \"resident_bytes\":{resident_bytes},\"requests\":{},\"protocol_errors\":{}}}",
+                 \"resident_bytes\":{resident_bytes},\"overlay_edges\":{overlay_edges},\
+                 \"overlay_affected\":{overlay_affected},\"compactions\":{compactions},\
+                 \"requests\":{},\"protocol_errors\":{}}}",
                 s.generation, s.vertices, s.directed, s.resident, s.requests, s.protocol_errors,
             )
         }
@@ -1013,6 +1410,34 @@ mod epoll_backend {
                             answered: 1,
                             close_after: false,
                         });
+                    }
+                    Job::Update { conn, respond, edges } => {
+                        // Same ordering contract as a swap: queries
+                        // submitted before this frame answer on the
+                        // pre-update overlay, queries after it on the
+                        // post-update one.
+                        run_queries(shared, completions, std::mem::take(&mut queries));
+                        let result = do_update(shared, &edges);
+                        let (bytes, close_after) = match respond {
+                            UpdateRespond::Hopq { id } => {
+                                let body = match result {
+                                    Ok((generation, overlay_edges)) => {
+                                        ResponseBody::Updated { generation, overlay_edges }
+                                    }
+                                    Err(e) => ResponseBody::Error(format!("update failed: {e}")),
+                                };
+                                (Response { id, body }.encode(), false)
+                            }
+                            UpdateRespond::Http { close } => match result {
+                                Ok((generation, overlay_edges)) => {
+                                    (http::render_update(generation, overlay_edges, close), close)
+                                }
+                                Err(e) => {
+                                    (http::render_error(400, &format!("update failed: {e}")), true)
+                                }
+                            },
+                        };
+                        completions.push(Completion { conn, bytes, answered: 1, close_after });
                     }
                 }
             }

@@ -1,0 +1,401 @@
+//! Live-update tests for the `hopdb-server` daemon: the overlay-vs-
+//! rebuild equivalence oracle (served distances after `update` batches
+//! are bit-identical to a from-scratch build of the mutated graph,
+//! before and after compaction, directed and undirected, at 1 and 4
+//! batch threads), update frames interleaved with pipelined queries on
+//! a single connection, and concurrent query fire across ingest and a
+//! compaction promotion — every response consistent with exactly one
+//! snapshot, never a mix.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use hop_doubling::extmem::device::TempStore;
+use hop_doubling::graphgen::{glp, orient_scale_free, GlpParams};
+use hop_doubling::hopdb::{build_prelabeled, HopDbConfig};
+use hop_doubling::hopdb_server::{serve, Client, ServerConfig};
+use hop_doubling::hoplabels::disk::DiskIndex;
+use hop_doubling::sfgraph::builder::GraphBuilder;
+use hop_doubling::sfgraph::ranking::{rank_vertices, relabel_by_rank, RankBy};
+use hop_doubling::sfgraph::traversal::all_pairs;
+use hop_doubling::sfgraph::{Dist, Graph, VertexId};
+
+/// Stage `g` the way `hopdb-cli build` would: edge-list file, disk
+/// index, and `.rank` sidecar, so the server answers in *original*
+/// vertex ids and compaction can rebuild from the edge list.
+fn stage_cli_artifacts(g: &Graph, tag: &str) -> (PathBuf, PathBuf) {
+    let dir = std::env::temp_dir();
+    let graph_path = dir.join(format!("hopdb-live-{}-{tag}.txt", std::process::id()));
+    let file = std::fs::File::create(&graph_path).expect("create edge list");
+    hop_doubling::sfgraph::io::write_edge_list(g, std::io::BufWriter::new(file))
+        .expect("write edge list");
+
+    let rank_by = if g.is_directed() { RankBy::DegreeProduct } else { RankBy::Degree };
+    let ranking = rank_vertices(g, &rank_by);
+    let relabeled = relabel_by_rank(g, &ranking);
+    let (index, _) = build_prelabeled(&relabeled, &HopDbConfig::default());
+    let store = TempStore::new().expect("temp store");
+    let staged = DiskIndex::create(&index, &store, tag).expect("serialize").persist();
+    let index_path = dir.join(format!("hopdb-live-{}-{tag}.idx", std::process::id()));
+    std::fs::copy(&staged, &index_path).expect("stage index");
+    std::fs::remove_file(staged).ok();
+    std::fs::write(format!("{}.rank", index_path.to_string_lossy()), ranking.to_sidecar_bytes())
+        .expect("write sidecar");
+    (graph_path, index_path)
+}
+
+fn cleanup(graph_path: &PathBuf, index_path: &PathBuf) {
+    std::fs::remove_file(graph_path).ok();
+    std::fs::remove_file(index_path).ok();
+    std::fs::remove_file(format!("{}.rank", index_path.to_string_lossy())).ok();
+}
+
+/// `g` plus `edges` (original id space), as a weighted graph — the
+/// from-scratch oracle the server's overlay must agree with.
+fn mutate(g: &Graph, edges: &[(VertexId, VertexId, Dist)]) -> Graph {
+    let mut b = if g.is_directed() {
+        GraphBuilder::new_directed(g.num_vertices())
+    } else {
+        GraphBuilder::new_undirected(g.num_vertices())
+    }
+    .weighted();
+    for (u, v, w) in g.edge_list() {
+        b.add_weighted_edge(u, v, w);
+    }
+    for &(u, v, w) in edges {
+        b.add_weighted_edge(u, v, w);
+    }
+    b.build()
+}
+
+/// Every (s, t) pair over `n` vertices.
+fn full_grid(n: usize) -> Vec<(VertexId, VertexId)> {
+    let n = n as VertexId;
+    (0..n).flat_map(|s| (0..n).map(move |t| (s, t))).collect()
+}
+
+/// `truth[s][t]` flattened in `pairs` order, with the wire encoding of
+/// unreachability.
+fn expect_of(truth: &[Vec<Dist>], pairs: &[(VertexId, VertexId)]) -> Vec<Dist> {
+    use hop_doubling::hopdb_server::proto::UNREACHABLE;
+    pairs
+        .iter()
+        .map(|&(s, t)| {
+            let d = truth[s as usize][t as usize];
+            if d == hop_doubling::sfgraph::INF_DIST {
+                UNREACHABLE
+            } else {
+                d
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn overlay_matches_full_rebuild_oracle() {
+    for directed in [false, true] {
+        let n = 100;
+        let und = glp(&GlpParams::with_density(n, 3.0, if directed { 501 } else { 502 }));
+        let g = if directed { orient_scale_free(&und, 0.25, 7) } else { und };
+        let tag = if directed { "oracle-d" } else { "oracle-u" };
+        let (graph_path, index_path) = stage_cli_artifacts(&g, tag);
+
+        // Two batches: the second arrives with the first already in the
+        // log, and one weight-2 edge exercises the weighted merge path.
+        let batch1: Vec<(VertexId, VertexId, Dist)> = vec![(0, 99, 1), (3, 71, 1)];
+        let batch2: Vec<(VertexId, VertexId, Dist)> = vec![(12, 44, 2), (99, 50, 1)];
+        let all: Vec<(VertexId, VertexId, Dist)> = batch1.iter().chain(&batch2).copied().collect();
+        let base_truth = all_pairs(&g);
+        let mutated_truth = all_pairs(&mutate(&g, &all));
+
+        let pairs = full_grid(n);
+        let expect_base = expect_of(&base_truth, &pairs);
+        let expect_mutated = expect_of(&mutated_truth, &pairs);
+        assert_ne!(expect_base, expect_mutated, "updates must be observable ({tag})");
+
+        for batch_threads in [1usize, 4] {
+            let config = ServerConfig {
+                threads: 2,
+                batch_threads,
+                source_graph: Some(graph_path.clone()),
+                compact_threshold: 0, // manual compaction only
+                ..ServerConfig::default()
+            };
+            let handle = serve("127.0.0.1:0", &index_path, config).expect("serve");
+            let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+            assert_eq!(client.query(&pairs).expect("base query"), expect_base);
+            let (generation, _) = client.update(&batch1).expect("update 1");
+            assert_eq!(generation, 1, "updates do not bump the generation");
+            let (_, overlay_edges) = client.update(&batch2).expect("update 2");
+            assert!(overlay_edges >= 1, "overlay tracks the accumulated log");
+
+            // Overlay answers == from-scratch build of the mutated graph.
+            assert_eq!(
+                client.query(&pairs).expect("overlay query"),
+                expect_mutated,
+                "overlay diverges from full rebuild ({tag}, {batch_threads} threads)"
+            );
+
+            // Fold the overlay into a fresh frozen generation: answers
+            // must not change across the promotion.
+            let (generation, vertices) = client.compact().expect("compact");
+            assert_eq!((generation, vertices), (2, n as u64), "({tag})");
+            assert_eq!(
+                client.query(&pairs).expect("compacted query"),
+                expect_mutated,
+                "compacted index diverges from full rebuild ({tag}, {batch_threads} threads)"
+            );
+            let info = client.info().expect("info");
+            assert_eq!(info.generation, 2, "({tag})");
+            assert_eq!(info.overlay_edges, 0, "compaction must drain the overlay ({tag})");
+            assert_eq!(info.compactions, 1, "({tag})");
+
+            handle.shutdown();
+        }
+        cleanup(&graph_path, &index_path);
+    }
+}
+
+#[test]
+fn update_frames_interleave_with_pipelined_queries() {
+    use hop_doubling::hopdb_server::proto::{read_response, Request, RequestBody, ResponseBody};
+    use std::collections::HashMap;
+
+    let n = 80;
+    let g = glp(&GlpParams::with_density(n, 3.0, 601));
+    let truth = all_pairs(&g);
+    // A far-apart reachable pair, so the inserted weight-1 edge is
+    // observable the instant the update lands.
+    let (s, t, base) = full_grid(n)
+        .into_iter()
+        .filter(|&(s, t)| {
+            s != t && truth[s as usize][t as usize] != hop_doubling::sfgraph::INF_DIST
+        })
+        .map(|(s, t)| (s, t, truth[s as usize][t as usize]))
+        .max_by_key(|&(_, _, d)| d)
+        .expect("a reachable pair");
+    assert!(base > 1, "need a non-adjacent pair");
+    let (graph_path, index_path) = stage_cli_artifacts(&g, "pipeline");
+
+    let mut backends = vec![hop_doubling::hopdb_server::Backend::Threads];
+    #[cfg(target_os = "linux")]
+    backends.push(hop_doubling::hopdb_server::Backend::Epoll);
+
+    for backend in backends {
+        let config = ServerConfig {
+            backend,
+            threads: 2,
+            source_graph: Some(graph_path.clone()),
+            compact_threshold: 0,
+            ..ServerConfig::default()
+        };
+        let handle = serve("127.0.0.1:0", &index_path, config).expect("serve");
+
+        // One connection, three frames in a single write: query, update
+        // inserting (s, t, 1), query again. Queries pipelined before
+        // the update answer from the pre-update snapshot; queries after
+        // it see the new edge — never the other way around.
+        let mut stream = std::net::TcpStream::connect(handle.local_addr()).expect("connect");
+        stream.set_read_timeout(Some(std::time::Duration::from_secs(20))).unwrap();
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&Request { id: 1, body: RequestBody::Query(vec![(s, t)]) }.encode());
+        wire.extend_from_slice(
+            &Request { id: 2, body: RequestBody::Update(vec![(s, t, 1)]) }.encode(),
+        );
+        wire.extend_from_slice(&Request { id: 3, body: RequestBody::Query(vec![(s, t)]) }.encode());
+        stream.write_all(&wire).expect("pipelined write");
+
+        let mut reader = std::io::BufReader::new(stream);
+        let mut got: HashMap<u64, ResponseBody> = HashMap::new();
+        for _ in 0..3 {
+            let resp = read_response(&mut reader).expect("response frame");
+            got.insert(resp.id, resp.body);
+        }
+        assert_eq!(
+            got.get(&1),
+            Some(&ResponseBody::Distances(vec![base])),
+            "pre-update query answered post-update ({backend:?})"
+        );
+        assert_eq!(
+            got.get(&2),
+            Some(&ResponseBody::Updated { generation: 1, overlay_edges: 1 }),
+            "({backend:?})"
+        );
+        assert_eq!(
+            got.get(&3),
+            Some(&ResponseBody::Distances(vec![1])),
+            "post-update query answered pre-update ({backend:?})"
+        );
+        handle.shutdown();
+    }
+    cleanup(&graph_path, &index_path);
+}
+
+#[test]
+fn concurrent_queries_during_ingest_and_compaction_promotion() {
+    let n = 120;
+    let g = glp(&GlpParams::with_density(n, 3.0, 701));
+    let (graph_path, index_path) = stage_cli_artifacts(&g, "concurrent");
+    let pairs: Vec<(VertexId, VertexId)> =
+        (0..n as VertexId).map(|i| (i, (i * 37 + 11) % n as VertexId)).collect();
+
+    // Three update batches, each shortcutting a pair the probe set
+    // actually queries, so every snapshot has a distinct answer vector.
+    let base_truth = all_pairs(&g);
+    let mut shortcuts: Vec<(VertexId, VertexId, Dist)> = pairs
+        .iter()
+        .filter(|&&(s, t)| {
+            s != t
+                && base_truth[s as usize][t as usize] > 2
+                && base_truth[s as usize][t as usize] != hop_doubling::sfgraph::INF_DIST
+        })
+        .map(|&(s, t)| (s, t, 1))
+        .collect();
+    shortcuts.truncate(3);
+    assert_eq!(shortcuts.len(), 3, "probe set too easy; reseed the graph");
+
+    // expects[i] = answers after the first i batches; the final vector
+    // also covers post-compaction (compaction preserves answers).
+    let mut expects: Vec<Vec<Dist>> = vec![expect_of(&base_truth, &pairs)];
+    for i in 1..=shortcuts.len() {
+        expects.push(expect_of(&all_pairs(&mutate(&g, &shortcuts[..i])), &pairs));
+    }
+    for w in expects.windows(2) {
+        assert_ne!(w[0], w[1], "snapshots must be distinguishable");
+    }
+
+    let config = ServerConfig {
+        threads: 5,
+        batch_threads: 2,
+        source_graph: Some(graph_path.clone()),
+        compact_threshold: 0,
+        ..ServerConfig::default()
+    };
+    let handle = serve("127.0.0.1:0", &index_path, config).expect("serve");
+    let addr = handle.local_addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        let mut clients = Vec::new();
+        for _ in 0..3 {
+            let (stop, pairs, expects) = (&stop, &pairs, &expects);
+            clients.push(scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut seen = vec![0u32; expects.len()];
+                while !stop.load(Ordering::SeqCst) {
+                    let got = client.query(pairs).expect("query during ingest/compaction");
+                    // Exactly one snapshot per response — never a mix
+                    // of overlay states or generations.
+                    let which = expects.iter().position(|e| *e == got);
+                    let which = which.expect("response matches no snapshot (mixed state?)");
+                    seen[which] += 1;
+                }
+                seen
+            }));
+        }
+
+        let mut admin = Client::connect(addr).expect("admin connect");
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        for batch in shortcuts.chunks(1) {
+            admin.update(batch).expect("update");
+            std::thread::sleep(std::time::Duration::from_millis(60));
+        }
+        // Promote a compaction while the clients keep firing.
+        let (generation, vertices) = admin.compact().expect("compact");
+        assert_eq!((generation, vertices), (2, n as u64));
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        stop.store(true, Ordering::SeqCst);
+
+        let mut seen = vec![0u32; expects.len()];
+        for c in clients {
+            for (total, s) in seen.iter_mut().zip(c.join().expect("client thread")) {
+                *total += s;
+            }
+        }
+        // The fleet observed both the pre-update state and the final
+        // one; every intermediate response matched some prefix.
+        assert!(seen[0] > 0, "clients never observed the pre-update snapshot: {seen:?}");
+        assert!(
+            *seen.last().unwrap() > 0,
+            "clients never observed the fully updated snapshot: {seen:?}"
+        );
+
+        // After the dust settles: final answers, new generation, empty
+        // overlay.
+        assert_eq!(admin.query(&pairs).expect("final query"), *expects.last().unwrap());
+        let info = admin.info().expect("info");
+        assert_eq!(info.generation, 2);
+        assert_eq!(info.overlay_edges, 0);
+        assert_eq!(info.compactions, 1);
+    });
+
+    handle.shutdown();
+    cleanup(&graph_path, &index_path);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn http_update_roundtrip_on_the_epoll_front() {
+    use std::io::Read as _;
+
+    let n = 60;
+    let g = glp(&GlpParams::with_density(n, 3.0, 801));
+    let truth = all_pairs(&g);
+    let (s, t, base) = full_grid(n)
+        .into_iter()
+        .filter(|&(s, t)| {
+            s != t && truth[s as usize][t as usize] != hop_doubling::sfgraph::INF_DIST
+        })
+        .map(|(s, t)| (s, t, truth[s as usize][t as usize]))
+        .max_by_key(|&(_, _, d)| d)
+        .expect("a reachable pair");
+    assert!(base > 1);
+    let (graph_path, index_path) = stage_cli_artifacts(&g, "http");
+
+    let config = ServerConfig {
+        backend: hop_doubling::hopdb_server::Backend::Epoll,
+        source_graph: Some(graph_path.clone()),
+        compact_threshold: 0,
+        ..ServerConfig::default()
+    };
+    let handle = serve("127.0.0.1:0", &index_path, config).expect("serve");
+
+    let roundtrip = |request: String| -> (u16, String) {
+        let mut stream = std::net::TcpStream::connect(handle.local_addr()).expect("connect");
+        stream.set_read_timeout(Some(std::time::Duration::from_secs(20))).unwrap();
+        stream.write_all(request.as_bytes()).expect("write");
+        let mut buf = Vec::new();
+        stream.read_to_end(&mut buf).expect("read");
+        let text = String::from_utf8_lossy(&buf).into_owned();
+        let code = text.split_whitespace().nth(1).expect("status").parse().expect("status code");
+        let body = text.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+        (code, body)
+    };
+
+    let json = format!("{{\"edges\":[[{s},{t},1]]}}");
+    let (code, body) = roundtrip(format!(
+        "POST /update HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{json}",
+        json.len()
+    ));
+    assert_eq!(code, 200, "{body}");
+    assert!(body.contains("\"generation\":1"), "{body}");
+    assert!(body.contains("\"overlay_edges\":1"), "{body}");
+
+    let (code, body) = roundtrip(format!(
+        "GET /query?s={s}&t={t} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+    ));
+    assert_eq!(code, 200, "{body}");
+    assert!(body.contains("\"dist\":1"), "HTTP query missed the live edge: {body}");
+
+    let (code, body) =
+        roundtrip("GET /stats HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n".to_string());
+    assert_eq!(code, 200, "{body}");
+    assert!(body.contains("\"overlay_edges\":1"), "{body}");
+    assert!(body.contains("\"compactions\":0"), "{body}");
+
+    handle.shutdown();
+    cleanup(&graph_path, &index_path);
+}
