@@ -29,12 +29,19 @@
 //! * `--max-p99-us N` — fast-client p99 request latency ceiling (µs)
 //!   at `--conns` connections, measured with the slow fleet running
 //!   (without the write mix — writes get their own run entry).
+//! * `--max-write-p99-us N` — p99 ceiling for the under-writes run
+//!   (requires `--update-conns`), gating the write path's impact.
 //! * with `--update-conns`, the compaction-under-load check above.
+//!
+//! `--durability off|batch|always` runs the daemon with a write-ahead
+//! log in a scratch directory, so the write mix pays the real
+//! log-before-ack cost the durability tier adds.
 //!
 //! ```text
 //! BENCH_SCALE=small cargo run --release -p bench --bin serverperf -- \
 //!     --backend epoll --conns 4 --batch 256 --pipeline 8 --slow-conns 2 \
-//!     --update-conns 2 --min-qps 150000 --max-p99-us 50000 -o BENCH_server.json
+//!     --update-conns 2 --durability batch --min-qps 150000 \
+//!     --max-p99-us 50000 --max-write-p99-us 80000 -o BENCH_server.json
 //! ```
 
 use std::collections::VecDeque;
@@ -307,6 +314,14 @@ fn main() {
         arg_value(&args, "--min-qps").map(|v| v.parse().expect("bad --min-qps"));
     let max_p99_us: Option<f64> =
         arg_value(&args, "--max-p99-us").map(|v| v.parse().expect("bad --max-p99-us"));
+    let max_write_p99_us: Option<f64> =
+        arg_value(&args, "--max-write-p99-us").map(|v| v.parse().expect("bad --max-write-p99-us"));
+    let durability: Option<hopdb_server::wal::Durability> =
+        arg_value(&args, "--durability").map(|v| v.parse().expect("bad --durability"));
+    assert!(
+        max_write_p99_us.is_none() || update_conns > 0,
+        "--max-write-p99-us gates the under-writes run; pass --update-conns too"
+    );
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
 
     let (n, density, requests_per_conn) = match scale {
@@ -340,12 +355,19 @@ fn main() {
     let graph_file = std::fs::File::create(&graph_path).expect("create edge list");
     sfgraph::io::write_edge_list(&g, std::io::BufWriter::new(graph_file)).expect("write edge list");
 
+    let wal_dir = durability
+        .map(|_| std::env::temp_dir().join(format!("hopdb-serverperf-{}-wal", std::process::id())));
+    if let Some(dir) = &wal_dir {
+        std::fs::remove_dir_all(dir).ok();
+    }
     let config = ServerConfig {
         backend,
         threads,
         batch_threads: 1,
         source_graph: Some(graph_path.clone()),
         compact_threshold: 0, // compaction fires on demand, below
+        wal_dir: wal_dir.clone(),
+        durability: durability.unwrap_or(hopdb_server::wal::Durability::Batch),
         ..ServerConfig::default()
     };
     let handle = serve("127.0.0.1:0", &index_path, config).expect("serve");
@@ -456,7 +478,7 @@ fn main() {
         concat!(
             r#"{{"workload":{{"model":"glp","vertices":{},"density":{},"seed":42}},"#,
             r#""scale":"{:?}","cores":{},"backend":"{}","server_threads":{},"batch":{},"#,
-            r#""pipeline":{},"slow_conns":{},"update_conns":{},"#,
+            r#""pipeline":{},"slow_conns":{},"update_conns":{},"durability":"{}","#,
             r#""compaction_under_load_verified":{},"#,
             r#""index":{{"entries":{},"resident_bytes":{}}},"#,
             r#""runs":[{}]}}"#
@@ -471,6 +493,7 @@ fn main() {
         pipeline,
         slow_conns,
         update_conns,
+        durability.map_or_else(|| "disabled".to_string(), |d| d.to_string()),
         compaction_verified,
         index.total_entries(),
         flat.resident_bytes(),
@@ -483,6 +506,9 @@ fn main() {
     std::fs::remove_file(&index_path).ok();
     std::fs::remove_file(format!("{}.rank", index_path.to_string_lossy())).ok();
     std::fs::remove_file(&graph_path).ok();
+    if let Some(dir) = &wal_dir {
+        std::fs::remove_dir_all(dir).ok();
+    }
 
     let mut failed = false;
     if let Some(want) = min_qps {
@@ -501,6 +527,17 @@ fn main() {
             failed = true;
         } else {
             eprintln!("p99 ok: {got:.1} µs at {conns} conns (gate {want:.1})");
+        }
+    }
+    if let Some(want) = max_write_p99_us {
+        // The under-writes run is the last one pushed (guaranteed to
+        // exist by the update_conns > 0 assert at parse time).
+        let got = runs.last().expect("under-writes run").p99_us;
+        if got > want {
+            eprintln!("write-path p99 regression: {got:.1} µs under writes, gate allows {want:.1}");
+            failed = true;
+        } else {
+            eprintln!("write-path p99 ok: {got:.1} µs under writes (gate {want:.1})");
         }
     }
     if failed {

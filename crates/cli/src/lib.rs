@@ -16,7 +16,8 @@
 //!                 [--flush-us 100] [--coalesce-pairs 4096] [--max-inflight 128]
 //!                 [--swap-path next.idx] [--max-resident-bytes N]
 //!                 [--graph graph.txt] [--compact-threshold N]
-//! hopdb-cli admin -a 127.0.0.1:7654 [--timeout-ms 5000]
+//!                 [--wal-dir wal/ --durability off|batch|always]
+//! hopdb-cli admin -a 127.0.0.1:7654 [--timeout-ms 5000] [--retries 3]
 //!                 stats|info|swap|compact|shutdown|ingest [FILE]
 //! ```
 //!
@@ -170,6 +171,7 @@ commands:
          [--flush-us US] [--coalesce-pairs P] [--max-inflight N]
          [--idle-timeout-ms MS] [--max-resident-bytes B] [--swap-path FILE]
          [--graph EDGELIST] [--compact-threshold EDGES]
+         [--wal-dir DIR] [--durability off|batch|always]
          [--announce-file FILE] [--allow-remote-shutdown]
          (long-running TCP daemon; HOPQ wire protocol + HTTP/JSON on the
           same port under the epoll backend; swap promotes --swap-path;
@@ -178,16 +180,20 @@ commands:
           threads backend; --graph names the edge list the index was
           built from and enables compaction — the overlay folds into a
           fresh frozen index when it reaches --compact-threshold edges,
-          0 = only on `admin compact`)
-  admin  -a HOST:PORT [--timeout-ms MS] [--batch EDGES]
+          0 = only on `admin compact`; --wal-dir enables the write-ahead
+          log: accepted updates are logged there before they are
+          acknowledged and replayed after a crash, --durability picks
+          the fsync policy, default batch = group-commit)
+  admin  -a HOST:PORT [--timeout-ms MS] [--retries N] [--batch EDGES]
          stats|info|swap|compact|shutdown|ingest [FILE]
          (talk to a running serve daemon; default 5000 ms timeout so a
           dead server fails the command instead of hanging it, 0 = wait;
-          `info` adds overlay/compaction state to `stats`; `ingest`
-          streams `s t [w]` edge lines from FILE or stdin as live
-          updates, --batch edges per frame; `compact` rebuilds and
-          promotes a fresh generation and is exempt from the short
-          timeout)";
+          connection-refused errors are retried with backoff, --retries
+          extra attempts, default 3; `info` adds overlay/compaction and
+          durability state to `stats`; `ingest` streams `s t [w]` edge
+          lines from FILE or stdin as live updates, --batch edges per
+          frame; `compact` rebuilds and promotes a fresh generation and
+          is exempt from the short timeout)";
 
 fn cmd_gen(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let model = args.opt("--model").unwrap_or("glp");
@@ -421,7 +427,16 @@ fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         compact_threshold: args
             .parsed("--compact-threshold")?
             .unwrap_or(defaults.compact_threshold),
+        wal_dir: args.opt("--wal-dir").map(std::path::PathBuf::from),
+        durability: match args.opt("--durability") {
+            None => defaults.durability,
+            Some(v) => v.parse().map_err(err)?,
+        },
     };
+    // The crash-recovery harness plants I/O fault points in a spawned
+    // daemon through the environment; inert unless EXTMEM_FAULT_* vars
+    // are present.
+    extmem::device::faults::arm_from_env();
     let handle = hopdb_server::serve(addr, Path::new(target), config)
         .map_err(|e| err(format!("cannot serve {target} on {addr}: {e}")))?;
     let announced = (|| -> Result<(), CliError> {
@@ -507,21 +522,23 @@ impl AdminCmd {
 /// The one connect path every admin verb goes through. A dead or
 /// wedged server (bound port, nobody answering) must fail the command,
 /// not hang it: the timeout bounds connect AND every read/write of the
-/// conversation. 0 = wait forever.
-fn connect_admin(addr: &str, timeout_ms: u64) -> Result<hopdb_server::Client, CliError> {
-    if timeout_ms == 0 {
-        hopdb_server::Client::connect(addr)
-    } else {
-        use std::net::ToSocketAddrs;
-        let timeout = std::time::Duration::from_millis(timeout_ms);
-        let sock_addr = addr
-            .to_socket_addrs()
-            .map_err(|e| err(format!("cannot resolve {addr}: {e}")))?
-            .next()
-            .ok_or_else(|| err(format!("cannot resolve {addr}")))?;
-        hopdb_server::Client::connect_timeout(&sock_addr, timeout)
-    }
-    .map_err(|e| err(format!("cannot connect to {addr}: {e}")))
+/// conversation (0 = wait forever), while transient refusals — the
+/// daemon restarting after a crash — are retried with backoff up to
+/// `retries` extra attempts.
+fn connect_admin(
+    addr: &str,
+    timeout_ms: u64,
+    retries: u32,
+) -> Result<hopdb_server::Client, CliError> {
+    use std::net::ToSocketAddrs;
+    let timeout = (timeout_ms != 0).then(|| std::time::Duration::from_millis(timeout_ms));
+    let sock_addr = addr
+        .to_socket_addrs()
+        .map_err(|e| err(format!("cannot resolve {addr}: {e}")))?
+        .next()
+        .ok_or_else(|| err(format!("cannot resolve {addr}")))?;
+    hopdb_server::Client::connect_retry(&sock_addr, timeout, retries)
+        .map_err(|e| err(format!("cannot connect to {addr}: {e}")))
 }
 
 /// Parse `s t [w]` edge lines (`#` comments, blank lines allowed;
@@ -561,7 +578,8 @@ fn cmd_admin(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let addr = args.required("-a")?;
     let cmd = AdminCmd::parse(args)?;
     let timeout_ms: u64 = args.parsed("--timeout-ms")?.unwrap_or(5_000);
-    let mut client = connect_admin(addr, timeout_ms)?;
+    let retries: u32 = args.parsed("--retries")?.unwrap_or(3);
+    let mut client = connect_admin(addr, timeout_ms, retries)?;
     let admin_err = |what: &str, e: std::io::Error| err(format!("{what} failed: {e}"));
     match cmd {
         AdminCmd::Stats => {
@@ -586,6 +604,21 @@ fn cmd_admin(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             writeln!(out, "compactions      {}", i.compactions)?;
             writeln!(out, "requests served  {}", i.requests)?;
             writeln!(out, "protocol errors  {}", i.protocol_errors)?;
+            let durability = match i.durability {
+                hopdb_server::proto::DURABILITY_DISABLED => "disabled".to_string(),
+                0 => "off".to_string(),
+                1 => "batch".to_string(),
+                2 => "always".to_string(),
+                other => format!("unknown ({other})"),
+            };
+            writeln!(out, "durability       {durability}")?;
+            writeln!(out, "wal epoch        {}", i.wal_epoch)?;
+            writeln!(out, "wal records      {}", i.wal_records)?;
+            writeln!(out, "wal bytes        {}", i.wal_bytes)?;
+            writeln!(out, "recovered recs   {}", i.recovered_records)?;
+            writeln!(out, "recovered drop   {}", i.recovered_dropped_bytes)?;
+            writeln!(out, "checkpoints      {}", i.checkpoints)?;
+            writeln!(out, "aborted compacts {}", i.aborted_compactions)?;
         }
         AdminCmd::Swap => {
             let (generation, vertices) = client.swap().map_err(|e| admin_err("swap", e))?;

@@ -1,0 +1,314 @@
+//! Kill-and-restart harness for the durability tier: spawn the real
+//! `hopdb-cli serve` daemon with a WAL, SIGKILL it at randomized
+//! points during ingest and during a compaction checkpoint, restart
+//! it, and assert the recovered daemon's answers are bit-identical to
+//! a from-scratch oracle of the acknowledged update prefix (plus, at
+//! most, the one batch that was in flight when the process died).
+//! Under `--durability always` no acknowledged batch may ever be lost.
+//!
+//! SIGKILL validates the recovery/replay/checkpoint-ordering logic:
+//! written bytes survive process death in the page cache, so torn
+//! *tails* are exercised separately by `EXTMEM_FAULT_*`-planted
+//! crashes inside WAL writes and by the corruption corpus.
+
+#![cfg(unix)]
+
+use std::io::Write as _;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use hopdb_server::proto::{Request, RequestBody, UNREACHABLE};
+use hopdb_server::Client;
+use sfgraph::builder::GraphBuilder;
+use sfgraph::traversal::all_pairs;
+use sfgraph::{Dist, Graph, VertexId};
+
+const N: usize = 60;
+
+/// Deterministic-per-run LCG; the seed is printed so a failing kill
+/// schedule can be replayed by hand.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+struct Fixture {
+    dir: PathBuf,
+    graph_path: PathBuf,
+    index_path: PathBuf,
+    graph: Graph,
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.dir).ok();
+    }
+}
+
+/// Generate a graph and build its index through the real CLI, exactly
+/// as a deployment would.
+fn fixture(tag: &str) -> Fixture {
+    let dir = std::env::temp_dir().join(format!("hopdb-crash-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create fixture dir");
+    let graph_path = dir.join("graph.txt");
+    let index_path = dir.join("graph.idx");
+
+    let graph = graphgen::glp(&graphgen::GlpParams::with_density(N, 3.0, 4242));
+    let file = std::fs::File::create(&graph_path).expect("create edge list");
+    sfgraph::io::write_edge_list(&graph, std::io::BufWriter::new(file)).expect("write edge list");
+
+    let status = Command::new(env!("CARGO_BIN_EXE_hopdb-cli"))
+        .args(["build", "-i"])
+        .arg(&graph_path)
+        .arg("-o")
+        .arg(&index_path)
+        .stdout(Stdio::null())
+        .status()
+        .expect("run build");
+    assert!(status.success(), "cli build failed");
+    Fixture { dir, graph_path, index_path, graph }
+}
+
+/// Spawn the daemon and wait for its announce file; extra_env plants
+/// `EXTMEM_FAULT_*` crash points for the torn-write trials.
+// The whole point is handing the live Child to the caller to SIGKILL;
+// every exit path (including assert_recovered) kills and reaps it.
+#[allow(clippy::zombie_processes)]
+fn spawn_daemon(
+    fx: &Fixture,
+    wal_dir: &PathBuf,
+    extra_env: &[(&str, String)],
+) -> (Child, SocketAddr) {
+    let announce = fx.dir.join("announce");
+    std::fs::remove_file(&announce).ok();
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_hopdb-cli"));
+    cmd.args(["serve", "-x"])
+        .arg(&fx.index_path)
+        .arg("--graph")
+        .arg(&fx.graph_path)
+        .arg("--wal-dir")
+        .arg(wal_dir)
+        .args(["--durability", "always", "--addr", "127.0.0.1:0", "--backend", "threads"])
+        .arg("--announce-file")
+        .arg(&announce)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    for (k, v) in extra_env {
+        cmd.env(k, v);
+    }
+    let mut child = cmd.spawn().expect("spawn daemon");
+    for _ in 0..400 {
+        if let Ok(text) = std::fs::read_to_string(&announce) {
+            if let Ok(addr) = text.trim().parse() {
+                return (child, addr);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    child.kill().ok();
+    child.wait().ok();
+    panic!("daemon never announced its address");
+}
+
+fn connect(addr: SocketAddr) -> Client {
+    Client::connect_retry(&addr, Some(Duration::from_secs(10)), 5).expect("connect")
+}
+
+/// Expected probe answers for the base graph plus `edges`, from
+/// scratch (BFS truth, the strongest oracle available).
+fn oracle(
+    fx: &Fixture,
+    edges: &[(VertexId, VertexId, Dist)],
+    pairs: &[(VertexId, VertexId)],
+) -> Vec<Dist> {
+    let mut b = GraphBuilder::new_undirected(fx.graph.num_vertices()).weighted();
+    for (u, v, w) in fx.graph.edge_list() {
+        b.add_weighted_edge(u, v, w);
+    }
+    for &(u, v, w) in edges {
+        b.add_weighted_edge(u, v, w);
+    }
+    let truth = all_pairs(&b.build());
+    pairs
+        .iter()
+        .map(|&(s, t)| {
+            let d = truth[s as usize][t as usize];
+            if d == sfgraph::INF_DIST {
+                UNREACHABLE
+            } else {
+                d
+            }
+        })
+        .collect()
+}
+
+fn probes() -> Vec<(VertexId, VertexId)> {
+    (0..N as VertexId).map(|i| (i, (i * 37 + 11) % N as VertexId)).collect()
+}
+
+fn random_batch(rng: &mut Lcg) -> Vec<(VertexId, VertexId, Dist)> {
+    let len = 1 + rng.below(3) as usize;
+    (0..len)
+        .map(|_| {
+            let s = rng.below(N as u64) as VertexId;
+            let t = (s + 1 + rng.below(N as u64 - 1) as VertexId) % N as VertexId;
+            (s, t, 1)
+        })
+        .collect()
+}
+
+/// Restart after the kill and check the recovered answers against the
+/// acceptable states: every acked batch present, plus at most the one
+/// in-flight batch (WAL records are batch-atomic under CRC, so no
+/// other state can legally surface).
+fn assert_recovered(
+    fx: &Fixture,
+    wal_dir: &PathBuf,
+    acked: &[Vec<(VertexId, VertexId, Dist)>],
+    inflight: Option<&Vec<(VertexId, VertexId, Dist)>>,
+    context: &str,
+) {
+    let (mut child, addr) = spawn_daemon(fx, wal_dir, &[]);
+    let mut client = connect(addr);
+    let pairs = probes();
+    let got = client.query(&pairs).expect("query after recovery");
+
+    let acked_edges: Vec<_> = acked.concat();
+    let want_acked = oracle(fx, &acked_edges, &pairs);
+    let accepted = if got == want_acked {
+        true
+    } else if let Some(inflight) = inflight {
+        let mut with_inflight = acked_edges.clone();
+        with_inflight.extend_from_slice(inflight);
+        got == oracle(fx, &with_inflight, &pairs)
+    } else {
+        false
+    };
+    assert!(
+        accepted,
+        "{context}: recovered answers match neither the acked prefix nor acked+in-flight\n\
+         acked batches: {acked:?}\nin-flight: {inflight:?}"
+    );
+    child.kill().ok();
+    child.wait().ok();
+}
+
+#[test]
+fn sigkill_during_ingest_recovers_the_acked_prefix() {
+    let fx = fixture("ingest");
+    let seed = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64 | 1)
+        .unwrap_or(1);
+    println!("kill schedule seed: {seed:#x}");
+    let mut rng = Lcg(seed);
+
+    for trial in 0..3 {
+        let wal_dir = fx.dir.join(format!("wal-ingest-{trial}"));
+        let (mut child, addr) = spawn_daemon(&fx, &wal_dir, &[]);
+        let mut client = connect(addr);
+
+        // Ack a random number of batches synchronously...
+        let acked: Vec<_> = (0..rng.below(5)).map(|_| random_batch(&mut rng)).collect();
+        for batch in &acked {
+            client.update(batch).expect("acked update");
+        }
+        // ...then fire one more without waiting for its ack and kill
+        // the daemon while it is (maybe) mid-append.
+        let inflight = random_batch(&mut rng);
+        let mut raw = std::net::TcpStream::connect(addr).expect("raw connect");
+        raw.write_all(&Request { id: 1, body: RequestBody::Update(inflight.clone()) }.encode())
+            .expect("fire in-flight update");
+        std::thread::sleep(Duration::from_millis(rng.below(8)));
+        child.kill().expect("SIGKILL");
+        child.wait().expect("reap");
+        drop(raw);
+
+        assert_recovered(&fx, &wal_dir, &acked, Some(&inflight), &format!("ingest trial {trial}"));
+    }
+}
+
+#[test]
+fn sigkill_during_compaction_loses_nothing() {
+    let fx = fixture("compact");
+    let seed = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64 | 1)
+        .unwrap_or(1);
+    println!("kill schedule seed: {seed:#x}");
+    let mut rng = Lcg(seed);
+
+    for trial in 0..3 {
+        let wal_dir = fx.dir.join(format!("wal-compact-{trial}"));
+        let (mut child, addr) = spawn_daemon(&fx, &wal_dir, &[]);
+        let mut client = connect(addr);
+
+        let acked: Vec<_> = (0..1 + rng.below(3)).map(|_| random_batch(&mut rng)).collect();
+        for batch in &acked {
+            client.update(batch).expect("acked update");
+        }
+        // Fire the compaction without waiting and kill the daemon a
+        // random slice into the rebuild/checkpoint. Every acked batch
+        // must survive whether the kill lands before or after the
+        // manifest flip.
+        let mut raw = std::net::TcpStream::connect(addr).expect("raw connect");
+        raw.write_all(&Request { id: 1, body: RequestBody::Compact }.encode())
+            .expect("fire compact");
+        std::thread::sleep(Duration::from_millis(rng.below(60)));
+        child.kill().expect("SIGKILL");
+        child.wait().expect("reap");
+        drop(raw);
+
+        assert_recovered(&fx, &wal_dir, &acked, None, &format!("compact trial {trial}"));
+    }
+}
+
+#[test]
+fn planted_crash_inside_a_wal_write_recovers_cleanly() {
+    // A crash *inside* the WAL append itself (not just between
+    // syscalls): the daemon aborts after a fixed number of writes to
+    // WAL files, which can land mid-record. Recovery must truncate the
+    // torn tail and serve the longest acked prefix; the in-flight
+    // batch at the crash point may or may not have made it.
+    let fx = fixture("planted");
+    // Keep "wal-" out of the directory name: the fault path filter
+    // must match only the log files themselves.
+    let wal_dir = fx.dir.join("planted");
+    let env = [
+        ("EXTMEM_FAULT_PATH_FILTER", "wal-".to_string()),
+        // Headers + a few records land, then the process aborts mid-write.
+        ("EXTMEM_FAULT_CRASH_AFTER_WRITES", "3".to_string()),
+    ];
+    let (mut child, addr) = spawn_daemon(&fx, &wal_dir, &env);
+    let mut client = connect(addr);
+
+    let batches: Vec<Vec<(VertexId, VertexId, Dist)>> =
+        vec![vec![(0, 30, 1)], vec![(5, 55, 1)], vec![(10, 40, 1)], vec![(2, 33, 1)]];
+    let mut acked: Vec<Vec<(VertexId, VertexId, Dist)>> = Vec::new();
+    let mut inflight = None;
+    for batch in &batches {
+        match client.update(batch) {
+            Ok(_) => acked.push(batch.clone()),
+            Err(_) => {
+                // The daemon died mid-append: this batch was never
+                // acked, but its record may be partially on disk.
+                inflight = Some(batch.clone());
+                break;
+            }
+        }
+    }
+    assert!(inflight.is_some(), "the planted crash never fired");
+    child.wait().expect("reap");
+
+    assert_recovered(&fx, &wal_dir, &acked, inflight.as_ref(), "planted crash");
+}

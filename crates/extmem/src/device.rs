@@ -8,6 +8,147 @@ use std::sync::Arc;
 
 use crate::stats::IoStats;
 
+pub mod faults {
+    //! Test-only I/O fault injection for crash-recovery hardening.
+    //!
+    //! Process-global countdown knobs that the counted-file write path
+    //! consults on every operation. All default to "disarmed" and cost
+    //! one relaxed atomic load per write/sync when disarmed, so the
+    //! hooks are compiled unconditionally — tests (and only tests)
+    //! arm them. Not for production use: arming a fault affects every
+    //! [`CountedFile`](super::CountedFile) in the process.
+    //!
+    //! Three fault classes, each armed as "trigger after N successful
+    //! operations of that class":
+    //!
+    //! * **short writes** — the next write after the countdown expires
+    //!   persists only the first half of the buffer (at least 1 byte)
+    //!   and then reports [`std::io::ErrorKind::WriteZero`], simulating
+    //!   a torn append at an arbitrary byte boundary;
+    //! * **fsync failures** — `sync_data` returns an error without
+    //!   syncing, simulating a full disk or dying device;
+    //! * **crash points** — the process calls [`std::process::abort`]
+    //!   immediately *after* the Nth write completes, simulating a
+    //!   power cut with everything up to that write already in the OS
+    //!   page cache.
+
+    use std::path::Path;
+    use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+    use std::sync::Mutex;
+
+    /// Master switch; when false every hook is a single relaxed load.
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    /// Writes remaining before the next one is torn (-1 = disarmed).
+    static SHORT_WRITE_AFTER: AtomicI64 = AtomicI64::new(-1);
+    /// Syncs remaining before the next one fails (-1 = disarmed).
+    static FSYNC_FAIL_AFTER: AtomicI64 = AtomicI64::new(-1);
+    /// Writes remaining before the process aborts (-1 = disarmed).
+    static CRASH_AFTER_WRITES: AtomicI64 = AtomicI64::new(-1);
+    /// Only files whose path contains this substring are affected.
+    static PATH_FILTER: Mutex<Option<String>> = Mutex::new(None);
+
+    /// Disarm every fault and switch the hooks back to no-ops.
+    pub fn reset() {
+        SHORT_WRITE_AFTER.store(-1, Ordering::SeqCst);
+        FSYNC_FAIL_AFTER.store(-1, Ordering::SeqCst);
+        CRASH_AFTER_WRITES.store(-1, Ordering::SeqCst);
+        *PATH_FILTER.lock().unwrap() = None;
+        ENABLED.store(false, Ordering::SeqCst);
+    }
+
+    /// Restrict armed faults to files whose path contains `substr`
+    /// (e.g. `"wal"` to fault only WAL appends while checkpoint and
+    /// index writes proceed untouched). `None` faults every file.
+    pub fn set_path_filter(substr: Option<&str>) {
+        *PATH_FILTER.lock().unwrap() = substr.map(str::to_owned);
+    }
+
+    fn path_matches(path: &Path) -> bool {
+        match &*PATH_FILTER.lock().unwrap() {
+            None => true,
+            Some(f) => path.to_string_lossy().contains(f.as_str()),
+        }
+    }
+
+    /// Arm faults from `EXTMEM_FAULT_*` environment variables — the
+    /// hook a parent test process uses to plant crash points inside a
+    /// spawned daemon. Recognized: `EXTMEM_FAULT_CRASH_AFTER_WRITES=N`,
+    /// `EXTMEM_FAULT_SHORT_WRITE_AFTER=N`,
+    /// `EXTMEM_FAULT_FSYNC_FAIL_AFTER=N`,
+    /// `EXTMEM_FAULT_PATH_FILTER=substr`. Unparsable values are
+    /// ignored. Call once at process start; production binaries simply
+    /// never set the variables.
+    pub fn arm_from_env() {
+        let get = |k: &str| std::env::var(k).ok().and_then(|v| v.parse::<u64>().ok());
+        if let Ok(f) = std::env::var("EXTMEM_FAULT_PATH_FILTER") {
+            set_path_filter(Some(&f));
+        }
+        if let Some(n) = get("EXTMEM_FAULT_CRASH_AFTER_WRITES") {
+            crash_after_writes(n);
+        }
+        if let Some(n) = get("EXTMEM_FAULT_SHORT_WRITE_AFTER") {
+            short_write_after(n);
+        }
+        if let Some(n) = get("EXTMEM_FAULT_FSYNC_FAIL_AFTER") {
+            fail_fsync_after(n);
+        }
+    }
+
+    /// Tear the write that comes after `n` more successful writes
+    /// (`n = 0` tears the very next write).
+    pub fn short_write_after(n: u64) {
+        SHORT_WRITE_AFTER.store(n as i64, Ordering::SeqCst);
+        ENABLED.store(true, Ordering::SeqCst);
+    }
+
+    /// Fail the `sync_data` that comes after `n` more successful syncs.
+    pub fn fail_fsync_after(n: u64) {
+        FSYNC_FAIL_AFTER.store(n as i64, Ordering::SeqCst);
+        ENABLED.store(true, Ordering::SeqCst);
+    }
+
+    /// Abort the process immediately after `n + 1` more writes land.
+    pub fn crash_after_writes(n: u64) {
+        CRASH_AFTER_WRITES.store(n as i64, Ordering::SeqCst);
+        ENABLED.store(true, Ordering::SeqCst);
+    }
+
+    /// Hook: truncate `len` to the injected short length, or `None` to
+    /// write the full buffer. Called before a counted write.
+    pub(super) fn clamp_write(path: &Path, len: usize) -> Option<usize> {
+        if !ENABLED.load(Ordering::Relaxed) || !path_matches(path) {
+            return None;
+        }
+        if SHORT_WRITE_AFTER.load(Ordering::SeqCst) >= 0
+            && SHORT_WRITE_AFTER.fetch_sub(1, Ordering::SeqCst) == 0
+        {
+            return Some((len / 2).clamp(1, len));
+        }
+        None
+    }
+
+    /// Hook: called after a counted write completes; may never return.
+    pub(super) fn after_write(path: &Path) {
+        if !ENABLED.load(Ordering::Relaxed) || !path_matches(path) {
+            return;
+        }
+        if CRASH_AFTER_WRITES.load(Ordering::SeqCst) >= 0
+            && CRASH_AFTER_WRITES.fetch_sub(1, Ordering::SeqCst) == 0
+        {
+            std::process::abort();
+        }
+    }
+
+    /// Hook: whether the next `sync_data` should fail.
+    pub(super) fn should_fail_fsync(path: &Path) -> bool {
+        if !ENABLED.load(Ordering::Relaxed) || !path_matches(path) {
+            return false;
+        }
+        FSYNC_FAIL_AFTER.load(Ordering::SeqCst) >= 0
+            && FSYNC_FAIL_AFTER.fetch_sub(1, Ordering::SeqCst) == 0
+    }
+}
+
 /// A directory of automatically named, automatically deleted temp files.
 ///
 /// All files created through one `TempStore` share one [`IoStats`]
@@ -199,6 +340,21 @@ impl CountedFile {
         Ok(())
     }
 
+    /// Flush file data to stable storage (`fdatasync`). Honors the
+    /// [`faults`] injection hooks so recovery tests can simulate a
+    /// failing device.
+    pub fn sync_data(&self) -> std::io::Result<()> {
+        if faults::should_fail_fsync(&self.path) {
+            return Err(std::io::Error::other("injected fsync failure"));
+        }
+        self.file.sync_data()
+    }
+
+    /// Truncate (or extend with zeros) the file to `len` bytes.
+    pub fn set_len(&self, len: u64) -> std::io::Result<()> {
+        self.file.set_len(len)
+    }
+
     /// Reopen a second independent handle onto the same file (own cursor,
     /// same counters). Used when one file is both merge input and random
     /// -access side of a join.
@@ -223,8 +379,14 @@ impl Read for CountedFile {
 
 impl Write for CountedFile {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if let Some(short) = faults::clamp_write(&self.path, buf.len()) {
+            let n = self.file.write(&buf[..short])?;
+            self.stats.record_write(n as u64);
+            return Err(std::io::Error::new(std::io::ErrorKind::WriteZero, "injected short write"));
+        }
         let n = self.file.write(buf)?;
         self.stats.record_write(n as u64);
+        faults::after_write(&self.path);
         Ok(n)
     }
 
@@ -305,6 +467,66 @@ mod tests {
         let f = store.create("worker").unwrap();
         assert_ne!(f.path(), path);
         let _ = std::fs::remove_file(path);
+    }
+
+    /// Serializes the tests that arm process-global fault state.
+    static FAULT_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn injected_faults_tear_writes_and_fail_syncs() {
+        let _guard = FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let store = TempStore::new().unwrap();
+        let mut f = store.create("faulted-target").unwrap();
+        // Scope every armed fault to this one file so concurrently
+        // running tests never consume (or suffer) the countdowns.
+        faults::set_path_filter(Some("faulted-target"));
+
+        faults::short_write_after(1);
+        f.write_all(b"first").unwrap(); // countdown 1 -> 0
+        let err = f.write_all(b"0123456789").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::WriteZero);
+        // Half the buffer (5 bytes) landed after the 5 from "first".
+        assert_eq!(f.len().unwrap(), 10);
+        // Disarmed after firing: the next write goes through whole.
+        f.write_all(b"tail").unwrap();
+        assert_eq!(f.len().unwrap(), 14);
+
+        faults::fail_fsync_after(0);
+        assert!(f.sync_data().is_err());
+        f.sync_data().unwrap();
+
+        faults::reset();
+        f.write_all(b"clean").unwrap();
+        f.sync_data().unwrap();
+    }
+
+    #[test]
+    fn path_filter_spares_other_files() {
+        let _guard = FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let store = TempStore::new().unwrap();
+        let hit = store.create("filter-hit").unwrap();
+        let mut miss = store.create("filter-miss-other").unwrap();
+        faults::set_path_filter(Some("filter-hit"));
+        faults::fail_fsync_after(0);
+        miss.sync_data().unwrap();
+        miss.write_all(b"ok").unwrap();
+        assert!(hit.sync_data().is_err());
+        faults::reset();
+        hit.sync_data().unwrap();
+    }
+
+    #[test]
+    fn set_len_truncates_and_extends() {
+        let store = TempStore::new().unwrap();
+        let mut f = store.create("trunc").unwrap();
+        f.write_all(b"abcdef").unwrap();
+        f.set_len(3).unwrap();
+        assert_eq!(f.len().unwrap(), 3);
+        let mut buf = [0u8; 3];
+        f.read_exact_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"abc");
+        f.set_len(8).unwrap();
+        assert_eq!(f.len().unwrap(), 8);
     }
 
     #[test]

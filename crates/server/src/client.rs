@@ -37,6 +37,18 @@ fn invalid(msg: String) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
 }
 
+/// Connect errors worth retrying: the listener is not there *yet*
+/// (daemon restarting, socket backlog overflowed), as opposed to
+/// timeouts and routing errors that a retry will not fix.
+fn is_transient_connect_error(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+    )
+}
+
 /// A claim on one in-flight query batch, returned by
 /// [`Session::submit`] and redeemed by [`Session::wait`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -206,6 +218,48 @@ impl Client {
     /// hang it.
     pub fn connect_timeout(addr: &SocketAddr, timeout: Duration) -> std::io::Result<Client> {
         Ok(Client { session: Session::connect_timeout(addr, timeout)? })
+    }
+
+    /// Like [`Client::connect_timeout`], but retry transient connect
+    /// failures (refused/reset/aborted — the daemon is restarting or
+    /// not yet listening) up to `retries` additional attempts, sleeping
+    /// an exponentially growing, jittered backoff between attempts.
+    /// `timeout` stays a *per-attempt* bound (`None` = block forever,
+    /// matching [`Client::connect`]); non-transient errors and
+    /// per-attempt timeouts fail immediately.
+    pub fn connect_retry(
+        addr: &SocketAddr,
+        timeout: Option<Duration>,
+        retries: u32,
+    ) -> std::io::Result<Client> {
+        // Deterministic tooling doesn't need a real RNG: one LCG step
+        // seeded from the clock de-synchronizes concurrent callers.
+        let mut jitter_state = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64 | 1)
+            .unwrap_or(1);
+        let mut backoff = Duration::from_millis(50);
+        let mut attempt = 0;
+        loop {
+            let result = match timeout {
+                Some(t) => Client::connect_timeout(addr, t),
+                None => Client::connect(addr),
+            };
+            match result {
+                Ok(client) => return Ok(client),
+                Err(e) if attempt < retries && is_transient_connect_error(&e) => {
+                    jitter_state = jitter_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    // Sleep backoff ± 25%.
+                    let base = backoff.as_millis() as u64;
+                    let spread = (base / 2).max(1);
+                    let jittered = base - spread / 2 + jitter_state % spread;
+                    std::thread::sleep(Duration::from_millis(jittered));
+                    backoff = (backoff * 2).min(Duration::from_secs(1));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Bound every subsequent socket read/write (`None` = block forever).

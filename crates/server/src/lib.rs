@@ -53,6 +53,7 @@ pub mod proto;
 #[cfg(target_os = "linux")]
 pub mod reactor;
 pub mod server;
+pub mod wal;
 
 pub use backend::{Generation, LiveGeneration};
 pub use client::Client;

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! magic        4 bytes   "HOPQ" (request) / "HOPR" (response)
-//! version      u8        1 or 2 (see "Versioning" below)
+//! version      u8        1, 2, or 3 (see "Versioning" below)
 //! kind/status  u8        request kind, or response status
 //! request id   u64 LE    echoed verbatim in the response
 //! payload_len  u32 LE    bytes following the header (≤ MAX_PAYLOAD)
@@ -41,6 +41,11 @@
 //! error: the frame was consumed whole, so the connection survives and
 //! old clients get an error response instead of a slammed connection.
 //! Versions outside the supported range remain fatal.
+//!
+//! Version 3 widens one payload: the `info` *response* grew durability
+//! fields (WAL epoch/size, recovery and checkpoint counters — see
+//! [`InfoReply`]) and is stamped v3; the `info` request is unchanged
+//! and still goes out as v2. No other frame changed.
 //!
 //! ## Pipelining
 //!
@@ -91,7 +96,7 @@ pub const REQ_MAGIC: [u8; 4] = *b"HOPQ";
 pub const RESP_MAGIC: [u8; 4] = *b"HOPR";
 /// Highest protocol version this build speaks. Frames are encoded with
 /// the lowest version that defines their kind (see "Versioning").
-pub const VERSION: u8 = 2;
+pub const VERSION: u8 = 3;
 /// Lowest protocol version still accepted on the wire.
 pub const MIN_VERSION: u8 = 1;
 /// Fixed frame header size: magic + version + kind + id + payload len.
@@ -222,7 +227,28 @@ pub struct InfoReply {
     pub requests: u64,
     /// Malformed frames seen since boot (recoverable and fatal).
     pub protocol_errors: u64,
+    /// Fsync policy of the write-ahead log (v3): 0 = off, 1 = batch,
+    /// 2 = always, [`DURABILITY_DISABLED`] = no WAL configured.
+    pub durability: u8,
+    /// Checkpoint epoch the WAL lineage is at (v3; 0 without a WAL).
+    pub wal_epoch: u64,
+    /// Update records in the live WAL file (v3).
+    pub wal_records: u64,
+    /// Byte length of the live WAL file, header included (v3).
+    pub wal_bytes: u64,
+    /// Update records replayed from the WAL at the last boot (v3).
+    pub recovered_records: u64,
+    /// Torn-tail/corrupt bytes discarded from the WAL at boot (v3).
+    pub recovered_dropped_bytes: u64,
+    /// Durable checkpoints published since boot (v3).
+    pub checkpoints: u64,
+    /// Compactions that aborted (superseding swap or build error)
+    /// since boot (v3).
+    pub aborted_compactions: u64,
 }
+
+/// [`InfoReply::durability`] value when the server runs without a WAL.
+pub const DURABILITY_DISABLED: u8 = 255;
 
 /// The response payloads a server can send.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -264,9 +290,9 @@ pub enum ResponseBody {
 impl ResponseBody {
     fn min_version(&self) -> u8 {
         match self {
-            ResponseBody::Updated { .. }
-            | ResponseBody::Info(_)
-            | ResponseBody::Compacted { .. } => 2,
+            // The info payload gained durability fields in v3.
+            ResponseBody::Info(_) => 3,
+            ResponseBody::Updated { .. } | ResponseBody::Compacted { .. } => 2,
             _ => 1,
         }
     }
@@ -412,7 +438,7 @@ impl Response {
                 (STATUS_OK, p)
             }
             ResponseBody::Info(i) => {
-                let mut p = Vec::with_capacity(68);
+                let mut p = Vec::with_capacity(125);
                 p.push(KIND_INFO);
                 p.push(i.protocol);
                 p.extend_from_slice(&i.generation.to_le_bytes());
@@ -425,6 +451,14 @@ impl Response {
                 p.extend_from_slice(&i.compactions.to_le_bytes());
                 p.extend_from_slice(&i.requests.to_le_bytes());
                 p.extend_from_slice(&i.protocol_errors.to_le_bytes());
+                p.push(i.durability);
+                p.extend_from_slice(&i.wal_epoch.to_le_bytes());
+                p.extend_from_slice(&i.wal_records.to_le_bytes());
+                p.extend_from_slice(&i.wal_bytes.to_le_bytes());
+                p.extend_from_slice(&i.recovered_records.to_le_bytes());
+                p.extend_from_slice(&i.recovered_dropped_bytes.to_le_bytes());
+                p.extend_from_slice(&i.checkpoints.to_le_bytes());
+                p.extend_from_slice(&i.aborted_compactions.to_le_bytes());
                 (STATUS_OK, p)
             }
             ResponseBody::Compacted { generation, vertices } => {
@@ -700,7 +734,7 @@ pub fn read_response(r: &mut impl Read) -> Result<Response, ProtoError> {
                     generation: u64::from_le_bytes(payload[1..9].try_into().unwrap()),
                     overlay_edges: u64::from_le_bytes(payload[9..17].try_into().unwrap()),
                 },
-                Some(&KIND_INFO) if payload.len() == 68 => ResponseBody::Info(InfoReply {
+                Some(&KIND_INFO) if payload.len() == 125 => ResponseBody::Info(InfoReply {
                     protocol: payload[1],
                     generation: u64::from_le_bytes(payload[2..10].try_into().unwrap()),
                     vertices: u64::from_le_bytes(payload[10..18].try_into().unwrap()),
@@ -712,6 +746,16 @@ pub fn read_response(r: &mut impl Read) -> Result<Response, ProtoError> {
                     compactions: u64::from_le_bytes(payload[44..52].try_into().unwrap()),
                     requests: u64::from_le_bytes(payload[52..60].try_into().unwrap()),
                     protocol_errors: u64::from_le_bytes(payload[60..68].try_into().unwrap()),
+                    durability: payload[68],
+                    wal_epoch: u64::from_le_bytes(payload[69..77].try_into().unwrap()),
+                    wal_records: u64::from_le_bytes(payload[77..85].try_into().unwrap()),
+                    wal_bytes: u64::from_le_bytes(payload[85..93].try_into().unwrap()),
+                    recovered_records: u64::from_le_bytes(payload[93..101].try_into().unwrap()),
+                    recovered_dropped_bytes: u64::from_le_bytes(
+                        payload[101..109].try_into().unwrap(),
+                    ),
+                    checkpoints: u64::from_le_bytes(payload[109..117].try_into().unwrap()),
+                    aborted_compactions: u64::from_le_bytes(payload[117..125].try_into().unwrap()),
                 }),
                 Some(&KIND_COMPACT) if payload.len() == 17 => ResponseBody::Compacted {
                     generation: u64::from_le_bytes(payload[1..9].try_into().unwrap()),
@@ -722,7 +766,7 @@ pub fn read_response(r: &mut impl Read) -> Result<Response, ProtoError> {
                     // the variants above cannot collide because a
                     // distance payload is always 4 + 4k bytes with a
                     // leading LE count — re-parse as such (a 17- or
-                    // 68-byte payload is never 4 + 4k with a matching
+                    // 125-byte payload is never 4 + 4k with a matching
                     // count whose low byte equals the tag).
                     if payload.len() < 4 {
                         return Err(bad("ok response payload too short"));
@@ -794,6 +838,14 @@ mod tests {
                 compactions: 2,
                 requests: 1000,
                 protocol_errors: 1,
+                durability: 2,
+                wal_epoch: 6,
+                wal_records: 40,
+                wal_bytes: 4096,
+                recovered_records: 7,
+                recovered_dropped_bytes: 13,
+                checkpoints: 3,
+                aborted_compactions: 1,
             }),
             ResponseBody::Compacted { generation: 5, vertices: 888 },
             ResponseBody::Error("nope".into()),
@@ -907,6 +959,10 @@ mod tests {
             Response { id: 1, body: ResponseBody::Updated { generation: 1, overlay_edges: 0 } }
                 .encode()[4],
             2
+        );
+        assert_eq!(
+            Response { id: 1, body: ResponseBody::Info(InfoReply::default()) }.encode()[4],
+            3
         );
     }
 

@@ -28,8 +28,10 @@ use std::thread::JoinHandle;
 use crate::backend::Generation;
 use crate::proto::{
     read_request, InfoReply, ProtoError, Request, RequestBody, Response, ResponseBody, StatsReply,
-    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_BATCH, DURABILITY_DISABLED,
 };
+use crate::wal::{self, Durability, Manifest, Wal};
+use extmem::stats::IoStats;
 
 /// Which serving backend answers connections.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -117,6 +119,17 @@ pub struct ServerConfig {
     /// affected-vertex count, so the default keeps update batches in
     /// the low-millisecond range.
     pub compact_threshold: usize,
+    /// Durability directory: every accepted update batch is logged to a
+    /// write-ahead log here before it is acknowledged, checkpoints land
+    /// here, and startup replays whatever a previous process left
+    /// behind. `None` = updates live only in memory (pre-durability
+    /// behavior).
+    pub wal_dir: Option<PathBuf>,
+    /// When the WAL fsyncs relative to the ack (ignored without
+    /// `wal_dir`). The default trades a ~2 ms loss window on *power
+    /// failure* (a mere process crash loses nothing) for group-commit
+    /// throughput; `always` closes the window per batch.
+    pub durability: Durability,
 }
 
 impl Default for ServerConfig {
@@ -135,8 +148,20 @@ impl Default for ServerConfig {
             idle_timeout_ms: 0,
             source_graph: None,
             compact_threshold: 256,
+            wal_dir: None,
+            durability: Durability::Batch,
         }
     }
+}
+
+/// Mutable durability state: the live WAL handle plus the directory it
+/// (and the checkpoint artifacts) live in. Locked *after* `update_log`
+/// in the `mutate_serial → update_log → durable → current` order shared
+/// by updates, swaps, and checkpoint promotions.
+struct DurableState {
+    dir: PathBuf,
+    wal: Wal,
+    stats: Arc<IoStats>,
 }
 
 /// State shared by the accept thread, workers, and the handle.
@@ -160,6 +185,18 @@ struct Shared {
     /// Channel into the compactor thread (`None` once stopping).
     compact_tx: Mutex<Option<mpsc::Sender<CompactMsg>>>,
     compactions: AtomicU64,
+    /// Durability state; `None` when the server runs without a WAL.
+    durable: Option<Mutex<DurableState>>,
+    /// Mirrors of the WAL's epoch/size so `info`/`/stats` never touch
+    /// the durable lock from the read path.
+    wal_epoch: AtomicU64,
+    wal_records: AtomicU64,
+    wal_bytes: AtomicU64,
+    /// Boot-recovery outcome (constant after `serve` returns).
+    recovered_records: AtomicU64,
+    recovered_dropped_bytes: AtomicU64,
+    checkpoints: AtomicU64,
+    aborted_compactions: AtomicU64,
     generation_seq: AtomicU64,
     conn_seq: AtomicU64,
     /// Live connections (cloned handles) so shutdown can unblock
@@ -271,7 +308,13 @@ pub fn serve(
 ) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local_addr = listener.local_addr()?;
-    let boot = Generation::load(index_path, config.max_resident_bytes, 1)?;
+    let recovery = recover_durable(index_path, &config)?;
+    let mut boot = Generation::load(&recovery.boot_path, config.max_resident_bytes, 1)?;
+    if !recovery.log.is_empty() {
+        // Replay the WAL into the overlay: the recovered daemon answers
+        // exactly like the crashed one did after its last ack.
+        boot = boot.with_updates(&recovery.log).map_err(std::io::Error::other)?;
+    }
     let backend = config.backend;
     let (compact_tx, compact_rx) = mpsc::channel::<CompactMsg>();
     let shared = Arc::new(Shared {
@@ -281,10 +324,18 @@ pub fn serve(
         local_addr,
         stop: AtomicBool::new(false),
         mutate_serial: Mutex::new(()),
-        update_log: Mutex::new(Vec::new()),
+        update_log: Mutex::new(recovery.log),
         swap_epoch: AtomicU64::new(0),
         compact_tx: Mutex::new(Some(compact_tx)),
         compactions: AtomicU64::new(0),
+        wal_epoch: AtomicU64::new(recovery.epoch),
+        wal_records: AtomicU64::new(recovery.wal_records),
+        wal_bytes: AtomicU64::new(recovery.wal_bytes),
+        recovered_records: AtomicU64::new(recovery.recovered_records),
+        recovered_dropped_bytes: AtomicU64::new(recovery.recovered_dropped_bytes),
+        checkpoints: AtomicU64::new(0),
+        aborted_compactions: AtomicU64::new(0),
+        durable: recovery.durable.map(Mutex::new),
         generation_seq: AtomicU64::new(1),
         conn_seq: AtomicU64::new(0),
         conns: Mutex::new(HashMap::new()),
@@ -311,6 +362,95 @@ pub fn serve(
     };
     handle.workers.push(compactor);
     Ok(handle)
+}
+
+/// What boot recovery reconstructed from the WAL directory.
+struct Recovery {
+    /// Index image to boot from: the manifest's checkpoint when one
+    /// exists, otherwise the path handed to [`serve`].
+    boot_path: PathBuf,
+    /// Replayed acknowledged updates, flattened in append order — the
+    /// initial `update_log`.
+    log: Vec<(u32, u32, u32)>,
+    durable: Option<DurableState>,
+    epoch: u64,
+    wal_records: u64,
+    wal_bytes: u64,
+    recovered_records: u64,
+    recovered_dropped_bytes: u64,
+}
+
+/// Open (or create) the durability directory and bring the WAL lineage
+/// to a clean, appendable state: read `CURRENT`, walk the epoch's log
+/// tolerating a torn tail, validate the header epoch, truncate the
+/// tear, and garbage-collect files from dead epochs (failed checkpoint
+/// or swap attempts).
+fn recover_durable(index_path: &Path, config: &ServerConfig) -> std::io::Result<Recovery> {
+    let no_wal = Recovery {
+        boot_path: index_path.to_path_buf(),
+        log: Vec::new(),
+        durable: None,
+        epoch: 0,
+        wal_records: 0,
+        wal_bytes: 0,
+        recovered_records: 0,
+        recovered_dropped_bytes: 0,
+    };
+    let Some(dir) = config.wal_dir.as_deref() else {
+        return Ok(no_wal);
+    };
+    std::fs::create_dir_all(dir)?;
+    let stats = IoStats::shared();
+    let (epoch, boot_path) = match wal::read_manifest(dir)? {
+        Some(m) => {
+            if !m.index_path.exists() {
+                return Err(std::io::Error::other(format!(
+                    "{}/CURRENT points at missing checkpoint image {}",
+                    dir.display(),
+                    m.index_path.display()
+                )));
+            }
+            (m.epoch, m.index_path)
+        }
+        None => (0, index_path.to_path_buf()),
+    };
+    let wal_path = dir.join(wal::wal_file_name(epoch));
+    let replay = wal::read_wal(&wal_path, Arc::clone(&stats))?;
+    let (live, batches, recovered_records, recovered_dropped_bytes) = match replay.epoch {
+        // Missing log (first boot, or a crash immediately after the
+        // manifest flip deleted nothing yet) or an unreadable header:
+        // start the epoch's log fresh. Header-less garbage counts as
+        // dropped bytes so operators can see it happened.
+        None => {
+            let dropped = replay.dropped_bytes;
+            let live = Wal::create(&wal_path, epoch, config.durability, Arc::clone(&stats))?;
+            (live, Vec::new(), 0, dropped)
+        }
+        Some(e) if e != epoch => {
+            return Err(std::io::Error::other(format!(
+                "{} carries epoch {e} but CURRENT says {epoch} — \
+                 the durability directory mixes files from different lineages",
+                wal_path.display()
+            )));
+        }
+        Some(_) => {
+            let live =
+                Wal::open_after_replay(&wal_path, &replay, config.durability, Arc::clone(&stats))?;
+            let n = replay.batches.len() as u64;
+            (live, replay.batches, n, replay.dropped_bytes)
+        }
+    };
+    wal::gc_dir(dir, epoch);
+    Ok(Recovery {
+        boot_path,
+        log: batches.concat(),
+        epoch,
+        wal_records: live.records(),
+        wal_bytes: live.bytes(),
+        recovered_records,
+        recovered_dropped_bytes,
+        durable: Some(DurableState { dir: dir.to_path_buf(), wal: live, stats }),
+    })
 }
 
 /// Work order for the background compactor thread.
@@ -346,16 +486,33 @@ fn compactor_loop(shared: &Shared, rx: &mpsc::Receiver<CompactMsg>) {
         match msg {
             CompactMsg::Stop => return,
             CompactMsg::Threshold => {
-                let threshold = shared.config.compact_threshold;
-                let over = threshold > 0
-                    && shared
-                        .current
-                        .read()
-                        .map(|g| g.overlay_edges() >= threshold)
-                        .unwrap_or(false);
-                if over {
+                let over_threshold = || {
+                    let threshold = shared.config.compact_threshold;
+                    threshold > 0
+                        && shared
+                            .current
+                            .read()
+                            .map(|g| g.overlay_edges() >= threshold)
+                            .unwrap_or(false)
+                };
+                if over_threshold() {
                     if let Err(e) = do_compact(shared) {
                         eprintln!("hopdb-server: background compaction failed: {e}");
+                        // Back off before the retry below so a
+                        // persistent build error can't spin the core.
+                        std::thread::sleep(std::time::Duration::from_millis(100));
+                    }
+                    // Re-arm: an aborted attempt (superseding swap,
+                    // build error) — or updates that landed mid-build —
+                    // can leave the overlay still over the threshold
+                    // with no future update due to poke us. Poke
+                    // ourselves instead of idling until the next write.
+                    if over_threshold() && !shared.stop.load(Ordering::SeqCst) {
+                        if let Ok(tx) = shared.compact_tx.lock() {
+                            if let Some(tx) = tx.as_ref() {
+                                let _ = tx.send(CompactMsg::Threshold);
+                            }
+                        }
                     }
                 }
             }
@@ -597,6 +754,33 @@ fn do_swap(shared: &Shared) -> std::io::Result<Arc<Generation>> {
     let fresh = Arc::new(Generation::load(path, shared.config.max_resident_bytes, next)?);
     let mut log =
         shared.update_log.lock().map_err(|_| std::io::Error::other("server state poisoned"))?;
+    // A swap discards the update log with the image it described; the
+    // durable lineage advances the same way: a fresh (empty) next-epoch
+    // log, then the manifest flip committing "boot from the swapped
+    // image, nothing to replay". A crash before the flip recovers the
+    // pre-swap state (old log intact), after it the post-swap state.
+    if let Some(durable) = &shared.durable {
+        let mut d = durable.lock().map_err(|_| std::io::Error::other("server state poisoned"))?;
+        let epoch = d.wal.epoch() + 1;
+        let new_wal = Wal::create(
+            &d.dir.join(wal::wal_file_name(epoch)),
+            epoch,
+            shared.config.durability,
+            Arc::clone(&d.stats),
+        )?;
+        wal::write_manifest(
+            &d.dir,
+            &Manifest { epoch, index_path: path.to_path_buf() },
+            Arc::clone(&d.stats),
+        )?;
+        let old_path = d.wal.path().to_path_buf();
+        d.wal = new_wal;
+        let _ = std::fs::remove_file(old_path);
+        wal::gc_dir(&d.dir, epoch);
+        shared.wal_epoch.store(epoch, Ordering::Relaxed);
+        shared.wal_records.store(d.wal.records(), Ordering::Relaxed);
+        shared.wal_bytes.store(d.wal.bytes(), Ordering::Relaxed);
+    }
     log.clear();
     shared.swap_epoch.fetch_add(1, Ordering::SeqCst);
     let mut current =
@@ -621,6 +805,16 @@ fn do_update(shared: &Shared, edges: &[(u32, u32, u32)]) -> Result<(u64, u64), S
     let next = current.with_updates(&candidate)?;
     let generation = next.generation();
     let overlay_edges = next.overlay_edges() as u64;
+    // Make the batch durable *before* it becomes observable: only
+    // validated batches reach the WAL, and nothing is published (or
+    // acknowledged) unless the append succeeds. Under `always` the
+    // record is on stable storage when `append` returns.
+    if let Some(durable) = &shared.durable {
+        let mut d = durable.lock().map_err(|_| "server state poisoned".to_string())?;
+        d.wal.append(edges).map_err(|e| format!("wal append: {e}"))?;
+        shared.wal_records.store(d.wal.records(), Ordering::Relaxed);
+        shared.wal_bytes.store(d.wal.bytes(), Ordering::Relaxed);
+    }
     *log = candidate;
     {
         let mut cur = shared.current.write().map_err(|_| "server state poisoned".to_string())?;
@@ -696,6 +890,14 @@ fn sniff_weighted(path: &Path) -> std::io::Result<bool> {
 /// by `hopdb-cli build` from the same file (the `.rank` sidecar maps
 /// original ids), which is the supported deployment for `--graph`.
 fn do_compact(shared: &Shared) -> Result<(u64, u64), String> {
+    let result = do_compact_inner(shared);
+    if result.is_err() {
+        shared.aborted_compactions.fetch_add(1, Ordering::Relaxed);
+    }
+    result
+}
+
+fn do_compact_inner(shared: &Shared) -> Result<(u64, u64), String> {
     use sfgraph::ranking::{rank_vertices, relabel_by_rank, RankBy};
     let Some(path) = shared.config.source_graph.as_deref() else {
         return Err("compaction requires the server to be started with --graph".to_string());
@@ -750,6 +952,35 @@ fn do_compact(shared: &Shared) -> Result<(u64, u64), String> {
     let (index, _stats) = hopdb::build_prelabeled(&relabeled, &cfg);
     let flat = hoplabels::flat::FlatIndex::from_index(&index);
 
+    // Stage the checkpoint image while holding no lock: serialize the
+    // rebuilt index and its `.rank` sidecar to fresh files in the WAL
+    // directory and fsync them. Nothing references the staged files
+    // until the manifest flips below, so aborting here merely leaves
+    // garbage for the next `gc_dir` sweep.
+    let staged = if let Some(durable) = &shared.durable {
+        let dir = {
+            let d = durable.lock().map_err(|_| "server state poisoned".to_string())?;
+            d.dir.clone()
+        };
+        let stage = |e: std::io::Error| format!("checkpoint staging: {e}");
+        let store = extmem::TempStore::in_dir(&dir).map_err(stage)?;
+        let image = hoplabels::disk::DiskIndex::create(&index, &store, "ckpt-stage")
+            .map_err(stage)?
+            .persist();
+        let sidecar = {
+            let mut s = image.as_os_str().to_os_string();
+            s.push(".rank");
+            PathBuf::from(s)
+        };
+        std::fs::write(&sidecar, ranking.to_sidecar_bytes()).map_err(stage)?;
+        for path in [&image, &sidecar] {
+            std::fs::File::open(path).and_then(|f| f.sync_data()).map_err(stage)?;
+        }
+        Some((dir, image, sidecar))
+    } else {
+        None
+    };
+
     // Promote. Everything after this point is cheap.
     let _serial = shared.mutate_serial.lock().map_err(|_| "server state poisoned".to_string())?;
     if shared.swap_epoch.load(Ordering::SeqCst) != epoch {
@@ -764,6 +995,52 @@ fn do_compact(shared: &Shared) -> Result<(u64, u64), String> {
     }
     let generation = fresh.generation();
     let vertices = fresh.vertices() as u64;
+    // Commit the checkpoint to the durable lineage *before* publishing
+    // the in-memory state: rename the staged image into its epoch name,
+    // write the next epoch's WAL seeded with the unpinned tail, then
+    // flip the manifest (the single commit point). A crash on either
+    // side of the flip recovers a consistent state — before it, the old
+    // image plus the full old log; after it, the checkpoint plus the
+    // tail. Replay is idempotent, so straddling updates are safe.
+    if let Some((dir, image, sidecar)) = staged {
+        let durable = shared.durable.as_ref().expect("staged implies durable");
+        let mut d = durable.lock().map_err(|_| "server state poisoned".to_string())?;
+        let commit = |e: std::io::Error| format!("checkpoint commit: {e}");
+        let new_epoch = d.wal.epoch() + 1;
+        let ckpt = dir.join(wal::checkpoint_image_name(new_epoch));
+        let ckpt_rank = {
+            let mut s = ckpt.as_os_str().to_os_string();
+            s.push(".rank");
+            PathBuf::from(s)
+        };
+        std::fs::rename(&image, &ckpt).map_err(commit)?;
+        std::fs::rename(&sidecar, &ckpt_rank).map_err(commit)?;
+        let mut new_wal = Wal::create(
+            &dir.join(wal::wal_file_name(new_epoch)),
+            new_epoch,
+            shared.config.durability,
+            Arc::clone(&d.stats),
+        )
+        .map_err(commit)?;
+        if !remaining.is_empty() {
+            new_wal.append(&remaining).map_err(commit)?;
+            new_wal.sync().map_err(commit)?;
+        }
+        wal::write_manifest(
+            &dir,
+            &Manifest { epoch: new_epoch, index_path: ckpt },
+            Arc::clone(&d.stats),
+        )
+        .map_err(commit)?;
+        let old_path = d.wal.path().to_path_buf();
+        d.wal = new_wal;
+        let _ = std::fs::remove_file(old_path);
+        wal::gc_dir(&dir, new_epoch);
+        shared.wal_epoch.store(new_epoch, Ordering::Relaxed);
+        shared.wal_records.store(d.wal.records(), Ordering::Relaxed);
+        shared.wal_bytes.store(d.wal.bytes(), Ordering::Relaxed);
+        shared.checkpoints.fetch_add(1, Ordering::Relaxed);
+    }
     *log = remaining;
     {
         let mut cur = shared.current.write().map_err(|_| "server state poisoned".to_string())?;
@@ -789,6 +1066,17 @@ fn info_of(shared: &Shared) -> Option<InfoReply> {
         compactions: shared.compactions.load(Ordering::Relaxed),
         requests: shared.requests.load(Ordering::Relaxed),
         protocol_errors: shared.protocol_errors.load(Ordering::Relaxed),
+        durability: match &shared.durable {
+            None => DURABILITY_DISABLED,
+            Some(_) => shared.config.durability.as_u8(),
+        },
+        wal_epoch: shared.wal_epoch.load(Ordering::Relaxed),
+        wal_records: shared.wal_records.load(Ordering::Relaxed),
+        wal_bytes: shared.wal_bytes.load(Ordering::Relaxed),
+        recovered_records: shared.recovered_records.load(Ordering::Relaxed),
+        recovered_dropped_bytes: shared.recovered_dropped_bytes.load(Ordering::Relaxed),
+        checkpoints: shared.checkpoints.load(Ordering::Relaxed),
+        aborted_compactions: shared.aborted_compactions.load(Ordering::Relaxed),
     })
 }
 
@@ -1353,11 +1641,28 @@ mod epoll_backend {
                 .map(|g| (g.resident_bytes(), g.overlay_edges(), g.overlay_affected()))
                 .unwrap_or((0, 0, 0));
             let compactions = self.shared.compactions.load(Ordering::Relaxed);
+            let durability = match &self.shared.durable {
+                None => "disabled".to_string(),
+                Some(_) => self.shared.config.durability.to_string(),
+            };
+            let wal_epoch = self.shared.wal_epoch.load(Ordering::Relaxed);
+            let wal_records = self.shared.wal_records.load(Ordering::Relaxed);
+            let wal_bytes = self.shared.wal_bytes.load(Ordering::Relaxed);
+            let recovered_records = self.shared.recovered_records.load(Ordering::Relaxed);
+            let recovered_dropped_bytes =
+                self.shared.recovered_dropped_bytes.load(Ordering::Relaxed);
+            let checkpoints = self.shared.checkpoints.load(Ordering::Relaxed);
+            let aborted_compactions = self.shared.aborted_compactions.load(Ordering::Relaxed);
             format!(
                 "{{\"generation\":{},\"vertices\":{},\"directed\":{},\"resident\":{},\
                  \"resident_bytes\":{resident_bytes},\"overlay_edges\":{overlay_edges},\
                  \"overlay_affected\":{overlay_affected},\"compactions\":{compactions},\
-                 \"requests\":{},\"protocol_errors\":{}}}",
+                 \"requests\":{},\"protocol_errors\":{},\
+                 \"durability\":\"{durability}\",\"wal_epoch\":{wal_epoch},\
+                 \"wal_records\":{wal_records},\"wal_bytes\":{wal_bytes},\
+                 \"recovered_records\":{recovered_records},\
+                 \"recovered_dropped_bytes\":{recovered_dropped_bytes},\
+                 \"checkpoints\":{checkpoints},\"aborted_compactions\":{aborted_compactions}}}",
                 s.generation, s.vertices, s.directed, s.resident, s.requests, s.protocol_errors,
             )
         }

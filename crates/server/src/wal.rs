@@ -1,0 +1,638 @@
+//! Write-ahead log, checkpoint manifest, and crash recovery plumbing.
+//!
+//! Every update batch the daemon accepts is appended here *before* the
+//! new generation is published and the client sees an ack, so a crash
+//! or restart can replay the log into the overlay and recover exactly
+//! the acknowledged state. The format is deliberately dumb — length-
+//! prefixed, CRC-framed, append-only — so the reader can walk arbitrary
+//! bytes without trusting any of them:
+//!
+//! ```text
+//! file   := header record*
+//! header := magic "HOPWAL01" (8B) | epoch u64 LE          (16 bytes)
+//! record := len u32 LE | crc32 u32 LE | payload           (8B + len)
+//! payload:= count u32 LE | count × (src u32, dst u32, w u32) LE
+//! ```
+//!
+//! `len` covers the payload only; `crc32` (IEEE, reflected — the
+//! zlib/ethernet polynomial) covers the payload only. A record is valid
+//! iff its full `8 + len` bytes are present, `len` is structurally
+//! plausible (`len = 4 + 12·count ≤` [`MAX_RECORD_LEN`]), and the CRC
+//! matches — so a torn tail, a flipped length field, or a corrupted
+//! body all stop the replay at the last good record instead of
+//! panicking or over-reading ([`read_wal`] truncates-at-first-bad).
+//!
+//! The `epoch` ties the log to a checkpoint generation recorded in the
+//! sibling `CURRENT` manifest (see [`Manifest`]). Logs are named per
+//! epoch ([`wal_file_name`]): a checkpoint or swap writes the next
+//! epoch's complete log *first*, then atomically flips `CURRENT`, so
+//! the manifest rename is the single commit point and recovery always
+//! finds a complete log for whichever epoch survived. The header epoch
+//! must match the manifest's — a mismatch means the directory mixes
+//! files from different lineages and recovery refuses to guess.
+//!
+//! Fsync policy is a runtime knob ([`Durability`]): `always` syncs
+//! every append before the ack (no acknowledged batch is ever lost,
+//! even to power failure), `batch` group-commits at most every
+//! [`BATCH_SYNC_INTERVAL`] (bounded loss window, much cheaper under
+//! write bursts), `off` leaves syncing to the OS (a process crash
+//! still loses nothing — the page cache survives SIGKILL — but a power
+//! cut may cost the tail).
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use extmem::device::CountedFile;
+use extmem::stats::IoStats;
+
+/// One logged update edge: `(src, dst, weight)` in original vertex ids.
+pub type WalEdge = (u32, u32, u32);
+
+/// Magic bytes opening every WAL file.
+pub const WAL_MAGIC: &[u8; 8] = b"HOPWAL01";
+/// WAL file header length: magic + epoch.
+pub const WAL_HEADER_LEN: u64 = 16;
+/// Per-record frame overhead: length + CRC.
+pub const RECORD_HEADER_LEN: u64 = 8;
+/// Upper bound on one record's payload (a flipped length field must
+/// never drive an over-read). 32 MiB comfortably exceeds the largest
+/// update batch the wire protocol admits (16 MiB payload cap).
+pub const MAX_RECORD_LEN: u32 = 1 << 25;
+/// Group-commit window for [`Durability::Batch`].
+pub const BATCH_SYNC_INTERVAL: Duration = Duration::from_millis(2);
+
+/// File name of the checkpoint manifest inside a WAL directory.
+pub const MANIFEST_FILE: &str = "CURRENT";
+
+/// Name of the log file carrying `epoch`'s update tail. One log file
+/// per epoch makes the manifest rename the *single* commit point of a
+/// checkpoint or swap: the next epoch's log is fully written before
+/// `CURRENT` flips, and whichever log the surviving manifest names is
+/// complete.
+pub fn wal_file_name(epoch: u64) -> String {
+    format!("wal-{epoch}.log")
+}
+
+/// Name of `epoch`'s checkpoint image inside the WAL directory (its
+/// `.rank` sidecar sits at `<name>.rank`, matching the boot loader).
+pub fn checkpoint_image_name(epoch: u64) -> String {
+    format!("ckpt-{epoch}.idx")
+}
+
+/// Best-effort garbage collection of a WAL directory: delete log
+/// files, checkpoint images, and stale temp files from every epoch but
+/// `keep`. Runs after boot recovery and after each manifest flip;
+/// failures are ignored (a leftover file is re-collected next time).
+pub fn gc_dir(dir: &Path, keep: u64) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let keep_wal = wal_file_name(keep);
+    let keep_img = checkpoint_image_name(keep);
+    let keep_rank = format!("{keep_img}.rank");
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name == keep_wal || name == keep_img || name == keep_rank || name == MANIFEST_FILE {
+            continue;
+        }
+        let stale_wal = name.starts_with("wal-") && name.ends_with(".log");
+        let stale_ckpt = name.starts_with("ckpt-");
+        let stale_tmp = name.ends_with(".tmp");
+        if stale_wal || stale_ckpt || stale_tmp {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
+/// When (if ever) an appended batch is fsynced relative to its ack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Durability {
+    /// Never fsync from the hot path; rely on the OS page cache.
+    Off,
+    /// Group-commit: fsync at most once per [`BATCH_SYNC_INTERVAL`].
+    Batch,
+    /// Fsync every appended batch before it is acknowledged.
+    Always,
+}
+
+impl std::str::FromStr for Durability {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Durability, String> {
+        match s {
+            "off" => Ok(Durability::Off),
+            "batch" => Ok(Durability::Batch),
+            "always" => Ok(Durability::Always),
+            other => Err(format!("unknown durability '{other}' (expected off|batch|always)")),
+        }
+    }
+}
+
+impl std::fmt::Display for Durability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Durability::Off => "off",
+            Durability::Batch => "batch",
+            Durability::Always => "always",
+        })
+    }
+}
+
+impl Durability {
+    /// Wire encoding used by the `info` response (see
+    /// [`crate::proto::InfoReply::durability`]).
+    pub fn as_u8(self) -> u8 {
+        match self {
+            Durability::Off => 0,
+            Durability::Batch => 1,
+            Durability::Always => 2,
+        }
+    }
+}
+
+/// CRC32 (IEEE reflected polynomial 0xEDB88320), table-driven.
+pub fn crc32(data: &[u8]) -> u32 {
+    static TABLE: [u32; 256] = crc32_table();
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+fn encode_payload(batch: &[WalEdge]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(4 + batch.len() * 12);
+    payload.extend_from_slice(&(batch.len() as u32).to_le_bytes());
+    for &(s, t, w) in batch {
+        payload.extend_from_slice(&s.to_le_bytes());
+        payload.extend_from_slice(&t.to_le_bytes());
+        payload.extend_from_slice(&w.to_le_bytes());
+    }
+    payload
+}
+
+fn encode_record(batch: &[WalEdge]) -> Vec<u8> {
+    let payload = encode_payload(batch);
+    let mut rec = Vec::with_capacity(8 + payload.len());
+    rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    rec.extend_from_slice(&crc32(&payload).to_le_bytes());
+    rec.extend_from_slice(&payload);
+    rec
+}
+
+fn u32_at(bytes: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap())
+}
+
+/// The result of walking a WAL file with [`read_wal`].
+#[derive(Debug)]
+pub struct Replay {
+    /// Epoch from the file header; `None` when the file is missing,
+    /// shorter than a header, or opens with the wrong magic (recovery
+    /// then treats the log as absent and starts a fresh one).
+    pub epoch: Option<u64>,
+    /// Every structurally valid, CRC-clean batch, in append order.
+    pub batches: Vec<Vec<WalEdge>>,
+    /// Byte length of the valid prefix (header + whole good records).
+    /// The recovered writer truncates the file here before appending.
+    pub valid_len: u64,
+    /// Bytes past the valid prefix that were discarded (torn tail,
+    /// corrupt record, or trailing garbage).
+    pub dropped_bytes: u64,
+}
+
+impl Replay {
+    /// An empty replay for a missing log file.
+    fn absent() -> Replay {
+        Replay { epoch: None, batches: Vec::new(), valid_len: 0, dropped_bytes: 0 }
+    }
+}
+
+/// Walk `path`, returning the longest valid prefix. Never panics on
+/// arbitrary bytes; never reads past a declared length without
+/// validating it first. A missing file is an empty replay, not an
+/// error — only real I/O failures surface as `Err`.
+pub fn read_wal(path: &Path, stats: Arc<IoStats>) -> std::io::Result<Replay> {
+    if !path.exists() {
+        return Ok(Replay::absent());
+    }
+    let mut file = CountedFile::open_path_readonly(path, stats)?;
+    let len = file.len()?;
+    let mut bytes = vec![0u8; len as usize];
+    if len > 0 {
+        file.read_exact_at(0, &mut bytes)?;
+    }
+    if bytes.len() < WAL_HEADER_LEN as usize || &bytes[..8] != WAL_MAGIC {
+        return Ok(Replay { dropped_bytes: len, ..Replay::absent() });
+    }
+    let epoch = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let mut batches = Vec::new();
+    let mut pos = WAL_HEADER_LEN as usize;
+    while let Some(frame) = bytes.get(pos..pos + RECORD_HEADER_LEN as usize) {
+        let rec_len = u32_at(frame, 0);
+        let crc = u32_at(frame, 4);
+        if !(4..=MAX_RECORD_LEN).contains(&rec_len) || !(rec_len - 4).is_multiple_of(12) {
+            break; // implausible length: flipped field or garbage
+        }
+        let start = pos + RECORD_HEADER_LEN as usize;
+        let Some(payload) = bytes.get(start..start + rec_len as usize) else { break };
+        if crc32(payload) != crc {
+            break; // torn or bit-flipped body
+        }
+        let count = u32_at(payload, 0) as usize;
+        if 4 + count * 12 != rec_len as usize {
+            break; // count disagrees with the frame length
+        }
+        let mut batch = Vec::with_capacity(count);
+        for i in 0..count {
+            let off = 4 + i * 12;
+            batch.push((u32_at(payload, off), u32_at(payload, off + 4), u32_at(payload, off + 8)));
+        }
+        batches.push(batch);
+        pos = start + rec_len as usize;
+    }
+    Ok(Replay {
+        epoch: Some(epoch),
+        batches,
+        valid_len: pos as u64,
+        dropped_bytes: len - pos as u64,
+    })
+}
+
+/// Append handle over a WAL file, owning the fsync policy.
+pub struct Wal {
+    file: CountedFile,
+    path: PathBuf,
+    epoch: u64,
+    durability: Durability,
+    last_sync: Instant,
+    records: u64,
+    bytes: u64,
+}
+
+impl Wal {
+    /// Create (or truncate) a fresh log at `path` for `epoch`. The
+    /// header is written and synced before this returns.
+    pub fn create(
+        path: &Path,
+        epoch: u64,
+        durability: Durability,
+        stats: Arc<IoStats>,
+    ) -> std::io::Result<Wal> {
+        let mut file = CountedFile::create_path(path, stats)?;
+        let mut header = Vec::with_capacity(WAL_HEADER_LEN as usize);
+        header.extend_from_slice(WAL_MAGIC);
+        header.extend_from_slice(&epoch.to_le_bytes());
+        file.write_all(&header)?;
+        if durability != Durability::Off {
+            file.sync_data()?;
+        }
+        Ok(Wal {
+            file,
+            path: path.to_path_buf(),
+            epoch,
+            durability,
+            last_sync: Instant::now(),
+            records: 0,
+            bytes: WAL_HEADER_LEN,
+        })
+    }
+
+    /// Reopen an existing log after [`read_wal`], truncating the torn
+    /// tail (everything past `replay.valid_len`) and positioning for
+    /// append. The replay must have a valid header.
+    pub fn open_after_replay(
+        path: &Path,
+        replay: &Replay,
+        durability: Durability,
+        stats: Arc<IoStats>,
+    ) -> std::io::Result<Wal> {
+        let epoch = replay
+            .epoch
+            .ok_or_else(|| std::io::Error::other("cannot reopen a WAL without a valid header"))?;
+        let mut file = CountedFile::open_path(path, stats)?;
+        if replay.dropped_bytes > 0 {
+            file.set_len(replay.valid_len)?;
+            file.sync_data()?;
+        }
+        file.seek_to(replay.valid_len)?;
+        Ok(Wal {
+            file,
+            path: path.to_path_buf(),
+            epoch,
+            durability,
+            last_sync: Instant::now(),
+            records: replay.batches.len() as u64,
+            bytes: replay.valid_len,
+        })
+    }
+
+    /// Append one batch, honoring the fsync policy. On return under
+    /// [`Durability::Always`] the record is on stable storage. On ANY
+    /// error — short write *or* failed fsync — the file is cut back to
+    /// the previous record boundary best-effort: the caller will nack
+    /// the batch, so leaving its record behind would resurrect a
+    /// rejected update at the next recovery.
+    pub fn append(&mut self, batch: &[WalEdge]) -> std::io::Result<()> {
+        let rec = encode_record(batch);
+        let mut result = self.file.write_all(&rec);
+        let mut synced = false;
+        if result.is_ok() {
+            let want_sync = match self.durability {
+                Durability::Off => false,
+                Durability::Always => true,
+                Durability::Batch => self.last_sync.elapsed() >= BATCH_SYNC_INTERVAL,
+            };
+            if want_sync {
+                result = self.file.sync_data();
+                synced = result.is_ok();
+            }
+        }
+        match result {
+            Ok(()) => {
+                self.records += 1;
+                self.bytes += rec.len() as u64;
+                if synced {
+                    self.last_sync = Instant::now();
+                }
+                Ok(())
+            }
+            Err(e) => {
+                let _ = self.file.set_len(self.bytes);
+                let _ = self.file.seek_to(self.bytes);
+                Err(e)
+            }
+        }
+    }
+
+    /// Force an fsync regardless of policy.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.file.sync_data()?;
+        self.last_sync = Instant::now();
+        Ok(())
+    }
+
+    /// Epoch stamped in the file header.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Records currently in the log (post-truncation, post-replace).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Byte length of the log, header included.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Path of the log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Best-effort parent-directory fsync so a rename is durable. Errors
+/// are ignored: not all platforms/filesystems support opening and
+/// syncing directories, and the rename itself already happened.
+fn sync_parent_dir(path: &Path) {
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = std::fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+}
+
+/// The `CURRENT` checkpoint manifest: which epoch the serving lineage
+/// is at and which index image that epoch boots from.
+///
+/// Each epoch owns its own log (`wal-<epoch>.log`) and image
+/// (`ckpt-<epoch>.idx`). A checkpoint writes the *next* epoch's
+/// complete files first and flips `CURRENT` last (temp file, fsync,
+/// rename) — the rename is the single commit point, so every crash
+/// recovers cleanly:
+///
+/// * crash before the flip → old manifest: recovery boots the old
+///   image and replays the old epoch's log in full; the half-staged
+///   next epoch is garbage-collected;
+/// * crash after the flip → new manifest: the new epoch's image and
+///   log were complete and synced before the rename, so recovery boots
+///   them directly; the old epoch's leftovers are garbage-collected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Manifest {
+    /// Checkpoint epoch; a fresh lineage starts at 0.
+    pub epoch: u64,
+    /// Index image (`HOPIDX01`) this epoch boots from; a `.rank`
+    /// sidecar next to it is honored exactly like at first boot.
+    pub index_path: PathBuf,
+}
+
+/// Read `dir/CURRENT`; `Ok(None)` when absent or unparsable (a torn
+/// manifest write leaves the old complete file in place thanks to the
+/// rename, so "unparsable" only happens to hand-edited files — recovery
+/// then falls back to the boot image like on first start).
+pub fn read_manifest(dir: &Path) -> std::io::Result<Option<Manifest>> {
+    let path = dir.join(MANIFEST_FILE);
+    if !path.exists() {
+        return Ok(None);
+    }
+    let bytes = std::fs::read(&path)?;
+    let Ok(text) = std::str::from_utf8(&bytes) else {
+        return Ok(None);
+    };
+    let mut lines = text.lines();
+    if lines.next() != Some("HOPCUR01") {
+        return Ok(None);
+    }
+    let Some(epoch) = lines.next().and_then(|l| l.parse::<u64>().ok()) else {
+        return Ok(None);
+    };
+    let Some(index_path) = lines.next() else {
+        return Ok(None);
+    };
+    Ok(Some(Manifest { epoch, index_path: PathBuf::from(index_path) }))
+}
+
+/// Atomically publish `dir/CURRENT` (temp file, fsync, rename,
+/// best-effort directory sync).
+pub fn write_manifest(dir: &Path, manifest: &Manifest, stats: Arc<IoStats>) -> std::io::Result<()> {
+    let tmp_path = dir.join("CURRENT.tmp");
+    let final_path = dir.join(MANIFEST_FILE);
+    let mut tmp = CountedFile::create_path(&tmp_path, stats)?;
+    let body = format!("HOPCUR01\n{}\n{}\n", manifest.epoch, manifest.index_path.to_string_lossy());
+    tmp.write_all(body.as_bytes())?;
+    tmp.sync_data()?;
+    std::fs::rename(&tmp_path, &final_path)?;
+    sync_parent_dir(&final_path);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extmem::device::TempStore;
+
+    fn batches() -> Vec<Vec<WalEdge>> {
+        vec![vec![(0, 1, 5), (2, 3, 7)], vec![(4, 5, 1)], vec![(6, 7, 9), (8, 9, 2), (10, 11, 3)]]
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"hello"), 0x3610_A686);
+    }
+
+    #[test]
+    fn durability_parses_and_displays() {
+        for (s, d) in
+            [("off", Durability::Off), ("batch", Durability::Batch), ("always", Durability::Always)]
+        {
+            assert_eq!(s.parse::<Durability>().unwrap(), d);
+            assert_eq!(d.to_string(), s);
+        }
+        assert!("fsync".parse::<Durability>().is_err());
+    }
+
+    #[test]
+    fn append_replay_roundtrip() {
+        let store = TempStore::new().unwrap();
+        let path = store.create("wal").unwrap().path().to_path_buf();
+        let mut wal = Wal::create(&path, 42, Durability::Always, IoStats::shared()).unwrap();
+        for b in batches() {
+            wal.append(&b).unwrap();
+        }
+        assert_eq!(wal.records(), 3);
+        let replay = read_wal(&path, IoStats::shared()).unwrap();
+        assert_eq!(replay.epoch, Some(42));
+        assert_eq!(replay.batches, batches());
+        assert_eq!(replay.dropped_bytes, 0);
+        assert_eq!(replay.valid_len, wal.bytes());
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_replay() {
+        let store = TempStore::new().unwrap();
+        let path = store.create("never").unwrap().path().with_extension("absent");
+        let replay = read_wal(&path, IoStats::shared()).unwrap();
+        assert_eq!(replay.epoch, None);
+        assert!(replay.batches.is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_reopen_appends_cleanly() {
+        let store = TempStore::new().unwrap();
+        let path = store.create("wal").unwrap().path().to_path_buf();
+        let mut wal = Wal::create(&path, 7, Durability::Off, IoStats::shared()).unwrap();
+        for b in batches() {
+            wal.append(&b).unwrap();
+        }
+        let full = wal.bytes();
+        drop(wal);
+        // Tear 5 bytes off the final record.
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(full - 5).unwrap();
+        drop(f);
+        let replay = read_wal(&path, IoStats::shared()).unwrap();
+        assert_eq!(replay.epoch, Some(7));
+        assert_eq!(replay.batches, batches()[..2].to_vec());
+        assert_eq!(replay.dropped_bytes, (full - 5) - replay.valid_len);
+        // Reopen truncates the tear and appends a new record cleanly.
+        let mut wal =
+            Wal::open_after_replay(&path, &replay, Durability::Always, IoStats::shared()).unwrap();
+        wal.append(&[(9, 9, 9)]).unwrap();
+        let replay2 = read_wal(&path, IoStats::shared()).unwrap();
+        let mut expect = batches()[..2].to_vec();
+        expect.push(vec![(9, 9, 9)]);
+        assert_eq!(replay2.batches, expect);
+        assert_eq!(replay2.dropped_bytes, 0);
+    }
+
+    #[test]
+    fn torn_append_is_healed_in_place() {
+        use extmem::device::faults;
+        let store = TempStore::new().unwrap();
+        let path = store.create("wal-heal-target").unwrap().path().to_path_buf();
+        let mut wal = Wal::create(&path, 3, Durability::Off, IoStats::shared()).unwrap();
+        wal.append(&[(1, 2, 3)]).unwrap();
+        faults::set_path_filter(Some("wal-heal-target"));
+        faults::short_write_after(0);
+        assert!(wal.append(&[(4, 5, 6)]).is_err());
+        faults::reset();
+        // The torn bytes were cut back; the next append stays readable.
+        wal.append(&[(7, 8, 9)]).unwrap();
+        let replay = read_wal(&path, IoStats::shared()).unwrap();
+        assert_eq!(replay.batches, vec![vec![(1, 2, 3)], vec![(7, 8, 9)]]);
+        assert_eq!(replay.dropped_bytes, 0);
+    }
+
+    #[test]
+    fn epoch_file_names_and_gc() {
+        let store = TempStore::new().unwrap();
+        let dir = store.create("probe").unwrap().path().parent().unwrap().to_path_buf();
+        for name in
+            [wal_file_name(3), wal_file_name(4), checkpoint_image_name(3), "ckpt-3.idx.rank".into()]
+        {
+            std::fs::write(dir.join(&name), b"x").unwrap();
+        }
+        std::fs::write(dir.join("ckpt-4.idx.tmp"), b"x").unwrap();
+        write_manifest(
+            &dir,
+            &Manifest { epoch: 4, index_path: dir.join(checkpoint_image_name(4)) },
+            IoStats::shared(),
+        )
+        .unwrap();
+        gc_dir(&dir, 4);
+        assert!(dir.join(wal_file_name(4)).exists());
+        assert!(dir.join(MANIFEST_FILE).exists());
+        assert!(!dir.join(wal_file_name(3)).exists());
+        assert!(!dir.join(checkpoint_image_name(3)).exists());
+        assert!(!dir.join("ckpt-3.idx.rank").exists());
+        assert!(!dir.join("ckpt-4.idx.tmp").exists());
+    }
+
+    #[test]
+    fn bad_header_reads_as_absent() {
+        let store = TempStore::new().unwrap();
+        let path = store.create("wal").unwrap().path().to_path_buf();
+        std::fs::write(&path, b"NOTAWAL!").unwrap();
+        let replay = read_wal(&path, IoStats::shared()).unwrap();
+        assert_eq!(replay.epoch, None);
+        assert_eq!(replay.dropped_bytes, 8);
+        assert!(Wal::open_after_replay(&path, &replay, Durability::Off, IoStats::shared()).is_err());
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_absence() {
+        let store = TempStore::new().unwrap();
+        let dir = store.create("probe").unwrap().path().parent().unwrap().to_path_buf();
+        assert_eq!(read_manifest(&dir).unwrap(), None);
+        let m = Manifest { epoch: 9, index_path: PathBuf::from("/tmp/idx.bin") };
+        write_manifest(&dir, &m, IoStats::shared()).unwrap();
+        assert_eq!(read_manifest(&dir).unwrap(), Some(m.clone()));
+        let m2 = Manifest { epoch: 10, index_path: PathBuf::from("/elsewhere/ckpt-10.idx") };
+        write_manifest(&dir, &m2, IoStats::shared()).unwrap();
+        assert_eq!(read_manifest(&dir).unwrap(), Some(m2));
+        // Garbage manifests read as absent, never panic.
+        std::fs::write(dir.join(MANIFEST_FILE), b"\xFF\xFE\x00garbage").unwrap();
+        assert_eq!(read_manifest(&dir).unwrap(), None);
+    }
+}

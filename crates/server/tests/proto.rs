@@ -65,6 +65,14 @@ fn response_strategy() -> impl Strategy<Value = Response> {
                     compactions: a % 17,
                     requests: b % 1009,
                     protocol_errors: a % 13,
+                    durability: (b % 4) as u8,
+                    wal_epoch: a % 97,
+                    wal_records: b % 4093,
+                    wal_bytes: a % (1 << 30),
+                    recovered_records: b % 211,
+                    recovered_dropped_bytes: a % 4096,
+                    checkpoints: b % 31,
+                    aborted_compactions: a % 7,
                 }),
                 6 => ResponseBody::Compacted { generation: a, vertices: b },
                 _ => ResponseBody::Error(format!("error {a}")),

@@ -1,0 +1,292 @@
+//! Durability-tier tests for the `hopdb-server` daemon, in-process:
+//! WAL replay across a restart restores every acknowledged update, a
+//! torn tail is truncated and surfaced in `info`, a mixed-lineage
+//! durability directory is refused at boot, a checkpoint truncates the
+//! WAL and survives a restart booting from its image, an injected
+//! fsync failure rejects the update without killing the server, and an
+//! aborted compaction re-arms and is counted.
+
+use std::path::{Path, PathBuf};
+
+use hop_doubling::extmem::device::TempStore;
+use hop_doubling::graphgen::{glp, GlpParams};
+use hop_doubling::hopdb::{build_prelabeled, HopDbConfig};
+use hop_doubling::hopdb_server::wal::{self, Durability};
+use hop_doubling::hopdb_server::{serve, Client, ServerConfig};
+use hop_doubling::hoplabels::disk::DiskIndex;
+use hop_doubling::sfgraph::ranking::{rank_vertices, relabel_by_rank, RankBy};
+use hop_doubling::sfgraph::{Dist, Graph, VertexId};
+
+/// Stage `g` the way `hopdb-cli build` would: edge-list file, disk
+/// index, and `.rank` sidecar (see `server_live_updates.rs`).
+fn stage(g: &Graph, tag: &str) -> (PathBuf, PathBuf, PathBuf) {
+    let dir = std::env::temp_dir();
+    let graph_path = dir.join(format!("hopdb-dur-{}-{tag}.txt", std::process::id()));
+    let file = std::fs::File::create(&graph_path).expect("create edge list");
+    hop_doubling::sfgraph::io::write_edge_list(g, std::io::BufWriter::new(file))
+        .expect("write edge list");
+
+    let ranking = rank_vertices(g, &RankBy::Degree);
+    let relabeled = relabel_by_rank(g, &ranking);
+    let (index, _) = build_prelabeled(&relabeled, &HopDbConfig::default());
+    let store = TempStore::new().expect("temp store");
+    let staged = DiskIndex::create(&index, &store, tag).expect("serialize").persist();
+    let index_path = dir.join(format!("hopdb-dur-{}-{tag}.idx", std::process::id()));
+    std::fs::copy(&staged, &index_path).expect("stage index");
+    std::fs::remove_file(staged).ok();
+    std::fs::write(format!("{}.rank", index_path.to_string_lossy()), ranking.to_sidecar_bytes())
+        .expect("write sidecar");
+
+    let wal_dir = dir.join(format!("hopdb-dur-{}-{tag}-wal", std::process::id()));
+    std::fs::remove_dir_all(&wal_dir).ok();
+    (graph_path, index_path, wal_dir)
+}
+
+fn cleanup(graph_path: &PathBuf, index_path: &PathBuf, wal_dir: &PathBuf) {
+    std::fs::remove_file(graph_path).ok();
+    std::fs::remove_file(index_path).ok();
+    std::fs::remove_file(format!("{}.rank", index_path.to_string_lossy())).ok();
+    std::fs::remove_dir_all(wal_dir).ok();
+}
+
+fn durable_config(graph: &Path, wal_dir: &Path, durability: Durability) -> ServerConfig {
+    ServerConfig {
+        threads: 2,
+        source_graph: Some(graph.to_path_buf()),
+        compact_threshold: 0,
+        wal_dir: Some(wal_dir.to_path_buf()),
+        durability,
+        ..ServerConfig::default()
+    }
+}
+
+/// A probe set that visits every vertex.
+fn probes(n: usize) -> Vec<(VertexId, VertexId)> {
+    (0..n as VertexId).map(|i| (i, (i * 37 + 11) % n as VertexId)).collect()
+}
+
+#[test]
+fn replay_restores_acked_updates_across_restart() {
+    let n = 90;
+    let g = glp(&GlpParams::with_density(n, 3.0, 901));
+    let (graph_path, index_path, wal_dir) = stage(&g, "replay");
+    let pairs = probes(n);
+    let batches: [Vec<(VertexId, VertexId, Dist)>; 2] =
+        [vec![(0, 89, 1), (3, 71, 1)], vec![(12, 44, 2)]];
+
+    let (answers, overlay_edges) = {
+        let config = durable_config(&graph_path, &wal_dir, Durability::Always);
+        let handle = serve("127.0.0.1:0", &index_path, config).expect("serve");
+        let mut client = Client::connect(handle.local_addr()).expect("connect");
+        for batch in &batches {
+            client.update(batch).expect("update");
+        }
+        let answers = client.query(&pairs).expect("query");
+        let info = client.info().expect("info");
+        assert_eq!(info.durability, 2, "always = 2 on the wire");
+        assert_eq!(info.wal_epoch, 0);
+        assert_eq!(info.wal_records, 2, "one WAL record per acked batch");
+        assert!(info.wal_bytes > wal::WAL_HEADER_LEN);
+        handle.shutdown();
+        (answers, info.overlay_edges)
+    };
+
+    // Restart against the SAME wal dir: the overlay must come back
+    // from the log alone (the index file never saw the updates).
+    let config = durable_config(&graph_path, &wal_dir, Durability::Always);
+    let handle = serve("127.0.0.1:0", &index_path, config).expect("re-serve");
+    let mut client = Client::connect(handle.local_addr()).expect("reconnect");
+    assert_eq!(
+        client.query(&pairs).expect("query after recovery"),
+        answers,
+        "recovered answers diverge from the pre-restart state"
+    );
+    let info = client.info().expect("info");
+    assert_eq!(info.recovered_records, 2, "both batches replayed");
+    assert_eq!(info.recovered_dropped_bytes, 0);
+    assert_eq!(info.overlay_edges, overlay_edges, "replayed overlay size");
+    handle.shutdown();
+    cleanup(&graph_path, &index_path, &wal_dir);
+}
+
+#[test]
+fn torn_tail_is_truncated_and_surfaced() {
+    let n = 60;
+    let g = glp(&GlpParams::with_density(n, 3.0, 902));
+    let (graph_path, index_path, wal_dir) = stage(&g, "torn");
+    let pairs = probes(n);
+
+    let answers = {
+        let config = durable_config(&graph_path, &wal_dir, Durability::Always);
+        let handle = serve("127.0.0.1:0", &index_path, config).expect("serve");
+        let mut client = Client::connect(handle.local_addr()).expect("connect");
+        client.update(&[(0, 59, 1)]).expect("update");
+        let answers = client.query(&pairs).expect("query");
+        handle.shutdown();
+        answers
+    };
+
+    // Simulate a crash mid-append: a half-written record at the tail.
+    let wal_path = wal_dir.join(wal::wal_file_name(0));
+    let mut bytes = std::fs::read(&wal_path).expect("read wal");
+    let torn = [17u8, 0, 0, 0, 0xDE, 0xAD];
+    bytes.extend_from_slice(&torn);
+    std::fs::write(&wal_path, &bytes).expect("tear wal");
+
+    let config = durable_config(&graph_path, &wal_dir, Durability::Always);
+    let handle = serve("127.0.0.1:0", &index_path, config).expect("re-serve");
+    let mut client = Client::connect(handle.local_addr()).expect("reconnect");
+    assert_eq!(client.query(&pairs).expect("query"), answers, "acked prefix must survive");
+    let info = client.info().expect("info");
+    assert_eq!(info.recovered_records, 1);
+    assert_eq!(info.recovered_dropped_bytes, torn.len() as u64);
+    // The torn bytes are gone from disk, not just skipped.
+    assert_eq!(std::fs::read(&wal_path).expect("reread").len() as u64, info.wal_bytes);
+    handle.shutdown();
+    cleanup(&graph_path, &index_path, &wal_dir);
+}
+
+#[test]
+fn mixed_lineage_directory_is_refused() {
+    let n = 40;
+    let g = glp(&GlpParams::with_density(n, 3.0, 903));
+    let (graph_path, index_path, wal_dir) = stage(&g, "mixed");
+    std::fs::create_dir_all(&wal_dir).unwrap();
+
+    // CURRENT says epoch 7, but the epoch-7 log header says epoch 8:
+    // two different lineages got mixed into one directory. Booting
+    // from either would silently serve wrong answers — refuse instead.
+    wal::write_manifest(
+        &wal_dir,
+        &wal::Manifest { epoch: 7, index_path: index_path.clone() },
+        hop_doubling::extmem::IoStats::shared(),
+    )
+    .expect("write manifest");
+    let mut header = Vec::new();
+    header.extend_from_slice(b"HOPWAL01");
+    header.extend_from_slice(&8u64.to_le_bytes());
+    std::fs::write(wal_dir.join(wal::wal_file_name(7)), &header).expect("write stray wal");
+
+    let config = durable_config(&graph_path, &wal_dir, Durability::Batch);
+    match serve("127.0.0.1:0", &index_path, config) {
+        Err(err) => assert!(err.to_string().contains("lineages"), "{err}"),
+        Ok(handle) => {
+            handle.shutdown();
+            panic!("mixed lineage must not boot");
+        }
+    }
+    cleanup(&graph_path, &index_path, &wal_dir);
+}
+
+#[test]
+fn checkpoint_truncates_the_wal_and_survives_restart() {
+    let n = 80;
+    let g = glp(&GlpParams::with_density(n, 3.0, 904));
+    let (graph_path, index_path, wal_dir) = stage(&g, "ckpt");
+    let pairs = probes(n);
+
+    let answers = {
+        let config = durable_config(&graph_path, &wal_dir, Durability::Always);
+        let handle = serve("127.0.0.1:0", &index_path, config).expect("serve");
+        let mut client = Client::connect(handle.local_addr()).expect("connect");
+        client.update(&[(0, 79, 1), (5, 50, 1)]).expect("update");
+        client.compact().expect("compact");
+        let answers = client.query(&pairs).expect("query");
+        let info = client.info().expect("info");
+        assert_eq!(info.checkpoints, 1);
+        assert_eq!(info.wal_epoch, 1, "checkpoint advances the epoch");
+        assert_eq!(info.wal_records, 0, "the folded-in log is truncated");
+        assert_eq!(info.aborted_compactions, 0);
+        handle.shutdown();
+        answers
+    };
+
+    // The checkpoint owns the durable state now: epoch-1 image + empty
+    // epoch-1 log; the epoch-0 log is gone.
+    assert!(wal_dir.join(wal::checkpoint_image_name(1)).exists());
+    assert!(wal_dir.join(wal::wal_file_name(1)).exists());
+    assert!(!wal_dir.join(wal::wal_file_name(0)).exists(), "old epoch must be collected");
+
+    let config = durable_config(&graph_path, &wal_dir, Durability::Always);
+    let handle = serve("127.0.0.1:0", &index_path, config).expect("re-serve");
+    let mut client = Client::connect(handle.local_addr()).expect("reconnect");
+    assert_eq!(
+        client.query(&pairs).expect("query after recovery"),
+        answers,
+        "checkpoint image diverges from the served state"
+    );
+    let info = client.info().expect("info");
+    assert_eq!(info.wal_epoch, 1);
+    assert_eq!(info.recovered_records, 0, "nothing left to replay after a checkpoint");
+    assert_eq!(info.overlay_edges, 0, "updates were folded into the image");
+    handle.shutdown();
+    cleanup(&graph_path, &index_path, &wal_dir);
+}
+
+#[test]
+fn injected_fsync_failure_rejects_the_update_but_not_the_server() {
+    use hop_doubling::extmem::device::faults;
+
+    let n = 50;
+    let g = glp(&GlpParams::with_density(n, 3.0, 905));
+    let (graph_path, index_path, wal_dir) = stage(&g, "fsync");
+    let pairs = probes(n);
+
+    let config = durable_config(&graph_path, &wal_dir, Durability::Always);
+    let handle = serve("127.0.0.1:0", &index_path, config).expect("serve");
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    let base = client.query(&pairs).expect("base query");
+    // An edge that shortcuts a probed pair, so (non-)acknowledgement
+    // is observable through the probe answers.
+    let (s, t) = pairs
+        .iter()
+        .zip(&base)
+        .find(|&(&(s, t), &d)| {
+            s != t && d > 1 && d != hop_doubling::hopdb_server::proto::UNREACHABLE
+        })
+        .map(|(&p, _)| p)
+        .expect("a shortcut-able probe pair");
+
+    // Scope the fault to this test's WAL file so parallel tests in
+    // this binary (and the server's own index I/O) are untouched.
+    faults::set_path_filter(Some("-fsync-wal"));
+    faults::fail_fsync_after(0);
+    let err = client.update(&[(s, t, 1)]).expect_err("fsync failure must fail the update");
+    assert!(err.to_string().contains("wal append"), "{err}");
+    faults::reset();
+
+    // The batch was NOT acknowledged; it must not be observable, and
+    // the server must keep serving and accepting new updates.
+    assert_eq!(client.query(&pairs).expect("query"), base, "rejected batch leaked");
+    client.update(&[(s, t, 1)]).expect("update after fault clears");
+    assert_ne!(client.query(&pairs).expect("query"), base, "edge must now land");
+    let info = client.info().expect("info");
+    assert_eq!(info.wal_records, 1, "only the acked batch is in the log");
+    handle.shutdown();
+    cleanup(&graph_path, &index_path, &wal_dir);
+}
+
+#[test]
+fn failed_compaction_is_counted_and_compaction_re_arms() {
+    let n = 40;
+    let g = glp(&GlpParams::with_density(n, 3.0, 906));
+    let (graph_path, index_path, wal_dir) = stage(&g, "abort");
+    // No --graph: every compaction attempt fails cleanly.
+    let config = ServerConfig {
+        threads: 2,
+        wal_dir: Some(wal_dir.clone()),
+        durability: Durability::Batch,
+        ..ServerConfig::default()
+    };
+    let handle = serve("127.0.0.1:0", &index_path, config).expect("serve");
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    for _ in 0..2 {
+        let err = client.compact().expect_err("compaction without --graph must fail");
+        assert!(err.to_string().contains("--graph"), "{err}");
+    }
+    let info = client.info().expect("info");
+    assert_eq!(info.aborted_compactions, 2, "failed compactions must be counted");
+    assert_eq!(info.compactions, 0);
+    handle.shutdown();
+    cleanup(&graph_path, &index_path, &wal_dir);
+}
