@@ -291,8 +291,255 @@ fn verify_compaction_under_load(
     );
 }
 
+/// The `--router` variant: boot two real backend daemons (same image
+/// for `replica`, a pivot-range split for `shard`), front them with
+/// `serve_router`, assert routed answers are byte-identical to the
+/// in-process `FlatIndex`, measure QPS/p99 through the router, and —
+/// replica mode — kill one backend under fire and require zero lost
+/// queries. The snapshot lands in `BENCH_router.json`.
+#[cfg(target_os = "linux")]
+#[allow(clippy::too_many_lines)]
+fn router_main(args: &[String], modes: &str) {
+    use hopdb_server::{serve_router, RouteMode, RouterConfig};
+
+    let scale = Scale::from_env();
+    let out_path = arg_value(args, "-o").unwrap_or_else(|| "BENCH_router.json".to_string());
+    let conns: usize = arg_value(args, "--conns").map_or(4, |v| v.parse().expect("bad --conns"));
+    let batch: usize = arg_value(args, "--batch").map_or(256, |v| v.parse().expect("bad --batch"));
+    let pipeline: usize =
+        arg_value(args, "--pipeline").map_or(1, |v| v.parse().expect("bad --pipeline"));
+    let min_qps: Option<f64> =
+        arg_value(args, "--min-qps").map(|v| v.parse().expect("bad --min-qps"));
+    let max_p99_us: Option<f64> =
+        arg_value(args, "--max-p99-us").map(|v| v.parse().expect("bad --max-p99-us"));
+    let modes: Vec<RouteMode> = match modes {
+        "replica" => vec![RouteMode::Replica],
+        "shard" => vec![RouteMode::Shard],
+        "both" => vec![RouteMode::Replica, RouteMode::Shard],
+        other => panic!("bad --router {other} (replica|shard|both)"),
+    };
+
+    let (n, density, requests_per_conn) = match scale {
+        Scale::Small => (4_000, 3.0, 300),
+        Scale::Medium => (12_000, 4.0, 1_000),
+        Scale::Large => (40_000, 4.0, 3_000),
+    };
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    eprintln!(
+        "serverperf --router: GLP n={n} d={density} (scale {scale:?}, {cores} cores, \
+         2 backends per mode, batch {batch}, pipeline {pipeline})"
+    );
+    let g = glp(&GlpParams::with_density(n, density, 42));
+    let ranking = rank_vertices(&g, &RankBy::Degree);
+    let relabeled = relabel_by_rank(&g, &ranking);
+    let (index, _) = build_prelabeled(&relabeled, &HopDbConfig::default().with_parallelism(0));
+    let flat = FlatIndex::from_index(&index);
+
+    // Stage the whole image plus a 2-way shard split, each with the
+    // `.rank` sidecar so the wire speaks original vertex ids (the
+    // shard router then broadcasts — exact either way).
+    let dir = std::env::temp_dir().join(format!("hopdb-routerperf-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("stage dir");
+    let store = extmem::device::TempStore::new().expect("temp store");
+    let staged = DiskIndex::create(&index, &store, "routerperf").expect("serialize").persist();
+    let image = std::fs::read(&staged).expect("read image");
+    std::fs::remove_file(staged).ok();
+    let rank_bytes = ranking.to_sidecar_bytes();
+    let stage = |name: &str, bytes: &[u8]| -> std::path::PathBuf {
+        let path = dir.join(name);
+        std::fs::write(&path, bytes).expect("stage image");
+        std::fs::write(format!("{}.rank", path.to_string_lossy()), &rank_bytes)
+            .expect("stage sidecar");
+        path
+    };
+    let whole_a = stage("whole-a.idx", &image);
+    let whole_b = stage("whole-b.idx", &image);
+    let shard_paths: Vec<std::path::PathBuf> = hoplabels::shard_image(&image, 2)
+        .expect("shard")
+        .into_iter()
+        .map(|(bytes, spec)| {
+            let path = stage(&format!("shard{}.idx", spec.index), &bytes);
+            std::fs::write(format!("{}.shard", path.to_string_lossy()), spec.encode())
+                .expect("stage shard sidecar");
+            path
+        })
+        .collect();
+
+    let sweep = bench::query_pairs(&relabeled, 65_536.max(batch * 8), 0xBEEF);
+    let ranked_sweep: Vec<(VertexId, VertexId)> =
+        sweep.iter().map(|&(s, t)| (ranking.rank_of(s), ranking.rank_of(t))).collect();
+    let expect = flat.query_many(&ranked_sweep, 0);
+
+    let mut failed = false;
+    let mut mode_jsons = Vec::new();
+    for mode in modes {
+        let backends: Vec<_> = match mode {
+            RouteMode::Replica => vec![&whole_a, &whole_b],
+            RouteMode::Shard => shard_paths.iter().collect(),
+        }
+        .into_iter()
+        .map(|path| serve("127.0.0.1:0", path, ServerConfig::default()).expect("backend"))
+        .collect();
+        let rt = serve_router(
+            "127.0.0.1:0",
+            RouterConfig {
+                mode,
+                backends: backends.iter().map(|b| b.local_addr()).collect(),
+                ..RouterConfig::default()
+            },
+        )
+        .expect("router");
+        let addr = rt.local_addr();
+        let tag = format!("{mode:?}").to_lowercase();
+        eprintln!("  {tag} router on {addr} over {} backends", backends.len());
+
+        // Correctness gate before any timing: routed answers must be
+        // byte-identical to the in-process flat index.
+        let mut checker = Client::connect(addr).expect("connect");
+        let mut served = Vec::with_capacity(sweep.len());
+        for chunk in sweep.chunks(batch.max(1)) {
+            served.extend(checker.query(chunk).expect("sweep query"));
+        }
+        assert_eq!(served, expect, "{tag}: routed distances diverge from FlatIndex::query_many");
+        drop(checker);
+        eprintln!("  {tag}: answers byte-identical to FlatIndex on {} pairs", sweep.len());
+
+        let pairs = &sweep;
+        measure(addr, pairs, 1, batch, requests_per_conn / 4 + 1, pipeline, 0, 0, &[]);
+        let runs = [
+            measure(addr, pairs, 1, batch, requests_per_conn, pipeline, 0, 0, &[]),
+            measure(addr, pairs, conns, batch, requests_per_conn, pipeline, 0, 0, &[]),
+        ];
+        for run in &runs {
+            eprintln!(
+                "  {tag} {} conn(s): {:>10.0} pairs/s   p50 {:>7.1} µs   p99 {:>7.1} µs",
+                run.conns, run.qps, run.p50_us, run.p99_us,
+            );
+        }
+        if let Some(want) = min_qps {
+            let got = runs[1].qps;
+            if got < want {
+                eprintln!("{tag} QPS regression: {got:.0} pairs/s, gate wants {want:.0}");
+                failed = true;
+            }
+        }
+        if let Some(want) = max_p99_us {
+            let got = runs[1].p99_us;
+            if got > want {
+                eprintln!("{tag} p99 regression: {got:.1} µs, gate allows {want:.1}");
+                failed = true;
+            }
+        }
+
+        // Availability gate (replica only): kill one of the two
+        // backends while a fleet fires through the router. Zero lost
+        // or misanswered queries allowed, and the failover counter
+        // must prove the dead backend was actually in rotation.
+        let mut availability_checked = false;
+        if mode == RouteMode::Replica {
+            let stop = AtomicBool::new(false);
+            let mut backends = backends;
+            let victim = backends.pop().expect("two backends");
+            let answered = std::thread::scope(|scope| {
+                let fleet: Vec<_> = (0..conns.max(2))
+                    .map(|c| {
+                        let (stop, sweep, expect) = (&stop, &sweep, &expect);
+                        scope.spawn(move || {
+                            let mut client = Client::connect(addr).expect("fleet connect");
+                            let mut answered = 0usize;
+                            let mut at = (c * 131) % (sweep.len() - batch);
+                            while !stop.load(Ordering::Relaxed) {
+                                let got = client
+                                    .query(&sweep[at..at + batch])
+                                    .expect("query across the kill");
+                                assert_eq!(
+                                    got,
+                                    expect[at..at + batch],
+                                    "misanswered query across the kill"
+                                );
+                                answered += batch;
+                                at = (at + batch * 7) % (sweep.len() - batch);
+                            }
+                            answered
+                        })
+                    })
+                    .collect();
+                std::thread::sleep(Duration::from_millis(150));
+                victim.shutdown();
+                std::thread::sleep(Duration::from_millis(400));
+                stop.store(true, Ordering::Relaxed);
+                fleet.into_iter().map(|h| h.join().expect("fleet thread")).sum::<usize>()
+            });
+            assert!(
+                rt.failovers() > 0,
+                "the killed replica was never picked — the availability check proved nothing"
+            );
+            eprintln!(
+                "  {tag}: kill-one-replica ok — {answered} pairs answered across the kill \
+                 ({} failovers)",
+                rt.failovers()
+            );
+            availability_checked = true;
+            rt.shutdown();
+            for b in backends {
+                b.shutdown();
+            }
+        } else {
+            rt.shutdown();
+            for b in backends {
+                b.shutdown();
+            }
+        }
+
+        let runs_json: Vec<String> = runs
+            .iter()
+            .map(|r| {
+                format!(
+                    r#"{{"conns":{},"qps":{:.0},"p50_us":{:.1},"p99_us":{:.1},"requests":{}}}"#,
+                    r.conns, r.qps, r.p50_us, r.p99_us, r.requests
+                )
+            })
+            .collect();
+        mode_jsons.push(format!(
+            r#"{{"mode":"{tag}","backends":2,"availability_check":{availability_checked},"runs":[{}]}}"#,
+            runs_json.join(",")
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            r#"{{"workload":{{"model":"glp","vertices":{},"density":{},"seed":42}},"#,
+            r#""scale":"{:?}","cores":{},"batch":{},"pipeline":{},"#,
+            r#""modes":[{}]}}"#
+        ),
+        n,
+        density,
+        scale,
+        cores,
+        batch,
+        pipeline,
+        mode_jsons.join(","),
+    );
+    std::fs::write(&out_path, format!("{json}\n")).expect("write snapshot");
+    eprintln!("wrote {out_path}");
+    std::fs::remove_dir_all(&dir).ok();
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn router_main(_args: &[String], _modes: &str) {
+    panic!("--router requires the linux epoll backend");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(modes) = arg_value(&args, "--router") {
+        router_main(&args, &modes);
+        return;
+    }
     let scale = Scale::from_env();
     let out_path = arg_value(&args, "-o").unwrap_or_else(|| "BENCH_server.json".to_string());
     let backend: Backend = arg_value(&args, "--backend")

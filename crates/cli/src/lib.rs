@@ -2,7 +2,7 @@
 
 //! # hopdb-cli — command-line front end
 //!
-//! Six subcommands wire the library into a usable tool:
+//! Seven subcommands wire the library into a usable tool:
 //!
 //! ```text
 //! hopdb-cli gen   --model glp --vertices 100000 --density 4 -o graph.txt
@@ -12,11 +12,15 @@
 //!                 [--threads N] [--external [--memory-records M] [--block-bytes B]]
 //! hopdb-cli query -x graph.idx 17 4242 [more pairs…]
 //! hopdb-cli query -x graph.idx --pairs batch.txt --threads 4
+//! hopdb-cli shard -x graph.idx --shards 4 [-o prefix]
 //! hopdb-cli serve -x graph.idx --addr 127.0.0.1:7654 [--backend epoll|threads]
 //!                 [--flush-us 100] [--coalesce-pairs 4096] [--max-inflight 128]
 //!                 [--swap-path next.idx] [--max-resident-bytes N]
 //!                 [--graph graph.txt] [--compact-threshold N]
 //!                 [--wal-dir wal/ --durability off|batch|always]
+//!                 [--wal-max-bytes N]
+//! hopdb-cli serve --route replica|shard --backends a:p,b:p[,…]
+//!                 [--addr 127.0.0.1:7654] [--flush-us 100] […]
 //! hopdb-cli admin -a 127.0.0.1:7654 [--timeout-ms 5000] [--retries 3]
 //!                 stats|info|swap|compact|shutdown|ingest [FILE]
 //! ```
@@ -26,8 +30,13 @@
 //! so `query` can accept original vertex ids. `query` loads the index
 //! into the flat serving layout (`hoplabels::flat::FlatIndex`) and
 //! answers single pairs or whole batch files, sharding batches across
-//! `--threads` workers. `serve` runs the `hopdb-server` daemon over the
-//! same index + sidecar pair (pass `--graph` to enable compaction), and
+//! `--threads` workers. `shard` splits an index image by pivot range
+//! into per-shard images (`hoplabels::shard`), each a complete
+//! `HOPIDX01` index a stock daemon can serve, plus a `HOPSHRD1` sidecar
+//! so the router can learn each backend's range. `serve` runs the
+//! `hopdb-server` daemon over the same index + sidecar pair (pass
+//! `--graph` to enable compaction) — or, with `--route`, the scale-out
+//! router that fans query batches across `--backends` daemons — and
 //! `admin` speaks the wire protocol to a running daemon: statistics,
 //! hot index swap, live edge ingest, overlay compaction, shutdown. Each
 //! admin verb is one `AdminCmd` variant sharing a single
@@ -141,6 +150,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "stats" => cmd_stats(&rest, out),
         "build" => cmd_build(&rest, out),
         "query" => cmd_query(&rest, out),
+        "shard" => cmd_shard(&rest, out),
         "serve" => cmd_serve(&rest, out),
         "admin" => cmd_admin(&rest, out),
         "help" | "--help" | "-h" => {
@@ -166,12 +176,19 @@ commands:
           B-byte budget; --threads ≥ 2 pipelines its joins and spills)
   query  -x INDEX [s t ...] [--pairs FILE] [--threads N]
          (pairs from arguments and/or FILE of `s t` lines; N workers, 0 = all cores)
+  shard  -x INDEX --shards K [-o PREFIX]
+         (split the index image into K per-shard images by pivot range,
+          balanced by label-entry count; shard i is written to
+          PREFIX.shard<i> — default PREFIX is INDEX — with its HOPSHRD1
+          range sidecar at PREFIX.shard<i>.shard, and the .rank sidecar
+          is copied alongside when present; every shard is a complete
+          index a stock `serve` daemon can load)
   serve  -x INDEX [--addr HOST:PORT] [--backend epoll|threads]
          [--threads N] [--batch-threads N] [--max-batch PAIRS]
          [--flush-us US] [--coalesce-pairs P] [--max-inflight N]
          [--idle-timeout-ms MS] [--max-resident-bytes B] [--swap-path FILE]
          [--graph EDGELIST] [--compact-threshold EDGES]
-         [--wal-dir DIR] [--durability off|batch|always]
+         [--wal-dir DIR] [--durability off|batch|always] [--wal-max-bytes B]
          [--announce-file FILE] [--allow-remote-shutdown]
          (long-running TCP daemon; HOPQ wire protocol + HTTP/JSON on the
           same port under the epoll backend; swap promotes --swap-path;
@@ -183,7 +200,23 @@ commands:
           0 = only on `admin compact`; --wal-dir enables the write-ahead
           log: accepted updates are logged there before they are
           acknowledged and replayed after a crash, --durability picks
-          the fsync policy, default batch = group-commit)
+          the fsync policy, default batch = group-commit, and
+          --wal-max-bytes caps the log on disk: a checkpoint — which
+          truncates it — is triggered whenever the cap is exceeded)
+  serve  --route replica|shard --backends HOST:PORT,HOST:PORT[,...]
+         [--addr HOST:PORT] [--max-batch PAIRS] [--flush-us US]
+         [--coalesce-pairs P] [--max-inflight N] [--idle-timeout-ms MS]
+         [--connect-timeout-ms MS] [--connect-retries N]
+         [--announce-file FILE] [--allow-remote-shutdown]
+         (scale-out router, no local index: `replica` load-balances
+          query batches across identical backends with automatic
+          failover and fans updates to all of them; `shard` splits each
+          batch by the backends' pivot ranges — images made by `shard` —
+          and min-merges the per-shard answers; either mode answers
+          byte-identically to a single daemon over the unsharded index;
+          point `admin swap`/`compact` at each backend in turn for a
+          rolling swap, `admin shutdown` at the router stops the router
+          only)
   admin  -a HOST:PORT [--timeout-ms MS] [--retries N] [--batch EDGES]
          stats|info|swap|compact|shutdown|ingest [FILE]
          (talk to a running serve daemon; default 5000 ms timeout so a
@@ -192,8 +225,9 @@ commands:
           extra attempts, default 3; `info` adds overlay/compaction and
           durability state to `stats`; `ingest` streams `s t [w]` edge
           lines from FILE or stdin as live updates, --batch edges per
-          frame; `compact` rebuilds and promotes a fresh generation and
-          is exempt from the short timeout)";
+          frame, stopping at the first rejected batch with the offending
+          line range; `compact` rebuilds and promotes a fresh generation
+          and is exempt from the short timeout)";
 
 fn cmd_gen(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let model = args.opt("--model").unwrap_or("glp");
@@ -403,7 +437,103 @@ fn cmd_query(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+fn cmd_shard(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let target = args.required("-x")?;
+    let k: usize = args.parsed("--shards")?.ok_or_else(|| err("missing --shards"))?;
+    let prefix = args.opt("-o").unwrap_or(target);
+    let bytes = std::fs::read(target).map_err(|e| err(format!("cannot open {target}: {e}")))?;
+    let shards = hoplabels::shard_image(&bytes, k)
+        .map_err(|e| err(format!("cannot shard {target}: {e}")))?;
+    // Clients addressing the shards by original vertex id need the
+    // ranking next to every shard image, exactly as with the source.
+    let rank = std::fs::read(format!("{target}.rank")).ok();
+    for (image, spec) in &shards {
+        let path = format!("{prefix}.shard{}", spec.index);
+        std::fs::write(&path, image)?;
+        std::fs::write(format!("{path}.shard"), spec.encode())?;
+        if let Some(rank) = &rank {
+            std::fs::write(format!("{path}.rank"), rank)?;
+        }
+        writeln!(
+            out,
+            "shard {}/{}: pivots [{}, {}) -> {path} ({} bytes{})",
+            spec.index,
+            spec.count,
+            spec.lo,
+            spec.hi,
+            image.len(),
+            if spec.rank_pruned { ", rank-pruned" } else { "" },
+        )?;
+    }
+    Ok(())
+}
+
+/// Parse `--backends a:p,b:p,...` into socket addresses.
+fn parse_backends(spec: &str) -> Result<Vec<std::net::SocketAddr>, CliError> {
+    use std::net::ToSocketAddrs;
+    let mut backends = Vec::new();
+    for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let addr = part
+            .to_socket_addrs()
+            .map_err(|e| err(format!("cannot resolve backend {part}: {e}")))?
+            .next()
+            .ok_or_else(|| err(format!("cannot resolve backend {part}")))?;
+        backends.push(addr);
+    }
+    if backends.is_empty() {
+        return Err(err("--backends needs at least one HOST:PORT"));
+    }
+    Ok(backends)
+}
+
+#[cfg(target_os = "linux")]
+fn cmd_serve_router(args: &Args, route: &str, out: &mut dyn Write) -> Result<(), CliError> {
+    let mode = route.parse::<hopdb_server::RouteMode>().map_err(err)?;
+    let backends = parse_backends(args.required("--backends")?)?;
+    let addr = args.opt("--addr").unwrap_or("127.0.0.1:7654");
+    let defaults = hopdb_server::RouterConfig::default();
+    let config = hopdb_server::RouterConfig {
+        mode,
+        backends,
+        max_batch: args.parsed("--max-batch")?.unwrap_or(defaults.max_batch),
+        flush_us: args.parsed("--flush-us")?.unwrap_or(defaults.flush_us),
+        coalesce_pairs: args.parsed("--coalesce-pairs")?.unwrap_or(defaults.coalesce_pairs),
+        max_inflight: args.parsed("--max-inflight")?.unwrap_or(defaults.max_inflight),
+        idle_timeout_ms: args.parsed("--idle-timeout-ms")?.unwrap_or(defaults.idle_timeout_ms),
+        allow_shutdown: args.has("--allow-remote-shutdown"),
+        connect_timeout: args
+            .parsed("--connect-timeout-ms")?
+            .map_or(defaults.connect_timeout, std::time::Duration::from_millis),
+        connect_retries: args.parsed("--connect-retries")?.unwrap_or(defaults.connect_retries),
+    };
+    let handle = hopdb_server::serve_router(addr, config)
+        .map_err(|e| err(format!("cannot start {route} router on {addr}: {e}")))?;
+    let announced = (|| -> Result<(), CliError> {
+        writeln!(out, "routing ({route}) on {}", handle.local_addr())?;
+        out.flush()?;
+        if let Some(announce) = args.opt("--announce-file") {
+            std::fs::write(announce, handle.local_addr().to_string())?;
+        }
+        Ok(())
+    })();
+    if let Err(e) = announced {
+        handle.shutdown();
+        return Err(e);
+    }
+    handle.wait();
+    writeln!(out, "router stopped")?;
+    Ok(())
+}
+
+#[cfg(not(target_os = "linux"))]
+fn cmd_serve_router(_args: &Args, _route: &str, _out: &mut dyn Write) -> Result<(), CliError> {
+    Err(err("serve --route requires the linux epoll backend"))
+}
+
 fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    if let Some(route) = args.opt("--route") {
+        return cmd_serve_router(args, route, out);
+    }
     let target = args.required("-x")?;
     let addr = args.opt("--addr").unwrap_or("127.0.0.1:7654");
     let defaults = hopdb_server::ServerConfig::default();
@@ -432,6 +562,7 @@ fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             None => defaults.durability,
             Some(v) => v.parse().map_err(err)?,
         },
+        wal_max_bytes: args.parsed("--wal-max-bytes")?,
     };
     // The crash-recovery harness plants I/O fault points in a spawned
     // daemon through the environment; inert unless EXTMEM_FAULT_* vars
@@ -543,7 +674,11 @@ fn connect_admin(
 
 /// Parse `s t [w]` edge lines (`#` comments, blank lines allowed;
 /// missing weight means 1) from a file, or stdin for `None`/`"-"`.
-fn read_ingest_edges(source: Option<&str>) -> Result<Vec<(VertexId, VertexId, u32)>, CliError> {
+/// Each edge carries its 1-based input line number so a rejected batch
+/// can be reported as a line range, plus the origin name for messages.
+type IngestEdges = (Vec<(usize, (VertexId, VertexId, u32))>, String);
+
+fn read_ingest_edges(source: Option<&str>) -> Result<IngestEdges, CliError> {
     let (text, origin) = match source {
         None | Some("-") => {
             let mut buf = String::new();
@@ -556,7 +691,7 @@ fn read_ingest_edges(source: Option<&str>) -> Result<Vec<(VertexId, VertexId, u3
         ),
     };
     let mut edges = Vec::new();
-    for line in text.lines() {
+    for (lineno, line) in text.lines().enumerate() {
         let line = line.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
@@ -569,9 +704,9 @@ fn read_ingest_edges(source: Option<&str>) -> Result<Vec<(VertexId, VertexId, u3
         let parse = |tok: &str| -> Result<u32, CliError> {
             tok.parse().map_err(|_| err(format!("bad number `{tok}` in {origin}: `{line}`")))
         };
-        edges.push((parse(s)?, parse(t)?, w.map(parse).transpose()?.unwrap_or(1)));
+        edges.push((lineno + 1, (parse(s)?, parse(t)?, w.map(parse).transpose()?.unwrap_or(1))));
     }
-    Ok(edges)
+    Ok((edges, origin))
 }
 
 fn cmd_admin(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
@@ -640,13 +775,33 @@ fn cmd_admin(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             writeln!(out, "server is shutting down")?;
         }
         AdminCmd::Ingest { source, batch } => {
-            let edges = read_ingest_edges(source.as_deref())?;
+            let (edges, origin) = read_ingest_edges(source.as_deref())?;
             if edges.is_empty() {
                 return Err(err("ingest: no edges to send"));
             }
             let mut last = (0u64, 0u64);
+            let mut applied = 0usize;
             for chunk in edges.chunks(batch) {
-                last = client.update(chunk).map_err(|e| admin_err("ingest", e))?;
+                let frame: Vec<_> = chunk.iter().map(|&(_, edge)| edge).collect();
+                match client.update(&frame) {
+                    Ok(reply) => {
+                        last = reply;
+                        applied += chunk.len();
+                    }
+                    Err(e) => {
+                        // A rejected batch must stop the stream — blindly
+                        // sending the rest would apply edges out of order
+                        // around the hole. Point at the offending input.
+                        let (first, last_line) =
+                            (chunk.first().unwrap().0, chunk.last().unwrap().0);
+                        return Err(err(format!(
+                            "ingest stopped at a rejected batch \
+                             ({origin} lines {first}-{last_line}): {e}\n\
+                             {applied} of {} edges were applied before it",
+                            edges.len()
+                        )));
+                    }
+                }
             }
             let (generation, overlay) = last;
             writeln!(
@@ -1046,6 +1201,109 @@ mod tests {
         assert!(msg.contains("bad edge line"), "{msg}");
         let msg = run_vec(&["admin", "-a", &addr, "stats", "extra"]).unwrap_err().0;
         assert!(msg.contains("no further arguments"), "{msg}");
+
+        run_vec(&["admin", "-a", &addr, "shutdown"]).unwrap();
+        server.join().unwrap().unwrap();
+        for f in [&graph, &index, &announce, &edges_file, &format!("{index}.rank")] {
+            let _ = std::fs::remove_file(f);
+        }
+    }
+
+    #[test]
+    fn shard_splits_into_loadable_images_with_sidecars() {
+        let graph = tmp("shard.txt");
+        let index = tmp("shard.idx");
+        run_vec(&["gen", "--model", "glp", "--vertices", "300", "--seed", "13", "-o", &graph])
+            .unwrap();
+        run_vec(&["build", "-i", &graph, "-o", &index]).unwrap();
+
+        let out = run_vec(&["shard", "-x", &index, "--shards", "3"]).unwrap();
+        assert_eq!(out.lines().count(), 3, "{out}");
+        assert!(out.contains("shard 0/3: pivots [0, "), "{out}");
+
+        let whole = FlatIndex::load(Path::new(&index)).unwrap();
+        let mut cleanup = vec![graph.clone(), index.clone(), format!("{index}.rank")];
+        for i in 0..3 {
+            let path = format!("{index}.shard{i}");
+            // Every shard is a complete index over the full vertex set...
+            let flat = FlatIndex::load(Path::new(&path)).unwrap();
+            assert_eq!(flat.num_vertices(), whole.num_vertices());
+            // ...with a decodable range sidecar and the ranking copied
+            // alongside so daemons serve original vertex ids.
+            let spec =
+                hoplabels::ShardSpec::decode(&std::fs::read(format!("{path}.shard")).unwrap())
+                    .unwrap();
+            assert_eq!(spec.index, i);
+            assert_eq!(spec.count, 3);
+            assert!(std::path::Path::new(&format!("{path}.rank")).exists());
+            cleanup.extend([path.clone(), format!("{path}.shard"), format!("{path}.rank")]);
+        }
+
+        assert!(run_vec(&["shard", "-x", &index]).unwrap_err().0.contains("--shards"));
+        assert!(run_vec(&["shard", "-x", &graph, "--shards", "2"])
+            .unwrap_err()
+            .0
+            .contains("cannot shard"));
+        for f in cleanup {
+            let _ = std::fs::remove_file(f);
+        }
+    }
+
+    #[test]
+    fn ingest_stops_at_the_first_nacked_batch_with_its_line_range() {
+        let graph = tmp("nack.txt");
+        let index = tmp("nack.idx");
+        let announce = tmp("nack.addr");
+        let edges_file = tmp("nack.edges");
+        run_vec(&["gen", "--model", "glp", "--vertices", "120", "--seed", "27", "-o", &graph])
+            .unwrap();
+        run_vec(&["build", "-i", &graph, "-o", &index]).unwrap();
+
+        let serve_args: Vec<String> = [
+            "serve",
+            "-x",
+            &index,
+            "--addr",
+            "127.0.0.1:0",
+            "--announce-file",
+            &announce,
+            "--allow-remote-shutdown",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let server = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            run(&serve_args, &mut out).map(|()| String::from_utf8(out).unwrap())
+        });
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        let addr = loop {
+            if let Ok(addr) = std::fs::read_to_string(&announce) {
+                if !addr.is_empty() {
+                    break addr;
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "server never announced its address");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+
+        // Line 4 carries a zero-weight edge the server nacks. With
+        // --batch 2 it lands in the second frame (input lines 4-5);
+        // the stream must stop there — the lines after the bad frame
+        // must never be sent — and the error must name the range.
+        std::fs::write(&edges_file, "# comment\n0 50\n1 51\n2 52 0\n3 53\n4 54\n5 55\n").unwrap();
+        let msg =
+            run_vec(&["admin", "-a", &addr, "--batch", "2", "ingest", &edges_file]).unwrap_err().0;
+        assert!(msg.contains("lines 4-5"), "{msg}");
+        assert!(msg.contains("weight 0"), "{msg}");
+        assert!(msg.contains("2 of 6 edges were applied"), "{msg}");
+
+        // Only the first frame reached the daemon: the overlay holds
+        // exactly 2 edges, none from or after the rejected frame.
+        let info = run_vec(&["admin", "-a", &addr, "info"]).unwrap();
+        assert!(info.contains("overlay edges    2"), "{info}");
+        let mut client = hopdb_server::Client::connect(&addr).unwrap();
+        assert_eq!(client.query_one(0, 50).unwrap(), 1, "the frame before the nack applied");
 
         run_vec(&["admin", "-a", &addr, "shutdown"]).unwrap();
         server.join().unwrap().unwrap();

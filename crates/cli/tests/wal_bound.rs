@@ -1,0 +1,120 @@
+//! Regression test: the write-ahead log must not grow without bound
+//! between checkpoints. A long ingest run that cycles a small edge
+//! pool keeps the overlay tiny (the overlay dedups), so before
+//! `--wal-max-bytes` nothing ever triggered a checkpoint and the log
+//! grew by one record per acknowledged batch, forever. With the cap
+//! set, the daemon must checkpoint (checkpoint = truncation point)
+//! whenever the log exceeds it, keeping the WAL directory bounded all
+//! run long while every answer stays live.
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use hopdb_server::wal::Durability;
+use hopdb_server::{serve, Client, ServerConfig};
+use sfgraph::VertexId;
+
+const N: u64 = 50;
+/// WAL cap under test: small enough that a short run overflows it
+/// many times.
+const CAP: u64 = 8 << 10;
+const BATCHES: usize = 3_000;
+
+fn run_cli(args: &[&str]) {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut out = Vec::new();
+    hopdb_cli::run(&args, &mut out).expect("cli step");
+}
+
+fn dir_bytes(dir: &Path) -> u64 {
+    std::fs::read_dir(dir)
+        .map(|entries| entries.flatten().filter_map(|e| e.metadata().ok()).map(|m| m.len()).sum())
+        .unwrap_or(0)
+}
+
+struct Fixture {
+    dir: PathBuf,
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.dir).ok();
+    }
+}
+
+#[test]
+fn long_ingest_keeps_the_wal_directory_bounded() {
+    let dir = std::env::temp_dir().join(format!("hopdb-walbound-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("fixture dir");
+    let fx = Fixture { dir };
+    let graph = fx.dir.join("graph.txt").to_string_lossy().into_owned();
+    let index = fx.dir.join("graph.idx").to_string_lossy().into_owned();
+    run_cli(&["gen", "--model", "glp", "--vertices", &N.to_string(), "--seed", "7", "-o", &graph]);
+    run_cli(&["build", "-i", &graph, "-o", &index]);
+
+    let wal_dir = fx.dir.join("wal");
+    let config = ServerConfig {
+        source_graph: Some(PathBuf::from(&graph)),
+        // The overlay alone must never trigger compaction here — the
+        // whole point is that the WAL cap has to.
+        compact_threshold: usize::MAX,
+        wal_dir: Some(wal_dir.clone()),
+        durability: Durability::Off,
+        wal_max_bytes: Some(CAP),
+        ..ServerConfig::default()
+    };
+    let handle = serve("127.0.0.1:0", Path::new(&index), config).expect("serve");
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    // A fixed pool of distinct pairs, cycled: the overlay dedups to 12
+    // edges while the log appends one ~60-byte record per batch — the
+    // exact shape that used to grow the WAL forever.
+    let pool: Vec<(VertexId, VertexId, u32)> =
+        (0..12).map(|i| (i as VertexId, (i + 14) as VertexId, 1)).collect();
+    let mut appended = 0u64;
+    let mut max_seen = 0u64;
+    for round in 0..BATCHES {
+        let at = (round * 4) % pool.len();
+        let batch = [
+            pool[at],
+            pool[(at + 1) % pool.len()],
+            pool[(at + 2) % pool.len()],
+            pool[(at + 3) % pool.len()],
+        ];
+        client.update(&batch).expect("ingest batch");
+        appended += 8 + 4 + 12 * batch.len() as u64;
+        if round % 16 == 0 {
+            max_seen = max_seen.max(dir_bytes(&wal_dir));
+        }
+    }
+    max_seen = max_seen.max(dir_bytes(&wal_dir));
+
+    // The run appended far more log than the bound below, so staying
+    // under it proves the checkpoint loop kept truncating. The slack
+    // over CAP covers records that land while a checkpoint is running.
+    assert!(appended > 10 * CAP, "run too short to prove anything: {appended} bytes appended");
+    assert!(
+        max_seen < 10 * CAP,
+        "WAL directory grew unbounded: peak {max_seen} bytes (cap {CAP}, appended {appended})"
+    );
+
+    // Steady state: the compactor catches up and the log returns under
+    // the cap; the cap-triggered checkpoints are visible in `info`.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let info = loop {
+        let info = client.info().expect("info");
+        if info.wal_bytes < CAP {
+            break info;
+        }
+        assert!(Instant::now() < deadline, "WAL never came back under the cap: {info:?}");
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    assert!(info.checkpoints >= 2, "expected repeated cap-triggered checkpoints: {info:?}");
+    assert!(dir_bytes(&wal_dir) < 2 * CAP, "directory does not reflect the truncation");
+
+    // The data path stayed live through all of it.
+    assert_eq!(client.query_one(0, 14).expect("post-run query"), 1);
+
+    handle.shutdown();
+}

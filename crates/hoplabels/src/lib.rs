@@ -23,6 +23,9 @@
 //! * [`overlay`] — the delta overlay for live edge insertions:
 //!   [`overlay::LiveIndex`] answers `min(frozen, overlay)` behind
 //!   `QueryBackend` so the serving tier takes writes without a rebuild;
+//! * [`shard`] — pivot-range sharding: split one index image into `k`
+//!   smaller images whose per-shard answers min-merge back to the
+//!   unsharded answer, for scale-out serving;
 //! * [`bitparallel`] — the bit-parallel post-processing of Section 6;
 //! * [`path`] — shortest-path reconstruction on top of any oracle;
 //! * [`verify`] — brute-force exactness/minimality checkers for tests.
@@ -42,6 +45,7 @@ pub mod index;
 pub mod overlay;
 pub mod path;
 pub mod query;
+pub mod shard;
 pub mod stats;
 pub mod verify;
 
@@ -50,3 +54,4 @@ pub use flat::FlatIndex;
 pub use index::{DirectedLabels, LabelIndex, UndirectedLabels, VertexLabels};
 pub use overlay::{LiveIndex, OverlaySnapshot};
 pub use query::QueryBackend;
+pub use shard::{min_merge, shard_image, ShardSpec};

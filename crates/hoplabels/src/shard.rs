@@ -1,0 +1,354 @@
+//! Pivot-range sharding of `HOPIDX01` index images.
+//!
+//! A 2-hop query is `min` over the *common pivots* of `Lout(s)` and
+//! `Lin(t)`. Partitioning the pivot universe `[0, n)` into `k`
+//! contiguous ranges therefore partitions every label entry into
+//! exactly one shard, and
+//!
+//! ```text
+//! dist(s, t) = min over shards j of dist_j(s, t)
+//! ```
+//!
+//! because each candidate pivot contributes to exactly one shard-local
+//! join and `INF_DIST` (`u32::MAX`) is the identity of `min`. Each
+//! shard produced by [`shard_image`] is itself a complete, valid
+//! `HOPIDX01` image over the *same* vertex set (same `n`, same
+//! direction flag) — it loads with `FlatIndex::load` and serves with an
+//! unmodified `hopdb-server` daemon; only the label entries whose pivot
+//! falls in the shard's range are retained.
+//!
+//! Range boundaries are chosen by entry count, not vertex count: the
+//! rank convention front-loads label mass onto the few top-ranked
+//! pivots (Table 7's coverage skew), so an even vertex split would put
+//! nearly all entries in shard 0. [`shard_image`] walks the pivot
+//! histogram and cuts at the entry-count quantiles instead.
+//!
+//! Each shard image is paired with a [`ShardSpec`] describing its slot
+//! in the partition; [`ShardSpec::encode`] serializes it as a tiny
+//! `HOPSHRD1` sidecar (stored as `<image>.shard` next to the image, the
+//! way rankings are stored as `.rank` sidecars) so a daemon can report
+//! its range to the router via the `route_info` protocol exchange.
+//!
+//! The `rank_pruned` flag records a property the router can exploit:
+//! when every entry's pivot id is `<=` its vertex id (true for any
+//! index built under the rank convention, verified during the split —
+//! not assumed), the winning pivot of `(s, t)` is `<= min(s, t)`, so
+//! only shards whose `lo <= min(s, t)` can contribute and the router
+//! may skip the rest. The flag is only usable when clients speak rank
+//! ids (no `.rank` translation sidecar); otherwise the router must
+//! broadcast, which is still exact, just not pruned.
+
+use std::io;
+
+use sfgraph::{Dist, VertexId};
+
+use crate::disk::HopIdxHeader;
+
+/// Magic tag opening a serialized [`ShardSpec`] sidecar.
+pub const SHARD_MAGIC: &[u8; 8] = b"HOPSHRD1";
+
+/// Serialized [`ShardSpec`] length: magic + 4×u32 + flag + padding.
+pub const SHARD_SIDECAR_LEN: usize = 28;
+
+/// One shard's slot in a pivot-range partition of an index image.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// First pivot id owned by this shard (inclusive).
+    pub lo: VertexId,
+    /// One past the last pivot id owned by this shard.
+    pub hi: VertexId,
+    /// This shard's position in the partition (0-based).
+    pub index: u32,
+    /// Total number of shards in the partition.
+    pub count: u32,
+    /// Whether every entry in the *source* image satisfied
+    /// `pivot <= vertex` (the rank-space pruning invariant).
+    pub rank_pruned: bool,
+}
+
+impl ShardSpec {
+    /// Serialize as a `HOPSHRD1` sidecar blob.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(SHARD_SIDECAR_LEN);
+        out.extend_from_slice(SHARD_MAGIC);
+        out.extend_from_slice(&self.lo.to_le_bytes());
+        out.extend_from_slice(&self.hi.to_le_bytes());
+        out.extend_from_slice(&self.index.to_le_bytes());
+        out.extend_from_slice(&self.count.to_le_bytes());
+        out.push(self.rank_pruned as u8);
+        out.extend_from_slice(&[0, 0, 0]);
+        out
+    }
+
+    /// Parse a `HOPSHRD1` sidecar blob, validating every field so a
+    /// corrupt sidecar is refused rather than routed on.
+    pub fn decode(bytes: &[u8]) -> io::Result<ShardSpec> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        if bytes.len() != SHARD_SIDECAR_LEN || &bytes[..8] != SHARD_MAGIC {
+            return Err(bad("not a HOPSHRD1 shard sidecar"));
+        }
+        let word = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+        let (lo, hi, index, count) = (word(8), word(12), word(16), word(20));
+        if lo > hi {
+            return Err(bad("shard range is inverted"));
+        }
+        if count == 0 || index >= count {
+            return Err(bad("shard index outside the partition"));
+        }
+        if bytes[24] > 1 || bytes[25..28] != [0, 0, 0] {
+            return Err(bad("invalid shard flags"));
+        }
+        Ok(ShardSpec { lo, hi, index, count, rank_pruned: bytes[24] != 0 })
+    }
+}
+
+/// Fold `other` into `acc` pointwise by `min` — the cross-shard answer
+/// merge. `INF_DIST` is the identity, so a shard with no common pivot
+/// for a pair never disturbs another shard's answer.
+///
+/// # Panics
+/// If the slices disagree in length (shards answer the same batch).
+pub fn min_merge(acc: &mut [Dist], other: &[Dist]) {
+    assert_eq!(acc.len(), other.len(), "shard answers must align");
+    for (a, &b) in acc.iter_mut().zip(other) {
+        *a = (*a).min(b);
+    }
+}
+
+/// Split a serialized `HOPIDX01` image into `k` shard images by pivot
+/// range, balanced by entry count. Returns the shards in partition
+/// order; ranges tile `[0, n)` exactly (empty ranges are possible when
+/// `k` exceeds the number of populated pivots).
+pub fn shard_image(bytes: &[u8], k: usize) -> io::Result<Vec<(Vec<u8>, ShardSpec)>> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    if k == 0 {
+        return Err(bad("shard count must be at least 1"));
+    }
+    if k > u32::MAX as usize {
+        return Err(bad("shard count exceeds u32"));
+    }
+    let header = HopIdxHeader::parse(bytes)?;
+    if bytes.len() != header.expected_len() {
+        return Err(bad("index image length does not match its header"));
+    }
+    let n = header.n;
+
+    // One pass over every entry: pivot histogram (for balanced cuts),
+    // range validation, and the rank-pruning invariant check.
+    let mut hist = vec![0u64; n];
+    let mut rank_pruned = true;
+    let mut scan = |base: usize, offsets: &[u64]| -> io::Result<()> {
+        for v in 0..n {
+            for e in offsets[v]..offsets[v + 1] {
+                let at = base + e as usize * 8;
+                let pivot = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+                if pivot as usize >= n {
+                    return Err(bad("label pivot out of range"));
+                }
+                hist[pivot as usize] += 1;
+                if pivot > v as u32 {
+                    rank_pruned = false;
+                }
+            }
+        }
+        Ok(())
+    };
+    scan(header.out_base, &header.out_offsets)?;
+    if header.directed {
+        scan(header.in_base, &header.in_offsets)?;
+    }
+
+    // Cut at entry-count quantiles: boundary i is the smallest vertex
+    // whose prefix mass reaches total*i/k. Quantile targets are
+    // monotone, so the boundaries are too, and they tile [0, n).
+    let total: u64 = hist.iter().sum();
+    let mut bounds = Vec::with_capacity(k + 1);
+    bounds.push(0usize);
+    let mut prefix = 0u64;
+    let mut at = 0usize;
+    for i in 1..k {
+        let target = total * i as u64 / k as u64;
+        while at < n && prefix < target {
+            prefix += hist[at];
+            at += 1;
+        }
+        bounds.push(at);
+    }
+    bounds.push(n);
+
+    let mut shards = Vec::with_capacity(k);
+    for i in 0..k {
+        let (lo, hi) = (bounds[i] as u32, bounds[i + 1] as u32);
+        let image = build_shard(bytes, &header, lo, hi);
+        let spec = ShardSpec { lo, hi, index: i as u32, count: k as u32, rank_pruned };
+        shards.push((image, spec));
+    }
+    Ok(shards)
+}
+
+/// Emit one shard: the source image with every label filtered to the
+/// entries whose pivot lies in `[lo, hi)`, offsets rebuilt to match.
+fn build_shard(bytes: &[u8], header: &HopIdxHeader, lo: u32, hi: u32) -> Vec<u8> {
+    let n = header.n;
+    // Labels are sorted by pivot, so each label's kept entries are one
+    // contiguous run found by scanning (labels are short; no need to
+    // binary-search).
+    let filter_side = |base: usize, offsets: &[u64]| -> (Vec<u64>, Vec<u8>) {
+        let mut new_offsets = Vec::with_capacity(n + 1);
+        new_offsets.push(0u64);
+        let mut entries: Vec<u8> = Vec::new();
+        let mut kept = 0u64;
+        for v in 0..n {
+            for e in offsets[v]..offsets[v + 1] {
+                let at = base + e as usize * 8;
+                let pivot = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+                if pivot >= lo && pivot < hi {
+                    entries.extend_from_slice(&bytes[at..at + 8]);
+                    kept += 1;
+                }
+            }
+            new_offsets.push(kept);
+        }
+        (new_offsets, entries)
+    };
+
+    let (out_offsets, out_entries) = filter_side(header.out_base, &header.out_offsets);
+    let (in_offsets, in_entries) = if header.directed {
+        filter_side(header.in_base, &header.in_offsets)
+    } else {
+        (Vec::new(), Vec::new())
+    };
+
+    let mut image = Vec::with_capacity(
+        20 + (out_offsets.len() + in_offsets.len()) * 8 + out_entries.len() + in_entries.len(),
+    );
+    image.extend_from_slice(b"HOPIDX01");
+    image.extend_from_slice(&[header.directed as u8, 0, 0, 0]);
+    image.extend_from_slice(&(n as u64).to_le_bytes());
+    for &o in &out_offsets {
+        image.extend_from_slice(&o.to_le_bytes());
+    }
+    for &o in &in_offsets {
+        image.extend_from_slice(&o.to_le_bytes());
+    }
+    image.extend_from_slice(&out_entries);
+    image.extend_from_slice(&in_entries);
+    image
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+    use crate::index::{DirectedLabels, LabelIndex, VertexLabels};
+    use crate::LabelEntry;
+    use extmem::device::TempStore;
+    use sfgraph::INF_DIST;
+
+    fn image_of(index: &LabelIndex) -> Vec<u8> {
+        let store = TempStore::new().unwrap();
+        let disk = crate::disk::DiskIndex::create(index, &store, "shard-src").unwrap();
+        let path = disk.persist();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(path).unwrap();
+        bytes
+    }
+
+    fn small_directed() -> LabelIndex {
+        // Path 3 -> 2 -> 1 -> 0 under rank ids (0 highest-ranked).
+        let mut d = DirectedLabels {
+            in_labels: (0..4).map(|v| VertexLabels::with_trivial(v as VertexId)).collect(),
+            out_labels: (0..4).map(|v| VertexLabels::with_trivial(v as VertexId)).collect(),
+        };
+        d.out_labels[1].insert_min(LabelEntry::new(0, 1));
+        d.out_labels[2].insert_min(LabelEntry::new(0, 2));
+        d.out_labels[2].insert_min(LabelEntry::new(1, 1));
+        d.out_labels[3].insert_min(LabelEntry::new(0, 3));
+        d.out_labels[3].insert_min(LabelEntry::new(2, 1));
+        d.in_labels[0].insert_min(LabelEntry::new(0, 0));
+        LabelIndex::Directed(d)
+    }
+
+    #[test]
+    fn spec_roundtrip_and_rejection() {
+        let spec = ShardSpec { lo: 3, hi: 17, index: 1, count: 4, rank_pruned: true };
+        let blob = spec.encode();
+        assert_eq!(blob.len(), SHARD_SIDECAR_LEN);
+        assert_eq!(ShardSpec::decode(&blob).unwrap(), spec);
+
+        assert!(ShardSpec::decode(b"nonsense").is_err());
+        let mut inverted =
+            ShardSpec { lo: 9, hi: 9, index: 0, count: 1, rank_pruned: false }.encode();
+        inverted[8..12].copy_from_slice(&10u32.to_le_bytes()); // lo = 10 > hi = 9
+        assert!(ShardSpec::decode(&inverted).is_err());
+        let mut out_of_partition = spec.encode();
+        out_of_partition[16..20].copy_from_slice(&4u32.to_le_bytes()); // index == count
+        assert!(ShardSpec::decode(&out_of_partition).is_err());
+        let mut bad_flag = spec.encode();
+        bad_flag[24] = 7;
+        assert!(ShardSpec::decode(&bad_flag).is_err());
+    }
+
+    #[test]
+    fn shards_tile_and_min_merge_matches_unsharded() {
+        let index = small_directed();
+        let bytes = image_of(&index);
+        let whole = FlatIndex::from_hopidx_bytes(&bytes).unwrap();
+        let pairs: Vec<(u32, u32)> = (0..4).flat_map(|s| (0..4).map(move |t| (s, t))).collect();
+        let expect = whole.query_many(&pairs, 1);
+
+        for k in 1..=6 {
+            let shards = shard_image(&bytes, k).unwrap();
+            assert_eq!(shards.len(), k);
+            assert_eq!(shards[0].1.lo, 0);
+            assert_eq!(shards[k - 1].1.hi, 4);
+            for w in shards.windows(2) {
+                assert_eq!(w[0].1.hi, w[1].1.lo, "ranges must tile");
+            }
+            let mut merged = vec![INF_DIST; pairs.len()];
+            for (image, spec) in &shards {
+                assert!(spec.rank_pruned, "rank-convention index must verify as pruned");
+                let flat = FlatIndex::from_hopidx_bytes(image).unwrap();
+                assert_eq!(flat.num_vertices(), 4);
+                assert!(flat.is_directed());
+                min_merge(&mut merged, &flat.query_many(&pairs, 1));
+            }
+            assert_eq!(merged, expect, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn non_rank_pruned_image_is_flagged() {
+        // An undirected label set where a low vertex cites a higher
+        // pivot — legal for querying, but not rank-pruned.
+        let mut idx = LabelIndex::new_undirected(3);
+        if let LabelIndex::Undirected(u) = &mut idx {
+            u.labels[0].insert_min(LabelEntry::new(2, 5));
+            u.labels[1].insert_min(LabelEntry::new(2, 1));
+        }
+        let bytes = image_of(&idx);
+        let shards = shard_image(&bytes, 2).unwrap();
+        assert!(shards.iter().all(|(_, s)| !s.rank_pruned));
+        // Still exact under the merge.
+        let whole = FlatIndex::from_hopidx_bytes(&bytes).unwrap();
+        let pairs = [(0u32, 1u32), (1, 0), (0, 2), (2, 2)];
+        let mut merged = vec![INF_DIST; pairs.len()];
+        for (image, _) in &shards {
+            min_merge(
+                &mut merged,
+                &FlatIndex::from_hopidx_bytes(image).unwrap().query_many(&pairs, 1),
+            );
+        }
+        assert_eq!(merged, whole.query_many(&pairs, 1));
+    }
+
+    #[test]
+    fn garbage_and_zero_shards_are_refused() {
+        assert!(shard_image(b"not an index", 2).is_err());
+        let bytes = image_of(&small_directed());
+        assert!(shard_image(&bytes, 0).is_err());
+        let mut truncated = bytes.clone();
+        truncated.truncate(truncated.len() - 8);
+        assert!(shard_image(&truncated, 2).is_err());
+    }
+}

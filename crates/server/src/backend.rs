@@ -30,6 +30,7 @@ use extmem::stats::IoStats;
 use hoplabels::disk::{CachedDiskIndex, DiskIndex};
 use hoplabels::flat::FlatIndex;
 use hoplabels::overlay::LiveIndex;
+use hoplabels::shard::ShardSpec;
 use hoplabels::QueryBackend;
 use sfgraph::ranking::Ranking;
 use sfgraph::{Dist, VertexId};
@@ -52,6 +53,9 @@ pub struct LiveGeneration {
     ranking: Option<Arc<Ranking>>,
     vertices: usize,
     directed: bool,
+    /// The `<path>.shard` sidecar, when this generation serves one
+    /// pivot-range shard of a split image (see `hoplabels::shard`).
+    shard: Option<ShardSpec>,
 }
 
 impl LiveGeneration {
@@ -81,7 +85,14 @@ impl LiveGeneration {
         };
         let (vertices, directed) = (index.num_vertices(), index.is_directed());
         let ranking = load_ranking_sidecar(path, vertices)?.map(Arc::new);
-        Ok(LiveGeneration { index: LiveIndex::new(index, generation), ranking, vertices, directed })
+        let shard = load_shard_sidecar(path)?;
+        Ok(LiveGeneration {
+            index: LiveIndex::new(index, generation),
+            ranking,
+            vertices,
+            directed,
+            shard,
+        })
     }
 
     /// Build a generation from an already-frozen index (tests, or a
@@ -93,6 +104,7 @@ impl LiveGeneration {
             ranking: ranking.map(Arc::new),
             vertices,
             directed,
+            shard: None,
         }
     }
 
@@ -123,6 +135,7 @@ impl LiveGeneration {
             ranking: self.ranking.clone(),
             vertices: self.vertices,
             directed: self.directed,
+            shard: self.shard,
         })
     }
 
@@ -140,6 +153,19 @@ impl LiveGeneration {
     /// Whether the underlying index is directed.
     pub fn is_directed(&self) -> bool {
         self.directed
+    }
+
+    /// This generation's pivot-range shard slot, when it serves a split
+    /// image (`<path>.shard` sidecar was present at load).
+    pub fn shard(&self) -> Option<ShardSpec> {
+        self.shard
+    }
+
+    /// Whether a router may apply the rank-space shard filter against
+    /// this endpoint: the split verified the pruning invariant *and*
+    /// queries arrive in rank ids (no `.rank` translation sidecar).
+    pub fn shard_rank_pruned(&self) -> bool {
+        self.shard.is_some_and(|s| s.rank_pruned) && self.ranking.is_none()
     }
 
     /// Whether this generation serves from memory (as opposed to the
@@ -223,6 +249,26 @@ fn load_ranking_sidecar(path: &Path, n: usize) -> std::io::Result<Option<Ranking
         std::io::Error::new(
             std::io::ErrorKind::InvalidData,
             format!("{}: {msg}", sidecar.to_string_lossy()),
+        )
+    })
+}
+
+/// Read the `<path>.shard` sidecar if present. Same discipline as the
+/// ranking sidecar: `Ok(None)` when absent, a hard error when present
+/// but invalid — routing on a corrupt shard map would silently drop
+/// label entries from answers.
+fn load_shard_sidecar(path: &Path) -> std::io::Result<Option<ShardSpec>> {
+    let mut sidecar = path.as_os_str().to_os_string();
+    sidecar.push(".shard");
+    let bytes = match std::fs::read(&sidecar) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    ShardSpec::decode(&bytes).map(Some).map_err(|e| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("{}: {e}", sidecar.to_string_lossy()),
         )
     })
 }

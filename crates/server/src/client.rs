@@ -30,7 +30,8 @@ use std::time::Duration;
 use sfgraph::{Dist, VertexId};
 
 use crate::proto::{
-    read_response, InfoReply, ProtoError, Request, RequestBody, ResponseBody, StatsReply,
+    read_response, InfoReply, ProtoError, Request, RequestBody, ResponseBody, RouteReply,
+    StatsReply,
 };
 
 fn invalid(msg: String) -> std::io::Error {
@@ -174,6 +175,12 @@ impl Session {
         loop {
             let response = read_response(&mut self.reader).map_err(|e| match e {
                 ProtoError::Io(io) => io,
+                // A clean EOF is a transport failure (the peer went
+                // away), not a server-reported error: it must keep a
+                // kind a failover path can tell apart from InvalidData.
+                ProtoError::Closed => {
+                    std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "connection closed")
+                }
                 other => invalid(other.to_string()),
             })?;
             if response.id == id {
@@ -333,6 +340,17 @@ impl Client {
     pub fn stats(&mut self) -> std::io::Result<StatsReply> {
         match self.session.roundtrip(RequestBody::Stats)? {
             ResponseBody::Stats(stats) => Ok(stats),
+            ResponseBody::Error(msg) => Err(invalid(msg)),
+            other => Err(invalid(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Fetch the endpoint's serving-topology description (protocol v4):
+    /// single node, replica router, or shard router, plus the shard
+    /// range when the endpoint serves a shard image.
+    pub fn route_info(&mut self) -> std::io::Result<RouteReply> {
+        match self.session.roundtrip(RequestBody::RouteInfo)? {
+            ResponseBody::RouteInfo(route) => Ok(route),
             ResponseBody::Error(msg) => Err(invalid(msg)),
             other => Err(invalid(format!("unexpected response {other:?}"))),
         }

@@ -52,9 +52,13 @@ pub mod http;
 pub mod proto;
 #[cfg(target_os = "linux")]
 pub mod reactor;
+#[cfg(target_os = "linux")]
+pub mod router;
 pub mod server;
 pub mod wal;
 
 pub use backend::{Generation, LiveGeneration};
 pub use client::Client;
+#[cfg(target_os = "linux")]
+pub use router::{serve_router, RouteMode, RouterConfig, RouterHandle};
 pub use server::{serve, Backend, ServerConfig, ServerHandle};

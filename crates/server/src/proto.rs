@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! magic        4 bytes   "HOPQ" (request) / "HOPR" (response)
-//! version      u8        1, 2, or 3 (see "Versioning" below)
+//! version      u8        1 through 4 (see "Versioning" below)
 //! kind/status  u8        request kind, or response status
 //! request id   u64 LE    echoed verbatim in the response
 //! payload_len  u32 LE    bytes following the header (≤ MAX_PAYLOAD)
@@ -22,6 +22,7 @@
 //! | 5    | update   | v2    | `count u32 LE`, then `count` × (`s u32 LE`, `t u32 LE`, `w u32 LE`) weighted edge insertions |
 //! | 6    | info     | v2    | empty — extended serving/overlay statistics |
 //! | 7    | compact  | v2    | empty — fold the overlay into a fresh frozen generation |
+//! | 8    | route_info | v4  | empty — describe this endpoint's place in a serving topology |
 //!
 //! Response statuses: `0` = ok (payload depends on the request kind),
 //! `1` = error (payload is a UTF-8 message). A query response carries
@@ -46,6 +47,13 @@
 //! fields (WAL epoch/size, recovery and checkpoint counters — see
 //! [`InfoReply`]) and is stamped v3; the `info` request is unchanged
 //! and still goes out as v2. No other frame changed.
+//!
+//! Version 4 adds one kind: `route_info` (see [`RouteReply`]), the
+//! topology exchange the scale-out router uses to learn each backend's
+//! vertex count, direction, and — when the backend serves a pivot-range
+//! shard image — its shard slot. Like the v2 bump it adds no wire
+//! changes to existing kinds; a `route_info` frame marked with an older
+//! version is a recoverable `unsupported kind` error.
 //!
 //! ## Pipelining
 //!
@@ -96,7 +104,7 @@ pub const REQ_MAGIC: [u8; 4] = *b"HOPQ";
 pub const RESP_MAGIC: [u8; 4] = *b"HOPR";
 /// Highest protocol version this build speaks. Frames are encoded with
 /// the lowest version that defines their kind (see "Versioning").
-pub const VERSION: u8 = 3;
+pub const VERSION: u8 = 4;
 /// Lowest protocol version still accepted on the wire.
 pub const MIN_VERSION: u8 = 1;
 /// Fixed frame header size: magic + version + kind + id + payload len.
@@ -118,6 +126,7 @@ const KIND_SHUTDOWN: u8 = 4;
 const KIND_UPDATE: u8 = 5;
 const KIND_INFO: u8 = 6;
 const KIND_COMPACT: u8 = 7;
+const KIND_ROUTE_INFO: u8 = 8;
 
 const STATUS_OK: u8 = 0;
 const STATUS_ERROR: u8 = 1;
@@ -150,6 +159,9 @@ pub enum RequestBody {
     /// Fold the overlay into a freshly built frozen generation and
     /// promote it (v2).
     Compact,
+    /// Describe this endpoint's place in a serving topology (v4):
+    /// single daemon, replica router, or shard router/backend.
+    RouteInfo,
 }
 
 impl RequestBody {
@@ -162,11 +174,13 @@ impl RequestBody {
             RequestBody::Update(_) => KIND_UPDATE,
             RequestBody::Info => KIND_INFO,
             RequestBody::Compact => KIND_COMPACT,
+            RequestBody::RouteInfo => KIND_ROUTE_INFO,
         }
     }
 
     fn min_version(&self) -> u8 {
         match self {
+            RequestBody::RouteInfo => 4,
             RequestBody::Update(_) | RequestBody::Info | RequestBody::Compact => 2,
             _ => 1,
         }
@@ -250,6 +264,42 @@ pub struct InfoReply {
 /// [`InfoReply::durability`] value when the server runs without a WAL.
 pub const DURABILITY_DISABLED: u8 = 255;
 
+/// [`RouteReply::mode`]: a single daemon answering queries itself.
+pub const ROUTE_SINGLE: u8 = 0;
+/// [`RouteReply::mode`]: a router fanning query batches over replicas.
+pub const ROUTE_REPLICA: u8 = 1;
+/// [`RouteReply::mode`]: a router min-merging pivot-range shards.
+pub const ROUTE_SHARD: u8 = 2;
+
+/// Topology description returned by a route_info request (v4). The
+/// scale-out router interrogates every backend with this at startup:
+/// replica sets must agree on `vertices`/`directed`, and shard sets
+/// must tile `[0, vertices)` with their `[shard_lo, shard_hi)` ranges.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RouteReply {
+    /// [`ROUTE_SINGLE`], [`ROUTE_REPLICA`], or [`ROUTE_SHARD`].
+    pub mode: u8,
+    /// Vertices covered by the serving index (the *full* vertex set —
+    /// shard images keep the unsharded count).
+    pub vertices: u64,
+    /// Whether the serving index is directed.
+    pub directed: bool,
+    /// Current index generation at this endpoint.
+    pub generation: u64,
+    /// First pivot id owned, when serving a shard image (else 0).
+    pub shard_lo: u32,
+    /// One past the last owned pivot, when serving a shard image.
+    pub shard_hi: u32,
+    /// Shard slot in the partition, when serving a shard image.
+    pub shard_index: u32,
+    /// Shards in the partition; 0 = not serving a shard image.
+    pub shard_count: u32,
+    /// Whether the rank-space pruning invariant holds *and* queries
+    /// arrive in rank ids (no `.rank` translation), so a router may
+    /// skip shards with `shard_lo > min(s, t)`.
+    pub rank_pruned: bool,
+}
+
 /// The response payloads a server can send.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ResponseBody {
@@ -283,6 +333,8 @@ pub enum ResponseBody {
         /// Vertices covered by the freshly built index.
         vertices: u64,
     },
+    /// Serving-topology description (v4).
+    RouteInfo(RouteReply),
     /// The request failed; the payload is a human-readable reason.
     Error(String),
 }
@@ -290,6 +342,7 @@ pub enum ResponseBody {
 impl ResponseBody {
     fn min_version(&self) -> u8 {
         match self {
+            ResponseBody::RouteInfo(_) => 4,
             // The info payload gained durability fields in v3.
             ResponseBody::Info(_) => 3,
             ResponseBody::Updated { .. } | ResponseBody::Compacted { .. } => 2,
@@ -383,7 +436,8 @@ impl Request {
             | RequestBody::Stats
             | RequestBody::Shutdown
             | RequestBody::Info
-            | RequestBody::Compact => Vec::new(),
+            | RequestBody::Compact
+            | RequestBody::RouteInfo => Vec::new(),
         };
         let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
         put_header(
@@ -468,6 +522,24 @@ impl Response {
                 p.extend_from_slice(&vertices.to_le_bytes());
                 (STATUS_OK, p)
             }
+            ResponseBody::RouteInfo(r) => {
+                // 37 bytes: deliberately not 4 + 4k, so the untagged
+                // distance fallback in `read_response` can never
+                // mistake it for a count-prefixed distance payload.
+                let mut p = Vec::with_capacity(37);
+                p.push(KIND_ROUTE_INFO);
+                p.push(r.mode);
+                p.push(r.directed as u8);
+                p.push(r.rank_pruned as u8);
+                p.extend_from_slice(&r.vertices.to_le_bytes());
+                p.extend_from_slice(&r.generation.to_le_bytes());
+                p.extend_from_slice(&r.shard_lo.to_le_bytes());
+                p.extend_from_slice(&r.shard_hi.to_le_bytes());
+                p.extend_from_slice(&r.shard_index.to_le_bytes());
+                p.extend_from_slice(&r.shard_count.to_le_bytes());
+                p.push(0); // reserved
+                (STATUS_OK, p)
+            }
             ResponseBody::Error(msg) => (STATUS_ERROR, msg.as_bytes().to_vec()),
         };
         let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
@@ -547,6 +619,11 @@ fn parse_request_payload(
             "unsupported kind {kind} at protocol version {version} (needs version 2)"
         ));
     }
+    if version < 4 && kind == KIND_ROUTE_INFO {
+        return Err(format!(
+            "unsupported kind {kind} at protocol version {version} (needs version 4)"
+        ));
+    }
     match kind {
         KIND_QUERY => {
             if payload.len() < 4 {
@@ -607,7 +684,7 @@ fn parse_request_payload(
                 .collect();
             Ok(RequestBody::Update(edges))
         }
-        KIND_SWAP | KIND_STATS | KIND_SHUTDOWN | KIND_INFO | KIND_COMPACT => {
+        KIND_SWAP | KIND_STATS | KIND_SHUTDOWN | KIND_INFO | KIND_COMPACT | KIND_ROUTE_INFO => {
             if !payload.is_empty() {
                 return Err(format!("kind {kind} takes no payload, got {}", payload.len()));
             }
@@ -616,6 +693,7 @@ fn parse_request_payload(
                 KIND_STATS => RequestBody::Stats,
                 KIND_INFO => RequestBody::Info,
                 KIND_COMPACT => RequestBody::Compact,
+                KIND_ROUTE_INFO => RequestBody::RouteInfo,
                 _ => RequestBody::Shutdown,
             })
         }
@@ -761,13 +839,26 @@ pub fn read_response(r: &mut impl Read) -> Result<Response, ProtoError> {
                     generation: u64::from_le_bytes(payload[1..9].try_into().unwrap()),
                     vertices: u64::from_le_bytes(payload[9..17].try_into().unwrap()),
                 },
+                Some(&KIND_ROUTE_INFO) if payload.len() == 37 => {
+                    ResponseBody::RouteInfo(RouteReply {
+                        mode: payload[1],
+                        directed: payload[2] != 0,
+                        rank_pruned: payload[3] != 0,
+                        vertices: u64::from_le_bytes(payload[4..12].try_into().unwrap()),
+                        generation: u64::from_le_bytes(payload[12..20].try_into().unwrap()),
+                        shard_lo: u32::from_le_bytes(payload[20..24].try_into().unwrap()),
+                        shard_hi: u32::from_le_bytes(payload[24..28].try_into().unwrap()),
+                        shard_index: u32::from_le_bytes(payload[28..32].try_into().unwrap()),
+                        shard_count: u32::from_le_bytes(payload[32..36].try_into().unwrap()),
+                    })
+                }
                 _ => {
                     // Distances: count-prefixed u32s. The tag bytes of
                     // the variants above cannot collide because a
                     // distance payload is always 4 + 4k bytes with a
-                    // leading LE count — re-parse as such (a 17- or
-                    // 125-byte payload is never 4 + 4k with a matching
-                    // count whose low byte equals the tag).
+                    // leading LE count — re-parse as such (a 17-, 35-,
+                    // 37-, or 125-byte payload is never 4 + 4k with a
+                    // matching count whose low byte equals the tag).
                     if payload.len() < 4 {
                         return Err(bad("ok response payload too short"));
                     }
@@ -803,6 +894,7 @@ mod tests {
             RequestBody::Update(vec![(0, 9, 1), (5, 2, u32::MAX)]),
             RequestBody::Info,
             RequestBody::Compact,
+            RequestBody::RouteInfo,
         ] {
             let req = Request { id: 0xDEAD_BEEF_0BAD_CAFE, body };
             let bytes = req.encode();
@@ -848,6 +940,17 @@ mod tests {
                 aborted_compactions: 1,
             }),
             ResponseBody::Compacted { generation: 5, vertices: 888 },
+            ResponseBody::RouteInfo(RouteReply {
+                mode: ROUTE_SHARD,
+                vertices: 4096,
+                directed: true,
+                generation: 11,
+                shard_lo: 16,
+                shard_hi: 900,
+                shard_index: 1,
+                shard_count: 4,
+                rank_pruned: true,
+            }),
             ResponseBody::Error("nope".into()),
         ] {
             let resp = Response { id: 99, body };
@@ -886,6 +989,7 @@ mod tests {
             RequestBody::Update(vec![(0, 9, 1), (5, 2, 3)]),
             RequestBody::Info,
             RequestBody::Compact,
+            RequestBody::RouteInfo,
         ] {
             let req = Request { id: 0x0123_4567_89AB_CDEF, body };
             let frame = req.encode();
@@ -945,6 +1049,28 @@ mod tests {
                     assert_eq!(used, frame.len());
                 }
                 other => panic!("want recoverable Bad, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn v4_kind_in_an_older_frame_is_recoverable_unsupported_kind() {
+        let mut frame = Request { id: 21, body: RequestBody::RouteInfo }.encode();
+        assert_eq!(frame[4], 4, "route_info must be marked v4");
+        for older in 1..4u8 {
+            frame[4] = older;
+            match read_request(&mut Cursor::new(&frame), 16) {
+                Err(ProtoError::Bad { id: 21, msg }) => {
+                    assert!(msg.contains("unsupported kind"), "{msg}")
+                }
+                other => panic!("v{older}: want recoverable Bad, got {other:?}"),
+            }
+            match decode_request(&frame, 16) {
+                Decoded::Bad { id: 21, msg, used } => {
+                    assert!(msg.contains("unsupported kind"), "{msg}");
+                    assert_eq!(used, frame.len());
+                }
+                other => panic!("v{older}: want recoverable Bad, got {other:?}"),
             }
         }
     }

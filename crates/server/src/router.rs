@@ -1,0 +1,1382 @@
+//! The scale-out router: one `HOPQ`/HTTP endpoint fanning query batches
+//! across N backend daemons.
+//!
+//! Two modes, one reactor:
+//!
+//! * **replica** — every backend serves the *same* index image. Query
+//!   batches are load-balanced to the least-loaded backend (round-robin
+//!   tiebreak); a transport failure mid-batch fails over to the next
+//!   replica (queries are idempotent), so killing one of N replicas
+//!   loses no accepted query. Update batches are validated once at the
+//!   router, then applied to *every* replica behind a dispatch barrier:
+//!   no later job is dispatched until all replicas acked, so queries
+//!   submitted after an update observe it on whichever replica answers
+//!   them. Rolling generation swaps are *not* routed — operators drive
+//!   `admin swap`/`admin compact` against each backend in turn while
+//!   the router keeps serving.
+//!
+//! * **shard** — each backend serves one pivot-range shard split by
+//!   `hopdb-cli shard` ([`hoplabels::shard`]). A 2-hop answer is the
+//!   minimum over common pivots, so per-shard answers min-merge back to
+//!   the exact unsharded answer. The router broadcasts each pair to
+//!   every shard whose pivot range could hold the winning pivot (all of
+//!   them, or — when every shard reports `rank_pruned` — only shards
+//!   with `lo <= min(s, t)`), and folds the parts with
+//!   [`hoplabels::shard::min_merge`] semantics. Shard routers reject
+//!   updates: mutate the source graph and re-shard instead.
+//!
+//! The front end reuses the epoll machinery of the single-node daemon —
+//! [`crate::reactor`] for readiness, [`crate::conn`] for framing (HOPQ
+//! and HTTP alike), [`crate::batch`] for adaptive micro-batching — so a
+//! router endpoint is wire-compatible with a plain daemon for queries,
+//! stats, `route_info`, and (replica mode) updates. Topology is probed
+//! once at startup via the protocol-v4 `route_info` frame and validated
+//! hard: replicas must agree on vertex count and direction; shards must
+//! tile the pivot space exactly.
+//!
+//! ```text
+//! reactor thread          dispatcher thread           worker threads (1/backend)
+//!   epoll_wait              Batcher::next_batch          own Client per backend
+//!   cut frames     ──────►    coalesce + range-check      (plus failover clients)
+//!   answer stats/             replica: least-inflight ──► query / failover
+//!   route_info inline         shard: split + ShardMerge ► query part, min-merge
+//!   flush responses ◄──────────── Completions + eventfd wake ◄──┘
+//! ```
+
+use std::collections::HashMap;
+use std::io::Read;
+use std::net::{Shutdown, SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sfgraph::{Dist, INF_DIST};
+
+use crate::batch::{Batcher, Completion, Completions, Job, RespondAs, UpdateRespond};
+use crate::client::Client;
+use crate::conn::{Conn, ConnRequest, ConnState, Mode};
+use crate::http::{self, HttpRequest};
+use crate::proto::{
+    RequestBody, Response, ResponseBody, RouteReply, StatsReply, ROUTE_REPLICA, ROUTE_SHARD,
+    ROUTE_SINGLE,
+};
+use crate::reactor::{Event, Poller, WakeFd, EV_READ, EV_WRITE};
+use crate::server::validate_update_edges;
+
+/// How the router spreads work across its backends.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteMode {
+    /// Every backend serves the same image; batches load-balance.
+    Replica,
+    /// Each backend serves one pivot-range shard; answers min-merge.
+    Shard,
+}
+
+impl std::str::FromStr for RouteMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<RouteMode, String> {
+        match s {
+            "replica" => Ok(RouteMode::Replica),
+            "shard" => Ok(RouteMode::Shard),
+            other => Err(format!("unknown route mode '{other}' (want replica or shard)")),
+        }
+    }
+}
+
+/// Tunables for [`serve_router`]. The serving knobs mirror
+/// [`crate::ServerConfig`]'s epoll knobs; the connect knobs govern the
+/// startup probe and per-worker backend connections.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Replica fan-out or shard fan-out.
+    pub mode: RouteMode,
+    /// Backend daemon addresses (shard mode: one per shard, any order —
+    /// ownership comes from each backend's `.shard` sidecar).
+    pub backends: Vec<SocketAddr>,
+    /// Pairs accepted per query request.
+    pub max_batch: usize,
+    /// Longest a queued query waits (µs) for company before its
+    /// micro-batch flushes anyway.
+    pub flush_us: u64,
+    /// Queued pair count that flushes a micro-batch immediately.
+    pub coalesce_pairs: usize,
+    /// Unanswered frames per connection before the router stops
+    /// reading that connection.
+    pub max_inflight: usize,
+    /// Evict connections idle longer than this many ms (0 = never).
+    pub idle_timeout_ms: u64,
+    /// Honour remote shutdown frames (stops the router, not backends).
+    pub allow_shutdown: bool,
+    /// TCP connect timeout per backend; also installed as each backend
+    /// connection's I/O timeout so a hung backend surfaces as
+    /// `TimedOut` and fails over instead of wedging a worker.
+    pub connect_timeout: Duration,
+    /// Extra connect attempts during the startup probe (backends may
+    /// still be booting when the router starts).
+    pub connect_retries: u32,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            mode: RouteMode::Replica,
+            backends: Vec::new(),
+            max_batch: crate::proto::DEFAULT_MAX_BATCH,
+            flush_us: 100,
+            coalesce_pairs: 4096,
+            max_inflight: 128,
+            idle_timeout_ms: 0,
+            allow_shutdown: false,
+            connect_timeout: Duration::from_secs(5),
+            connect_retries: 20,
+        }
+    }
+}
+
+/// One backend's place in the topology.
+#[derive(Clone, Copy, Debug)]
+struct BackendSlot {
+    addr: SocketAddr,
+    /// Owned pivot range `[lo, hi)` (shard mode; zeros in replica mode).
+    lo: u32,
+    #[allow(dead_code)]
+    hi: u32,
+}
+
+/// What the startup probe learned (constant for the router's lifetime).
+struct Topology {
+    vertices: u64,
+    directed: bool,
+    /// Highest backend generation observed at boot (stats only).
+    generation: u64,
+    /// Shard mode: every shard kept the `pivot <= vertex` invariant and
+    /// serves rank-space ids, so pairs route only to shards with
+    /// `lo <= min(s, t)`. Always false in replica mode.
+    rank_pruned: bool,
+    slots: Vec<BackendSlot>,
+}
+
+/// Hooks `begin_stop` uses to reach the running reactor.
+struct RouterCtl {
+    wake: Arc<WakeFd>,
+    batcher: Arc<Batcher>,
+}
+
+struct RouterShared {
+    config: RouterConfig,
+    topology: Topology,
+    local_addr: SocketAddr,
+    stop: AtomicBool,
+    requests: AtomicU64,
+    protocol_errors: AtomicU64,
+    /// Batches answered by a replica other than the first pick, plus
+    /// shard-part retries — the kill-one-replica observable.
+    failovers: AtomicU64,
+    ctl: OnceLock<RouterCtl>,
+}
+
+impl RouterShared {
+    fn begin_stop(&self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        if let Some(ctl) = self.ctl.get() {
+            ctl.batcher.stop();
+            ctl.wake.wake();
+        }
+    }
+}
+
+/// A running router. Dropping the handle does not stop it; call
+/// [`RouterHandle::shutdown`].
+pub struct RouterHandle {
+    shared: Arc<RouterShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl RouterHandle {
+    /// The address the listener actually bound (resolves `:0` ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Batches that failed over to another replica (or retried a shard
+    /// backend) because of a transport failure.
+    pub fn failovers(&self) -> u64 {
+        self.shared.failovers.load(Ordering::Relaxed)
+    }
+
+    /// Ask the router to stop and wait for every thread to exit.
+    /// Backends keep running.
+    pub fn shutdown(mut self) {
+        self.shared.begin_stop();
+        self.join_all();
+    }
+
+    /// Block until the router stops (e.g. a remote shutdown frame).
+    pub fn wait(mut self) {
+        self.join_all();
+    }
+
+    fn join_all(&mut self) {
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn other(msg: String) -> std::io::Error {
+    std::io::Error::other(msg)
+}
+
+fn error(id: u64, msg: &str) -> Response {
+    Response { id, body: ResponseBody::Error(msg.to_string()) }
+}
+
+/// Bind `addr`, probe and validate the backend topology, and start
+/// routing. Returns once the listener is bound and every backend
+/// answered the `route_info` probe.
+pub fn serve_router(
+    addr: impl ToSocketAddrs,
+    config: RouterConfig,
+) -> std::io::Result<RouterHandle> {
+    if config.backends.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "a router needs at least one --backends address",
+        ));
+    }
+    let topology = probe_topology(&config)?;
+    let listener = TcpListener::bind(addr)?;
+    let local_addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let poller = Poller::new(256)?;
+    let wake = Arc::new(WakeFd::new()?);
+    let batcher = Arc::new(Batcher::new());
+    let completions = Arc::new(Completions::new(Arc::clone(&wake)));
+    poller.register(&listener, EV_READ, TOKEN_LISTENER)?;
+    poller.register(&*wake, EV_READ, TOKEN_WAKER)?;
+    let shared = Arc::new(RouterShared {
+        config,
+        topology,
+        local_addr,
+        stop: AtomicBool::new(false),
+        requests: AtomicU64::new(0),
+        protocol_errors: AtomicU64::new(0),
+        failovers: AtomicU64::new(0),
+        ctl: OnceLock::new(),
+    });
+    let _ = shared.ctl.set(RouterCtl { wake: Arc::clone(&wake), batcher: Arc::clone(&batcher) });
+
+    let mut workers = Vec::new();
+    let mut ports = Vec::new();
+    for index in 0..shared.topology.slots.len() {
+        let (tx, rx) = mpsc::channel::<WorkItem>();
+        let depth = Arc::new(AtomicUsize::new(0));
+        ports.push(WorkerPort { tx, depth: Arc::clone(&depth) });
+        let (shared, completions) = (Arc::clone(&shared), Arc::clone(&completions));
+        workers.push(std::thread::spawn(move || {
+            worker_loop(&shared, &completions, index, &depth, &rx)
+        }));
+    }
+    let dispatcher = {
+        let (shared, batcher, completions) =
+            (Arc::clone(&shared), Arc::clone(&batcher), Arc::clone(&completions));
+        std::thread::spawn(move || dispatcher_loop(&shared, &batcher, &completions, ports))
+    };
+    let reactor = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            Reactor {
+                shared,
+                poller,
+                wake,
+                batcher,
+                completions,
+                listener,
+                conns: HashMap::new(),
+                next_token: FIRST_CONN_TOKEN,
+                draining_since: None,
+            }
+            .run()
+        })
+    };
+    let mut all = vec![reactor, dispatcher];
+    all.extend(workers);
+    Ok(RouterHandle { shared, workers: all })
+}
+
+/// Connect to every backend, fetch its `route_info`, and validate that
+/// the set forms a coherent serving topology for the requested mode.
+fn probe_topology(config: &RouterConfig) -> std::io::Result<Topology> {
+    let mut infos: Vec<RouteReply> = Vec::new();
+    for addr in &config.backends {
+        let mut client =
+            Client::connect_retry(addr, Some(config.connect_timeout), config.connect_retries)
+                .map_err(|e| other(format!("backend {addr}: connect: {e}")))?;
+        let info =
+            client.route_info().map_err(|e| other(format!("backend {addr}: route_info: {e}")))?;
+        if info.mode != ROUTE_SINGLE {
+            return Err(other(format!(
+                "backend {addr} is itself a router (mode {}); routers do not stack",
+                info.mode
+            )));
+        }
+        infos.push(info);
+    }
+    let first = infos[0];
+    for (addr, info) in config.backends.iter().zip(&infos) {
+        if info.vertices != first.vertices || info.directed != first.directed {
+            return Err(other(format!(
+                "backend {addr} serves {} vertices (directed={}) but backend {} serves {} \
+                 (directed={}) — every backend must come from the same image",
+                info.vertices, info.directed, config.backends[0], first.vertices, first.directed
+            )));
+        }
+    }
+    let slots = match config.mode {
+        RouteMode::Replica => {
+            for (addr, info) in config.backends.iter().zip(&infos) {
+                if info.shard_count != 0 {
+                    return Err(other(format!(
+                        "backend {addr} serves shard {}/{} — use --route shard",
+                        info.shard_index, info.shard_count
+                    )));
+                }
+            }
+            config.backends.iter().map(|&addr| BackendSlot { addr, lo: 0, hi: 0 }).collect()
+        }
+        RouteMode::Shard => {
+            let k = config.backends.len() as u32;
+            let mut seen = vec![false; k as usize];
+            for (addr, info) in config.backends.iter().zip(&infos) {
+                if info.shard_count != k {
+                    return Err(other(format!(
+                        "backend {addr} carries a {}-way shard map but {k} backends were given",
+                        info.shard_count
+                    )));
+                }
+                if info.shard_index >= k || seen[info.shard_index as usize] {
+                    return Err(other(format!(
+                        "backend {addr} claims shard slot {} twice or out of range",
+                        info.shard_index
+                    )));
+                }
+                seen[info.shard_index as usize] = true;
+            }
+            let mut ranges: Vec<(u32, u32)> =
+                infos.iter().map(|i| (i.shard_lo, i.shard_hi)).collect();
+            ranges.sort_unstable();
+            let mut expect = 0u32;
+            for &(lo, hi) in &ranges {
+                if lo != expect {
+                    return Err(other(format!(
+                        "shard ranges do not tile the pivot space: \
+                         range starts at {lo}, expected {expect}"
+                    )));
+                }
+                expect = hi;
+            }
+            if u64::from(expect) != first.vertices {
+                return Err(other(format!(
+                    "shard ranges stop at pivot {expect} but the image has {} vertices",
+                    first.vertices
+                )));
+            }
+            config
+                .backends
+                .iter()
+                .zip(&infos)
+                .map(|(&addr, info)| BackendSlot { addr, lo: info.shard_lo, hi: info.shard_hi })
+                .collect()
+        }
+    };
+    let rank_pruned = config.mode == RouteMode::Shard && infos.iter().all(|i| i.rank_pruned);
+    Ok(Topology {
+        vertices: first.vertices,
+        directed: first.directed,
+        generation: infos.iter().map(|i| i.generation).max().unwrap_or(0),
+        rank_pruned,
+        slots,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Dispatcher + workers
+// ---------------------------------------------------------------------
+
+/// One executable query job: (connection token, response encoding,
+/// query pairs).
+type QueryJob = (u64, RespondAs, Vec<(u32, u32)>);
+
+/// A coalesced batch ready to fan out: per-job plan entries index into
+/// the combined pair vector, exactly like the single-node executor.
+struct BatchWork {
+    jobs: Vec<QueryJob>,
+    /// `(job index, offset into combined, pair count)`.
+    plan: Vec<(usize, usize, usize)>,
+    combined: Vec<(u32, u32)>,
+}
+
+/// Work handed from the dispatcher to a backend worker.
+enum WorkItem {
+    /// Replica mode: answer the whole batch on this worker's backend,
+    /// failing over to the others on transport errors.
+    Replica(BatchWork),
+    /// Shard mode: query this worker's pair slice and fold it into the
+    /// shared merge.
+    Shard { pairs: Vec<(u32, u32)>, positions: Vec<usize>, merge: Arc<ShardMerge> },
+    /// Replica mode: apply an update batch to this worker's backend.
+    Update { edges: Arc<Vec<(u32, u32, u32)>>, done: mpsc::Sender<Result<(u64, u64), String>> },
+}
+
+struct WorkerPort {
+    tx: mpsc::Sender<WorkItem>,
+    /// Queued-but-unfinished items: the least-inflight routing signal.
+    depth: Arc<AtomicUsize>,
+}
+
+fn send(port: &WorkerPort, item: WorkItem) {
+    port.depth.fetch_add(1, Ordering::Relaxed);
+    if port.tx.send(item).is_err() {
+        port.depth.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Cross-shard min-merge state for one batch: the last part to land
+/// completes every job (or fails them all if any shard was unreachable).
+struct ShardMerge {
+    work: BatchWork,
+    completions: Arc<Completions>,
+    acc: Mutex<MergeAcc>,
+}
+
+struct MergeAcc {
+    dists: Vec<Dist>,
+    pending: usize,
+    failed: Option<String>,
+}
+
+impl ShardMerge {
+    fn fold(&self, part: Result<(Vec<usize>, Vec<Dist>), String>) {
+        let mut acc = match self.acc.lock() {
+            Ok(acc) => acc,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        match part {
+            Ok((positions, dists)) => {
+                for (&pos, &d) in positions.iter().zip(&dists) {
+                    if d < acc.dists[pos] {
+                        acc.dists[pos] = d;
+                    }
+                }
+            }
+            Err(e) => {
+                if acc.failed.is_none() {
+                    acc.failed = Some(e);
+                }
+            }
+        }
+        acc.pending -= 1;
+        if acc.pending == 0 {
+            let failed = acc.failed.take();
+            let dists = std::mem::take(&mut acc.dists);
+            drop(acc);
+            match failed {
+                None => complete_queries(&self.completions, &self.work, &dists),
+                Some(e) => fail_queries(&self.completions, &self.work, &e),
+            }
+        }
+    }
+}
+
+fn dispatcher_loop(
+    shared: &Arc<RouterShared>,
+    batcher: &Batcher,
+    completions: &Arc<Completions>,
+    ports: Vec<WorkerPort>,
+) {
+    let flush_after = Duration::from_micros(shared.config.flush_us.max(1));
+    let coalesce = shared.config.coalesce_pairs.max(1);
+    let mut rr = 0usize;
+    while let Some(jobs) = batcher.next_batch(coalesce, flush_after) {
+        let mut queries: Vec<QueryJob> = Vec::new();
+        for job in jobs {
+            match job {
+                Job::Query { conn, respond, pairs } => queries.push((conn, respond, pairs)),
+                Job::Update { conn, respond, edges } => {
+                    // Queries queued before the update answer on the
+                    // pre-update overlay of whichever replica holds
+                    // them; the barrier below orders everything later.
+                    dispatch_queries(
+                        shared,
+                        completions,
+                        &ports,
+                        &mut rr,
+                        std::mem::take(&mut queries),
+                    );
+                    dispatch_update(shared, completions, &ports, conn, respond, edges);
+                }
+                Job::Swap { conn, id } => {
+                    // The reactor answers swaps inline; defensive only.
+                    completions.push(Completion {
+                        conn,
+                        bytes: error(id, MSG_SWAP_NOT_ROUTED).encode(),
+                        answered: 1,
+                        close_after: false,
+                    });
+                }
+            }
+        }
+        dispatch_queries(shared, completions, &ports, &mut rr, queries);
+    }
+}
+
+fn dispatch_queries(
+    shared: &RouterShared,
+    completions: &Arc<Completions>,
+    ports: &[WorkerPort],
+    rr: &mut usize,
+    jobs: Vec<QueryJob>,
+) {
+    if jobs.is_empty() {
+        return;
+    }
+    let n = shared.topology.vertices;
+    // Range-check per job so one bad frame can't fail its batchmates.
+    let mut combined: Vec<(u32, u32)> = Vec::new();
+    let mut plan: Vec<(usize, usize, usize)> = Vec::new();
+    for (i, (conn, respond, pairs)) in jobs.iter().enumerate() {
+        match pairs.iter().find(|&&(s, t)| u64::from(s) >= n || u64::from(t) >= n) {
+            Some(&(s, t)) => {
+                let msg = format!("vertex out of range: ({s}, {t}) on a {n}-vertex index");
+                push_error(completions, *conn, *respond, &msg);
+            }
+            None => {
+                plan.push((i, combined.len(), pairs.len()));
+                combined.extend_from_slice(pairs);
+            }
+        }
+    }
+    if plan.is_empty() {
+        return;
+    }
+    let work = BatchWork { jobs, plan, combined };
+    if work.combined.is_empty() {
+        // Zero-pair jobs: answer without a backend round-trip.
+        complete_queries(completions, &work, &[]);
+        return;
+    }
+    match shared.config.mode {
+        RouteMode::Replica => {
+            // Least-inflight pick with a round-robin tiebreak.
+            let (mut best, mut best_depth) = (0usize, usize::MAX);
+            for off in 0..ports.len() {
+                let b = (*rr + off) % ports.len();
+                let d = ports[b].depth.load(Ordering::Relaxed);
+                if d < best_depth {
+                    (best, best_depth) = (b, d);
+                }
+            }
+            *rr = (best + 1) % ports.len();
+            send(&ports[best], WorkItem::Replica(work));
+        }
+        RouteMode::Shard => {
+            let k = ports.len();
+            let mut pairs_by: Vec<Vec<(u32, u32)>> = vec![Vec::new(); k];
+            let mut pos_by: Vec<Vec<usize>> = vec![Vec::new(); k];
+            for (pos, &(s, t)) in work.combined.iter().enumerate() {
+                let cutoff = s.min(t);
+                for (b, slot) in shared.topology.slots.iter().enumerate() {
+                    // The winning pivot of a rank-pruned 2-hop answer
+                    // is <= min(s, t), so higher shards can't improve
+                    // the merge and are skipped. Exact either way.
+                    if shared.topology.rank_pruned && slot.lo > cutoff {
+                        continue;
+                    }
+                    pairs_by[b].push((s, t));
+                    pos_by[b].push(pos);
+                }
+            }
+            let parts: Vec<usize> = (0..k).filter(|&b| !pairs_by[b].is_empty()).collect();
+            let merge = Arc::new(ShardMerge {
+                acc: Mutex::new(MergeAcc {
+                    dists: vec![INF_DIST; work.combined.len()],
+                    pending: parts.len(),
+                    failed: None,
+                }),
+                work,
+                completions: Arc::clone(completions),
+            });
+            for b in parts {
+                send(
+                    &ports[b],
+                    WorkItem::Shard {
+                        pairs: std::mem::take(&mut pairs_by[b]),
+                        positions: std::mem::take(&mut pos_by[b]),
+                        merge: Arc::clone(&merge),
+                    },
+                );
+            }
+        }
+    }
+}
+
+fn dispatch_update(
+    shared: &RouterShared,
+    completions: &Completions,
+    ports: &[WorkerPort],
+    conn: u64,
+    respond: UpdateRespond,
+    edges: Vec<(u32, u32, u32)>,
+) {
+    // Validate once at the router, before any backend sees the batch:
+    // a batch that would be nacked must be nacked *everywhere or
+    // nowhere*, never half-applied across replicas.
+    if let Err(msg) = validate_update_edges(&edges) {
+        push_update_result(completions, conn, respond, Err(msg));
+        return;
+    }
+    let n = shared.topology.vertices;
+    if let Some(&(s, t, _)) =
+        edges.iter().find(|&&(s, t, _)| u64::from(s) >= n || u64::from(t) >= n)
+    {
+        let msg = format!("vertex out of range: ({s}, {t}) on a {n}-vertex index");
+        push_update_result(completions, conn, respond, Err(msg));
+        return;
+    }
+    let edges = Arc::new(edges);
+    let (tx, rx) = mpsc::channel();
+    for port in ports {
+        send(port, WorkItem::Update { edges: Arc::clone(&edges), done: tx.clone() });
+    }
+    drop(tx);
+    // Barrier: every replica acks (or fails) before any later job is
+    // dispatched, so queries submitted after this batch observe it on
+    // whichever replica answers them.
+    let mut applied: Option<(u64, u64)> = None;
+    let mut failed: Vec<String> = Vec::new();
+    for _ in 0..ports.len() {
+        match rx.recv() {
+            Ok(Ok((generation, overlay))) => {
+                applied = Some(match applied {
+                    None => (generation, overlay),
+                    Some((g, o)) => (g.max(generation), o.max(overlay)),
+                });
+            }
+            Ok(Err(e)) => failed.push(e),
+            Err(_) => failed.push("worker exited".to_string()),
+        }
+    }
+    let result = if failed.is_empty() {
+        applied.ok_or_else(|| "no replica applied the update".to_string())
+    } else if applied.is_some() {
+        Err(format!(
+            "update applied on some replicas but failed on: {} — \
+             restart the failed backend(s) before further updates",
+            failed.join("; ")
+        ))
+    } else {
+        Err(failed.join("; "))
+    };
+    push_update_result(completions, conn, respond, result);
+}
+
+fn worker_loop(
+    shared: &Arc<RouterShared>,
+    completions: &Arc<Completions>,
+    index: usize,
+    depth: &AtomicUsize,
+    rx: &mpsc::Receiver<WorkItem>,
+) {
+    let mut clients: Vec<Option<Client>> = (0..shared.topology.slots.len()).map(|_| None).collect();
+    while let Ok(item) = rx.recv() {
+        match item {
+            WorkItem::Replica(work) => {
+                run_replica_batch(shared, completions, &mut clients, index, &work)
+            }
+            WorkItem::Shard { pairs, positions, merge } => {
+                run_shard_part(shared, &mut clients, index, pairs, positions, &merge)
+            }
+            WorkItem::Update { edges, done } => {
+                let _ = done.send(run_update(shared, &mut clients, index, &edges));
+            }
+        }
+        depth.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Server-reported errors come back as `InvalidData` (the stream stays
+/// frame-aligned); anything else is a transport failure worth a
+/// failover or reconnect.
+fn is_transport(e: &std::io::Error) -> bool {
+    e.kind() != std::io::ErrorKind::InvalidData
+}
+
+fn client_for<'a>(
+    shared: &RouterShared,
+    clients: &'a mut [Option<Client>],
+    b: usize,
+) -> std::io::Result<&'a mut Client> {
+    if clients[b].is_none() {
+        clients[b] = Some(Client::connect_timeout(
+            &shared.topology.slots[b].addr,
+            shared.config.connect_timeout,
+        )?);
+    }
+    Ok(clients[b].as_mut().expect("just connected"))
+}
+
+fn query_on(
+    shared: &RouterShared,
+    clients: &mut [Option<Client>],
+    b: usize,
+    pairs: &[(u32, u32)],
+) -> std::io::Result<Vec<Dist>> {
+    let result = client_for(shared, clients, b).and_then(|c| c.query(pairs));
+    if matches!(&result, Err(e) if is_transport(e)) {
+        clients[b] = None;
+    }
+    result
+}
+
+fn run_replica_batch(
+    shared: &RouterShared,
+    completions: &Completions,
+    clients: &mut [Option<Client>],
+    own: usize,
+    work: &BatchWork,
+) {
+    let k = clients.len();
+    let mut last = String::new();
+    for attempt in 0..k {
+        let b = (own + attempt) % k;
+        if attempt > 0 {
+            shared.failovers.fetch_add(1, Ordering::Relaxed);
+        }
+        match query_on(shared, clients, b, &work.combined) {
+            Ok(dists) => {
+                complete_queries(completions, work, &dists);
+                return;
+            }
+            // Server-reported: relay to the whole batch, no failover.
+            Err(e) if !is_transport(&e) => {
+                fail_queries(completions, work, &e.to_string());
+                return;
+            }
+            Err(e) => last = format!("{}: {e}", shared.topology.slots[b].addr),
+        }
+    }
+    fail_queries(completions, work, &format!("no replica reachable (last: {last})"));
+}
+
+fn run_shard_part(
+    shared: &RouterShared,
+    clients: &mut [Option<Client>],
+    own: usize,
+    pairs: Vec<(u32, u32)>,
+    positions: Vec<usize>,
+    merge: &ShardMerge,
+) {
+    // This worker's backend is the only holder of its shard: retry once
+    // through a fresh connection, then fail the merge.
+    let mut result = query_on(shared, clients, own, &pairs);
+    if matches!(&result, Err(e) if is_transport(e)) {
+        shared.failovers.fetch_add(1, Ordering::Relaxed);
+        result = query_on(shared, clients, own, &pairs);
+    }
+    merge.fold(match result {
+        Ok(dists) => Ok((positions, dists)),
+        Err(e) => Err(format!("shard {own} ({}): {e}", shared.topology.slots[own].addr)),
+    });
+}
+
+fn run_update(
+    shared: &RouterShared,
+    clients: &mut [Option<Client>],
+    own: usize,
+    edges: &[(u32, u32, u32)],
+) -> Result<(u64, u64), String> {
+    let addr = shared.topology.slots[own].addr;
+    let apply = |clients: &mut [Option<Client>]| {
+        let result = client_for(shared, clients, own).and_then(|c| c.update(edges));
+        if matches!(&result, Err(e) if is_transport(e)) {
+            clients[own] = None;
+        }
+        result
+    };
+    let mut result = apply(clients);
+    if matches!(&result, Err(e) if is_transport(e)) {
+        // Overlay insertion dedupes to the minimum weight per pair, so
+        // re-sending a possibly-applied batch is idempotent.
+        result = apply(clients);
+    }
+    result.map_err(|e| format!("backend {addr}: {e}"))
+}
+
+fn complete_queries(completions: &Completions, work: &BatchWork, dists: &[Dist]) {
+    for &(i, offset, len) in &work.plan {
+        let (conn, respond, pairs) = &work.jobs[i];
+        let slice = &dists[offset..offset + len];
+        let (bytes, close_after) = match *respond {
+            RespondAs::Hopq { id } => {
+                (Response { id, body: ResponseBody::Distances(slice.to_vec()) }.encode(), false)
+            }
+            RespondAs::HttpOne { close } => {
+                (http::render_query_one(pairs[0].0, pairs[0].1, slice[0], close), close)
+            }
+            RespondAs::HttpMany { close } => (http::render_query_many(slice, close), close),
+        };
+        completions.push(Completion { conn: *conn, bytes, answered: 1, close_after });
+    }
+}
+
+fn fail_queries(completions: &Completions, work: &BatchWork, msg: &str) {
+    for &(i, _, _) in &work.plan {
+        let (conn, respond, _) = &work.jobs[i];
+        push_error(completions, *conn, *respond, msg);
+    }
+}
+
+fn push_error(completions: &Completions, conn: u64, respond: RespondAs, msg: &str) {
+    let (bytes, close_after) = match respond {
+        RespondAs::Hopq { id } => (error(id, msg).encode(), false),
+        RespondAs::HttpOne { .. } | RespondAs::HttpMany { .. } => {
+            (http::render_error(400, msg), true)
+        }
+    };
+    completions.push(Completion { conn, bytes, answered: 1, close_after });
+}
+
+fn push_update_result(
+    completions: &Completions,
+    conn: u64,
+    respond: UpdateRespond,
+    result: Result<(u64, u64), String>,
+) {
+    let (bytes, close_after) = match respond {
+        UpdateRespond::Hopq { id } => {
+            let body = match result {
+                Ok((generation, overlay_edges)) => {
+                    ResponseBody::Updated { generation, overlay_edges }
+                }
+                Err(e) => ResponseBody::Error(format!("update failed: {e}")),
+            };
+            (Response { id, body }.encode(), false)
+        }
+        UpdateRespond::Http { close } => match result {
+            Ok((generation, overlay)) => (http::render_update(generation, overlay, close), close),
+            Err(e) => (http::render_error(400, &format!("update failed: {e}")), true),
+        },
+    };
+    completions.push(Completion { conn, bytes, answered: 1, close_after });
+}
+
+// ---------------------------------------------------------------------
+// Reactor (front end)
+// ---------------------------------------------------------------------
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKER: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+const POLL_TICK_MS: i32 = 25;
+const DRAIN_DEADLINE: Duration = Duration::from_secs(3);
+const DISCARD_BUDGET: usize = 1 << 20;
+const DISCARD_TIMEOUT: Duration = Duration::from_secs(2);
+
+const MSG_SWAP_NOT_ROUTED: &str =
+    "swap is not routed: point `admin swap` at each backend in turn (rolling swap)";
+const MSG_COMPACT_NOT_ROUTED: &str =
+    "compact is not routed: point `admin compact` at each backend in turn";
+const MSG_INFO_NOT_ROUTED: &str =
+    "info is not routed: point `admin info` at a backend, or use stats/route_info here";
+const MSG_SHARD_NO_UPDATES: &str =
+    "a shard router does not take updates: rebuild and re-shard the image, or use --route replica";
+
+struct Reactor {
+    shared: Arc<RouterShared>,
+    poller: Poller,
+    wake: Arc<WakeFd>,
+    batcher: Arc<Batcher>,
+    completions: Arc<Completions>,
+    listener: TcpListener,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    draining_since: Option<Instant>,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            if self.shared.stop.load(Ordering::SeqCst) && self.draining_since.is_none() {
+                self.begin_drain();
+            }
+            if let Some(since) = self.draining_since {
+                let owed =
+                    self.conns.values().any(|c| c.inflight > 0 || c.pending_write_bytes() > 0);
+                if !owed || since.elapsed() > DRAIN_DEADLINE {
+                    break;
+                }
+            }
+            events.clear();
+            if self.poller.wait(Some(POLL_TICK_MS), |ev| events.push(ev)).is_err() {
+                break;
+            }
+            for ev in &events {
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKER => self.wake.drain(),
+                    token => {
+                        if ev.readable() {
+                            self.conn_readable(token);
+                        }
+                        if ev.writable() {
+                            self.conn_writable(token);
+                        }
+                    }
+                }
+            }
+            self.apply_completions();
+            self.advance_all();
+        }
+    }
+
+    fn begin_drain(&mut self) {
+        self.draining_since = Some(Instant::now());
+        let _ = self.poller.deregister(&self.listener);
+        for conn in self.conns.values_mut() {
+            if conn.state == ConnState::Open {
+                conn.state = ConnState::CloseAfterFlush;
+            }
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        if self.draining_since.is_some() {
+            return;
+        }
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self.poller.register(&stream, EV_READ, token).is_ok() {
+                        let mut conn = Conn::new(stream, Instant::now());
+                        conn.registered = EV_READ;
+                        self.conns.insert(token, conn);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// HTTP answers must stay in order, so HTTP connections run one
+    /// request at a time.
+    fn inflight_cap(&self, mode: Mode) -> usize {
+        if mode == Mode::Http {
+            1
+        } else {
+            self.shared.config.max_inflight.max(1)
+        }
+    }
+
+    fn conn_readable(&mut self, token: u64) {
+        let cap = match self.conns.get(&token) {
+            Some(conn) => self.inflight_cap(conn.mode),
+            None => return,
+        };
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        match conn.state {
+            ConnState::Open => {
+                if conn.inflight >= cap || conn.write_backed_up() {
+                    return;
+                }
+                if conn.fill(Instant::now()).is_err() {
+                    conn.state = ConnState::Dead;
+                    return;
+                }
+                self.parse_conn(token);
+            }
+            ConnState::Draining { budget } => {
+                let mut left = budget;
+                let mut chunk = [0u8; 4096];
+                loop {
+                    if left == 0 {
+                        conn.state = ConnState::Dead;
+                        break;
+                    }
+                    match conn.stream.read(&mut chunk) {
+                        Ok(0) => {
+                            conn.state = ConnState::Dead;
+                            break;
+                        }
+                        Ok(n) => left = left.saturating_sub(n),
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            conn.state = ConnState::Draining { budget: left };
+                            break;
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            conn.state = ConnState::Dead;
+                            break;
+                        }
+                    }
+                }
+            }
+            ConnState::CloseAfterFlush | ConnState::Dead => {}
+        }
+    }
+
+    fn conn_writable(&mut self, token: u64) {
+        if let Some(conn) = self.conns.get_mut(&token) {
+            if conn.pending_write_bytes() > 0 && conn.flush().is_err() {
+                conn.state = ConnState::Dead;
+            }
+        }
+    }
+
+    fn parse_conn(&mut self, token: u64) {
+        loop {
+            let request = {
+                let cap = match self.conns.get(&token) {
+                    Some(conn) => self.inflight_cap(conn.mode),
+                    None => return,
+                };
+                let Some(conn) = self.conns.get_mut(&token) else { return };
+                if conn.state != ConnState::Open {
+                    return;
+                }
+                if conn.inflight >= cap || conn.write_backed_up() {
+                    return;
+                }
+                match conn.next_request(self.shared.config.max_batch) {
+                    Some(request) => request,
+                    None => {
+                        if conn.peer_eof && conn.pending_read_bytes() > 0 {
+                            self.shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                            let bye = Response {
+                                id: 0,
+                                body: ResponseBody::Error("truncated frame".into()),
+                            };
+                            conn.queue_write(&bye.encode(), Instant::now());
+                            conn.state = ConnState::CloseAfterFlush;
+                        }
+                        return;
+                    }
+                }
+            };
+            self.dispatch(token, request);
+        }
+    }
+
+    fn dispatch(&mut self, token: u64, request: ConnRequest) {
+        match request {
+            ConnRequest::Hopq(req) => {
+                self.shared.requests.fetch_add(1, Ordering::Relaxed);
+                let id = req.id;
+                match req.body {
+                    RequestBody::Query(pairs) => {
+                        self.submit_query(token, RespondAs::Hopq { id }, pairs);
+                    }
+                    RequestBody::Update(edges) => {
+                        if self.shared.config.mode == RouteMode::Shard {
+                            self.queue_response(token, error(id, MSG_SHARD_NO_UPDATES), false);
+                        } else {
+                            self.submit_update(token, UpdateRespond::Hopq { id }, edges);
+                        }
+                    }
+                    RequestBody::Swap => {
+                        self.queue_response(token, error(id, MSG_SWAP_NOT_ROUTED), false);
+                    }
+                    RequestBody::Compact => {
+                        self.queue_response(token, error(id, MSG_COMPACT_NOT_ROUTED), false);
+                    }
+                    RequestBody::Info => {
+                        self.queue_response(token, error(id, MSG_INFO_NOT_ROUTED), false);
+                    }
+                    RequestBody::RouteInfo => {
+                        let body = ResponseBody::RouteInfo(route_reply(&self.shared));
+                        self.queue_response(token, Response { id, body }, false);
+                    }
+                    RequestBody::Stats => {
+                        let body = ResponseBody::Stats(self.stats_reply());
+                        self.queue_response(token, Response { id, body }, false);
+                    }
+                    RequestBody::Shutdown => {
+                        if self.shared.config.allow_shutdown {
+                            self.queue_response(
+                                token,
+                                Response { id, body: ResponseBody::Bye },
+                                false,
+                            );
+                            self.shared.begin_stop();
+                        } else {
+                            let resp = error(id, "remote shutdown is disabled on this router");
+                            self.queue_response(token, resp, false);
+                        }
+                    }
+                }
+            }
+            ConnRequest::HopqBad { id, msg } => {
+                self.shared.requests.fetch_add(1, Ordering::Relaxed);
+                self.shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                self.queue_response(token, error(id, &msg), false);
+            }
+            ConnRequest::HopqFatal(msg) => {
+                self.shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                self.queue_response(token, error(0, &msg), true);
+            }
+            ConnRequest::Http { request, close } => {
+                self.shared.requests.fetch_add(1, Ordering::Relaxed);
+                match request {
+                    HttpRequest::QueryOne { s, t } => {
+                        self.submit_query(token, RespondAs::HttpOne { close }, vec![(s, t)]);
+                    }
+                    HttpRequest::QueryMany(pairs) => {
+                        self.submit_query(token, RespondAs::HttpMany { close }, pairs);
+                    }
+                    HttpRequest::Update(edges) => {
+                        if self.shared.config.mode == RouteMode::Shard {
+                            let bytes = http::render_error(400, MSG_SHARD_NO_UPDATES);
+                            self.queue_bytes(token, &bytes, true);
+                        } else {
+                            self.submit_update(token, UpdateRespond::Http { close }, edges);
+                        }
+                    }
+                    HttpRequest::Stats => {
+                        let body = self.stats_json();
+                        let bytes = http::render_response(200, &body, close);
+                        self.queue_bytes(token, &bytes, close);
+                    }
+                }
+            }
+            ConnRequest::HttpError(resp) => {
+                self.shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                self.queue_bytes(token, &resp, true);
+            }
+        }
+    }
+
+    fn submit_query(&mut self, token: u64, respond: RespondAs, pairs: Vec<(u32, u32)>) {
+        if self.batcher.submit(Job::Query { conn: token, respond, pairs }) {
+            if let Some(c) = self.conns.get_mut(&token) {
+                c.inflight += 1;
+            }
+        } else {
+            let (bytes, close) = match respond {
+                RespondAs::Hopq { id } => (error(id, "router is stopping").encode(), false),
+                RespondAs::HttpOne { .. } | RespondAs::HttpMany { .. } => {
+                    (http::render_error(503, "router is stopping"), true)
+                }
+            };
+            self.queue_bytes(token, &bytes, close);
+        }
+    }
+
+    fn submit_update(&mut self, token: u64, respond: UpdateRespond, edges: Vec<(u32, u32, u32)>) {
+        if self.batcher.submit(Job::Update { conn: token, respond, edges }) {
+            if let Some(c) = self.conns.get_mut(&token) {
+                c.inflight += 1;
+            }
+        } else {
+            let (bytes, close) = match respond {
+                UpdateRespond::Hopq { id } => (error(id, "router is stopping").encode(), false),
+                UpdateRespond::Http { .. } => (http::render_error(503, "router is stopping"), true),
+            };
+            self.queue_bytes(token, &bytes, close);
+        }
+    }
+
+    fn queue_response(&mut self, token: u64, resp: Response, close_after: bool) {
+        self.queue_bytes(token, &resp.encode(), close_after);
+    }
+
+    fn queue_bytes(&mut self, token: u64, bytes: &[u8], close_after: bool) {
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.queue_write(bytes, Instant::now());
+            if close_after && conn.state == ConnState::Open {
+                conn.state = ConnState::CloseAfterFlush;
+            }
+        }
+    }
+
+    fn apply_completions(&mut self) {
+        for done in self.completions.drain() {
+            if let Some(conn) = self.conns.get_mut(&done.conn) {
+                conn.inflight = conn.inflight.saturating_sub(done.answered);
+                conn.queue_write(&done.bytes, Instant::now());
+                if done.close_after && conn.state == ConnState::Open {
+                    conn.state = ConnState::CloseAfterFlush;
+                }
+            }
+        }
+    }
+
+    fn advance_all(&mut self) {
+        let now = Instant::now();
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            self.advance_conn(token, now);
+        }
+    }
+
+    fn advance_conn(&mut self, token: u64, now: Instant) {
+        self.parse_conn(token);
+        let idle = match self.shared.config.idle_timeout_ms {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        };
+        let cap = {
+            let Some(conn) = self.conns.get(&token) else { return };
+            self.inflight_cap(conn.mode)
+        };
+        let drain_mode = self.draining_since.is_some();
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        if conn.pending_write_bytes() > 0 && conn.flush().is_err() {
+            conn.state = ConnState::Dead;
+        }
+        match conn.state {
+            ConnState::Open => {
+                if conn.peer_eof
+                    && conn.inflight == 0
+                    && conn.pending_write_bytes() == 0
+                    && conn.pending_read_bytes() == 0
+                {
+                    conn.state = ConnState::Dead;
+                } else if let Some(idle) = idle {
+                    if conn.inflight == 0
+                        && conn.pending_write_bytes() == 0
+                        && now.duration_since(conn.last_activity) >= idle
+                    {
+                        conn.state = ConnState::Dead;
+                    }
+                }
+            }
+            ConnState::CloseAfterFlush => {
+                if conn.inflight == 0 && conn.pending_write_bytes() == 0 {
+                    let _ = conn.stream.shutdown(Shutdown::Write);
+                    conn.state = if conn.peer_eof {
+                        ConnState::Dead
+                    } else {
+                        ConnState::Draining { budget: DISCARD_BUDGET }
+                    };
+                    conn.last_activity = now;
+                }
+            }
+            ConnState::Draining { .. } => {
+                if conn.peer_eof || now.duration_since(conn.last_activity) > DISCARD_TIMEOUT {
+                    conn.state = ConnState::Dead;
+                }
+            }
+            ConnState::Dead => {}
+        }
+        let mut dead = conn.state == ConnState::Dead;
+        if !dead {
+            let desired = desired_interest(conn, cap, drain_mode);
+            if desired != conn.registered {
+                match self.poller.rearm(&conn.stream, desired, token) {
+                    Ok(()) => conn.registered = desired,
+                    Err(_) => dead = true,
+                }
+            }
+        }
+        if dead {
+            if let Some(conn) = self.conns.remove(&token) {
+                let _ = self.poller.deregister(&conn.stream);
+            }
+        }
+    }
+
+    fn stats_reply(&self) -> StatsReply {
+        let t = &self.shared.topology;
+        StatsReply {
+            generation: t.generation,
+            vertices: t.vertices,
+            directed: t.directed,
+            resident: true,
+            requests: self.shared.requests.load(Ordering::Relaxed),
+            protocol_errors: self.shared.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    fn stats_json(&self) -> String {
+        let t = &self.shared.topology;
+        let mode = match self.shared.config.mode {
+            RouteMode::Replica => "replica",
+            RouteMode::Shard => "shard",
+        };
+        format!(
+            "{{\"mode\":\"{mode}\",\"backends\":{},\"vertices\":{},\"directed\":{},\
+             \"generation\":{},\"rank_pruned\":{},\"requests\":{},\"protocol_errors\":{},\
+             \"failovers\":{}}}",
+            t.slots.len(),
+            t.vertices,
+            t.directed,
+            t.generation,
+            t.rank_pruned,
+            self.shared.requests.load(Ordering::Relaxed),
+            self.shared.protocol_errors.load(Ordering::Relaxed),
+            self.shared.failovers.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// The protocol-v4 topology snapshot a router reports for itself.
+fn route_reply(shared: &RouterShared) -> RouteReply {
+    let t = &shared.topology;
+    match shared.config.mode {
+        RouteMode::Replica => RouteReply {
+            mode: ROUTE_REPLICA,
+            vertices: t.vertices,
+            directed: t.directed,
+            generation: t.generation,
+            shard_lo: 0,
+            shard_hi: 0,
+            shard_index: 0,
+            shard_count: 0,
+            rank_pruned: false,
+        },
+        RouteMode::Shard => RouteReply {
+            mode: ROUTE_SHARD,
+            vertices: t.vertices,
+            directed: t.directed,
+            generation: t.generation,
+            shard_lo: 0,
+            shard_hi: t.vertices.min(u64::from(u32::MAX)) as u32,
+            shard_index: 0,
+            shard_count: t.slots.len() as u32,
+            rank_pruned: t.rank_pruned,
+        },
+    }
+}
+
+/// The interest mask a connection's state calls for.
+fn desired_interest(conn: &Conn, cap: usize, drain_mode: bool) -> u32 {
+    let mut mask = 0;
+    match conn.state {
+        ConnState::Open => {
+            let paused =
+                conn.inflight >= cap || conn.write_backed_up() || conn.peer_eof || drain_mode;
+            if !paused {
+                mask |= EV_READ;
+            }
+            if conn.pending_write_bytes() > 0 {
+                mask |= EV_WRITE;
+            }
+        }
+        ConnState::CloseAfterFlush => mask |= EV_WRITE,
+        ConnState::Draining { .. } => mask |= EV_READ,
+        ConnState::Dead => {}
+    }
+    mask
+}

@@ -27,8 +27,8 @@ use std::thread::JoinHandle;
 
 use crate::backend::Generation;
 use crate::proto::{
-    read_request, InfoReply, ProtoError, Request, RequestBody, Response, ResponseBody, StatsReply,
-    DEFAULT_MAX_BATCH, DURABILITY_DISABLED,
+    read_request, InfoReply, ProtoError, Request, RequestBody, Response, ResponseBody, RouteReply,
+    StatsReply, DEFAULT_MAX_BATCH, DURABILITY_DISABLED, ROUTE_SINGLE,
 };
 use crate::wal::{self, Durability, Manifest, Wal};
 use extmem::stats::IoStats;
@@ -130,6 +130,13 @@ pub struct ServerConfig {
     /// failure* (a mere process crash loses nothing) for group-commit
     /// throughput; `always` closes the window per batch.
     pub durability: Durability,
+    /// WAL size (bytes) that triggers a background compaction even when
+    /// the overlay is under `compact_threshold` — the checkpoint is the
+    /// WAL's truncation point, so without this knob a long ingest run
+    /// of small, non-improving batches grows the log (and the next
+    /// boot's replay) without bound. Requires `source_graph`, like any
+    /// compaction. `None` = only the overlay threshold compacts.
+    pub wal_max_bytes: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -150,6 +157,7 @@ impl Default for ServerConfig {
             compact_threshold: 256,
             wal_dir: None,
             durability: Durability::Batch,
+            wal_max_bytes: None,
         }
     }
 }
@@ -441,9 +449,15 @@ fn recover_durable(index_path: &Path, config: &ServerConfig) -> std::io::Result<
         }
     };
     wal::gc_dir(dir, epoch);
+    // Flatten by draining: `concat` would briefly hold the batch list
+    // AND the flat copy, doubling peak replay memory on a big log.
+    let mut log = Vec::with_capacity(batches.iter().map(Vec::len).sum());
+    for mut batch in batches {
+        log.append(&mut batch);
+    }
     Ok(Recovery {
         boot_path,
-        log: batches.concat(),
+        log,
         epoch,
         wal_records: live.records(),
         wal_bytes: live.bytes(),
@@ -488,12 +502,19 @@ fn compactor_loop(shared: &Shared, rx: &mpsc::Receiver<CompactMsg>) {
             CompactMsg::Threshold => {
                 let over_threshold = || {
                     let threshold = shared.config.compact_threshold;
-                    threshold > 0
+                    let overlay_over = threshold > 0
                         && shared
                             .current
                             .read()
                             .map(|g| g.overlay_edges() >= threshold)
-                            .unwrap_or(false)
+                            .unwrap_or(false);
+                    // A checkpoint truncates the WAL, so an oversized
+                    // log compacts even with a small overlay.
+                    let wal_over = shared
+                        .config
+                        .wal_max_bytes
+                        .is_some_and(|cap| shared.wal_bytes.load(Ordering::Relaxed) >= cap);
+                    overlay_over || wal_over
                 };
                 if over_threshold() {
                     if let Err(e) = do_compact(shared) {
@@ -712,6 +733,10 @@ fn dispatch(shared: &Shared, request: Request) -> Response {
             Some(info) => ResponseBody::Info(info),
             None => return error(id, "server state poisoned"),
         },
+        RequestBody::RouteInfo => match route_info_of(shared) {
+            Some(route) => ResponseBody::RouteInfo(route),
+            None => return error(id, "server state poisoned"),
+        },
         RequestBody::Stats => match shared.current.read() {
             Ok(current) => ResponseBody::Stats(StatsReply {
                 generation: current.generation(),
@@ -789,11 +814,31 @@ fn do_swap(shared: &Shared) -> std::io::Result<Arc<Generation>> {
     Ok(fresh)
 }
 
+/// Validate an update batch against the weight invariant
+/// `sfgraph::io::read_edge_list` enforces on edge-list files: weights
+/// are strictly positive (shortest-path distances are ≥ 1). Weights
+/// above `Dist::MAX` are unrepresentable in the wire encoding (`u32`),
+/// matching the parser's overflow cap, so only zero can slip through —
+/// and used to: the overlay silently clamped it to 1 and a later
+/// compaction replayed it into `GraphBuilder`, which rejects it.
+/// Rejecting here nacks the batch recoverably before any mutation, on
+/// both the HOPQ and HTTP fronts and at the replica router.
+pub(crate) fn validate_update_edges(edges: &[(u32, u32, u32)]) -> Result<(), String> {
+    match edges.iter().find(|&&(_, _, w)| w == 0) {
+        Some(&(s, t, _)) => Err(format!(
+            "edge ({s}, {t}): edge weight 0 (weights must be ≥ 1: \
+             shortest-path distances are strictly positive)"
+        )),
+        None => Ok(()),
+    }
+}
+
 /// Apply one accepted update batch: replay the full log plus the new
 /// edges into a fresh overlay snapshot and promote a copy-on-write
 /// successor generation. Queries pinned to the old `Arc` finish on it;
 /// nothing is committed if validation or the rebuild fails.
 fn do_update(shared: &Shared, edges: &[(u32, u32, u32)]) -> Result<(u64, u64), String> {
+    validate_update_edges(edges)?;
     let _serial = shared.mutate_serial.lock().map_err(|_| "server state poisoned".to_string())?;
     let current = {
         let guard = shared.current.read().map_err(|_| "server state poisoned".to_string())?;
@@ -824,10 +869,13 @@ fn do_update(shared: &Shared, edges: &[(u32, u32, u32)]) -> Result<(u64, u64), S
     drop(_serial);
     // Poke the compactor outside the serial section; a full channel or
     // stopped compactor is not the client's problem.
-    if shared.config.compact_threshold > 0
-        && overlay_edges as usize >= shared.config.compact_threshold
-        && shared.config.source_graph.is_some()
-    {
+    let overlay_over = shared.config.compact_threshold > 0
+        && overlay_edges as usize >= shared.config.compact_threshold;
+    let wal_over = shared
+        .config
+        .wal_max_bytes
+        .is_some_and(|cap| shared.wal_bytes.load(Ordering::Relaxed) >= cap);
+    if (overlay_over || wal_over) && shared.config.source_graph.is_some() {
         if let Ok(tx) = shared.compact_tx.lock() {
             if let Some(tx) = tx.as_ref() {
                 let _ = tx.send(CompactMsg::Threshold);
@@ -1077,6 +1125,25 @@ fn info_of(shared: &Shared) -> Option<InfoReply> {
         recovered_dropped_bytes: shared.recovered_dropped_bytes.load(Ordering::Relaxed),
         checkpoints: shared.checkpoints.load(Ordering::Relaxed),
         aborted_compactions: shared.aborted_compactions.load(Ordering::Relaxed),
+    })
+}
+
+/// The serving-topology snapshot (protocol v4): a plain daemon reports
+/// [`ROUTE_SINGLE`] plus its shard slot when it serves a split image
+/// (`<index>.shard` sidecar); the router module reports its own mode.
+fn route_info_of(shared: &Shared) -> Option<RouteReply> {
+    let current = shared.current.read().ok()?;
+    let shard = current.shard();
+    Some(RouteReply {
+        mode: ROUTE_SINGLE,
+        vertices: current.vertices() as u64,
+        directed: current.is_directed(),
+        generation: current.generation(),
+        shard_lo: shard.map_or(0, |s| s.lo),
+        shard_hi: shard.map_or(0, |s| s.hi),
+        shard_index: shard.map_or(0, |s| s.index),
+        shard_count: shard.map_or(0, |s| s.count),
+        rank_pruned: current.shard_rank_pruned(),
     })
 }
 
@@ -1420,6 +1487,13 @@ mod epoll_backend {
                         RequestBody::Info => {
                             let resp = match info_of(&self.shared) {
                                 Some(info) => Response { id, body: ResponseBody::Info(info) },
+                                None => error(id, "server state poisoned"),
+                            };
+                            self.queue_response(token, resp, false);
+                        }
+                        RequestBody::RouteInfo => {
+                            let resp = match route_info_of(&self.shared) {
+                                Some(r) => Response { id, body: ResponseBody::RouteInfo(r) },
                                 None => error(id, "server state poisoned"),
                             };
                             self.queue_response(token, resp, false);

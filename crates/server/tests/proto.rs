@@ -9,7 +9,7 @@ use std::io::Cursor;
 
 use hopdb_server::proto::{
     read_request, read_response, InfoReply, ProtoError, Request, RequestBody, Response,
-    ResponseBody, StatsReply, HEADER_LEN, MAX_PAYLOAD, VERSION,
+    ResponseBody, RouteReply, StatsReply, HEADER_LEN, MAX_PAYLOAD, VERSION,
 };
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -18,7 +18,7 @@ use proptest::prelude::*;
 fn request_strategy() -> impl Strategy<Value = Request> {
     (
         0u64..u64::MAX,
-        0u8..7,
+        0u8..8,
         vec((0u32..u32::MAX, 0u32..u32::MAX), 1..300),
         vec((0u32..u32::MAX, 0u32..u32::MAX, 0u32..u32::MAX), 1..300),
     )
@@ -30,7 +30,8 @@ fn request_strategy() -> impl Strategy<Value = Request> {
                 3 => RequestBody::Shutdown,
                 4 => RequestBody::Update(edges),
                 5 => RequestBody::Info,
-                _ => RequestBody::Compact,
+                6 => RequestBody::Compact,
+                _ => RequestBody::RouteInfo,
             };
             Request { id, body }
         })
@@ -38,7 +39,7 @@ fn request_strategy() -> impl Strategy<Value = Request> {
 
 /// Strategy: an arbitrary response of any kind (v1 and v2 kinds alike).
 fn response_strategy() -> impl Strategy<Value = Response> {
-    (0u64..u64::MAX, 0u8..8, vec(0u32..=u32::MAX, 0..300), 0u64..1 << 40, 0u64..1 << 32).prop_map(
+    (0u64..u64::MAX, 0u8..9, vec(0u32..=u32::MAX, 0..300), 0u64..1 << 40, 0u64..1 << 32).prop_map(
         |(id, kind, dists, a, b)| {
             let body = match kind {
                 0 => ResponseBody::Distances(dists),
@@ -75,6 +76,17 @@ fn response_strategy() -> impl Strategy<Value = Response> {
                     aborted_compactions: a % 7,
                 }),
                 6 => ResponseBody::Compacted { generation: a, vertices: b },
+                7 => ResponseBody::RouteInfo(RouteReply {
+                    mode: (a % 3) as u8,
+                    vertices: b,
+                    directed: a % 2 == 0,
+                    generation: a >> 5,
+                    shard_lo: (a % (1 << 32)) as u32,
+                    shard_hi: (b % (1 << 32)) as u32,
+                    shard_index: (a % 7) as u32,
+                    shard_count: (b % 11) as u32,
+                    rank_pruned: b % 2 == 1,
+                }),
                 _ => ResponseBody::Error(format!("error {a}")),
             };
             Response { id, body }

@@ -1,0 +1,118 @@
+//! Property tests for pivot-range sharding (`hoplabels::shard`): over
+//! arbitrary generated label indexes and shard counts,
+//!
+//! * the shard ranges tile `[0, n)` exactly — every pivot (and so
+//!   every label entry) is owned by exactly one shard;
+//! * every shard is a complete, loadable `HOPIDX01` image over the
+//!   full vertex set;
+//! * min-merging the per-shard `FlatIndex::query_many` answers equals
+//!   `FlatIndex::query_many` on the unsharded image, pair for pair.
+
+use hoplabels::flat::FlatIndex;
+use hoplabels::{min_merge, shard_image, LabelEntry, LabelIndex};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sfgraph::{VertexId, INF_DIST};
+
+/// Serialize an index the same way the CLI stages it on disk.
+fn image_of(index: &LabelIndex) -> Vec<u8> {
+    let store = extmem::device::TempStore::new().expect("temp store");
+    let disk = hoplabels::disk::DiskIndex::create(index, &store, "shard-prop").expect("serialize");
+    let path = disk.persist();
+    let bytes = std::fs::read(&path).expect("read image");
+    std::fs::remove_file(path).ok();
+    bytes
+}
+
+/// Strategy: an arbitrary small undirected label index. Entries are
+/// raw `(vertex, pivot, dist)` triples — including ones that break the
+/// rank convention (`pivot > vertex`), which sharding must still
+/// handle exactly (it just loses the pruning flag).
+fn undirected_index_strategy() -> impl Strategy<Value = LabelIndex> {
+    (2usize..24).prop_flat_map(|n| {
+        vec((0..n, 0..n, 1u32..50), 0..96).prop_map(move |entries| {
+            let mut index = LabelIndex::new_undirected(n);
+            if let LabelIndex::Undirected(u) = &mut index {
+                for (v, pivot, d) in entries {
+                    u.labels[v].insert_min(LabelEntry::new(pivot as VertexId, d));
+                }
+            }
+            index
+        })
+    })
+}
+
+/// Strategy: an arbitrary small directed label index (independent
+/// in/out label sets).
+fn directed_index_strategy() -> impl Strategy<Value = LabelIndex> {
+    (2usize..24).prop_flat_map(|n| {
+        (vec((0..n, 0..n, 1u32..50), 0..64), vec((0..n, 0..n, 1u32..50), 0..64)).prop_map(
+            move |(outs, ins)| {
+                let mut index = LabelIndex::new_directed(n);
+                if let LabelIndex::Directed(d) = &mut index {
+                    for (v, pivot, dist) in outs {
+                        d.out_labels[v].insert_min(LabelEntry::new(pivot as VertexId, dist));
+                    }
+                    for (v, pivot, dist) in ins {
+                        d.in_labels[v].insert_min(LabelEntry::new(pivot as VertexId, dist));
+                    }
+                }
+                index
+            },
+        )
+    })
+}
+
+/// The property itself, shared by both directions.
+fn check_partition_and_merge(index: &LabelIndex, k: usize) {
+    let bytes = image_of(index);
+    let whole = FlatIndex::from_hopidx_bytes(&bytes).expect("load unsharded");
+    let n = whole.num_vertices();
+
+    let shards = shard_image(&bytes, k).expect("shard");
+    assert_eq!(shards.len(), k);
+
+    // Ranges tile [0, n): start at 0, end at n, and each shard begins
+    // where the previous one ended — so every pivot has exactly one
+    // owner, which is what makes the merge exact.
+    assert_eq!(shards[0].1.lo, 0);
+    assert_eq!(shards[k - 1].1.hi as usize, n);
+    for w in shards.windows(2) {
+        assert_eq!(w[0].1.hi, w[1].1.lo, "ranges must tile with no gap or overlap");
+    }
+    for (i, (_, spec)) in shards.iter().enumerate() {
+        assert_eq!(spec.index as usize, i);
+        assert_eq!(spec.count as usize, k);
+    }
+
+    // Exhaustive pair sweep: min-merged shard answers == unsharded.
+    let pairs: Vec<(VertexId, VertexId)> =
+        (0..n as VertexId).flat_map(|s| (0..n as VertexId).map(move |t| (s, t))).collect();
+    let expect = whole.query_many(&pairs, 1);
+    let mut merged = vec![INF_DIST; pairs.len()];
+    for (image, _) in &shards {
+        let flat = FlatIndex::from_hopidx_bytes(image).expect("load shard");
+        assert_eq!(flat.num_vertices(), n, "shards keep the full vertex set");
+        assert_eq!(flat.is_directed(), whole.is_directed());
+        min_merge(&mut merged, &flat.query_many(&pairs, 1));
+    }
+    assert_eq!(merged, expect, "min-merged shard answers diverge (k = {k})");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn undirected_shards_partition_and_merge_exactly(
+        (index, k) in (undirected_index_strategy(), 1usize..6)
+    ) {
+        check_partition_and_merge(&index, k);
+    }
+
+    #[test]
+    fn directed_shards_partition_and_merge_exactly(
+        (index, k) in (directed_index_strategy(), 1usize..6)
+    ) {
+        check_partition_and_merge(&index, k);
+    }
+}

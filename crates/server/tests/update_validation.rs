@@ -1,0 +1,151 @@
+//! Update-path weight validation, end to end on both wire fronts.
+//!
+//! `sfgraph::io` refuses zero edge weights at parse time; the live
+//! update path must enforce the same rule. A batch carrying a zero
+//! weight is nacked with a *recoverable* error — no panic, no silent
+//! clamp-to-1, no partial application — on the binary `HOPQ` front
+//! (both serving backends) and on `POST /update`, and the connection
+//! (HOPQ) / the daemon (HTTP) keeps serving afterwards.
+
+use std::io::ErrorKind;
+use std::path::PathBuf;
+
+use hopdb::{build_prelabeled, HopDbConfig};
+use hopdb_server::{serve, Backend, Client, ServerConfig, ServerHandle};
+use hoplabels::disk::DiskIndex;
+use sfgraph::builder::GraphBuilder;
+use sfgraph::ranking::{rank_vertices, relabel_by_rank, RankBy};
+use sfgraph::VertexId;
+
+const N: usize = 40;
+
+struct Fixture {
+    dir: PathBuf,
+    index_path: PathBuf,
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.dir).ok();
+    }
+}
+
+fn fixture(tag: &str) -> Fixture {
+    let dir = std::env::temp_dir().join(format!("hopdb-valid-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("fixture dir");
+
+    // A weighted ring: every vertex reachable, no shortcuts, so an
+    // accepted update visibly changes a distance and a nacked one
+    // visibly does not.
+    let mut b = GraphBuilder::new_undirected(N).weighted();
+    for v in 0..N as VertexId {
+        b.add_weighted_edge(v, (v + 1) % N as VertexId, 2);
+    }
+    let g = b.build();
+    let ranking = rank_vertices(&g, &RankBy::Degree);
+    let relabeled = relabel_by_rank(&g, &ranking);
+    let (index, _) = build_prelabeled(&relabeled, &HopDbConfig::default());
+    let store = extmem::device::TempStore::new().expect("temp store");
+    let staged = DiskIndex::create(&index, &store, tag).expect("serialize").persist();
+    let index_path = dir.join("ring.idx");
+    std::fs::copy(&staged, &index_path).expect("stage index");
+    std::fs::remove_file(staged).ok();
+    Fixture { dir, index_path }
+}
+
+fn daemon(fx: &Fixture, backend: Backend) -> ServerHandle {
+    let config = ServerConfig { backend, threads: 2, ..ServerConfig::default() };
+    serve("127.0.0.1:0", &fx.index_path, config).expect("serve")
+}
+
+fn assert_hopq_nacks_zero_weight(backend: Backend, tag: &str) {
+    let fx = fixture(tag);
+    let handle = daemon(&fx, backend);
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    let before = client.query_one(0, 3).expect("baseline");
+
+    // Pure zero-weight batch, and a mixed batch hiding the zero in the
+    // middle: both must nack without applying anything.
+    for batch in [vec![(0, 3, 0)], vec![(5, 6, 1), (0, 3, 0), (7, 8, 1)]] {
+        let err = client.update(&batch).expect_err("zero weight must nack");
+        assert_eq!(err.kind(), ErrorKind::InvalidData, "{err}");
+        assert!(err.to_string().contains("weight 0"), "{err}");
+        assert!(err.to_string().contains("(0, 3)"), "name the offender: {err}");
+    }
+
+    // Recoverable: the same connection still answers queries and the
+    // nacked batches left no trace — neither the zero edge nor the
+    // valid edges that shared a frame with it.
+    assert_eq!(client.query_one(0, 3).expect("alive after nack"), before);
+    let info = client.info().expect("info");
+    assert_eq!(info.overlay_edges, 0, "a nacked batch must apply nothing");
+
+    // A clean batch on the same connection still works.
+    client.update(&[(0, 3, 1)]).expect("valid update after nacks");
+    assert_eq!(client.query_one(0, 3).expect("updated"), 1);
+
+    handle.shutdown();
+}
+
+#[test]
+fn hopq_zero_weight_is_nacked_threads_backend() {
+    assert_hopq_nacks_zero_weight(Backend::Threads, "hopq-threads");
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn hopq_zero_weight_is_nacked_epoll_backend() {
+    assert_hopq_nacks_zero_weight(Backend::Epoll, "hopq-epoll");
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn http_zero_weight_is_nacked() {
+    use std::io::{Read as _, Write as _};
+
+    let fx = fixture("http");
+    let handle = daemon(&fx, Backend::Epoll);
+    let addr = handle.local_addr();
+
+    let http = |request: String| -> String {
+        let mut sock = std::net::TcpStream::connect(addr).expect("http connect");
+        sock.write_all(request.as_bytes()).expect("http write");
+        let mut reply = String::new();
+        sock.read_to_string(&mut reply).expect("http read");
+        reply
+    };
+    let post_update = |body: &str| -> String {
+        http(format!(
+            "POST /update HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        ))
+    };
+
+    let get_dist = || http("GET /query?s=0&t=3 HTTP/1.1\r\nConnection: close\r\n\r\n".to_string());
+    let baseline = get_dist();
+    assert!(baseline.starts_with("HTTP/1.1 200"), "{baseline}");
+    let baseline_dist = baseline.split("\"dist\":").nth(1).expect("dist field").to_string();
+
+    let reply = post_update(r#"{"edges":[[0,3,0]]}"#);
+    assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+    assert!(reply.contains("weight 0"), "{reply}");
+    // Mixed batch: the valid edge must not slip through around the nack.
+    let reply = post_update(r#"{"edges":[[5,6,1],[0,3,0]]}"#);
+    assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+
+    // The daemon keeps serving: untouched distance, empty overlay, and
+    // a clean update still lands.
+    let reply = get_dist();
+    assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+    assert!(reply.ends_with(&baseline_dist), "nacked batch changed an answer: {reply}");
+    let mut client = Client::connect(addr).expect("connect");
+    assert_eq!(client.info().expect("info").overlay_edges, 0);
+    let reply = post_update(r#"{"edges":[[0,3,1]]}"#);
+    assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+    let reply = http("GET /query?s=0&t=3 HTTP/1.1\r\nConnection: close\r\n\r\n".to_string());
+    assert!(reply.contains("\"dist\":1"), "{reply}");
+
+    handle.shutdown();
+}
