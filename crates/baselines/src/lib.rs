@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # baselines — the comparison oracles of the paper's evaluation (§8)

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Build-time scaling snapshot for the sharded engine (the CI
 //! `bench-smoke` perf artifact).
 //!

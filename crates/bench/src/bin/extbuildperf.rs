@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Threaded external-build perf snapshot (the CI `external-io` perf
 //! artifact).
 //!

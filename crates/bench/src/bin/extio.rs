@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! External-build I/O budget gate (the CI `external-io` job).
 //!
 //! Runs the §4 I/O-efficient engine on two small, fully deterministic

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 10 — anatomy of a hybrid build on the largest workload
 //! (wiki-English stand-in): per-iteration growing factor, pruning
 //! factor, candidate/old/prev sizes relative to the final index, and

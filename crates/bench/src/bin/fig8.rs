@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 8 — label coverage by top-ranked vertices: for each graph,
 //! the share of all label entries covered by the top x% of vertices,
 //! sampled over x ∈ (0, 1%].

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 9 — scalability on synthetic GLP graphs:
 //! (a) fixed |V|, density |E|/|V| swept upward;
 //! (b) fixed density 20, |V| swept upward.

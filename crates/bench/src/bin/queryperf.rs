@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Query-path performance snapshot (the CI `query-perf` artifact).
 //!
 //! Builds one GLP workload, freezes the index into

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Serving-path performance snapshot (the CI `server-perf` artifact).
 //!
 //! Boots a real `hopdb-server` daemon on an ephemeral loopback port

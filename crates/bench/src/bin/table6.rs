@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Table 6 — performance comparison of BIDIJ, IS-Label, PLL, HCL*, and
 //! HopDb on complete 2-hop indexing.
 //!

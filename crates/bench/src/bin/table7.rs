@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Table 7 — evidence for small hitting sets / small hub dimension:
 //! number of iterations, average label entries per vertex, and the
 //! share of top-ranked vertices needed to cover 70% / 80% / 90% of all

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Table 8 — Hop-Doubling vs Hop-Stepping vs Hybrid: indexing time and
 //! iteration counts, plus the two ablations DESIGN.md calls out:
 //! `--sweep` varies the hybrid switch point, `--rankings` compares

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Binary entry point for `hopdb-cli`; all logic lives in the library
 //! (`hopdb_cli::run`) so it is testable in-process.
 

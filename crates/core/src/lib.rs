@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # hopdb — Hop-Doubling label indexing (the paper's contribution)

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # extmem — external-memory substrate
@@ -19,7 +20,10 @@
 //!   with an optional combiner for equal keys (used to keep the minimum
 //!   distance per `(vertex, pivot)` candidate), optionally pipelining the
 //!   spill passes onto a background worker
-//!   ([`sorter::ExternalSorter::with_background_spill`]).
+//!   ([`sorter::ExternalSorter::with_background_spill`]);
+//! * [`wire`] — total (panic-free) little-endian reads shared by every
+//!   decoder in the workspace that consumes untrusted socket or disk
+//!   bytes.
 //!
 //! Everything is deterministic and the simulated "disk" is honest: bytes
 //! really hit the filesystem, so the I/O counts benchmarked by `bench`
@@ -30,6 +34,7 @@ pub mod device;
 pub mod run;
 pub mod sorter;
 pub mod stats;
+pub mod wire;
 
 pub use codec::{LabelRecord, Record};
 pub use device::{CountedFile, StoreHandle, TempStore};

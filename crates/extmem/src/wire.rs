@@ -1,0 +1,75 @@
+//! Total (panic-free) little-endian reads over untrusted byte slices.
+//!
+//! Every decoder in the workspace — the HOPQ framing in `server`, the
+//! WAL replay, the `HOPSHRD1`/`HOPIDX01` sidecar parsers — consumes
+//! bytes that arrived off a socket or a disk and must never panic, no
+//! matter what those bytes say. These helpers make that property
+//! local: each read returns `None` past the end of the slice instead
+//! of relying on a length check somewhere earlier in the function, so
+//! a refactor that drops the check turns into a handled decode error,
+//! not a slice-index panic. The in-tree `tidy` panic-freedom pass
+//! (`cargo run -p xtask -- tidy`) keeps the call sites honest.
+
+/// The `N` bytes at `bytes[off..off + N]`, if fully in bounds.
+#[inline]
+pub fn array_at<const N: usize>(bytes: &[u8], off: usize) -> Option<[u8; N]> {
+    bytes.get(off..)?.first_chunk::<N>().copied()
+}
+
+/// The byte at `off`, if in bounds.
+#[inline]
+pub fn u8_at(bytes: &[u8], off: usize) -> Option<u8> {
+    bytes.get(off).copied()
+}
+
+/// The little-endian `u32` at `off`, if fully in bounds.
+#[inline]
+pub fn u32_at(bytes: &[u8], off: usize) -> Option<u32> {
+    array_at(bytes, off).map(u32::from_le_bytes)
+}
+
+/// The little-endian `u64` at `off`, if fully in bounds.
+#[inline]
+pub fn u64_at(bytes: &[u8], off: usize) -> Option<u64> {
+    array_at(bytes, off).map(u64::from_le_bytes)
+}
+
+/// Iterate `bytes` as consecutive little-endian `u32`s, ignoring any
+/// trailing partial word (callers validate exact lengths up front and
+/// use this only to walk a slice already known to be a whole number of
+/// words — but nothing breaks if it is not).
+pub fn u32s(bytes: &[u8]) -> impl Iterator<Item = u32> + '_ {
+    bytes.chunks_exact(4).filter_map(|c| c.first_chunk::<4>()).map(|c| u32::from_le_bytes(*c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_inside_bounds() {
+        let b = [1u8, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 7];
+        assert_eq!(u32_at(&b, 0), Some(1));
+        assert_eq!(u32_at(&b, 4), Some(2));
+        assert_eq!(u64_at(&b, 4), Some(2 | (7 << 56)));
+        assert_eq!(u8_at(&b, 11), Some(7));
+        assert_eq!(array_at::<2>(&b, 10), Some([0, 7]));
+    }
+
+    #[test]
+    fn reads_past_the_end_are_none_not_panics() {
+        let b = [0u8; 7];
+        assert_eq!(u32_at(&b, 4), None);
+        assert_eq!(u32_at(&b, usize::MAX), None);
+        assert_eq!(u64_at(&b, 0), None);
+        assert_eq!(u8_at(&b, 7), None);
+        assert_eq!(array_at::<8>(&b, 0), None);
+    }
+
+    #[test]
+    fn u32s_walks_whole_words_only() {
+        let b = [1u8, 0, 0, 0, 2, 0, 0, 0, 99];
+        assert_eq!(u32s(&b).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(u32s(&[]).count(), 0);
+    }
+}

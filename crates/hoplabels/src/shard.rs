@@ -40,6 +40,7 @@
 
 use std::io;
 
+use extmem::wire;
 use sfgraph::{Dist, VertexId};
 
 use crate::disk::HopIdxHeader;
@@ -84,21 +85,26 @@ impl ShardSpec {
     /// corrupt sidecar is refused rather than routed on.
     pub fn decode(bytes: &[u8]) -> io::Result<ShardSpec> {
         let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
-        if bytes.len() != SHARD_SIDECAR_LEN || &bytes[..8] != SHARD_MAGIC {
+        if bytes.len() != SHARD_SIDECAR_LEN || bytes.first_chunk::<8>() != Some(SHARD_MAGIC) {
             return Err(bad("not a HOPSHRD1 shard sidecar"));
         }
-        let word = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
-        let (lo, hi, index, count) = (word(8), word(12), word(16), word(20));
+        let word = |at: usize| wire::u32_at(bytes, at);
+        let (Some(lo), Some(hi), Some(index), Some(count)) =
+            (word(8), word(12), word(16), word(20))
+        else {
+            return Err(bad("not a HOPSHRD1 shard sidecar"));
+        };
         if lo > hi {
             return Err(bad("shard range is inverted"));
         }
         if count == 0 || index >= count {
             return Err(bad("shard index outside the partition"));
         }
-        if bytes[24] > 1 || bytes[25..28] != [0, 0, 0] {
+        let pad_ok = bytes.get(25..28) == Some([0u8, 0, 0].as_slice());
+        let Some(flag) = wire::u8_at(bytes, 24).filter(|&f| f <= 1 && pad_ok) else {
             return Err(bad("invalid shard flags"));
-        }
-        Ok(ShardSpec { lo, hi, index, count, rank_pruned: bytes[24] != 0 })
+        };
+        Ok(ShardSpec { lo, hi, index, count, rank_pruned: flag != 0 })
     }
 }
 
@@ -138,14 +144,15 @@ pub fn shard_image(bytes: &[u8], k: usize) -> io::Result<Vec<(Vec<u8>, ShardSpec
     let mut hist = vec![0u64; n];
     let mut rank_pruned = true;
     let mut scan = |base: usize, offsets: &[u64]| -> io::Result<()> {
-        for v in 0..n {
-            for e in offsets[v]..offsets[v + 1] {
+        for (v, (&lo_e, &hi_e)) in offsets.iter().zip(offsets.iter().skip(1)).enumerate() {
+            for e in lo_e..hi_e {
                 let at = base + e as usize * 8;
-                let pivot = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
-                if pivot as usize >= n {
+                let pivot =
+                    wire::u32_at(bytes, at).ok_or_else(|| bad("label entry out of bounds"))?;
+                let Some(slot) = hist.get_mut(pivot as usize) else {
                     return Err(bad("label pivot out of range"));
-                }
-                hist[pivot as usize] += 1;
+                };
+                *slot += 1;
                 if pivot > v as u32 {
                     rank_pruned = false;
                 }
@@ -167,9 +174,11 @@ pub fn shard_image(bytes: &[u8], k: usize) -> io::Result<Vec<(Vec<u8>, ShardSpec
     let mut prefix = 0u64;
     let mut at = 0usize;
     for i in 1..k {
-        let target = total * i as u64 / k as u64;
-        while at < n && prefix < target {
-            prefix += hist[at];
+        // u128: `total * i` can exceed u64 for enormous images.
+        let target = (total as u128 * i as u128 / k as u128) as u64;
+        while prefix < target {
+            let Some(&mass) = hist.get(at) else { break };
+            prefix += mass;
             at += 1;
         }
         bounds.push(at);
@@ -177,8 +186,8 @@ pub fn shard_image(bytes: &[u8], k: usize) -> io::Result<Vec<(Vec<u8>, ShardSpec
     bounds.push(n);
 
     let mut shards = Vec::with_capacity(k);
-    for i in 0..k {
-        let (lo, hi) = (bounds[i] as u32, bounds[i + 1] as u32);
+    for (i, (&lo, &hi)) in bounds.iter().zip(bounds.iter().skip(1)).enumerate() {
+        let (lo, hi) = (lo as u32, hi as u32);
         let image = build_shard(bytes, &header, lo, hi);
         let spec = ShardSpec { lo, hi, index: i as u32, count: k as u32, rank_pruned };
         shards.push((image, spec));
@@ -198,12 +207,16 @@ fn build_shard(bytes: &[u8], header: &HopIdxHeader, lo: u32, hi: u32) -> Vec<u8>
         new_offsets.push(0u64);
         let mut entries: Vec<u8> = Vec::new();
         let mut kept = 0u64;
-        for v in 0..n {
-            for e in offsets[v]..offsets[v + 1] {
+        for (&lo_e, &hi_e) in offsets.iter().zip(offsets.iter().skip(1)) {
+            for e in lo_e..hi_e {
                 let at = base + e as usize * 8;
-                let pivot = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
-                if pivot >= lo && pivot < hi {
-                    entries.extend_from_slice(&bytes[at..at + 8]);
+                // `shard_image` validated every entry before calling;
+                // a short read here would mean the image changed under
+                // us, and skipping beats panicking.
+                let Some(entry) = bytes.get(at..at + 8) else { continue };
+                let in_range = wire::u32_at(entry, 0).is_some_and(|p| p >= lo && p < hi);
+                if in_range {
+                    entries.extend_from_slice(entry);
                     kept += 1;
                 }
             }

@@ -21,6 +21,29 @@
 //!
 //! Requests that pinned the old `Arc` finish on it untouched, so every
 //! response is consistent with exactly one `(frozen, overlay)` state.
+//!
+//! # Lock order
+//!
+//! The serving core holds up to four locks at once. Deadlock freedom
+//! rests on every path acquiring them in one global order, outermost
+//! first:
+//!
+//! ```text
+//! mutate_serial → update_log → durable → current
+//! ```
+//!
+//! * `mutate_serial` — serializes whole mutations (update batches,
+//!   swaps, compaction promotions) against each other;
+//! * `update_log` — the replayable in-memory edge log;
+//! * `durable` — the WAL handle and checkpoint directory;
+//! * `current` — the published [`Generation`] `Arc` (read-mostly; the
+//!   query path takes only this, briefly, and never the others).
+//!
+//! Never acquire an earlier lock while holding a later one — e.g. no
+//! `update_log` acquisition under the `current` write lock. The
+//! in-tree checker (`cargo run -p xtask -- tidy`, `locks` pass) scans
+//! `backend.rs`/`server.rs` and flags violations of this order, citing
+//! this section.
 
 use std::path::Path;
 use std::sync::Arc;

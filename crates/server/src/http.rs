@@ -85,7 +85,10 @@ pub fn decode_http(buf: &[u8]) -> HttpDecoded {
         }
         return HttpDecoded::Incomplete;
     };
-    let Ok(head) = std::str::from_utf8(&buf[..head_len]) else {
+    let Some(head_bytes) = buf.get(..head_len) else {
+        return HttpDecoded::Incomplete; // unreachable: head_len <= buf.len()
+    };
+    let Ok(head) = std::str::from_utf8(head_bytes) else {
         return HttpDecoded::Error(render_error(400, "request head is not UTF-8"));
     };
     let mut lines = head.split("\r\n");
@@ -123,10 +126,9 @@ pub fn decode_http(buf: &[u8]) -> HttpDecoded {
         return HttpDecoded::Error(render_error(413, "request body too large"));
     }
     let total = head_len + 4 + content_length;
-    if buf.len() < total {
+    let Some(body) = buf.get(head_len + 4..total) else {
         return HttpDecoded::Incomplete;
-    }
-    let body = &buf[head_len + 4..total];
+    };
 
     let (path, rawquery) = match target.split_once('?') {
         Some((p, q)) => (p, q),
@@ -176,7 +178,7 @@ pub fn decode_http(buf: &[u8]) -> HttpDecoded {
 /// Byte offset of the `\r\n\r\n` terminating the head, if present.
 fn find_head_end(buf: &[u8]) -> Option<usize> {
     let horizon = buf.len().min(MAX_HEAD + 4);
-    buf[..horizon].windows(4).position(|w| w == b"\r\n\r\n")
+    buf.get(..horizon)?.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
 /// Parse `{"pairs":[[s,t],...]}` (or a bare `[[s,t],...]`) without a
@@ -186,7 +188,7 @@ fn parse_pairs_json(body: &[u8]) -> Result<Vec<(VertexId, VertexId)>, &'static s
     let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8")?;
     let list = match text.find("\"pairs\"") {
         Some(at) => {
-            let rest = &text[at + "\"pairs\"".len()..];
+            let rest = text.get(at + "\"pairs\"".len()..).ok_or("expected : after \"pairs\"")?;
             let rest = rest.trim_start();
             let rest = rest.strip_prefix(':').ok_or("expected : after \"pairs\"")?;
             rest.trim_start()
@@ -226,7 +228,7 @@ fn parse_edges_json(body: &[u8]) -> Result<Vec<(VertexId, VertexId, Dist)>, &'st
     let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8")?;
     let list = match text.find("\"edges\"") {
         Some(at) => {
-            let rest = &text[at + "\"edges\"".len()..];
+            let rest = text.get(at + "\"edges\"".len()..).ok_or("expected : after \"edges\"")?;
             let rest = rest.trim_start();
             let rest = rest.strip_prefix(':').ok_or("expected : after \"edges\"")?;
             rest.trim_start()
@@ -266,8 +268,9 @@ fn take_number(text: &str) -> Result<(VertexId, &str), &'static str> {
     if digits == 0 {
         return Err("expected a vertex id");
     }
-    let v = text[..digits].parse::<VertexId>().map_err(|_| "vertex id out of range")?;
-    Ok((v, &text[digits..]))
+    let (num, rest) = text.split_at_checked(digits).ok_or("expected a vertex id")?;
+    let v = num.parse::<VertexId>().map_err(|_| "vertex id out of range")?;
+    Ok((v, rest))
 }
 
 fn status_text(code: u16) -> &'static str {

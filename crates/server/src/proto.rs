@@ -96,6 +96,7 @@
 //! a whole frame has arrived (the epoll backend's per-connection read
 //! buffer, where frames arrive split at arbitrary byte boundaries).
 
+use extmem::wire;
 use std::io::Read;
 
 /// Request frame magic.
@@ -562,7 +563,8 @@ fn read_frame(
         Ok(0) => return Err(ProtoError::Closed),
         Ok(mut got) => {
             while got < HEADER_LEN {
-                match r.read(&mut header[got..]) {
+                let Some(rest) = header.get_mut(got..) else { break };
+                match r.read(rest) {
                     Ok(0) => return Err(ProtoError::Fatal("truncated frame header".into())),
                     Ok(n) => got += n,
                     Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
@@ -575,18 +577,19 @@ fn read_frame(
         }
         Err(e) => return Err(ProtoError::Io(e)),
     }
-    if header[..4] != expect_magic {
+    // Irrefutable split of the 18 header bytes: magic, version, kind,
+    // id, declared payload length. No indexing, so no panic path.
+    let [m0, m1, m2, m3, version, kind, i0, i1, i2, i3, i4, i5, i6, i7, l0, l1, l2, l3] = header;
+    if [m0, m1, m2, m3] != expect_magic {
         return Err(ProtoError::Fatal("bad frame magic".into()));
     }
-    let version = header[4];
     if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(ProtoError::Fatal(format!(
             "unsupported protocol version {version} (want {MIN_VERSION}..={VERSION})"
         )));
     }
-    let kind = header[5];
-    let id = u64::from_le_bytes(header[6..14].try_into().unwrap());
-    let payload_len = u32::from_le_bytes(header[14..18].try_into().unwrap());
+    let id = u64::from_le_bytes([i0, i1, i2, i3, i4, i5, i6, i7]);
+    let payload_len = u32::from_le_bytes([l0, l1, l2, l3]);
     if payload_len > MAX_PAYLOAD {
         return Err(ProtoError::Fatal(format!(
             "declared payload length {payload_len} exceeds the {MAX_PAYLOAD}-byte cap"
@@ -626,10 +629,9 @@ fn parse_request_payload(
     }
     match kind {
         KIND_QUERY => {
-            if payload.len() < 4 {
+            let Some(count) = wire::u32_at(payload, 0).map(|c| c as usize) else {
                 return Err("query payload shorter than its pair count".into());
-            }
-            let count = u32::from_le_bytes(payload[..4].try_into().unwrap()) as usize;
+            };
             if count == 0 {
                 return Err("query batch declares zero pairs".into());
             }
@@ -643,22 +645,17 @@ fn parse_request_payload(
                     4 + 8 * count
                 ));
             }
-            let pairs = payload[4..]
-                .chunks_exact(8)
-                .map(|c| {
-                    (
-                        u32::from_le_bytes(c[..4].try_into().unwrap()),
-                        u32::from_le_bytes(c[4..].try_into().unwrap()),
-                    )
-                })
-                .collect();
+            let mut words = wire::u32s(payload.get(4..).unwrap_or_default());
+            let mut pairs = Vec::with_capacity(count);
+            while let (Some(s), Some(t)) = (words.next(), words.next()) {
+                pairs.push((s, t));
+            }
             Ok(RequestBody::Query(pairs))
         }
         KIND_UPDATE => {
-            if payload.len() < 4 {
+            let Some(count) = wire::u32_at(payload, 0).map(|c| c as usize) else {
                 return Err("update payload shorter than its edge count".into());
-            }
-            let count = u32::from_le_bytes(payload[..4].try_into().unwrap()) as usize;
+            };
             if count == 0 {
                 return Err("update batch declares zero edges".into());
             }
@@ -672,16 +669,11 @@ fn parse_request_payload(
                     4 + 12 * count
                 ));
             }
-            let edges = payload[4..]
-                .chunks_exact(12)
-                .map(|c| {
-                    (
-                        u32::from_le_bytes(c[..4].try_into().unwrap()),
-                        u32::from_le_bytes(c[4..8].try_into().unwrap()),
-                        u32::from_le_bytes(c[8..].try_into().unwrap()),
-                    )
-                })
-                .collect();
+            let mut words = wire::u32s(payload.get(4..).unwrap_or_default());
+            let mut edges = Vec::with_capacity(count);
+            while let (Some(s), Some(t), Some(w)) = (words.next(), words.next(), words.next()) {
+                edges.push((s, t, w));
+            }
             Ok(RequestBody::Update(edges))
         }
         KIND_SWAP | KIND_STATS | KIND_SHUTDOWN | KIND_INFO | KIND_COMPACT | KIND_ROUTE_INFO => {
@@ -752,32 +744,34 @@ pub enum Decoded {
 pub fn decode_request(buf: &[u8], max_batch: usize) -> Decoded {
     // Validate the prefix eagerly: a bad magic or version is fatal on
     // byte 4, not after a full header straggles in.
-    if buf.len() >= 4 && buf[..4] != REQ_MAGIC {
-        return Decoded::Fatal("bad frame magic".into());
+    if let Some(magic) = buf.first_chunk::<4>() {
+        if *magic != REQ_MAGIC {
+            return Decoded::Fatal("bad frame magic".into());
+        }
     }
-    if buf.len() >= 5 && !(MIN_VERSION..=VERSION).contains(&buf[4]) {
-        return Decoded::Fatal(format!(
-            "unsupported protocol version {} (want {MIN_VERSION}..={VERSION})",
-            buf[4]
-        ));
+    if let Some(&early_version) = buf.get(4) {
+        if !(MIN_VERSION..=VERSION).contains(&early_version) {
+            return Decoded::Fatal(format!(
+                "unsupported protocol version {early_version} (want {MIN_VERSION}..={VERSION})"
+            ));
+        }
     }
-    if buf.len() < HEADER_LEN {
+    let Some(header) = buf.first_chunk::<HEADER_LEN>() else {
         return Decoded::Incomplete;
-    }
-    let version = buf[4];
-    let kind = buf[5];
-    let id = u64::from_le_bytes(buf[6..14].try_into().unwrap());
-    let payload_len = u32::from_le_bytes(buf[14..18].try_into().unwrap());
+    };
+    let [_, _, _, _, version, kind, i0, i1, i2, i3, i4, i5, i6, i7, l0, l1, l2, l3] = *header;
+    let id = u64::from_le_bytes([i0, i1, i2, i3, i4, i5, i6, i7]);
+    let payload_len = u32::from_le_bytes([l0, l1, l2, l3]);
     if payload_len > MAX_PAYLOAD {
         return Decoded::Fatal(format!(
             "declared payload length {payload_len} exceeds the {MAX_PAYLOAD}-byte cap"
         ));
     }
     let used = HEADER_LEN + payload_len as usize;
-    if buf.len() < used {
+    let Some(payload) = buf.get(HEADER_LEN..used) else {
         return Decoded::Incomplete;
-    }
-    match parse_request_payload(version, kind, &buf[HEADER_LEN..used], max_batch) {
+    };
+    match parse_request_payload(version, kind, payload, max_batch) {
         Ok(body) => Decoded::Request { request: Request { id, body }, used },
         Err(msg) => Decoded::Bad { id, msg, used },
     }
@@ -793,63 +787,66 @@ pub fn read_response(r: &mut impl Read) -> Result<Response, ProtoError> {
         STATUS_OK => {
             // Ok payloads for the empty-bodied kinds are tagged with
             // the request kind so the stream stays self-describing.
+            // Each arm's length guard makes the field reads below it
+            // infallible, but the reads are total anyway: a guard
+            // edited out of step with its fields surfaces as this
+            // fatal error, never a slice-index panic.
+            let short = || bad("ok response payload shorter than its declared layout");
+            let u8f = |at: usize| wire::u8_at(&payload, at).ok_or_else(short);
+            let u32f = |at: usize| wire::u32_at(&payload, at).ok_or_else(short);
+            let u64f = |at: usize| wire::u64_at(&payload, at).ok_or_else(short);
             match payload.first() {
                 None => return Err(bad("empty ok response payload")),
-                Some(&KIND_SWAP) if payload.len() == 17 => ResponseBody::Swapped {
-                    generation: u64::from_le_bytes(payload[1..9].try_into().unwrap()),
-                    vertices: u64::from_le_bytes(payload[9..17].try_into().unwrap()),
-                },
+                Some(&KIND_SWAP) if payload.len() == 17 => {
+                    ResponseBody::Swapped { generation: u64f(1)?, vertices: u64f(9)? }
+                }
                 Some(&KIND_STATS) if payload.len() == 35 => ResponseBody::Stats(StatsReply {
-                    generation: u64::from_le_bytes(payload[1..9].try_into().unwrap()),
-                    vertices: u64::from_le_bytes(payload[9..17].try_into().unwrap()),
-                    directed: payload[17] != 0,
-                    resident: payload[18] != 0,
-                    requests: u64::from_le_bytes(payload[19..27].try_into().unwrap()),
-                    protocol_errors: u64::from_le_bytes(payload[27..35].try_into().unwrap()),
+                    generation: u64f(1)?,
+                    vertices: u64f(9)?,
+                    directed: u8f(17)? != 0,
+                    resident: u8f(18)? != 0,
+                    requests: u64f(19)?,
+                    protocol_errors: u64f(27)?,
                 }),
                 Some(&KIND_SHUTDOWN) if payload.len() == 1 => ResponseBody::Bye,
-                Some(&KIND_UPDATE) if payload.len() == 17 => ResponseBody::Updated {
-                    generation: u64::from_le_bytes(payload[1..9].try_into().unwrap()),
-                    overlay_edges: u64::from_le_bytes(payload[9..17].try_into().unwrap()),
-                },
+                Some(&KIND_UPDATE) if payload.len() == 17 => {
+                    ResponseBody::Updated { generation: u64f(1)?, overlay_edges: u64f(9)? }
+                }
                 Some(&KIND_INFO) if payload.len() == 125 => ResponseBody::Info(InfoReply {
-                    protocol: payload[1],
-                    generation: u64::from_le_bytes(payload[2..10].try_into().unwrap()),
-                    vertices: u64::from_le_bytes(payload[10..18].try_into().unwrap()),
-                    directed: payload[18] != 0,
-                    resident: payload[19] != 0,
-                    resident_bytes: u64::from_le_bytes(payload[20..28].try_into().unwrap()),
-                    overlay_edges: u64::from_le_bytes(payload[28..36].try_into().unwrap()),
-                    overlay_affected: u64::from_le_bytes(payload[36..44].try_into().unwrap()),
-                    compactions: u64::from_le_bytes(payload[44..52].try_into().unwrap()),
-                    requests: u64::from_le_bytes(payload[52..60].try_into().unwrap()),
-                    protocol_errors: u64::from_le_bytes(payload[60..68].try_into().unwrap()),
-                    durability: payload[68],
-                    wal_epoch: u64::from_le_bytes(payload[69..77].try_into().unwrap()),
-                    wal_records: u64::from_le_bytes(payload[77..85].try_into().unwrap()),
-                    wal_bytes: u64::from_le_bytes(payload[85..93].try_into().unwrap()),
-                    recovered_records: u64::from_le_bytes(payload[93..101].try_into().unwrap()),
-                    recovered_dropped_bytes: u64::from_le_bytes(
-                        payload[101..109].try_into().unwrap(),
-                    ),
-                    checkpoints: u64::from_le_bytes(payload[109..117].try_into().unwrap()),
-                    aborted_compactions: u64::from_le_bytes(payload[117..125].try_into().unwrap()),
+                    protocol: u8f(1)?,
+                    generation: u64f(2)?,
+                    vertices: u64f(10)?,
+                    directed: u8f(18)? != 0,
+                    resident: u8f(19)? != 0,
+                    resident_bytes: u64f(20)?,
+                    overlay_edges: u64f(28)?,
+                    overlay_affected: u64f(36)?,
+                    compactions: u64f(44)?,
+                    requests: u64f(52)?,
+                    protocol_errors: u64f(60)?,
+                    durability: u8f(68)?,
+                    wal_epoch: u64f(69)?,
+                    wal_records: u64f(77)?,
+                    wal_bytes: u64f(85)?,
+                    recovered_records: u64f(93)?,
+                    recovered_dropped_bytes: u64f(101)?,
+                    checkpoints: u64f(109)?,
+                    aborted_compactions: u64f(117)?,
                 }),
-                Some(&KIND_COMPACT) if payload.len() == 17 => ResponseBody::Compacted {
-                    generation: u64::from_le_bytes(payload[1..9].try_into().unwrap()),
-                    vertices: u64::from_le_bytes(payload[9..17].try_into().unwrap()),
-                },
+                Some(&KIND_COMPACT) if payload.len() == 17 => {
+                    ResponseBody::Compacted { generation: u64f(1)?, vertices: u64f(9)? }
+                }
                 Some(&KIND_ROUTE_INFO) if payload.len() == 37 => {
                     ResponseBody::RouteInfo(RouteReply {
-                        mode: payload[1],
-                        directed: payload[2] != 0,
-                        rank_pruned: payload[3] != 0,
-                        vertices: u64::from_le_bytes(payload[4..12].try_into().unwrap()),
-                        generation: u64::from_le_bytes(payload[12..20].try_into().unwrap()),
-                        shard_lo: u32::from_le_bytes(payload[20..24].try_into().unwrap()),
-                        shard_hi: u32::from_le_bytes(payload[24..28].try_into().unwrap()),
-                        shard_index: u32::from_le_bytes(payload[28..32].try_into().unwrap()),
-                        shard_count: u32::from_le_bytes(payload[32..36].try_into().unwrap()),
+                        mode: u8f(1)?,
+                        directed: u8f(2)? != 0,
+                        rank_pruned: u8f(3)? != 0,
+                        vertices: u64f(4)?,
+                        generation: u64f(12)?,
+                        shard_lo: u32f(20)?,
+                        shard_hi: u32f(24)?,
+                        shard_index: u32f(28)?,
+                        shard_count: u32f(32)?,
                     })
                 }
                 _ => {
@@ -859,18 +856,15 @@ pub fn read_response(r: &mut impl Read) -> Result<Response, ProtoError> {
                     // leading LE count — re-parse as such (a 17-, 35-,
                     // 37-, or 125-byte payload is never 4 + 4k with a
                     // matching count whose low byte equals the tag).
-                    if payload.len() < 4 {
+                    let Some(count) = wire::u32_at(&payload, 0).map(|c| c as usize) else {
                         return Err(bad("ok response payload too short"));
-                    }
-                    let count = u32::from_le_bytes(payload[..4].try_into().unwrap()) as usize;
+                    };
                     if payload.len() != 4 + 4 * count {
                         return Err(bad("distance payload length mismatch"));
                     }
-                    let dists = payload[4..]
-                        .chunks_exact(4)
-                        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
-                        .collect();
-                    ResponseBody::Distances(dists)
+                    ResponseBody::Distances(
+                        wire::u32s(payload.get(4..).unwrap_or_default()).collect(),
+                    )
                 }
             }
         }

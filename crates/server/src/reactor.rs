@@ -103,6 +103,8 @@ pub struct Poller {
 impl Poller {
     /// Create an epoll instance sized for `capacity` events per wait.
     pub fn new(capacity: usize) -> io::Result<Poller> {
+        // SAFETY: epoll_create1 takes no pointers; it returns a new fd
+        // or -1, which `cvt` turns into an error.
         let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
         // SAFETY: epoll_create1 returned a fresh fd we now own.
         let epfd = unsafe { OwnedFd::from_raw_fd(fd) };
@@ -111,6 +113,9 @@ impl Poller {
 
     fn ctl(&self, op: c_int, fd: RawFd, mask: u32, token: u64) -> io::Result<()> {
         let mut ev = EpollEvent { events: mask, data: token };
+        // SAFETY: `ev` is a live, properly-aligned EpollEvent for the
+        // duration of the call; the kernel only reads it. `epfd` is a
+        // valid epoll fd owned by `self`.
         cvt(unsafe { epoll_ctl(self.epfd.as_raw_fd(), op, fd, &mut ev) })?;
         Ok(())
     }
@@ -138,6 +143,9 @@ impl Poller {
     /// `EINTR` is treated as "zero events", not an error.
     pub fn wait(&mut self, timeout_ms: Option<i32>, mut f: impl FnMut(Event)) -> io::Result<usize> {
         let timeout = timeout_ms.unwrap_or(-1);
+        // SAFETY: the out-pointer and length describe `self.events`, a
+        // live Vec the kernel writes at most `len` entries into; `epfd`
+        // is a valid epoll fd owned by `self`.
         let n = match cvt(unsafe {
             epoll_wait(
                 self.epfd.as_raw_fd(),
@@ -171,6 +179,8 @@ pub struct WakeFd {
 impl WakeFd {
     /// Create a nonblocking eventfd.
     pub fn new() -> io::Result<WakeFd> {
+        // SAFETY: eventfd takes no pointers; it returns a new fd or
+        // -1, which `cvt` turns into an error.
         let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
         // SAFETY: eventfd returned a fresh fd we now own.
         Ok(WakeFd { fd: unsafe { OwnedFd::from_raw_fd(fd) }, armed: AtomicBool::new(false) })
@@ -186,6 +196,8 @@ impl WakeFd {
         // A full eventfd counter (EAGAIN) still wakes the poller; any
         // other failure means the reactor is gone and nobody is left to
         // wake — ignore both.
+        // SAFETY: the pointer/length pair describes the 8 bytes of
+        // `one`, which outlives the call; the kernel only reads them.
         let _ = unsafe { write(self.fd.as_raw_fd(), (&raw const one).cast::<c_void>(), 8) };
     }
 
@@ -194,6 +206,9 @@ impl WakeFd {
     pub fn drain(&self) {
         self.armed.store(false, Ordering::Release);
         let mut buf = 0u64;
+        // SAFETY: the pointer/length pair describes the 8 writable
+        // bytes of `buf`, which outlives the call; the eventfd read
+        // writes at most 8 bytes.
         let _ = unsafe { read(self.fd.as_raw_fd(), (&raw mut buf).cast::<c_void>(), 8) };
     }
 }

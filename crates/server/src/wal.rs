@@ -46,6 +46,7 @@ use std::time::{Duration, Instant};
 
 use extmem::device::CountedFile;
 use extmem::stats::IoStats;
+use extmem::wire;
 
 /// One logged update edge: `(src, dst, weight)` in original vertex ids.
 pub type WalEdge = (u32, u32, u32);
@@ -196,10 +197,6 @@ fn encode_record(batch: &[WalEdge]) -> Vec<u8> {
     rec
 }
 
-fn u32_at(bytes: &[u8], off: usize) -> u32 {
-    u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap())
-}
-
 /// The result of walking a WAL file with [`read_wal`].
 #[derive(Debug)]
 pub struct Replay {
@@ -238,15 +235,17 @@ pub fn read_wal(path: &Path, stats: Arc<IoStats>) -> std::io::Result<Replay> {
     if len > 0 {
         file.read_exact_at(0, &mut bytes)?;
     }
-    if bytes.len() < WAL_HEADER_LEN as usize || &bytes[..8] != WAL_MAGIC {
+    let (Some(magic), Some(epoch)) = (bytes.first_chunk::<8>(), wire::u64_at(&bytes, 8)) else {
+        return Ok(Replay { dropped_bytes: len, ..Replay::absent() });
+    };
+    if magic != WAL_MAGIC {
         return Ok(Replay { dropped_bytes: len, ..Replay::absent() });
     }
-    let epoch = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
     let mut batches = Vec::new();
     let mut pos = WAL_HEADER_LEN as usize;
-    while let Some(frame) = bytes.get(pos..pos + RECORD_HEADER_LEN as usize) {
-        let rec_len = u32_at(frame, 0);
-        let crc = u32_at(frame, 4);
+    while let (Some(rec_len), Some(crc)) =
+        (wire::u32_at(&bytes, pos), wire::u32_at(&bytes, pos + 4))
+    {
         if !(4..=MAX_RECORD_LEN).contains(&rec_len) || !(rec_len - 4).is_multiple_of(12) {
             break; // implausible length: flipped field or garbage
         }
@@ -255,14 +254,14 @@ pub fn read_wal(path: &Path, stats: Arc<IoStats>) -> std::io::Result<Replay> {
         if crc32(payload) != crc {
             break; // torn or bit-flipped body
         }
-        let count = u32_at(payload, 0) as usize;
+        let Some(count) = wire::u32_at(payload, 0).map(|c| c as usize) else { break };
         if 4 + count * 12 != rec_len as usize {
             break; // count disagrees with the frame length
         }
+        let mut words = wire::u32s(payload.get(4..).unwrap_or_default());
         let mut batch = Vec::with_capacity(count);
-        for i in 0..count {
-            let off = 4 + i * 12;
-            batch.push((u32_at(payload, off), u32_at(payload, off + 4), u32_at(payload, off + 8)));
+        while let (Some(s), Some(t), Some(w)) = (words.next(), words.next(), words.next()) {
+            batch.push((s, t, w));
         }
         batches.push(batch);
         pos = start + rec_len as usize;

@@ -1,0 +1,83 @@
+#![forbid(unsafe_code)]
+//! In-tree static-analysis suite (`cargo run -p xtask -- tidy`),
+//! rustc-`tidy` style: zero dependencies, a hand-rolled line/token
+//! scanner, and four independent passes that each print `file:line`
+//! diagnostics and make the binary exit nonzero:
+//!
+//! 1. [`unsafe_audit`] — every `unsafe` block/fn must carry a
+//!    `// SAFETY:` comment (`# Safety` doc section for `unsafe fn`),
+//!    and the pass emits an inventory of all unsafe sites.
+//! 2. [`panic_lint`] — deny `unwrap`/`expect`/panicking macros/slice
+//!    indexing in the wire-facing decode modules outside
+//!    `#[cfg(test)]`, driven by the checked-in allowlist
+//!    `crates/xtask/tidy.allowlist`.
+//! 3. [`lock_order`] — flag `.lock()`/`.read()`/`.write()` sequences
+//!    in the serving core that violate the declared
+//!    `mutate_serial → update_log → durable → current` hierarchy.
+//! 4. [`proto_check`] — parse kind/version constants and fixed frame
+//!    sizes out of `proto.rs` and assert they agree with the README
+//!    protocol table and the documented header/RouteReply byte counts.
+
+pub mod lock_order;
+pub mod panic_lint;
+pub mod proto_check;
+pub mod scan;
+pub mod unsafe_audit;
+
+use std::fmt;
+use std::path::Path;
+
+/// One `file:line` finding from a tidy pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Root-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What is wrong and how to fix it.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.file, self.line, self.message)
+    }
+}
+
+/// Result of running every pass: diagnostics per pass, in run order.
+pub struct TidyReport {
+    /// `(pass name, findings)` for each pass that ran.
+    pub passes: Vec<(&'static str, Vec<Diagnostic>)>,
+    /// The unsafe-site inventory (printed even when the audit is clean).
+    pub inventory: Vec<unsafe_audit::UnsafeSite>,
+}
+
+impl TidyReport {
+    /// Total number of findings across all passes.
+    pub fn total(&self) -> usize {
+        self.passes.iter().map(|(_, d)| d.len()).sum()
+    }
+}
+
+/// Run every tidy pass against the workspace rooted at `root`.
+/// `only` restricts the run to a single pass name.
+pub fn run_tidy(root: &Path, only: Option<&str>) -> std::io::Result<TidyReport> {
+    let mut passes = Vec::new();
+    let mut inventory = Vec::new();
+    let want = |name: &str| only.is_none_or(|o| o == name);
+    if want("unsafe") {
+        let (sites, diags) = unsafe_audit::check(root)?;
+        inventory = sites;
+        passes.push(("unsafe", diags));
+    }
+    if want("panic") {
+        passes.push(("panic", panic_lint::check(root)?));
+    }
+    if want("locks") {
+        passes.push(("locks", lock_order::check(root)?));
+    }
+    if want("proto") {
+        passes.push(("proto", proto_check::check(root)?));
+    }
+    Ok(TidyReport { passes, inventory })
+}

@@ -1,0 +1,614 @@
+//! Pass 4: the protocol consistency checker. The HOPQ wire contract
+//! lives in three places that can drift independently: the constants
+//! and decode arms in `crates/server/src/proto.rs`, the kind table in
+//! that module's docs, and the README's protocol block. This pass
+//! parses all three and asserts they agree on:
+//!
+//! - the header length (constant, README "N-byte header" phrase, and
+//!   the field-by-field layouts in both the module doc and README);
+//! - every kind number and name, and the version each kind appeared in
+//!   (doc table "since" column vs the `min_version` match arms);
+//! - the accepted version range and the payload cap;
+//! - the fixed response frame sizes in the decode arms, in particular
+//!   the RouteReply byte count the README quotes.
+
+use crate::scan::SourceFile;
+use crate::Diagnostic;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// The protocol source of truth.
+pub const PROTO: &str = "crates/server/src/proto.rs";
+/// The prose that must agree with it.
+pub const README: &str = "README.md";
+
+/// Run the checker against the tree under `root`.
+pub fn check(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let proto = SourceFile::read(root, PROTO)?;
+    let readme = std::fs::read_to_string(root.join(README))?;
+    Ok(check_sources(&proto, README, &readme))
+}
+
+/// Everything parsed out of `proto.rs`.
+struct ProtoFacts {
+    consts: BTreeMap<String, (u64, usize)>,
+    /// Doc-table rows: name → (kind number, since version, line).
+    doc_rows: BTreeMap<String, (u64, u64, usize)>,
+    /// `RequestBody::min_version` arms: variant → version.
+    min_versions: BTreeMap<String, u64>,
+    min_version_default: Option<u64>,
+    min_version_line: usize,
+    /// Fixed decode-arm payload sizes: kind const name → (size, line).
+    frame_sizes: BTreeMap<String, (u64, usize)>,
+    /// Header fields from the module-doc layout block.
+    doc_header: Vec<(String, u64, usize)>,
+}
+
+/// Check a scanned `proto.rs` against the README text.
+pub fn check_sources(proto: &SourceFile, readme_path: &str, readme: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let facts = parse_proto(proto);
+    let proto_diag =
+        |line: usize, message: String| Diagnostic { file: proto.path.clone(), line, message };
+
+    let Some(&(header_len, header_line)) = facts.consts.get("HEADER_LEN") else {
+        out.push(proto_diag(1, "could not find `HEADER_LEN` constant".into()));
+        return out;
+    };
+    let version = facts.consts.get("VERSION").map(|&(v, _)| v);
+    let min_version = facts.consts.get("MIN_VERSION").map(|&(v, _)| v);
+    let max_payload = facts.consts.get("MAX_PAYLOAD").map(|&(v, _)| v);
+
+    // Module-doc header layout must sum to HEADER_LEN.
+    if !facts.doc_header.is_empty() {
+        let sum: u64 = facts.doc_header.iter().map(|&(_, n, _)| n).sum();
+        if sum != header_len {
+            let line = facts.doc_header[0].2;
+            out.push(proto_diag(
+                line,
+                format!(
+                    "module-doc header layout sums to {sum} bytes but `HEADER_LEN` is \
+                     {header_len} (line {header_line})"
+                ),
+            ));
+        }
+    } else {
+        out.push(proto_diag(1, "could not find the header layout block in the module docs".into()));
+    }
+
+    // Doc-table rows must agree with the KIND_* constants and the
+    // `min_version` arms.
+    for (name, &(value, line)) in &facts.consts {
+        let Some(kind_name) = name.strip_prefix("KIND_") else { continue };
+        let norm = normalize(kind_name);
+        match facts.doc_rows.get(&norm) {
+            None => out.push(proto_diag(
+                line,
+                format!("`{name}` has no row in the module-doc kind table"),
+            )),
+            Some(&(doc_kind, doc_since, doc_line)) => {
+                if doc_kind != value {
+                    out.push(proto_diag(
+                        doc_line,
+                        format!("kind table says {norm}={doc_kind} but `{name}` is {value}"),
+                    ));
+                }
+                let since = facts.min_versions.get(&norm).copied().or(facts.min_version_default);
+                if let Some(since) = since {
+                    if since != doc_since {
+                        out.push(proto_diag(
+                            doc_line,
+                            format!(
+                                "kind table says `{norm}` is v{doc_since} but \
+                                 `RequestBody::min_version` (line {}) stamps it v{since}",
+                                facts.min_version_line
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // README protocol block.
+    match readme_block(readme) {
+        None => out.push(Diagnostic {
+            file: readme_path.to_string(),
+            line: 1,
+            message: "could not find the wire-protocol block (a ```text fence after a \
+                      line mentioning \"Wire protocol\")"
+                .into(),
+        }),
+        Some(block) => {
+            check_readme_block(&facts, readme_path, &block, &mut out);
+            if let (Some(min), Some(ver)) = (min_version, version) {
+                let phrase = format!("{min} through {ver}");
+                if !block.text.contains(&phrase) {
+                    out.push(Diagnostic {
+                        file: readme_path.to_string(),
+                        line: block.start,
+                        message: format!(
+                            "protocol block does not state the accepted version range \
+                             \"{phrase}\" (MIN_VERSION={min}, VERSION={ver})"
+                        ),
+                    });
+                }
+            }
+            if let Some(max) = max_payload {
+                let mib = format!("{} MiB", max >> 20);
+                if !block.text.contains(&mib) {
+                    out.push(Diagnostic {
+                        file: readme_path.to_string(),
+                        line: block.start,
+                        message: format!(
+                            "protocol block does not state the payload cap \"{mib}\" \
+                             (MAX_PAYLOAD = {max})"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // "N-byte header" phrases anywhere in the README must match.
+    for (line, n) in phrase_numbers(readme, "-byte header") {
+        if n != header_len {
+            out.push(Diagnostic {
+                file: readme_path.to_string(),
+                line,
+                message: format!(
+                    "README says \"{n}-byte header\" but `HEADER_LEN` is {header_len} \
+                     ({}:{header_line})",
+                    proto.path
+                ),
+            });
+        }
+    }
+
+    // "N-byte topology reply" must match the route_info decode arm.
+    if let Some(&(size, size_line)) = facts.frame_sizes.get("KIND_ROUTE_INFO") {
+        for (line, n) in phrase_numbers(readme, "-byte topology reply") {
+            if n != size {
+                out.push(Diagnostic {
+                    file: readme_path.to_string(),
+                    line,
+                    message: format!(
+                        "README says \"{n}-byte topology reply\" but the route_info \
+                         decode arm expects {size} bytes ({}:{size_line})",
+                        proto.path
+                    ),
+                });
+            }
+        }
+    }
+
+    out
+}
+
+/// The README's fenced wire-protocol block.
+struct ReadmeBlock {
+    /// 1-based line of the opening fence.
+    start: usize,
+    /// Block contents (fence lines excluded).
+    text: String,
+    /// `(line, text)` per content line.
+    lines: Vec<(usize, String)>,
+}
+
+fn readme_block(readme: &str) -> Option<ReadmeBlock> {
+    let mut saw_heading = false;
+    let mut start = None;
+    let mut lines = Vec::new();
+    for (idx, line) in readme.lines().enumerate() {
+        if line.contains("Wire protocol") {
+            saw_heading = true;
+        }
+        if saw_heading && start.is_none() {
+            if line.trim_start().starts_with("```text") {
+                start = Some(idx + 1);
+            }
+            continue;
+        }
+        if start.is_some() {
+            if line.trim_start().starts_with("```") {
+                break;
+            }
+            lines.push((idx + 1, line.to_string()));
+        }
+    }
+    let start = start?;
+    let text = lines.iter().map(|(_, l)| l.as_str()).collect::<Vec<_>>().join("\n");
+    Some(ReadmeBlock { start, text, lines })
+}
+
+/// Check kind numbers, status numbers, and the field-by-field header
+/// layout inside the README block.
+fn check_readme_block(
+    facts: &ProtoFacts,
+    readme_path: &str,
+    block: &ReadmeBlock,
+    out: &mut Vec<Diagnostic>,
+) {
+    // Wire names as proto.rs declares them.
+    let mut wire: BTreeMap<String, (u64, usize)> = BTreeMap::new();
+    for (name, &(value, line)) in &facts.consts {
+        if let Some(kind) = name.strip_prefix("KIND_") {
+            wire.insert(normalize(kind), (value, line));
+        } else if let Some(status) = name.strip_prefix("STATUS_") {
+            wire.insert(normalize(status), (value, line));
+        }
+    }
+    let mut seen: BTreeMap<String, (u64, usize)> = BTreeMap::new();
+    for (line_no, line) in &block.lines {
+        for (num, name) in number_eq_name_pairs(line) {
+            seen.insert(normalize(&name), (num, *line_no));
+        }
+    }
+    for (name, &(value, proto_line)) in &wire {
+        match seen.get(name) {
+            None => out.push(Diagnostic {
+                file: readme_path.to_string(),
+                line: block.start,
+                message: format!(
+                    "protocol block is missing `{value}={name}` (declared at {PROTO}:{proto_line})"
+                ),
+            }),
+            Some(&(readme_value, readme_line)) => {
+                if readme_value != value {
+                    out.push(Diagnostic {
+                        file: readme_path.to_string(),
+                        line: readme_line,
+                        message: format!(
+                            "protocol block says `{readme_value}={name}` but {PROTO}:{proto_line} \
+                             declares {value}"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    for (name, &(value, line)) in &seen {
+        if !wire.contains_key(name) {
+            out.push(Diagnostic {
+                file: readme_path.to_string(),
+                line,
+                message: format!("protocol block lists `{value}={name}`, unknown to {PROTO}"),
+            });
+        }
+    }
+    // Field-by-field header layout.
+    let mut sum = 0;
+    let mut first_field_line = None;
+    for (line_no, line) in &block.lines {
+        if let Some(size) = field_size(line) {
+            sum += size;
+            first_field_line.get_or_insert(*line_no);
+        }
+    }
+    if let (Some(line), Some(&(header_len, _))) = (first_field_line, facts.consts.get("HEADER_LEN"))
+    {
+        if sum != header_len {
+            out.push(Diagnostic {
+                file: readme_path.to_string(),
+                line,
+                message: format!(
+                    "protocol block header fields sum to {sum} bytes but `HEADER_LEN` \
+                     is {header_len}"
+                ),
+            });
+        }
+    }
+}
+
+/// Size in bytes of a documented header field line, recognising
+/// `N B`/`N bytes` spans and `u8`/`u16`/`u32`/`u64` scalars.
+fn field_size(line: &str) -> Option<u64> {
+    let mut words = line.split_whitespace().peekable();
+    let first = *words.peek()?;
+    if !["magic", "version", "kind/status", "request", "payload", "payload_len"].contains(&first) {
+        return None;
+    }
+    let words: Vec<&str> = words.collect();
+    for (i, w) in words.iter().enumerate() {
+        match *w {
+            "u8" => return Some(1),
+            "u16" => return Some(2),
+            "u32" => return Some(4),
+            "u64" => return Some(8),
+            "B" | "bytes" | "byte" => {
+                if let Some(n) = i.checked_sub(1).and_then(|p| words[p].parse::<u64>().ok()) {
+                    return Some(n);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// All `N=name` pairs on a line.
+fn number_eq_name_pairs(line: &str) -> Vec<(u64, String)> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = line.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_digit() && (i == 0 || !is_ident(bytes[i - 1])) {
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            if bytes.get(i) == Some(&'=') {
+                let num: u64 = bytes[start..i].iter().collect::<String>().parse().unwrap_or(0);
+                i += 1;
+                let name_start = i;
+                while i < bytes.len() && is_ident(bytes[i]) {
+                    i += 1;
+                }
+                if i > name_start {
+                    out.push((num, bytes[name_start..i].iter().collect()));
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lowercase and drop underscores, so `ROUTE_INFO`, `route_info`, and
+/// `RouteInfo` all compare equal.
+fn normalize(name: &str) -> String {
+    name.chars().filter(|c| *c != '_').flat_map(|c| c.to_lowercase()).collect()
+}
+
+/// Occurrences of `<number><suffix>` (e.g. suffix `-byte header`) in
+/// `text`, with their 1-based lines.
+fn phrase_numbers(text: &str, suffix: &str) -> Vec<(usize, u64)> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let mut from = 0;
+        while let Some(pos) = line[from..].find(suffix) {
+            let at = from + pos;
+            let digits: String = line[..at]
+                .chars()
+                .rev()
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<String>()
+                .chars()
+                .rev()
+                .collect();
+            if let Ok(n) = digits.parse() {
+                out.push((idx + 1, n));
+            }
+            from = at + suffix.len();
+        }
+    }
+    out
+}
+
+/// Parse constants, the doc kind table, `min_version` arms, decode-arm
+/// frame sizes, and the module-doc header layout out of `proto.rs`.
+fn parse_proto(proto: &SourceFile) -> ProtoFacts {
+    let mut facts = ProtoFacts {
+        consts: BTreeMap::new(),
+        doc_rows: BTreeMap::new(),
+        min_versions: BTreeMap::new(),
+        min_version_default: None,
+        min_version_line: 0,
+        frame_sizes: BTreeMap::new(),
+        doc_header: Vec::new(),
+    };
+    let mut in_min_version = false;
+    let mut min_version_depth = 0i64;
+    let mut depth = 0i64;
+    let mut saw_min_version = false;
+    let mut in_doc_fence = false;
+    let mut doc_fences_seen = 0;
+    for line in &proto.lines {
+        // Module-doc layout block: the first ```text fence in the docs.
+        let comment = line.comment.trim();
+        if comment.starts_with("```") {
+            if in_doc_fence {
+                in_doc_fence = false;
+            } else if doc_fences_seen == 0 && comment.starts_with("```text") {
+                in_doc_fence = true;
+            }
+            doc_fences_seen += 1;
+        } else if in_doc_fence {
+            if let Some(size) = field_size(comment) {
+                let name = comment.split_whitespace().next().unwrap_or("").to_string();
+                facts.doc_header.push((name, size, line.number));
+            }
+        }
+        // Doc kind table rows: `| 1 | query | v1 | …`.
+        if comment.starts_with('|') {
+            let cells: Vec<&str> = comment.split('|').map(str::trim).collect();
+            if cells.len() >= 4 {
+                if let (Ok(kind), Some(since)) =
+                    (cells[1].parse::<u64>(), cells[3].strip_prefix('v'))
+                {
+                    if let Ok(since) = since.parse::<u64>() {
+                        facts.doc_rows.insert(normalize(cells[2]), (kind, since, line.number));
+                    }
+                }
+            }
+        }
+        // Constants.
+        if let Some((name, value)) = parse_const(&line.code) {
+            facts.consts.entry(name).or_insert((value, line.number));
+        }
+        // RequestBody::min_version arms (the first min_version fn).
+        if !saw_min_version && line.code.contains("fn min_version") {
+            in_min_version = true;
+            saw_min_version = true;
+            min_version_depth = depth;
+            facts.min_version_line = line.number;
+        }
+        if in_min_version {
+            if let Some((eq_left, right)) = line.code.split_once("=>") {
+                let value = right.trim().trim_end_matches(',').trim().parse::<u64>().ok();
+                if let Some(value) = value {
+                    if eq_left.trim().trim_start_matches('|').trim() == "_" {
+                        facts.min_version_default = Some(value);
+                    }
+                    let mut rest = eq_left;
+                    while let Some(pos) = rest.find("::") {
+                        let tail = &rest[pos + 2..];
+                        let name: String = tail.chars().take_while(|c| is_ident(*c)).collect();
+                        if !name.is_empty() {
+                            facts.min_versions.insert(normalize(&name), value);
+                        }
+                        rest = tail;
+                    }
+                    if eq_left.split('|').any(|p| p.trim() == "_") {
+                        facts.min_version_default = Some(value);
+                    }
+                }
+            }
+        }
+        // Fixed frame sizes: `Some(&KIND_X) if payload.len() == N`.
+        if let Some(pos) = line.code.find("Some(&KIND_") {
+            let name: String =
+                line.code[pos + "Some(&".len()..].chars().take_while(|c| is_ident(*c)).collect();
+            if let Some(rest) = line.code.split_once("payload.len() ==").map(|(_, r)| r) {
+                let digits: String =
+                    rest.trim_start().chars().take_while(char::is_ascii_digit).collect();
+                if let Ok(size) = digits.parse::<u64>() {
+                    facts.frame_sizes.insert(name, (size, line.number));
+                }
+            }
+        }
+        // Brace tracking for min_version's extent.
+        for c in line.code.chars() {
+            if c == '{' {
+                depth += 1;
+            } else if c == '}' {
+                depth -= 1;
+                if in_min_version && depth <= min_version_depth {
+                    in_min_version = false;
+                }
+            }
+        }
+    }
+    facts
+}
+
+/// Parse `[pub] const NAME: TYPE = EXPR;` where EXPR is an integer
+/// literal, `A << B`, or `u32::MAX`.
+fn parse_const(code: &str) -> Option<(String, u64)> {
+    let code = code.trim();
+    let rest = code.strip_prefix("pub const ").or_else(|| code.strip_prefix("const "))?;
+    let (name, rest) = rest.split_once(':')?;
+    let (_, expr) = rest.split_once('=')?;
+    let expr = expr.trim().trim_end_matches(';').trim();
+    let value = eval_int(expr)?;
+    Some((name.trim().to_string(), value))
+}
+
+fn eval_int(expr: &str) -> Option<u64> {
+    let expr = expr.trim();
+    if expr == "u32::MAX" {
+        return Some(u64::from(u32::MAX));
+    }
+    if let Some((a, b)) = expr.split_once("<<") {
+        return Some(eval_int(a)? << eval_int(b)?);
+    }
+    expr.replace('_', "").parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROTO_SRC: &str = r#"
+//! ```text
+//! magic        4 bytes   "HOPQ"
+//! version      u8        1 through 2
+//! kind/status  u8        request kind
+//! request id   u64 LE    echoed
+//! payload_len  u32 LE    bytes following
+//! ```
+//!
+//! | kind | name  | since | payload |
+//! |------|-------|-------|---------|
+//! | 1    | query | v1    | pairs |
+//! | 2    | swap  | v2    | empty |
+
+pub const VERSION: u8 = 2;
+pub const MIN_VERSION: u8 = 1;
+pub const HEADER_LEN: usize = 18;
+pub const MAX_PAYLOAD: u32 = 1 << 24;
+const KIND_QUERY: u8 = 1;
+const KIND_SWAP: u8 = 2;
+const STATUS_OK: u8 = 0;
+const STATUS_ERROR: u8 = 1;
+
+impl RequestBody {
+    fn min_version(&self) -> u8 {
+        match self {
+            RequestBody::Swap => 2,
+            _ => 1,
+        }
+    }
+}
+
+fn decode(payload: &[u8]) {
+    match kind {
+        Some(&KIND_SWAP) if payload.len() == 17 => {}
+        _ => {}
+    }
+}
+"#;
+
+    const README_SRC: &str = "# x\n\n**Wire protocol**: every frame is an 18-byte header + payload.\n\n```text\nmagic        4 B    request\nversion      u8     1 through 2\nkind/status  u8     1=query 2=swap / 0=ok 1=error\nrequest id   u64 LE echoed\npayload len  u32 LE \u{2264} 16 MiB\n```\n";
+
+    fn run(proto: &str, readme: &str) -> Vec<Diagnostic> {
+        check_sources(&SourceFile::parse(PROTO, proto), README, readme)
+    }
+
+    #[test]
+    fn consistent_sources_pass() {
+        let d = run(PROTO_SRC, README_SRC);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn drifted_kind_number_is_flagged() {
+        let readme = README_SRC.replace("2=swap", "3=swap");
+        let d = run(PROTO_SRC, &readme);
+        assert!(d.iter().any(|d| d.file == README && d.message.contains("3=swap")), "{d:?}");
+    }
+
+    #[test]
+    fn drifted_header_len_is_flagged_both_ways() {
+        let proto = PROTO_SRC.replace("HEADER_LEN: usize = 18", "HEADER_LEN: usize = 20");
+        let d = run(&proto, README_SRC);
+        assert!(d.iter().any(|d| d.message.contains("18-byte header")), "{d:?}");
+        assert!(d.iter().any(|d| d.message.contains("sums to 18 bytes")), "{d:?}");
+    }
+
+    #[test]
+    fn doc_table_since_must_match_min_version() {
+        let proto = PROTO_SRC.replace("| 2    | swap  | v2    |", "| 2    | swap  | v1    |");
+        let d = run(&proto, README_SRC);
+        assert!(d.iter().any(|d| d.file == PROTO && d.message.contains("v1")), "{d:?}");
+    }
+
+    #[test]
+    fn missing_readme_kind_is_flagged() {
+        let readme = README_SRC.replace("2=swap ", "");
+        let d = run(PROTO_SRC, &readme);
+        assert!(d.iter().any(|d| d.message.contains("missing `2=swap`")), "{d:?}");
+    }
+
+    #[test]
+    fn payload_cap_drift_is_flagged() {
+        let readme = README_SRC.replace("16 MiB", "32 MiB");
+        let d = run(PROTO_SRC, &readme);
+        assert!(d.iter().any(|d| d.message.contains("16 MiB")), "{d:?}");
+    }
+}

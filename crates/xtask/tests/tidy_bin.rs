@@ -1,0 +1,277 @@
+//! End-to-end proof that every tidy pass is live: each test builds a
+//! throwaway workspace fixture containing one deliberate violation,
+//! runs the real `xtask` binary against it with `--root`, and asserts
+//! both the nonzero exit status and the `file:line` diagnostic. A
+//! final test runs the full suite over a consistent fixture and
+//! expects `tidy: clean`, so a pass that silently stops finding
+//! anything fails here rather than rotting.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// A self-cleaning fixture workspace under the system temp dir.
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new(name: &str) -> Fixture {
+        let root = std::env::temp_dir().join(format!("tidy-bin-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).expect("create fixture root");
+        Fixture { root }
+    }
+
+    /// Write `contents` at `rel`, creating parent directories.
+    fn write(&self, rel: &str, contents: &str) -> &Fixture {
+        let path = self.root.join(rel);
+        std::fs::create_dir_all(path.parent().expect("rel has a parent"))
+            .expect("create fixture dirs");
+        std::fs::write(path, contents).expect("write fixture file");
+        self
+    }
+
+    /// Run `xtask tidy --root <fixture> [--pass <pass>]`, returning
+    /// (exit success, stdout, stderr).
+    fn tidy(&self, pass: Option<&str>) -> (bool, String, String) {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_xtask"));
+        cmd.arg("tidy").arg("--root").arg(&self.root);
+        if let Some(p) = pass {
+            cmd.arg("--pass").arg(p);
+        }
+        let out = cmd.output().expect("run xtask");
+        (
+            out.status.success(),
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+/// A proto.rs whose docs, constants, and decode arms all agree; taken
+/// from the shapes the checker parses out of the real file.
+const PROTO_OK: &str = r#"
+//! ```text
+//! magic        4 bytes   "HOPQ"
+//! version      u8        1 through 2
+//! kind/status  u8        request kind
+//! request id   u64 LE    echoed
+//! payload_len  u32 LE    bytes following
+//! ```
+//!
+//! | kind | name  | since | payload |
+//! |------|-------|-------|---------|
+//! | 1    | query | v1    | pairs |
+//! | 2    | swap  | v2    | empty |
+
+pub const VERSION: u8 = 2;
+pub const MIN_VERSION: u8 = 1;
+pub const HEADER_LEN: usize = 18;
+pub const MAX_PAYLOAD: u32 = 1 << 24;
+const KIND_QUERY: u8 = 1;
+const KIND_SWAP: u8 = 2;
+const STATUS_OK: u8 = 0;
+const STATUS_ERROR: u8 = 1;
+
+impl RequestBody {
+    fn min_version(&self) -> u8 {
+        match self {
+            RequestBody::Swap => 2,
+            _ => 1,
+        }
+    }
+}
+
+fn decode(payload: &[u8]) {
+    match kind {
+        Some(&KIND_SWAP) if payload.len() == 17 => {}
+        _ => {}
+    }
+}
+"#;
+
+/// A README whose protocol block matches `PROTO_OK`.
+const README_OK: &str = "# fixture\n\n\
+**Wire protocol**: every frame is an 18-byte header + payload.\n\n\
+```text\n\
+magic        4 B    request\n\
+version      u8     1 through 2\n\
+kind/status  u8     1=query 2=swap / 0=ok 1=error\n\
+request id   u64 LE echoed\n\
+payload len  u32 LE \u{2264} 16 MiB\n\
+```\n";
+
+/// Populate the files the proto pass hard-requires (it errors rather
+/// than skipping when they are absent) with mutually consistent text.
+fn with_consistent_proto(fx: &Fixture) {
+    fx.write("crates/server/src/proto.rs", PROTO_OK);
+    fx.write("README.md", README_OK);
+}
+
+#[test]
+fn unsafe_pass_flags_undocumented_block_with_file_and_line() {
+    let fx = Fixture::new("unsafe-violation");
+    fx.write("crates/demo/src/lib.rs", "pub fn peek(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n");
+    let (ok, _out, err) = fx.tidy(Some("unsafe"));
+    assert!(!ok, "undocumented unsafe block must fail tidy");
+    assert!(
+        err.contains("crates/demo/src/lib.rs:2"),
+        "diagnostic must carry file:line, got:\n{err}"
+    );
+    assert!(err.contains("SAFETY"), "diagnostic must name the missing comment, got:\n{err}");
+}
+
+#[test]
+fn unsafe_pass_accepts_documented_block_and_inventories_it() {
+    let fx = Fixture::new("unsafe-ok");
+    fx.write(
+        "crates/demo/src/lib.rs",
+        "pub fn peek(p: *const u8) -> u8 {\n    // SAFETY: caller contract says p is valid.\n    unsafe { *p }\n}\n",
+    );
+    let (ok, out, err) = fx.tidy(Some("unsafe"));
+    assert!(ok, "documented unsafe must pass, stderr:\n{err}");
+    assert!(
+        out.contains("crates/demo/src/lib.rs:3"),
+        "inventory must list the documented site, got:\n{out}"
+    );
+}
+
+#[test]
+fn panic_pass_flags_unwrap_in_wire_facing_module() {
+    let fx = Fixture::new("panic-violation");
+    fx.write(
+        "crates/server/src/proto.rs",
+        "fn kind(payload: &[u8]) -> u8 {\n    payload.first().copied().unwrap()\n}\n",
+    );
+    let (ok, _out, err) = fx.tidy(Some("panic"));
+    assert!(!ok, "unwrap in a decode module must fail tidy");
+    assert!(
+        err.contains("crates/server/src/proto.rs:2"),
+        "diagnostic must carry file:line, got:\n{err}"
+    );
+}
+
+#[test]
+fn panic_pass_flags_slice_indexing_but_tolerates_test_code() {
+    let fx = Fixture::new("panic-indexing");
+    fx.write(
+        "crates/server/src/proto.rs",
+        "fn first(payload: &[u8]) -> u8 {\n    payload[0]\n}\n\
+         #[cfg(test)]\nmod tests {\n    fn helper(p: &[u8]) -> u8 {\n        p[0]\n    }\n}\n",
+    );
+    let (ok, _out, err) = fx.tidy(Some("panic"));
+    assert!(!ok);
+    assert!(err.contains("crates/server/src/proto.rs:2"), "got:\n{err}");
+    assert!(!err.contains("proto.rs:7"), "test-only indexing must be exempt, got:\n{err}");
+}
+
+#[test]
+fn panic_pass_rejects_stale_allowlist_entries() {
+    let fx = Fixture::new("panic-stale-allowlist");
+    fx.write("crates/server/src/proto.rs", "fn nothing_panics_here() {}\n");
+    fx.write("crates/xtask/tidy.allowlist", "crates/server/src/proto.rs: payload[unreachable]\n");
+    let (ok, _out, err) = fx.tidy(Some("panic"));
+    assert!(!ok, "a stale allowlist entry must fail tidy");
+    assert!(err.contains("stale"), "diagnostic must say the entry is stale, got:\n{err}");
+}
+
+#[test]
+fn locks_pass_flags_out_of_order_acquisition() {
+    let fx = Fixture::new("locks-violation");
+    fx.write(
+        "crates/server/src/backend.rs",
+        "fn apply(shared: &Shared) {\n    let snap = shared.current.read();\n    \
+         let log = shared.update_log.lock();\n}\n",
+    );
+    let (ok, _out, err) = fx.tidy(Some("locks"));
+    assert!(!ok, "acquiring update_log under current must fail tidy");
+    assert!(
+        err.contains("crates/server/src/backend.rs:3"),
+        "diagnostic must point at the inner acquisition, got:\n{err}"
+    );
+    assert!(err.contains("lock-order violation"), "got:\n{err}");
+}
+
+#[test]
+fn locks_pass_accepts_hierarchy_order() {
+    let fx = Fixture::new("locks-ok");
+    fx.write(
+        "crates/server/src/backend.rs",
+        "fn apply(shared: &Shared) {\n    let serial = shared.mutate_serial.lock();\n    \
+         let log = shared.update_log.lock();\n    let snap = shared.current.read();\n}\n",
+    );
+    let (ok, _out, err) = fx.tidy(Some("locks"));
+    assert!(ok, "in-order acquisition must pass, stderr:\n{err}");
+}
+
+#[test]
+fn proto_pass_flags_readme_drift_against_proto_constants() {
+    let fx = Fixture::new("proto-violation");
+    fx.write("crates/server/src/proto.rs", PROTO_OK);
+    fx.write("README.md", &README_OK.replace("2=swap", "3=swap"));
+    let (ok, _out, err) = fx.tidy(Some("proto"));
+    assert!(!ok, "README kind table drifting from proto.rs must fail tidy");
+    assert!(err.contains("README.md:"), "diagnostic must carry file:line, got:\n{err}");
+    assert!(err.contains("3=swap"), "diagnostic must quote the drifted entry, got:\n{err}");
+}
+
+#[test]
+fn proto_pass_flags_header_length_drift_in_proto_itself() {
+    let fx = Fixture::new("proto-header-drift");
+    fx.write(
+        "crates/server/src/proto.rs",
+        &PROTO_OK.replace("HEADER_LEN: usize = 18", "HEADER_LEN: usize = 20"),
+    );
+    fx.write("README.md", README_OK);
+    let (ok, _out, err) = fx.tidy(Some("proto"));
+    assert!(!ok, "doc fence no longer summing to HEADER_LEN must fail tidy");
+    assert!(err.contains("crates/server/src/proto.rs:"), "got:\n{err}");
+}
+
+#[test]
+fn full_suite_reports_clean_on_a_consistent_tree() {
+    let fx = Fixture::new("all-clean");
+    with_consistent_proto(&fx);
+    fx.write(
+        "crates/server/src/backend.rs",
+        "fn apply(shared: &Shared) {\n    let serial = shared.mutate_serial.lock();\n    \
+         let snap = shared.current.read();\n}\n",
+    );
+    fx.write(
+        "crates/demo/src/lib.rs",
+        "pub fn double(x: u32) -> u32 {\n    x.saturating_mul(2)\n}\n",
+    );
+    let (ok, out, err) = fx.tidy(None);
+    assert!(ok, "consistent fixture must pass every pass, stderr:\n{err}");
+    assert!(out.contains("tidy: clean"), "got stdout:\n{out}");
+}
+
+#[test]
+fn full_suite_counts_findings_across_passes() {
+    let fx = Fixture::new("all-dirty");
+    with_consistent_proto(&fx);
+    // One unsafe violation and one panic violation in separate files.
+    fx.write("crates/demo/src/lib.rs", "pub fn peek(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n");
+    fx.write("crates/server/src/http.rs", "fn first(b: &[u8]) -> u8 {\n    b[0]\n}\n");
+    let (ok, _out, err) = fx.tidy(None);
+    assert!(!ok);
+    assert!(err.contains("crates/demo/src/lib.rs:2"), "got:\n{err}");
+    assert!(err.contains("crates/server/src/http.rs:2"), "got:\n{err}");
+    assert!(err.contains("2 finding(s)"), "summary must count findings, got:\n{err}");
+}
+
+/// The binary must also fail loudly (not pass vacuously) when the
+/// proto pass cannot find the files it checks.
+#[test]
+fn proto_pass_errors_when_sources_are_missing() {
+    let fx = Fixture::new("proto-missing");
+    let (ok, _out, err) = fx.tidy(Some("proto"));
+    assert!(!ok, "missing proto.rs/README.md must not count as clean");
+    assert!(err.contains("failed to read sources"), "got:\n{err}");
+}

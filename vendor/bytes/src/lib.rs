@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Minimal, API-compatible stand-in for the subset of the `bytes` crate
 //! this workspace uses: the [`Buf`] / [`BufMut`] cursor traits over
 //! byte slices and growable buffers, and a [`BytesMut`] scratch buffer.

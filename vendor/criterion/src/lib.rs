@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Minimal, API-compatible stand-in for the subset of the `criterion`
 //! bench harness this workspace uses. The build environment has no
 //! access to crates.io, so this shim keeps `cargo bench` working

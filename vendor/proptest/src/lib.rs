@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Minimal, API-compatible stand-in for the subset of the `proptest`
 //! crate this workspace uses: [`strategy::Strategy`] with `prop_map` /
 //! `prop_flat_map`, range and tuple strategies, [`collection::vec`],

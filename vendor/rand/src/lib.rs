@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Minimal, API-compatible stand-in for the subset of the `rand` crate
 //! this workspace uses (`Rng::gen_range` / `gen_bool` / `gen`,
 //! `SeedableRng::seed_from_u64`, `rngs::StdRng`).
